@@ -1,0 +1,241 @@
+// Benchmarks regenerating the paper's figures and tables (one bench per
+// experiment; run `go test -bench=. -benchmem`) plus micro-benchmarks of
+// the core machinery. The per-figure benches execute a reduced quick
+// profile per iteration and print the reproduced series via b.Log on the
+// first iteration; cmd/spmap-bench is the full console harness.
+package spmap_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"spmap"
+	"spmap/internal/experiments"
+	"spmap/internal/gen"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/mappers/heft"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+	"spmap/internal/sp"
+)
+
+// benchCfg is a minimal profile so `go test -bench=.` stays tractable.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		GraphsPerPoint: 2,
+		Schedules:      10,
+		GAGenerations:  30,
+		MILPTimeLimit:  500 * time.Millisecond,
+		Seed:           1,
+	}
+}
+
+func logTable(b *testing.B, t *experiments.Table) {
+	b.Helper()
+	var sb strings.Builder
+	t.Print(&sb)
+	b.Log("\n" + sb.String())
+}
+
+func BenchmarkFig3MILPsVsDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig3(benchCfg())
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig4ListSchedulingVsDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig4(benchCfg())
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig5GeneticVsFirstFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig5(benchCfg())
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig6GenerationsTradeoff(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6(cfg)
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkFig7AlmostSeriesParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7(benchCfg())
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkTable1Workflows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(benchCfg())
+		if i == 0 {
+			var sb strings.Builder
+			experiments.PrintTable1(&sb, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+func BenchmarkAblationCutPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.CutPolicyAblation(benchCfg())
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkAblationGamma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.GammaAblation(benchCfg())
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+func BenchmarkAblationScheduleCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.ScheduleCountAblation(benchCfg())
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// --- micro-benchmarks of the core machinery ---
+
+func benchGraph(n int) *spmap.DAG {
+	rng := rand.New(rand.NewSource(1))
+	return gen.SeriesParallel(rng, n, gen.DefaultAttr())
+}
+
+func BenchmarkEvaluatorMakespanBFS100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p)
+	m := mapping.Baseline(g, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Makespan(m)
+	}
+}
+
+func BenchmarkEvaluator101Schedules100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	m := mapping.Baseline(g, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Makespan(m)
+	}
+}
+
+func BenchmarkDecomposeSP200(b *testing.B) {
+	g := benchGraph(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Decompose(g, sp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeAlmostSP200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.AlmostSeriesParallel(rng, 200, 100, gen.DefaultAttr())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Decompose(g, sp.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMapper(b *testing.B, n int, strat decomp.Strategy, h decomp.Heuristic) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := decomp.MapWithEvaluator(ev, decomp.Options{Strategy: strat, Heuristic: h}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapSingleNodeBasic100(b *testing.B) {
+	benchMapper(b, 100, decomp.SingleNode, decomp.Basic)
+}
+
+func BenchmarkMapSeriesParallelBasic100(b *testing.B) {
+	benchMapper(b, 100, decomp.SeriesParallel, decomp.Basic)
+}
+
+func BenchmarkMapSNFirstFit100(b *testing.B) {
+	benchMapper(b, 100, decomp.SingleNode, decomp.FirstFit)
+}
+
+func BenchmarkMapSPFirstFit100(b *testing.B) {
+	benchMapper(b, 100, decomp.SeriesParallel, decomp.FirstFit)
+}
+
+func BenchmarkMapHEFT100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heft.MapWithEvaluator(ev, heft.HEFT)
+	}
+}
+
+func BenchmarkMapPEFT100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heft.MapWithEvaluator(ev, heft.PEFT)
+	}
+}
+
+func BenchmarkMapNSGAII100Gen50(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ga.MapWithEvaluator(ev, ga.Options{Generations: 50, Seed: int64(i)})
+	}
+}
+
+func BenchmarkGenerateSP200(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		gen.SeriesParallel(rng, 200, gen.DefaultAttr())
+	}
+}

@@ -1,0 +1,111 @@
+// Command spmap-bench reproduces the paper's evaluation: one experiment
+// per figure and table (§IV). By default it runs a quick profile that
+// preserves every series' shape; -paper selects the full protocol (30
+// graphs per point, 100 random schedules, 500 GA generations, 5-minute
+// MILP budgets).
+//
+// Usage:
+//
+//	spmap-bench -exp fig4            # one experiment
+//	spmap-bench -exp all             # fig3 fig4 fig5 fig6 fig7 table1
+//	spmap-bench -exp ablation        # extension: cut policies, gamma sweep
+//	spmap-bench -exp fig3 -paper     # paper-scale protocol
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spmap/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spmap-bench: ")
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation all")
+		paper     = flag.Bool("paper", false, "full paper-scale protocol (slow)")
+		graphs    = flag.Int("graphs", 0, "override graphs per data point")
+		schedules = flag.Int("schedules", 0, "override random schedules in the cost function")
+		gaGens    = flag.Int("generations", 0, "override NSGA-II generations")
+		milpBudg  = flag.Duration("milp-budget", 0, "override MILP time limit")
+		seed      = flag.Int64("seed", 1, "base RNG seed")
+		csvDir    = flag.String("csv", "", "also write <experiment>.csv files into this directory")
+	)
+	flag.Parse()
+	cfg := experiments.Config{
+		Paper:          *paper,
+		GraphsPerPoint: *graphs,
+		Schedules:      *schedules,
+		GAGenerations:  *gaGens,
+		MILPTimeLimit:  *milpBudg,
+		Seed:           *seed,
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
+	}
+	emit := func(t *experiments.Table) {
+		t.Print(os.Stdout)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = t.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, name := range names {
+		start := time.Now()
+		switch strings.TrimSpace(name) {
+		case "fig3":
+			emit(experiments.Fig3(cfg))
+		case "fig4":
+			emit(experiments.Fig4(cfg))
+		case "fig5":
+			emit(experiments.Fig5(cfg))
+		case "fig6":
+			emit(experiments.Fig6(cfg))
+		case "fig7":
+			emit(experiments.Fig7(cfg))
+		case "table1":
+			rows := experiments.Table1(cfg)
+			experiments.PrintTable1(os.Stdout, rows)
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, "table1.csv"))
+				if err != nil {
+					log.Fatal(err)
+				}
+				err = experiments.WriteCSVTable1(f, rows)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		case "ablation":
+			emit(experiments.CutPolicyAblation(cfg))
+			fmt.Println()
+			emit(experiments.GammaAblation(cfg))
+			fmt.Println()
+			emit(experiments.ScheduleCountAblation(cfg))
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+		fmt.Printf("\n[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

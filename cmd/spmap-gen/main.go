@@ -1,0 +1,77 @@
+// Command spmap-gen generates task graphs as JSON: random series-parallel
+// graphs, almost series-parallel graphs with extra conflicting edges
+// (paper §IV-B/C) or synthetic WfCommons-like workflow instances (§IV-D).
+//
+// Usage:
+//
+//	spmap-gen -kind sp -n 100 > app.json
+//	spmap-gen -kind almost-sp -n 100 -extra 50 > app.json
+//	spmap-gen -kind workflow -family montage -scale 3 > app.json
+//	spmap-gen -kind platform > platform.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"spmap"
+	"spmap/internal/wf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spmap-gen: ")
+	var (
+		kind   = flag.String("kind", "sp", "sp | almost-sp | workflow | platform")
+		n      = flag.Int("n", 50, "number of tasks (sp, almost-sp)")
+		extra  = flag.Int("extra", 20, "extra conflicting edges (almost-sp)")
+		family = flag.String("family", "montage", "workflow family (1000genome, blast, bwa, cycles, epigenomics, montage, seismology, soykb, srasearch)")
+		scale  = flag.Int("scale", 1, "workflow scale factor")
+		seed   = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *kind == "platform" {
+		p := spmap.ReferencePlatform()
+		if err := p.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var g *spmap.DAG
+	switch *kind {
+	case "sp":
+		g = spmap.RandomSeriesParallel(rng, *n)
+	case "almost-sp":
+		g = spmap.RandomAlmostSeriesParallel(rng, *n, *extra)
+	case "workflow":
+		fam, ok := familyByName(*family)
+		if !ok {
+			log.Fatalf("unknown family %q", *family)
+		}
+		g = spmap.GenerateWorkflow(fam, *scale, rng)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if err := g.Validate(); err != nil {
+		log.Fatalf("generated graph invalid: %v", err)
+	}
+	if _, err := g.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d tasks, %d edges\n", g.NumTasks(), g.NumEdges())
+}
+
+func familyByName(name string) (wf.Family, bool) {
+	for _, f := range wf.Families() {
+		if f.String() == name {
+			return f, true
+		}
+	}
+	return 0, false
+}

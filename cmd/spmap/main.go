@@ -1,0 +1,177 @@
+// Command spmap maps a task graph (JSON) onto a heterogeneous platform
+// and prints the resulting assignment, makespan and improvement.
+//
+// Usage:
+//
+//	spmap -graph app.json [-platform platform.json] [-algo spfirstfit]
+//	      [-schedules 100] [-gamma 2] [-json]
+//
+// Algorithms: singlenode, seriesparallel, snfirstfit, spfirstfit, gamma,
+// heft, peft, nsga2, milp-device, milp-time, milp-zhouliu.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"spmap"
+	"spmap/internal/graph"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spmap: ")
+	var (
+		graphPath    = flag.String("graph", "", "task graph JSON file (required)")
+		platformPath = flag.String("platform", "", "platform JSON file (default: paper reference platform)")
+		algo         = flag.String("algo", "spfirstfit", "mapping algorithm")
+		schedules    = flag.Int("schedules", 100, "random schedules in the cost function")
+		gamma        = flag.Float64("gamma", 2, "gamma for -algo gamma")
+		gaGens       = flag.Int("generations", 500, "NSGA-II generations")
+		milpBudget   = flag.Duration("milp-budget", 30*time.Second, "MILP time limit")
+		seed         = flag.Int64("seed", 1, "RNG seed (schedules, GA)")
+		asJSON       = flag.Bool("json", false, "emit machine-readable JSON")
+		dotOut       = flag.String("dot", "", "write the mapped task graph as Graphviz DOT to this file")
+		gantt        = flag.Bool("gantt", false, "print a textual Gantt chart of the best schedule")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := readGraph(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := spmap.ReferencePlatform()
+	if *platformPath != "" {
+		f, err := os.Open(*platformPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err = platform.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ev := spmap.NewEvaluator(g, p).WithSchedules(*schedules, *seed)
+	start := time.Now()
+	var m spmap.Mapping
+	var stats *spmap.MapperStats
+	switch *algo {
+	case "singlenode":
+		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.Basic, 0)
+	case "seriesparallel":
+		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.Basic, 0)
+	case "snfirstfit":
+		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.FirstFit, 0)
+	case "spfirstfit":
+		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.FirstFit, 0)
+	case "gamma":
+		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.GammaThreshold, *gamma)
+	case "heft":
+		m = spmap.MapHEFT(g, p)
+	case "peft":
+		m = spmap.MapPEFT(g, p)
+	case "nsga2":
+		m, _ = spmap.MapGenetic(g, p, spmap.GAOptions{Generations: *gaGens, Seed: *seed})
+	case "milp-device":
+		m = spmap.MapMILP(g, p, spmap.MILPWGDPDevice, *milpBudget).Mapping
+	case "milp-time":
+		m = spmap.MapMILP(g, p, spmap.MILPWGDPTime, *milpBudget).Mapping
+	case "milp-zhouliu":
+		m = spmap.MapMILP(g, p, spmap.MILPZhouLiu, *milpBudget).Mapping
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	elapsed := time.Since(start)
+
+	base := ev.Makespan(spmap.BaselineMapping(g, p))
+	ms := ev.Makespan(m)
+	if *asJSON {
+		out := map[string]any{
+			"algorithm":   *algo,
+			"mapping":     m,
+			"makespan":    ms,
+			"baseline":    base,
+			"improvement": spmap.Improvement(ev, m),
+			"elapsed_ms":  float64(elapsed.Microseconds()) / 1000,
+		}
+		if stats != nil {
+			out["stats"] = stats
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("algorithm:   %s\n", *algo)
+	fmt.Printf("tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
+	fmt.Printf("baseline:    %.3f ms (pure %s)\n", 1e3*base, p.Devices[p.Default].Name)
+	fmt.Printf("makespan:    %.3f ms\n", 1e3*ms)
+	fmt.Printf("improvement: %.1f %%\n", 100*spmap.Improvement(ev, m))
+	fmt.Printf("elapsed:     %s\n", elapsed.Round(time.Microsecond))
+	fmt.Println("mapping:")
+	for v := spmap.NodeID(0); int(v) < g.NumTasks(); v++ {
+		name := g.Task(v).Name
+		if name == "" {
+			name = fmt.Sprintf("task%d", int(v))
+		}
+		fmt.Printf("  %-24s -> %s\n", name, p.Devices[m[v]].Name)
+	}
+	if *gantt {
+		fmt.Println()
+		if s := ev.BestSchedule(m); s != nil {
+			s.WriteGantt(os.Stdout, g, func(d int) string { return p.Devices[d].Name })
+		}
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = g.WriteDOT(f, nil, func(v spmap.NodeID) int { return m[v] })
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+}
+
+func runDecomp(g *spmap.DAG, p *spmap.Platform, s decomp.Strategy, h spmap.Heuristic, gamma float64) (spmap.Mapping, *spmap.MapperStats) {
+	m, st, err := decomp.Map(g, p, decomp.Options{Strategy: s, Heuristic: h, Gamma: gamma})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m, &st
+}
+
+func readGraph(path string) (*spmap.DAG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,75 @@
+package spmap_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spmap"
+)
+
+// ExampleMapSeriesParallel maps a streamable chain; the whole chain ends
+// up on the FPGA, which single-node mapping cannot achieve.
+func ExampleMapSeriesParallel() {
+	g := spmap.NewDAG()
+	var prev spmap.NodeID = -1
+	for i := 0; i < 4; i++ {
+		t := spmap.Task{Complexity: 8, Parallelizability: 0.5, Streamability: 12, Area: 8}
+		if i == 0 {
+			t.SourceBytes = 100e6
+		}
+		v := g.AddTask(t)
+		if prev >= 0 {
+			g.AddEdge(prev, v, 100e6)
+		}
+		prev = v
+	}
+	p := spmap.ReferencePlatform()
+	m, _, err := spmap.MapSeriesParallel(g, p, spmap.FirstFit)
+	if err != nil {
+		panic(err)
+	}
+	onFPGA := 0
+	for _, d := range m {
+		if p.Devices[d].Kind == spmap.FPGA {
+			onFPGA++
+		}
+	}
+	fmt.Printf("%d of 4 tasks streamed on the FPGA\n", onFPGA)
+	// Output: 4 of 4 tasks streamed on the FPGA
+}
+
+// ExampleIsSeriesParallel distinguishes the paper's Fig. 1 (SP) and
+// Fig. 2 (non-SP) example graphs.
+func ExampleIsSeriesParallel() {
+	fig1 := spmap.NewDAG()
+	for i := 0; i < 6; i++ {
+		fig1.AddTask(spmap.Task{})
+	}
+	for _, e := range [][2]spmap.NodeID{{0, 1}, {1, 2}, {2, 3}, {1, 3}, {3, 5}, {0, 4}, {4, 5}} {
+		fig1.AddEdge(e[0], e[1], 1)
+	}
+	fmt.Println("fig1:", spmap.IsSeriesParallel(fig1))
+
+	fig2 := spmap.NewDAG()
+	for i := 0; i < 6; i++ {
+		fig2.AddTask(spmap.Task{})
+	}
+	for _, e := range [][2]spmap.NodeID{{0, 1}, {0, 4}, {1, 4}, {1, 2}, {2, 3}, {1, 3}, {3, 5}, {4, 5}} {
+		fig2.AddEdge(e[0], e[1], 1)
+	}
+	fmt.Println("fig2:", spmap.IsSeriesParallel(fig2))
+	// Output:
+	// fig1: true
+	// fig2: false
+}
+
+// ExampleDecompose shows the decomposition forest of a non-SP graph.
+func ExampleDecompose() {
+	g := spmap.RandomAlmostSeriesParallel(rand.New(rand.NewSource(1)), 30, 15)
+	f, err := spmap.Decompose(g, spmap.CutSmallest, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trees > 1: %v, cuts > 0: %v\n", len(f.Trees) > 1, f.Cuts > 0)
+	// Output: trees > 1: true, cuts > 0: true
+}

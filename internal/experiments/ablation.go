@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/sp"
+)
+
+// The ablation experiments back the design-choice discussions of the
+// paper that its evaluation does not plot directly: the deadlock cut
+// policy of Alg. 1 (§III-C observes that a smarter cut than the random
+// one can improve the decomposition), the gamma threshold (§III-D/§IV-B:
+// "using a gamma-threshold heuristic with gamma > 1 does not provide a
+// significant benefit compared with FirstFit"), and the number of random
+// schedules in the cost function (§IV-A).
+
+// CutPolicyAblation compares the three deadlock cut policies on almost
+// series-parallel graphs, where cuts actually occur.
+func CutPolicyAblation(cfg Config) *Table {
+	const n = 100
+	xs := []int{10, 50, 100, 200}
+	mk := func(x int, rng *rand.Rand) *graph.DAG {
+		return gen.AlmostSeriesParallel(rng, n, x, gen.DefaultAttr())
+	}
+	var algos []Algorithm
+	for _, pol := range []sp.CutPolicy{sp.CutRandom, sp.CutSmallest, sp.CutLargest} {
+		pol := pol
+		algos = append(algos, Algorithm{
+			Name: "cut-" + pol.String(),
+			Run: func(ev *model.Evaluator, seed int64) mapping.Mapping {
+				m, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+					Strategy:  decomp.SeriesParallel,
+					Heuristic: decomp.FirstFit,
+					SP:        sp.Options{Policy: pol, Seed: seed},
+				})
+				if err != nil {
+					panic(err)
+				}
+				return m
+			},
+		})
+	}
+	return sweep(cfg, "ablation-cut", "Deadlock cut policy (100-node almost-SP graphs)", "extra edges", xs, algos, mk)
+}
+
+// GammaAblation sweeps the gamma threshold on random SP graphs; gamma = 1
+// is FirstFit, large gamma approaches the basic full re-evaluation.
+func GammaAblation(cfg Config) *Table {
+	xs := []int{50, 100, 150}
+	mk := func(x int, rng *rand.Rand) *graph.DAG {
+		return gen.SeriesParallel(rng, x, gen.DefaultAttr())
+	}
+	gammas := []float64{1, 1.5, 2, 4, 8}
+	var algos []Algorithm
+	for _, gm := range gammas {
+		gm := gm
+		name := "gamma-1(FirstFit)"
+		if gm > 1 {
+			name = "gamma-" + trimFloat(gm)
+		}
+		algos = append(algos, Algorithm{
+			Name: name,
+			Run: func(ev *model.Evaluator, seed int64) mapping.Mapping {
+				m, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+					Strategy:  decomp.SeriesParallel,
+					Heuristic: decomp.GammaThreshold,
+					Gamma:     gm,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return m
+			},
+		})
+	}
+	algos = append(algos, algoDecomp("Basic", decomp.SeriesParallel, decomp.Basic))
+	return sweep(cfg, "ablation-gamma", "Gamma-threshold sweep (random SP graphs)", "tasks", xs, algos, mk)
+}
+
+// ScheduleCountAblation varies the number of random schedules in the cost
+// function and reports the quality of the resulting SPFirstFit mapping
+// (always re-judged under the full 100-schedule protocol).
+func ScheduleCountAblation(cfg Config) *Table {
+	const n = 100
+	counts := []int{0, 5, 20, 50, 100}
+	p := cfg.platform()
+	t := &Table{ID: "ablation-schedules", Title: "Cost-function schedule count (100-node random SP graphs)", XLabel: "schedules"}
+	s := &Series{Name: "SPFirstFit"}
+	for _, k := range counts {
+		var pt Point
+		pt.X = float64(k)
+		count := cfg.graphs()
+		for gi := 0; gi < count; gi++ {
+			seed := cfg.Seed + int64(gi)*7919
+			rng := rand.New(rand.NewSource(seed))
+			g := gen.SeriesParallel(rng, n, gen.DefaultAttr())
+			// Map under a k-schedule cost function...
+			evMap := model.NewEvaluator(g, p).WithSchedules(k, seed+1)
+			m, _, err := decomp.MapWithEvaluator(evMap, decomp.Options{
+				Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit,
+			})
+			if err != nil {
+				panic(err)
+			}
+			// ...but judge under the full 100-schedule protocol.
+			evJudge := model.NewEvaluator(g, p).WithSchedules(100, seed+1)
+			base := evJudge.Makespan(mapping.Baseline(g, p))
+			if ms := evJudge.Makespan(m); ms < base {
+				pt.Improvement += (base - ms) / base
+				pt.Found++
+			}
+		}
+		pt.Improvement /= float64(count)
+		pt.Found /= float64(count)
+		s.Points = append(s.Points, pt)
+	}
+	t.Series = []*Series{s}
+	return t
+}
+
+func trimFloat(f float64) string {
+	s := make([]byte, 0, 8)
+	whole := int(f)
+	s = append(s, byte('0'+whole))
+	frac := int((f - float64(whole)) * 10)
+	if frac > 0 {
+		s = append(s, '.', byte('0'+frac))
+	}
+	return string(s)
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the table in long form (series, x, improvement, time_ms,
+// found) for external plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "series", t.XLabel, "improvement", "time_ms", "found"}); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				t.ID, s.Name,
+				fmt.Sprintf("%g", p.X),
+				fmt.Sprintf("%.6f", p.Improvement),
+				fmt.Sprintf("%.4f", p.TimeMS),
+				fmt.Sprintf("%.3f", p.Found),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVTable1 emits the Table I reproduction in long form.
+func WriteCSVTable1(w io.Writer, rows []WFRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"set", "tasks", "algorithm", "improvement", "total_time_ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for algo, imp := range r.Improvement {
+			rec := []string{
+				r.Family, fmt.Sprint(r.Tasks), algo,
+				fmt.Sprintf("%.6f", imp),
+				fmt.Sprintf("%.4f", r.TotalTimeMS[algo]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{
+		ID: "figX", XLabel: "tasks",
+		Series: []*Series{
+			{Name: "A", Points: []Point{{X: 5, Improvement: 0.1, TimeMS: 2, Found: 1}}},
+			{Name: "B", Points: []Point{{X: 5, Improvement: 0.2, TimeMS: 4, Found: 0.5}}},
+		},
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "experiment,series,tasks") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(out, "figX,A,5,0.100000") {
+		t.Fatalf("missing row A: %s", out)
+	}
+}
+
+func TestWriteCSVTable1(t *testing.T) {
+	rows := []WFRow{{
+		Family: "blast", Tasks: 10,
+		Improvement: map[string]float64{"HEFT": 0.1},
+		TotalTimeMS: map[string]float64{"HEFT": 3},
+	}}
+	var sb strings.Builder
+	if err := WriteCSVTable1(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "blast,10,HEFT,0.100000") {
+		t.Fatalf("bad csv: %s", sb.String())
+	}
+}

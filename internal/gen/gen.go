@@ -1,0 +1,177 @@
+// Package gen generates the synthetic workloads of the paper's evaluation:
+// random series-parallel task graphs (§IV-B), almost series-parallel
+// graphs with extra conflicting edges (§IV-C) and the random attribute
+// augmentation (lognormal complexity and streamability, Amdahl-aware
+// parallelizability, FPGA area proportional to complexity, constant
+// 100 MB data flows).
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"spmap/internal/graph"
+)
+
+// Attr configures the random attribute augmentation of §IV-B.
+type Attr struct {
+	// LogNormalMu and LogNormalSigma parametrize the lognormal
+	// distribution of complexity and streamability (paper: mu=2,
+	// sigma=0.5; 90 % of values in 3..17, median ~7.4).
+	LogNormalMu, LogNormalSigma float64
+	// PerfectParallelProb is the probability that a task is perfectly
+	// parallelizable (paper: 0.5); otherwise parallelizability is uniform
+	// in [0,1].
+	PerfectParallelProb float64
+	// EdgeBytes is the constant data flow between tasks (paper: 100 MB).
+	EdgeBytes float64
+	// AreaPerComplexity scales a task's FPGA area requirement
+	// proportionally to its complexity (paper: "area limitation
+	// proportional to the task's complexity").
+	AreaPerComplexity float64
+}
+
+// DefaultAttr returns the paper's §IV-B parameters.
+func DefaultAttr() Attr {
+	return Attr{
+		LogNormalMu:         2,
+		LogNormalSigma:      0.5,
+		PerfectParallelProb: 0.5,
+		EdgeBytes:           100e6,
+		AreaPerComplexity:   1,
+	}
+}
+
+// LogNormal draws exp(mu + sigma*N(0,1)).
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// Augment fills every non-virtual task's attributes and every edge's byte
+// volume in place, per §IV-B.
+func Augment(g *graph.DAG, rng *rand.Rand, a Attr) {
+	for v := 0; v < g.NumTasks(); v++ {
+		t := g.Task(graph.NodeID(v))
+		if t.Virtual {
+			continue
+		}
+		t.Complexity = LogNormal(rng, a.LogNormalMu, a.LogNormalSigma)
+		t.Streamability = LogNormal(rng, a.LogNormalMu, a.LogNormalSigma)
+		if rng.Float64() < a.PerfectParallelProb {
+			t.Parallelizability = 1
+		} else {
+			t.Parallelizability = rng.Float64()
+		}
+		t.Area = a.AreaPerComplexity * t.Complexity
+		if g.InDegree(graph.NodeID(v)) == 0 {
+			t.SourceBytes = a.EdgeBytes
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if e.Bytes == 0 && !g.Task(e.From).Virtual && !g.Task(e.To).Virtual {
+			g.SetEdgeBytes(i, a.EdgeBytes)
+		}
+	}
+}
+
+// SeriesParallel generates a random directed series-parallel graph with
+// (at least) n task nodes using the paper's procedure: start from a single
+// directed edge and repeatedly apply series (insert a node on an edge) or
+// parallel (duplicate an edge) operations in a 1:2 ratio until n nodes
+// exist; finally remove redundant (transitively implied / duplicate)
+// edges. Edge volumes and task attributes are filled by Augment.
+func SeriesParallel(rng *rand.Rand, n int, a Attr) *graph.DAG {
+	if n < 2 {
+		n = 2
+	}
+	type edge struct{ u, v int }
+	edges := []edge{{0, 1}}
+	nodes := 2
+	for nodes < n {
+		i := rng.Intn(len(edges))
+		if rng.Intn(3) == 0 { // series : parallel = 1 : 2
+			e := edges[i]
+			w := nodes
+			nodes++
+			edges[i] = edge{e.u, w}
+			edges = append(edges, edge{w, e.v})
+		} else {
+			edges = append(edges, edges[i])
+		}
+	}
+	g := graph.New(nodes, len(edges))
+	for i := 0; i < nodes; i++ {
+		g.AddTask(graph.Task{})
+	}
+	for _, e := range edges {
+		g.AddEdge(graph.NodeID(e.u), graph.NodeID(e.v), 0)
+	}
+	g.TransitiveReduction()
+	Augment(g, rng, a)
+	return g
+}
+
+// AlmostSeriesParallel generates a series-parallel graph with n nodes and
+// then inserts k extra edges directed according to a random topological
+// order (§IV-C). Most inserted edges are conflicting, i.e. destroy
+// series-parallelism. Duplicate and transitively-present direct edges are
+// re-drawn a bounded number of times, then inserted regardless.
+func AlmostSeriesParallel(rng *rand.Rand, n, k int, a Attr) *graph.DAG {
+	g := SeriesParallel(rng, n, a)
+	order := g.RandomTopoOrder(rng.Intn)
+	pos := make([]int, g.NumTasks())
+	for i, v := range order {
+		pos[v] = i
+	}
+	have := map[[2]graph.NodeID]bool{}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		have[[2]graph.NodeID{e.From, e.To}] = true
+	}
+	for added := 0; added < k; added++ {
+		var u, v graph.NodeID
+		for try := 0; ; try++ {
+			a1, b1 := rng.Intn(len(order)), rng.Intn(len(order))
+			if a1 == b1 {
+				continue
+			}
+			if a1 > b1 {
+				a1, b1 = b1, a1
+			}
+			u, v = order[a1], order[b1]
+			if !have[[2]graph.NodeID{u, v}] || try >= 16 {
+				break
+			}
+		}
+		have[[2]graph.NodeID{u, v}] = true
+		g.AddEdge(u, v, a.EdgeBytes)
+	}
+	return g
+}
+
+// LayeredRandom generates a generic layered random DAG (not necessarily
+// series-parallel) with n nodes where every non-source node receives 1 to
+// maxIn edges from random earlier nodes. It is used for property tests
+// and fuzzing of the decomposition algorithm.
+func LayeredRandom(rng *rand.Rand, n, maxIn int, a Attr) *graph.DAG {
+	g := graph.New(n, 0)
+	for i := 0; i < n; i++ {
+		g.AddTask(graph.Task{})
+	}
+	for v := 1; v < n; v++ {
+		k := 1 + rng.Intn(maxIn)
+		seen := map[int]bool{}
+		for j := 0; j < k; j++ {
+			u := rng.Intn(v)
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			g.AddEdge(graph.NodeID(u), graph.NodeID(v), 0)
+		}
+	}
+	g.TransitiveReduction()
+	Augment(g, rng, a)
+	return g
+}

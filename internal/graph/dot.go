@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the DAG in Graphviz DOT format. The optional label
+// callback customizes node labels (nil uses the task name or id); the
+// optional class callback returns a fill-color group per node (e.g. the
+// mapped device), -1 for none.
+func (g *DAG) WriteDOT(w io.Writer, label func(NodeID) string, class func(NodeID) int) error {
+	palette := []string{"lightblue", "palegreen", "lightsalmon", "khaki", "plum", "lightgray"}
+	if _, err := fmt.Fprintln(w, "digraph tasks {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=box, style=filled, fillcolor=white];")
+	for v := 0; v < g.NumTasks(); v++ {
+		id := NodeID(v)
+		name := ""
+		if label != nil {
+			name = label(id)
+		}
+		if name == "" {
+			name = g.tasks[v].Name
+		}
+		if name == "" {
+			name = fmt.Sprintf("t%d", v)
+		}
+		attrs := fmt.Sprintf("label=%q", name)
+		if g.tasks[v].Virtual {
+			attrs += ", style=dashed"
+		} else if class != nil {
+			if c := class(id); c >= 0 {
+				attrs += fmt.Sprintf(", fillcolor=%q", palette[c%len(palette)])
+			}
+		}
+		fmt.Fprintf(w, "  n%d [%s];\n", v, attrs)
+	}
+	for _, e := range g.edges {
+		if e.Bytes > 0 {
+			fmt.Fprintf(w, "  n%d -> n%d [label=\"%.0fMB\"];\n", e.From, e.To, e.Bytes/1e6)
+		} else {
+			fmt.Fprintf(w, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond()
+	g.Task(0).Name = "start"
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil, func(v NodeID) int { return int(v) % 2 }); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph tasks", `label="start"`, "n0 -> n1", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "->"); got != g.NumEdges() {
+		t.Fatalf("dot has %d edges, want %d", got, g.NumEdges())
+	}
+}
+
+func TestWriteDOTVirtualDashed(t *testing.T) {
+	g := New(2, 1)
+	g.AddTask(Task{})
+	g.AddTask(Task{Virtual: true})
+	g.AddEdge(0, 1, 0)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "style=dashed") {
+		t.Fatal("virtual node must render dashed")
+	}
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON asserts the JSON reader never panics and that any graph it
+// accepts satisfies Validate and round-trips.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"tasks":[{"complexity":1}],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[{},{}],"edges":[{"from":0,"to":1,"bytes":5}]}`))
+	f.Add([]byte(`{"tasks":[{},{}],"edges":[{"from":1,"to":0},{"from":0,"to":1}]}`))
+	f.Add([]byte(`{"tasks":[{"parallelizability":2}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("round trip write: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip read: %v", err)
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,511 @@
+// Package graph provides the directed-acyclic task-graph substrate used by
+// all mapping algorithms: task and edge attributes, adjacency queries,
+// topological orders, transitive reduction, single-source/sink
+// normalization and JSON (de)serialization.
+//
+// Tasks are addressed by dense NodeIDs (0..n-1). Virtual nodes inserted by
+// Normalize carry zero work and zero-byte edges so that they never
+// influence the cost model.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a task within a DAG. IDs are dense indices into the
+// DAG's task slice.
+type NodeID int
+
+// None is the sentinel "no node" value (used e.g. for the virtual node
+// epsilon in the series-parallel decomposition).
+const None NodeID = -1
+
+// Task describes a single task (node) of the application graph together
+// with the attributes consumed by the cost model of Wilhelm et al. [5].
+type Task struct {
+	// Name is an optional human-readable label.
+	Name string `json:"name,omitempty"`
+	// Complexity is the number of operations the task performs per input
+	// byte (paper: "operations per data point").
+	Complexity float64 `json:"complexity"`
+	// Parallelizability in [0,1] is the Amdahl-parallelizable fraction of
+	// the task's work.
+	Parallelizability float64 `json:"parallelizability"`
+	// Streamability >= 1 is the pipelining depth the task admits on a
+	// dataflow (FPGA-like) device.
+	Streamability float64 `json:"streamability"`
+	// Area is the amount of reconfigurable area the task occupies when
+	// mapped to an FPGA-like device.
+	Area float64 `json:"area"`
+	// SourceBytes is the number of input bytes an entry task reads from
+	// outside the graph. For non-entry tasks the input volume is the sum
+	// of incoming edge bytes.
+	SourceBytes float64 `json:"sourceBytes,omitempty"`
+	// Virtual marks normalization helper nodes; they carry no work.
+	Virtual bool `json:"virtual,omitempty"`
+}
+
+// Edge is a data dependency between two tasks carrying Bytes of data.
+type Edge struct {
+	From  NodeID  `json:"from"`
+	To    NodeID  `json:"to"`
+	Bytes float64 `json:"bytes"`
+}
+
+// DAG is a directed acyclic task graph. The zero value is an empty graph
+// ready for use. DAG is not safe for concurrent mutation.
+type DAG struct {
+	tasks []Task
+	edges []Edge
+	out   [][]int // node -> indices into edges
+	in    [][]int // node -> indices into edges
+}
+
+// New returns an empty DAG with capacity hints.
+func New(nodeHint, edgeHint int) *DAG {
+	return &DAG{
+		tasks: make([]Task, 0, nodeHint),
+		edges: make([]Edge, 0, edgeHint),
+		out:   make([][]int, 0, nodeHint),
+		in:    make([][]int, 0, nodeHint),
+	}
+}
+
+// AddTask appends a task and returns its NodeID.
+func (g *DAG) AddTask(t Task) NodeID {
+	g.tasks = append(g.tasks, t)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return NodeID(len(g.tasks) - 1)
+}
+
+// AddEdge inserts a directed edge. It panics if an endpoint is out of
+// range; cycle freedom is checked by Validate, not per edge.
+func (g *DAG) AddEdge(from, to NodeID, bytes float64) int {
+	if !g.valid(from) || !g.valid(to) {
+		panic(fmt.Sprintf("graph: edge endpoint out of range: %d->%d (n=%d)", from, to, len(g.tasks)))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, Bytes: bytes})
+	g.out[from] = append(g.out[from], idx)
+	g.in[to] = append(g.in[to], idx)
+	return idx
+}
+
+func (g *DAG) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.tasks) }
+
+// NumTasks returns the number of tasks.
+func (g *DAG) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns the number of edges.
+func (g *DAG) NumEdges() int { return len(g.edges) }
+
+// Task returns a pointer to the task with the given id.
+func (g *DAG) Task(id NodeID) *Task { return &g.tasks[id] }
+
+// Edge returns the edge with the given index.
+func (g *DAG) Edge(i int) Edge { return g.edges[i] }
+
+// SetEdgeBytes rewrites the data volume of edge i.
+func (g *DAG) SetEdgeBytes(i int, bytes float64) { g.edges[i].Bytes = bytes }
+
+// OutEdges returns the indices of edges leaving v. The slice must not be
+// modified.
+func (g *DAG) OutEdges(v NodeID) []int { return g.out[v] }
+
+// InEdges returns the indices of edges entering v. The slice must not be
+// modified.
+func (g *DAG) InEdges(v NodeID) []int { return g.in[v] }
+
+// OutDegree returns the number of edges leaving v.
+func (g *DAG) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree returns the number of edges entering v.
+func (g *DAG) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Successors returns the target nodes of v's outgoing edges, in insertion
+// order (may contain duplicates for parallel edges).
+func (g *DAG) Successors(v NodeID) []NodeID {
+	s := make([]NodeID, len(g.out[v]))
+	for i, e := range g.out[v] {
+		s[i] = g.edges[e].To
+	}
+	return s
+}
+
+// Predecessors returns the source nodes of v's incoming edges.
+func (g *DAG) Predecessors(v NodeID) []NodeID {
+	s := make([]NodeID, len(g.in[v]))
+	for i, e := range g.in[v] {
+		s[i] = g.edges[e].From
+	}
+	return s
+}
+
+// InBytes returns the task's total input volume: SourceBytes for entry
+// tasks, otherwise the sum of incoming edge bytes.
+func (g *DAG) InBytes(v NodeID) float64 {
+	if len(g.in[v]) == 0 {
+		return g.tasks[v].SourceBytes
+	}
+	sum := 0.0
+	for _, e := range g.in[v] {
+		sum += g.edges[e].Bytes
+	}
+	return sum
+}
+
+// Sources returns all nodes without incoming edges.
+func (g *DAG) Sources() []NodeID {
+	var s []NodeID
+	for v := range g.tasks {
+		if len(g.in[v]) == 0 {
+			s = append(s, NodeID(v))
+		}
+	}
+	return s
+}
+
+// Sinks returns all nodes without outgoing edges.
+func (g *DAG) Sinks() []NodeID {
+	var s []NodeID
+	for v := range g.tasks {
+		if len(g.out[v]) == 0 {
+			s = append(s, NodeID(v))
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the graph.
+func (g *DAG) Clone() *DAG {
+	c := &DAG{
+		tasks: append([]Task(nil), g.tasks...),
+		edges: append([]Edge(nil), g.edges...),
+		out:   make([][]int, len(g.out)),
+		in:    make([][]int, len(g.in)),
+	}
+	for v := range g.out {
+		c.out[v] = append([]int(nil), g.out[v]...)
+		c.in[v] = append([]int(nil), g.in[v]...)
+	}
+	return c
+}
+
+// ErrCyclic is returned by Validate and TopoSort when the graph contains a
+// directed cycle.
+var ErrCyclic = errors.New("graph: not acyclic")
+
+// Validate checks structural invariants (acyclicity, endpoint ranges,
+// attribute ranges). It returns nil for a well-formed DAG.
+func (g *DAG) Validate() error {
+	for i, e := range g.edges {
+		if !g.valid(e.From) || !g.valid(e.To) {
+			return fmt.Errorf("graph: edge %d endpoint out of range", i)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("graph: edge %d is a self loop at node %d", i, e.From)
+		}
+		if e.Bytes < 0 {
+			return fmt.Errorf("graph: edge %d has negative volume", i)
+		}
+	}
+	for v, t := range g.tasks {
+		if t.Complexity < 0 || t.Area < 0 || t.SourceBytes < 0 {
+			return fmt.Errorf("graph: task %d has negative attribute", v)
+		}
+		if t.Parallelizability < 0 || t.Parallelizability > 1 {
+			return fmt.Errorf("graph: task %d parallelizability %v outside [0,1]", v, t.Parallelizability)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoSort returns the nodes in a Kahn topological order. Among ready
+// nodes, the one with the smallest id is emitted first, making the order
+// deterministic.
+func (g *DAG) TopoSort() ([]NodeID, error) {
+	return g.topoOrder(nil)
+}
+
+// BFSOrder returns a breadth-first (level) topological order: nodes are
+// grouped by their longest-path depth from the sources and ordered by id
+// within a level. This is the deterministic schedule order used by the
+// model-based evaluator.
+func (g *DAG) BFSOrder() []NodeID {
+	n := len(g.tasks)
+	depth := make([]int, n)
+	indeg := make([]int, n)
+	var queue []NodeID
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.in[v])
+		if indeg[v] == 0 {
+			queue = append(queue, NodeID(v))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			if d := depth[v] + 1; d > depth[w] {
+				depth[w] = d
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Stable sort by (depth, id): queue order already respects precedence,
+	// but level-grouping requires the explicit key.
+	lt := func(a, b NodeID) bool {
+		if depth[a] != depth[b] {
+			return depth[a] < depth[b]
+		}
+		return a < b
+	}
+	insertionSortIDs(order, lt)
+	return order
+}
+
+func insertionSortIDs(s []NodeID, lt func(a, b NodeID) bool) {
+	// Simple binary-insertion sort keeps the function dependency-free;
+	// orders are computed once per evaluation and n is moderate.
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if lt(v, s[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(s[lo+1:i+1], s[lo:i])
+		s[lo] = v
+	}
+}
+
+// topoOrder runs Kahn's algorithm. If tieBreak is non-nil it selects the
+// index (within the ready set) of the next node to emit, enabling random
+// topological orders; otherwise the smallest id is selected.
+func (g *DAG) topoOrder(tieBreak func(ready []NodeID) int) ([]NodeID, error) {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	var ready []NodeID
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.in[v])
+		if indeg[v] == 0 {
+			ready = append(ready, NodeID(v))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(ready) > 0 {
+		var k int
+		if tieBreak != nil {
+			k = tieBreak(ready)
+		} else {
+			k = 0
+			for i := 1; i < len(ready); i++ {
+				if ready[i] < ready[k] {
+					k = i
+				}
+			}
+		}
+		v := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// RandomTopoOrder returns a uniformly random-ish topological order driven
+// by the supplied source of randomness (an Intn-style function).
+func (g *DAG) RandomTopoOrder(intn func(n int) int) []NodeID {
+	order, err := g.topoOrder(func(ready []NodeID) int { return intn(len(ready)) })
+	if err != nil {
+		// The graph was validated acyclic by construction everywhere this
+		// is called; a cycle here is a programming error.
+		panic(err)
+	}
+	return order
+}
+
+// Reachable returns the set of nodes reachable from v (excluding v itself
+// unless it lies on a cycle, which Validate forbids).
+func (g *DAG) Reachable(v NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{}
+	stack := []NodeID{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[u] {
+			w := g.edges[e].To
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// TransitiveReduction removes every edge (u,v) for which another u->v path
+// exists, as the random series-parallel generator of the paper does
+// ("redundant edges are removed"). Parallel duplicate edges are merged by
+// summing their byte volumes; a redundant edge's bytes are re-attributed to
+// nothing (the data still flows along the remaining path endpoints in the
+// model via the direct edges that remain).
+func (g *DAG) TransitiveReduction() {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	pos := make([]int, len(g.tasks))
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Merge parallel edges first.
+	type key struct{ u, v NodeID }
+	merged := map[key]float64{}
+	for _, e := range g.edges {
+		merged[key{e.From, e.To}] += e.Bytes
+	}
+	type pair struct {
+		k key
+		b float64
+	}
+	var uniq []pair
+	for k, b := range merged {
+		uniq = append(uniq, pair{k, b})
+	}
+	// Deterministic processing order.
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0 && less(uniq[j].k, uniq[j-1].k); j-- {
+			uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+		}
+	}
+	keep := make([]Edge, 0, len(uniq))
+	for _, p := range uniq {
+		if !g.pathAvoiding(p.k.u, p.k.v, p.k) {
+			keep = append(keep, Edge{From: p.k.u, To: p.k.v, Bytes: p.b})
+		}
+	}
+	g.rebuildEdges(keep)
+}
+
+func less(a, b struct{ u, v NodeID }) bool {
+	if a.u != b.u {
+		return a.u < b.u
+	}
+	return a.v < b.v
+}
+
+// pathAvoiding reports whether v is reachable from u without using the
+// direct edge u->v (any parallel copy of it).
+func (g *DAG) pathAvoiding(u, v NodeID, skip struct{ u, v NodeID }) bool {
+	stack := []NodeID{u}
+	seen := map[NodeID]bool{u: true}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[x] {
+			w := g.edges[e].To
+			if x == skip.u && w == skip.v {
+				continue
+			}
+			if w == v {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+func (g *DAG) rebuildEdges(edges []Edge) {
+	g.edges = edges
+	for v := range g.out {
+		g.out[v] = g.out[v][:0]
+		g.in[v] = g.in[v][:0]
+	}
+	for i, e := range g.edges {
+		g.out[e.From] = append(g.out[e.From], i)
+		g.in[e.To] = append(g.in[e.To], i)
+	}
+}
+
+// Normalize ensures the DAG has a single source and a single sink by
+// inserting virtual zero-work nodes where needed. It returns the (possibly
+// new) source and sink ids. Virtual edges carry zero bytes so they do not
+// affect the cost model.
+func (g *DAG) Normalize() (source, sink NodeID) {
+	srcs, snks := g.Sources(), g.Sinks()
+	if len(srcs) == 1 {
+		source = srcs[0]
+	} else {
+		source = g.AddTask(Task{Name: "__source", Virtual: true})
+		for _, s := range srcs {
+			g.AddEdge(source, s, 0)
+		}
+	}
+	if len(snks) == 1 {
+		sink = snks[0]
+	} else {
+		sink = g.AddTask(Task{Name: "__sink", Virtual: true})
+		for _, t := range snks {
+			if t != source {
+				g.AddEdge(t, sink, 0)
+			}
+		}
+	}
+	return source, sink
+}
+
+// CriticalPathWork returns a simple lower bound on any makespan: the
+// maximum over all paths of the summed best-case execution times provided
+// by bestExec (task -> fastest possible execution time). Transfers are
+// ignored, making the bound valid for every mapping and schedule.
+func (g *DAG) CriticalPathWork(bestExec func(NodeID) float64) float64 {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	longest := make([]float64, len(g.tasks))
+	best := 0.0
+	for _, v := range order {
+		longest[v] += bestExec(v)
+		if longest[v] > best {
+			best = longest[v]
+		}
+		for _, e := range g.out[v] {
+			w := g.edges[e].To
+			if longest[v] > longest[w] {
+				longest[w] = longest[v]
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func chain(n int) *DAG {
+	g := New(n, n-1)
+	for i := 0; i < n; i++ {
+		g.AddTask(Task{Name: "t", Complexity: 1})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), 10)
+	}
+	return g
+}
+
+func diamond() *DAG {
+	g := New(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddTask(Task{})
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	return g
+}
+
+// randomDAG builds a random layered DAG for property tests.
+func randomDAG(rng *rand.Rand, n int) *DAG {
+	g := New(n, 0)
+	for i := 0; i < n; i++ {
+		g.AddTask(Task{Complexity: rng.Float64() * 10})
+	}
+	for v := 1; v < n; v++ {
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			g.AddEdge(NodeID(rng.Intn(v)), NodeID(v), rng.Float64()*100)
+		}
+	}
+	return g
+}
+
+func TestAddAndQuery(t *testing.T) {
+	g := diamond()
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("unexpected sizes %d/%d", g.NumTasks(), g.NumEdges())
+	}
+	if g.InDegree(3) != 2 || g.OutDegree(0) != 2 {
+		t.Fatal("bad degrees")
+	}
+	if got := g.Successors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("successors(0) = %v", got)
+	}
+	if got := g.Predecessors(3); len(got) != 2 {
+		t.Fatalf("predecessors(3) = %v", got)
+	}
+	if len(g.Sources()) != 1 || g.Sources()[0] != 0 {
+		t.Fatal("bad sources")
+	}
+	if len(g.Sinks()) != 1 || g.Sinks()[0] != 3 {
+		t.Fatal("bad sinks")
+	}
+}
+
+func TestInBytes(t *testing.T) {
+	g := diamond()
+	g.Task(0).SourceBytes = 42
+	if got := g.InBytes(0); got != 42 {
+		t.Fatalf("entry InBytes = %v, want 42", got)
+	}
+	if got := g.InBytes(3); got != 2 {
+		t.Fatalf("join InBytes = %v, want 2", got)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	g := New(2, 2)
+	g.AddTask(Task{})
+	g.AddTask(Task{})
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestValidateAttributeRanges(t *testing.T) {
+	g := New(1, 0)
+	g.AddTask(Task{Parallelizability: 1.5})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected range error for parallelizability > 1")
+	}
+	g2 := New(1, 0)
+	g2.AddTask(Task{Complexity: -1})
+	if err := g2.Validate(); err == nil {
+		t.Fatal("expected range error for negative complexity")
+	}
+}
+
+func TestValidateRejectsSelfLoop(t *testing.T) {
+	g := New(1, 1)
+	g.AddTask(Task{})
+	g.AddEdge(0, 0, 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+}
+
+func TestTopoSortProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%40)
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		return isTopological(g, order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSOrderProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%40)
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		return isTopological(g, g.BFSOrder())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTopoOrderProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%40)
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, n)
+		return isTopological(g, g.RandomTopoOrder(rng.Intn))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isTopological(g *DAG, order []NodeID) bool {
+	if len(order) != g.NumTasks() {
+		return false
+	}
+	pos := make([]int, g.NumTasks())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		if pos[e.From] >= pos[e.To] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransitiveReductionRemovesShortcut(t *testing.T) {
+	g := chain(3)
+	g.AddEdge(0, 2, 5) // shortcut implied by 0->1->2
+	g.TransitiveReduction()
+	if g.NumEdges() != 2 {
+		t.Fatalf("expected 2 edges after reduction, got %d", g.NumEdges())
+	}
+}
+
+func TestTransitiveReductionMergesParallelEdges(t *testing.T) {
+	g := New(2, 2)
+	g.AddTask(Task{})
+	g.AddTask(Task{})
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 1, 20)
+	g.TransitiveReduction()
+	if g.NumEdges() != 1 {
+		t.Fatalf("expected merged edge, got %d edges", g.NumEdges())
+	}
+	if got := g.Edge(0).Bytes; got != 30 {
+		t.Fatalf("merged bytes = %v, want 30", got)
+	}
+}
+
+func TestTransitiveReductionPreservesReachability(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%25)
+		g := randomDAG(rand.New(rand.NewSource(seed)), n)
+		before := allReach(g)
+		g.TransitiveReduction()
+		after := allReach(g)
+		if len(before) != len(after) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allReach(g *DAG) map[[2]NodeID]bool {
+	out := map[[2]NodeID]bool{}
+	for v := 0; v < g.NumTasks(); v++ {
+		for w := range g.Reachable(NodeID(v)) {
+			out[[2]NodeID{NodeID(v), w}] = true
+		}
+	}
+	return out
+}
+
+func TestNormalize(t *testing.T) {
+	g := New(4, 1)
+	for i := 0; i < 4; i++ {
+		g.AddTask(Task{})
+	}
+	g.AddEdge(0, 1, 1) // 2 and 3 are isolated: 3 sources, 3 sinks
+	src, snk := g.Normalize()
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatalf("normalization failed: %v sources %v sinks", g.Sources(), g.Sinks())
+	}
+	if !g.Task(src).Virtual || !g.Task(snk).Virtual {
+		t.Fatal("normalization nodes must be virtual")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeNoOp(t *testing.T) {
+	g := chain(3)
+	src, snk := g.Normalize()
+	if src != 0 || snk != 2 || g.NumTasks() != 3 {
+		t.Fatalf("single source/sink graph must not change: src=%d snk=%d n=%d", src, snk, g.NumTasks())
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond()
+	c := g.Clone()
+	c.AddTask(Task{})
+	c.AddEdge(3, 4, 1)
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestCriticalPathWork(t *testing.T) {
+	g := chain(4)
+	got := g.CriticalPathWork(func(NodeID) float64 { return 2 })
+	if got != 8 {
+		t.Fatalf("chain critical path = %v, want 8", got)
+	}
+	d := diamond()
+	got = d.CriticalPathWork(func(NodeID) float64 { return 3 })
+	if got != 9 { // 0 -> 1|2 -> 3
+		t.Fatalf("diamond critical path = %v, want 9", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond()
+	g.Task(0).Name = "start"
+	g.Task(0).SourceBytes = 7
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed sizes")
+	}
+	if g2.Task(0).Name != "start" || g2.Task(0).SourceBytes != 7 {
+		t.Fatal("round trip lost attributes")
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	bad := bytes.NewBufferString(`{"tasks":[{}],"edges":[{"from":0,"to":5,"bytes":1}]}`)
+	if _, err := Read(bad); err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+	cyc := bytes.NewBufferString(`{"tasks":[{},{}],"edges":[{"from":0,"to":1},{"from":1,"to":0}]}`)
+	if _, err := Read(cyc); err == nil {
+		t.Fatal("expected error for cyclic graph")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := diamond()
+	r := g.Reachable(0)
+	if len(r) != 3 {
+		t.Fatalf("reachable(0) = %v", r)
+	}
+	if len(g.Reachable(3)) != 0 {
+		t.Fatal("sink must reach nothing")
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonDAG is the on-disk representation of a DAG.
+type jsonDAG struct {
+	Tasks []Task `json:"tasks"`
+	Edges []Edge `json:"edges"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *DAG) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonDAG{Tasks: g.tasks, Edges: g.edges})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result.
+func (g *DAG) UnmarshalJSON(data []byte) error {
+	var jd jsonDAG
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return err
+	}
+	ng := New(len(jd.Tasks), len(jd.Edges))
+	for _, t := range jd.Tasks {
+		ng.AddTask(t)
+	}
+	for i, e := range jd.Edges {
+		if e.From < 0 || int(e.From) >= len(jd.Tasks) || e.To < 0 || int(e.To) >= len(jd.Tasks) {
+			return fmt.Errorf("graph: edge %d endpoint out of range", i)
+		}
+		ng.AddEdge(e.From, e.To, e.Bytes)
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// WriteTo serializes the DAG as indented JSON.
+func (g *DAG) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(append(b, '\n'))
+	return int64(n), err
+}
+
+// Read parses a DAG from JSON.
+func Read(r io.Reader) (*DAG, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	g := &DAG{}
+	if err := json.Unmarshal(b, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,373 @@
+// Package lp provides a dense two-phase primal simplex solver for linear
+// programs in general form. It is the LP engine underneath the
+// branch-and-bound MILP solver that replaces the Gurobi optimizer used in
+// the paper's evaluation (see DESIGN.md, "Substitutions").
+//
+// The solver targets the moderate problem sizes produced by the task
+// mapping formulations (hundreds of variables and constraints); it uses
+// Dantzig pricing with an automatic switch to Bland's rule to guarantee
+// termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sense of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // ==
+)
+
+// Constraint is sum_j Coef[j]*x[Var[j]] (sense) RHS, given sparsely.
+type Constraint struct {
+	Vars  []int
+	Coefs []float64
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program: minimize Obj subject to constraints, with
+// variable bounds [0, Upper[j]] (Upper may be +Inf).
+type Problem struct {
+	NumVars int
+	Obj     []float64 // length NumVars; minimized
+	Upper   []float64 // length NumVars; math.Inf(1) for unbounded
+	Cons    []Constraint
+}
+
+// NewProblem allocates a problem with n variables, zero objective and
+// infinite upper bounds.
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		NumVars: n,
+		Obj:     make([]float64, n),
+		Upper:   make([]float64, n),
+	}
+	for i := range p.Upper {
+		p.Upper[i] = math.Inf(1)
+	}
+	return p
+}
+
+// AddConstraint appends a constraint.
+func (p *Problem) AddConstraint(vars []int, coefs []float64, s Sense, rhs float64) {
+	if len(vars) != len(coefs) {
+		panic("lp: vars/coefs length mismatch")
+	}
+	p.Cons = append(p.Cons, Constraint{
+		Vars: append([]int(nil), vars...), Coefs: append([]float64(nil), coefs...),
+		Sense: s, RHS: rhs,
+	})
+}
+
+// Status of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution of an LP.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex method with no time limit.
+func Solve(p *Problem) Solution { return SolveDeadline(p, time.Time{}) }
+
+// SolveDeadline is Solve with a wall-clock deadline; an expired deadline
+// yields IterLimit. The zero time means no limit.
+func SolveDeadline(p *Problem, deadline time.Time) Solution {
+	// Assemble the standard-form tableau. Upper bounds become extra <=
+	// rows (simple, adequate for the moderate sizes we target).
+	type row struct {
+		coefs []float64 // dense over structural variables
+		sense Sense
+		rhs   float64
+	}
+	var rows []row
+	for _, c := range p.Cons {
+		r := row{coefs: make([]float64, p.NumVars), sense: c.Sense, rhs: c.RHS}
+		for i, v := range c.Vars {
+			if v < 0 || v >= p.NumVars {
+				panic(fmt.Sprintf("lp: variable index %d out of range", v))
+			}
+			r.coefs[v] += c.Coefs[i]
+		}
+		rows = append(rows, r)
+	}
+	for j, u := range p.Upper {
+		if !math.IsInf(u, 1) {
+			r := row{coefs: make([]float64, p.NumVars), sense: LE, rhs: u}
+			r.coefs[j] = 1
+			rows = append(rows, r)
+		}
+	}
+	// Normalize to rhs >= 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coefs {
+				rows[i].coefs[j] = -rows[i].coefs[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	m := len(rows)
+	// Columns: structural | slacks/surplus | artificials.
+	nStruct := p.NumVars
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	// Artificials are needed for GE and EQ rows (slack of LE rows can
+	// start basic).
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	total := nStruct + nSlack + nArt
+	t := &tableau{
+		m: m, n: total, nStruct: nStruct,
+		a:        make([][]float64, m),
+		b:        make([]float64, m),
+		basis:    make([]int, m),
+		deadline: deadline,
+	}
+	slackCol := nStruct
+	artCol := nStruct + nSlack
+	artStart := artCol
+	for i, r := range rows {
+		t.a[i] = make([]float64, total)
+		copy(t.a[i], r.coefs)
+		t.b[i] = r.rhs
+		switch r.sense {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		c1 := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			c1[j] = 1
+		}
+		st, obj := t.run(c1)
+		if st == IterLimit {
+			return Solution{Status: IterLimit}
+		}
+		if obj > eps {
+			return Solution{Status: Infeasible}
+		}
+		// Drive any remaining artificial out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= artStart {
+				pivoted := false
+				for j := 0; j < artStart; j++ {
+					if math.Abs(t.a[i][j]) > eps {
+						t.pivot(i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; leave the (zero-valued) artificial.
+					continue
+				}
+			}
+		}
+		t.forbidden = artStart
+	}
+
+	// Phase 2: minimize the real objective.
+	c2 := make([]float64, total)
+	copy(c2, p.Obj)
+	st, _ := t.run(c2)
+	switch st {
+	case Unbounded:
+		return Solution{Status: Unbounded}
+	case IterLimit:
+		return Solution{Status: IterLimit}
+	}
+	x := make([]float64, nStruct)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < nStruct {
+			x[t.basis[i]] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < nStruct; j++ {
+		obj += p.Obj[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Obj: obj}
+}
+
+// tableau is a dense simplex tableau in basis-reduced form.
+type tableau struct {
+	m, n, nStruct int
+	a             [][]float64
+	b             []float64
+	basis         []int
+	// forbidden marks columns >= forbidden (retired artificials) as
+	// unusable; 0 means no restriction.
+	forbidden int
+	// deadline aborts long runs (zero = none).
+	deadline time.Time
+}
+
+// run performs simplex iterations for objective c and returns the status
+// and objective value.
+func (t *tableau) run(c []float64) (Status, float64) {
+	// Reduced costs maintained implicitly: z[j] = c[j] - c_B . B^-1 A_j.
+	// We recompute the price row each iteration (dense; fine at our
+	// sizes).
+	limit := 200*(t.m+t.n) + 5000
+	blandAfter := limit / 2
+	for iter := 0; iter < limit; iter++ {
+		if iter%32 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return IterLimit, 0
+		}
+		// Price: y = c_B row combination.
+		z := make([]float64, t.n)
+		copy(z, c)
+		for i := 0; i < t.m; i++ {
+			cb := c[t.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := t.a[i]
+			for j := 0; j < t.n; j++ {
+				z[j] -= cb * row[j]
+			}
+		}
+		// Entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < t.n; j++ {
+				if t.forbidden > 0 && j >= t.forbidden {
+					continue
+				}
+				if z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < t.n; j++ { // Bland: first improving index
+				if t.forbidden > 0 && j >= t.forbidden {
+					continue
+				}
+				if z[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			obj := 0.0
+			for i := 0; i < t.m; i++ {
+				obj += c[t.basis[i]] * t.b[i]
+			}
+			return Optimal, obj
+		}
+		// Ratio test (Bland tie-break on basis index).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				r := t.b[i] / t.a[i][enter]
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, 0
+		}
+		t.pivot(leave, enter)
+	}
+	return IterLimit, 0
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j < t.n; j++ {
+		pr[j] *= inv
+	}
+	t.b[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j < t.n; j++ {
+			ri[j] -= f * pr[j]
+		}
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	t.basis[row] = col
+}

@@ -1,0 +1,167 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrFail(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("expected optimal, got %v", s.Status)
+	}
+	return s
+}
+
+func TestSimple2D(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  => min -(x+y); optimum (8/5, 6/5), obj 14/5.
+	p := NewProblem(2)
+	p.Obj[0], p.Obj[1] = -1, -1
+	p.AddConstraint([]int{0, 1}, []float64{1, 2}, LE, 4)
+	p.AddConstraint([]int{0, 1}, []float64{3, 1}, LE, 6)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Obj+14.0/5) > 1e-7 {
+		t.Fatalf("obj = %v, want -2.8", s.Obj)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x+y s.t. x+y>=2, x=0.5 => y=1.5, obj 2.
+	p := NewProblem(2)
+	p.Obj[0], p.Obj[1] = 1, 1
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 2)
+	p.AddConstraint([]int{0}, []float64{1}, EQ, 0.5)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Obj-2) > 1e-7 || math.Abs(s.X[0]-0.5) > 1e-7 {
+		t.Fatalf("got %+v", s)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Fatalf("expected infeasible, got %v", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Obj[0] = -1 // max x, no constraint
+	if s := Solve(p); s.Status != Unbounded {
+		t.Fatalf("expected unbounded, got %v", s.Status)
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	// max x0+x1, x<=1 each, x0+x1 <= 1.5.
+	p := NewProblem(2)
+	p.Obj[0], p.Obj[1] = -1, -1
+	p.Upper[0], p.Upper[1] = 1, 1
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 1.5)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Obj+1.5) > 1e-7 {
+		t.Fatalf("obj = %v, want -1.5", s.Obj)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y <= -1, min x+y, x,y>=0 => x=0,y=1.
+	p := NewProblem(2)
+	p.Obj[0], p.Obj[1] = 1, 1
+	p.AddConstraint([]int{0, 1}, []float64{1, -1}, LE, -1)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Obj-1) > 1e-7 {
+		t.Fatalf("obj = %v, want 1", s.Obj)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic cycling-prone instance; Bland fallback must terminate.
+	p := NewProblem(4)
+	p.Obj = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]int{2}, []float64{1}, LE, 1)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("expected optimal, got %v", s.Status)
+	}
+	if math.Abs(s.Obj+0.05) > 1e-6 {
+		t.Fatalf("obj = %v, want -0.05", s.Obj)
+	}
+}
+
+// TestRandomVsVertexEnumeration cross-checks the simplex against brute
+// force vertex enumeration on random small LPs with bounded feasible
+// regions.
+func TestRandomVsVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		nv := 2 + rng.Intn(2) // 2..3 vars
+		nc := 2 + rng.Intn(3)
+		p := NewProblem(nv)
+		for j := 0; j < nv; j++ {
+			p.Obj[j] = rng.Float64()*4 - 2
+			p.Upper[j] = 1 + rng.Float64()*3
+		}
+		type con struct {
+			a   []float64
+			rhs float64
+		}
+		var cons []con
+		for i := 0; i < nc; i++ {
+			a := make([]float64, nv)
+			vars := make([]int, nv)
+			for j := 0; j < nv; j++ {
+				a[j] = rng.Float64() * 2
+				vars[j] = j
+			}
+			rhs := 1 + rng.Float64()*4
+			p.AddConstraint(vars, a, LE, rhs)
+			cons = append(cons, con{a, rhs})
+		}
+		s := Solve(p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		// Brute force on a fine grid (feasible region is box-bounded).
+		bestObj := math.Inf(1)
+		const steps = 24
+		var rec func(j int, x []float64)
+		rec = func(j int, x []float64) {
+			if j == nv {
+				for _, c := range cons {
+					dot := 0.0
+					for k := 0; k < nv; k++ {
+						dot += c.a[k] * x[k]
+					}
+					if dot > c.rhs+1e-9 {
+						return
+					}
+				}
+				obj := 0.0
+				for k := 0; k < nv; k++ {
+					obj += p.Obj[k] * x[k]
+				}
+				if obj < bestObj {
+					bestObj = obj
+				}
+				return
+			}
+			for i := 0; i <= steps; i++ {
+				x[j] = p.Upper[j] * float64(i) / steps
+				rec(j+1, x)
+			}
+		}
+		rec(0, make([]float64, nv))
+		// Grid solution is suboptimal by discretization; simplex must be
+		// at least as good (within tolerance).
+		if s.Obj > bestObj+1e-6 {
+			t.Fatalf("trial %d: simplex obj %v worse than grid obj %v", trial, s.Obj, bestObj)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package decomp implements the paper's primary contribution:
+// decomposition-based task mapping with full model-based re-evaluation
+// (§III). Two subgraph-set strategies are provided — single-node (§III-B)
+// and series-parallel decomposition (§III-C) — each with the basic greedy
+// principle, the gamma-threshold heuristic and its FirstFit special case
+// (§III-D).
+package decomp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+	"spmap/internal/sp"
+)
+
+// Strategy selects how the subgraph set is constructed.
+type Strategy int
+
+// Subgraph-set strategies.
+const (
+	// SingleNode uses one singleton subgraph per task (§III-B).
+	SingleNode Strategy = iota
+	// SeriesParallel uses singletons plus the operations of a
+	// series-parallel decomposition forest (§III-C).
+	SeriesParallel
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == SingleNode {
+		return "SingleNode"
+	}
+	return "SeriesParallel"
+}
+
+// Heuristic selects the iteration scheme of §III-A/§III-D.
+type Heuristic int
+
+// Iteration heuristics.
+const (
+	// Basic fully re-evaluates every mapping operation in every iteration
+	// and applies the best improvement (§III-A).
+	Basic Heuristic = iota
+	// GammaThreshold orders operations by expected improvement and only
+	// looks ahead while the expected improvement exceeds the best found
+	// improvement divided by Gamma (§III-D).
+	GammaThreshold
+	// FirstFit is the gamma-threshold scheme with gamma = 1: the first
+	// (re-validated) improvement is applied (§III-D).
+	FirstFit
+)
+
+// String implements fmt.Stringer.
+func (h Heuristic) String() string {
+	switch h {
+	case Basic:
+		return "Basic"
+	case GammaThreshold:
+		return "GammaThreshold"
+	default:
+		return "FirstFit"
+	}
+}
+
+// Options configure the decomposition mapper.
+type Options struct {
+	Strategy  Strategy
+	Heuristic Heuristic
+	// Gamma is the look-ahead divisor for GammaThreshold (must be >= 1;
+	// ignored for Basic, forced to 1 for FirstFit).
+	Gamma float64
+	// SP configures the decomposition forest for SeriesParallel.
+	SP sp.Options
+	// MaxIterations caps the number of applied mapping changes, guarding
+	// against degenerate situations as the paper suggests (§III-A). Zero
+	// selects the default of 4n, which is never reached in practice.
+	MaxIterations int
+	// Objective overrides the minimized cost function (default: the
+	// evaluator's schedule-set makespan). It must be deterministic and
+	// return model.Infeasible for infeasible mappings; the multi-objective
+	// extension (energy, EDP, weighted scalarizations) plugs in here.
+	Objective model.Objective
+	// Workers > 1 evaluates the mapping operations of each Basic
+	// iteration concurrently on cloned evaluators. The result is
+	// identical to the serial run (the reduction is deterministic);
+	// GammaThreshold/FirstFit are inherently sequential and ignore this.
+	Workers int
+}
+
+// Stats reports mapper effort.
+type Stats struct {
+	// Subgraphs is the size of the subgraph set |S|.
+	Subgraphs int
+	// Operations is |S| x number of devices.
+	Operations int
+	// Iterations is the number of applied mapping changes.
+	Iterations int
+	// Evaluations counts model evaluations performed.
+	Evaluations int
+	// Makespan is the deterministic model makespan of the result.
+	Makespan float64
+	// Cuts reports decomposition cuts (SeriesParallel only).
+	Cuts int
+}
+
+// improvementEps is the relative threshold below which a makespan change
+// does not count as an improvement; it guarantees termination under
+// floating-point arithmetic.
+const improvementEps = 1e-12
+
+// Map runs decomposition-based mapping on (g, p) and returns the final
+// mapping together with effort statistics. The result is by construction
+// never worse than the pure-CPU baseline (§IV-A).
+func Map(g *graph.DAG, p *platform.Platform, opt Options) (mapping.Mapping, Stats, error) {
+	ev := model.NewEvaluator(g, p)
+	return MapWithEvaluator(ev, opt)
+}
+
+// MapWithEvaluator is Map with a caller-supplied evaluator (to share the
+// precomputed execution table across mapper runs).
+func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
+	g, p := ev.G, ev.P
+	var stats Stats
+
+	var subgraphs []sp.Subgraph
+	switch opt.Strategy {
+	case SingleNode:
+		subgraphs = sp.SingleNodeSet(g)
+	case SeriesParallel:
+		sets, forest, err := sp.SeriesParallelSubgraphs(g, opt.SP)
+		if err != nil {
+			return nil, stats, err
+		}
+		subgraphs = sets
+		stats.Cuts = forest.Cuts
+	default:
+		return nil, stats, fmt.Errorf("decomp: unknown strategy %d", int(opt.Strategy))
+	}
+	stats.Subgraphs = len(subgraphs)
+
+	var ops []mapOp
+	for _, s := range subgraphs {
+		for d := 0; d < p.NumDevices(); d++ {
+			ops = append(ops, mapOp{s, d})
+		}
+	}
+	stats.Operations = len(ops)
+
+	cost := opt.Objective
+	if cost == nil {
+		cost = ev.MakespanObjective()
+	}
+	m := mapping.Baseline(g, p)
+	best := cost(m)
+	stats.Evaluations++
+
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 4 * g.NumTasks()
+		if maxIter < 16 {
+			maxIter = 16
+		}
+	}
+
+	// evalOp applies op o in place, measures, and rolls back. It returns
+	// the absolute improvement over `best` (negative when worse).
+	saved := make([]int, 0, 64)
+	evalOp := func(o mapOp) float64 {
+		changed := false
+		saved = saved[:0]
+		for _, v := range o.sg {
+			saved = append(saved, m[v])
+			if m[v] != o.dev {
+				changed = true
+			}
+			m[v] = o.dev
+		}
+		var delta float64
+		if changed {
+			stats.Evaluations++
+			ms := cost(m)
+			if ms == model.Infeasible {
+				delta = math.Inf(-1)
+			} else {
+				delta = best - ms
+			}
+		}
+		for i, v := range o.sg {
+			m[v] = saved[i]
+		}
+		return delta
+	}
+	apply := func(o mapOp) {
+		for _, v := range o.sg {
+			m[v] = o.dev
+		}
+		best = cost(m)
+		stats.Evaluations++
+		stats.Iterations++
+	}
+	minImprove := func() float64 { return best * improvementEps }
+
+	switch opt.Heuristic {
+	case Basic:
+		workers := opt.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		if opt.Objective != nil {
+			// Custom objectives may close over shared state; evaluate
+			// them serially.
+			workers = 1
+		}
+		for stats.Iterations < maxIter {
+			bestOp, bestDelta := -1, minImprove()
+			if workers == 1 {
+				for i := range ops {
+					if d := evalOp(ops[i]); d > bestDelta {
+						bestOp, bestDelta = i, d
+					}
+				}
+			} else {
+				deltas := parallelDeltas(ev, m, best, ops, workers)
+				stats.Evaluations += len(ops)
+				for i, d := range deltas {
+					if d > bestDelta {
+						bestOp, bestDelta = i, d
+					}
+				}
+			}
+			if bestOp < 0 {
+				break
+			}
+			apply(ops[bestOp])
+		}
+
+	case GammaThreshold, FirstFit:
+		gamma := opt.Gamma
+		if opt.Heuristic == FirstFit || gamma < 1 {
+			gamma = 1
+		}
+		// Expected improvements seed the priority ordering; they are
+		// refreshed whenever an operation is re-evaluated (§III-D).
+		expected := make([]float64, len(ops))
+		for i := range ops {
+			expected[i] = evalOp(ops[i])
+		}
+		order := make([]int, len(ops))
+		for stats.Iterations < maxIter {
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return expected[order[a]] > expected[order[b]] })
+			cand, candDelta := -1, minImprove()
+			for _, i := range order {
+				// Look-ahead cutoff: once an improvement is found, only
+				// operations whose expected improvement exceeds the
+				// current improvement divided by gamma are re-checked.
+				if cand >= 0 && expected[i] <= candDelta/gamma {
+					break
+				}
+				d := evalOp(ops[i])
+				expected[i] = d
+				if d > candDelta {
+					cand, candDelta = i, d
+				}
+			}
+			if cand < 0 {
+				// All operations were re-evaluated against the final
+				// configuration (the paper's terminal full recompute) and
+				// none improves: terminate.
+				break
+			}
+			apply(ops[cand])
+		}
+
+	default:
+		return nil, stats, fmt.Errorf("decomp: unknown heuristic %d", int(opt.Heuristic))
+	}
+
+	stats.Makespan = best
+	return m, stats, nil
+}
+
+// mapOp is one mapping operation: remap a subgraph onto a device.
+type mapOp struct {
+	sg  sp.Subgraph
+	dev int
+}
+
+// parallelDeltas evaluates the improvement of every operation relative to
+// the current mapping m with objective "makespan under ev", fanning the
+// work out over `workers` goroutines with cloned evaluators and private
+// mapping copies. The returned slice is index-aligned with ops, so the
+// subsequent reduction is deterministic regardless of scheduling.
+func parallelDeltas(ev *model.Evaluator, m mapping.Mapping, best float64, ops []mapOp, workers int) []float64 {
+	deltas := make([]float64, len(ops))
+	var wg sync.WaitGroup
+	next := int64(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lev := ev.Clone()
+			lm := m.Clone()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				o := ops[i]
+				changed := false
+				for _, v := range o.sg {
+					if lm[v] != o.dev {
+						changed = true
+					}
+					lm[v] = o.dev
+				}
+				if changed {
+					ms := lev.Makespan(lm)
+					if ms == model.Infeasible {
+						deltas[i] = math.Inf(-1)
+					} else {
+						deltas[i] = best - ms
+					}
+				}
+				for _, v := range o.sg {
+					lm[v] = m[v]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return deltas
+}

@@ -1,0 +1,168 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+func testGraph(seed int64, n int) *graph.DAG {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.SeriesParallel(rng, n, gen.DefaultAttr())
+}
+
+func TestNeverWorseThanBaseline(t *testing.T) {
+	p := platform.Reference()
+	for seed := int64(0); seed < 10; seed++ {
+		g := testGraph(seed, 30)
+		ev := model.NewEvaluator(g, p)
+		base := ev.BaselineMakespan()
+		for _, strat := range []Strategy{SingleNode, SeriesParallel} {
+			for _, h := range []Heuristic{Basic, FirstFit} {
+				m, st, err := MapWithEvaluator(ev, Options{Strategy: strat, Heuristic: h})
+				if err != nil {
+					t.Fatalf("seed %d %v/%v: %v", seed, strat, h, err)
+				}
+				if err := m.Validate(g, p); err != nil {
+					t.Fatal(err)
+				}
+				if !m.Feasible(g, p) {
+					t.Fatalf("seed %d %v/%v: infeasible mapping", seed, strat, h)
+				}
+				if st.Makespan > base*(1+1e-9) {
+					t.Fatalf("seed %d %v/%v: makespan %g worse than baseline %g",
+						seed, strat, h, st.Makespan, base)
+				}
+			}
+		}
+	}
+}
+
+func TestDecompositionFindsImprovements(t *testing.T) {
+	p := platform.Reference()
+	improvedSN, improvedSP := 0, 0
+	const trials = 15
+	for seed := int64(0); seed < trials; seed++ {
+		g := testGraph(seed+100, 40)
+		ev := model.NewEvaluator(g, p)
+		base := ev.BaselineMakespan()
+		_, stSN, err := MapWithEvaluator(ev, Options{Strategy: SingleNode, Heuristic: Basic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stSP, err := MapWithEvaluator(ev, Options{Strategy: SeriesParallel, Heuristic: Basic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stSN.Makespan < base*(1-1e-9) {
+			improvedSN++
+		}
+		if stSP.Makespan < base*(1-1e-9) {
+			improvedSP++
+		}
+		if stSP.Subgraphs <= stSN.Subgraphs {
+			t.Errorf("seed %d: SP subgraph set (%d) should exceed single-node set (%d)",
+				seed, stSP.Subgraphs, stSN.Subgraphs)
+		}
+	}
+	if improvedSN < trials/2 {
+		t.Errorf("SingleNode improved only %d/%d graphs", improvedSN, trials)
+	}
+	if improvedSP < trials/2 {
+		t.Errorf("SeriesParallel improved only %d/%d graphs", improvedSP, trials)
+	}
+}
+
+func TestFirstFitMatchesBasicQualityApproximately(t *testing.T) {
+	// §IV-B: "the difference in the achieved makespan between the basic
+	// decomposition mapping principle and the FirstFit heuristic is
+	// almost negligible" — an average statement: allow FirstFit to be at
+	// most 10 % worse on average across graphs, and require far fewer
+	// evaluations in total.
+	p := platform.Reference()
+	var evalsBasic, evalsFF int
+	var msBasic, msFF float64
+	for seed := int64(0); seed < 10; seed++ {
+		g := testGraph(seed+500, 60)
+		ev := model.NewEvaluator(g, p).WithSchedules(20, seed)
+		_, stB, err := MapWithEvaluator(ev, Options{Strategy: SeriesParallel, Heuristic: Basic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stF, err := MapWithEvaluator(ev, Options{Strategy: SeriesParallel, Heuristic: FirstFit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		msBasic += stB.Makespan
+		msFF += stF.Makespan
+		evalsBasic += stB.Evaluations
+		evalsFF += stF.Evaluations
+	}
+	if msFF > msBasic*1.10 {
+		t.Errorf("FirstFit average makespan %g much worse than Basic %g", msFF, msBasic)
+	}
+	if evalsFF >= evalsBasic {
+		t.Errorf("FirstFit used %d evaluations, Basic %d; expected a reduction", evalsFF, evalsBasic)
+	}
+}
+
+func TestGammaThreshold(t *testing.T) {
+	p := platform.Reference()
+	g := testGraph(42, 50)
+	ev := model.NewEvaluator(g, p)
+	base := ev.BaselineMakespan()
+	for _, gamma := range []float64{1, 1.5, 2, 4} {
+		m, st, err := MapWithEvaluator(ev, Options{
+			Strategy: SeriesParallel, Heuristic: GammaThreshold, Gamma: gamma,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Makespan > base*(1+1e-9) {
+			t.Errorf("gamma=%v: worse than baseline", gamma)
+		}
+		if err := m.Validate(g, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := platform.Reference()
+	g := testGraph(7, 35)
+	run := func() (mapping.Mapping, Stats) {
+		m, st, err := Map(g, p, Options{Strategy: SeriesParallel, Heuristic: FirstFit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, st
+	}
+	m1, st1 := run()
+	m2, st2 := run()
+	if !m1.Equal(m2) {
+		t.Fatal("decomposition mapping must be deterministic")
+	}
+	if st1.Makespan != st2.Makespan || st1.Iterations != st2.Iterations {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", st1, st2)
+	}
+}
+
+func TestSingleTaskGraph(t *testing.T) {
+	g := graph.New(1, 0)
+	g.AddTask(graph.Task{Complexity: 5, Parallelizability: 1, Streamability: 2, SourceBytes: 1e8, Area: 5})
+	p := platform.Reference()
+	for _, strat := range []Strategy{SingleNode, SeriesParallel} {
+		m, _, err := Map(g, p, Options{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m) != 1 {
+			t.Fatalf("bad mapping %v", m)
+		}
+	}
+}

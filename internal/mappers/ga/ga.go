@@ -1,0 +1,197 @@
+// Package ga implements the single-objective variant of the NSGA-II
+// genetic algorithm used as a metaheuristic baseline in the paper (§IV):
+// topologically sorted genome with one gene (device) per task,
+// single-point crossover with 90 % crossover rate, mutation rate 1/n, a
+// repair function enforcing feasible mappings, population size 100 and (by
+// default) 500 generations. With a single objective, NSGA-II's
+// non-dominated sorting degenerates to elitist (mu+lambda) selection on
+// the makespan, which is what this implementation performs.
+package ga
+
+import (
+	"math/rand"
+
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+// Options configure the genetic algorithm; zero values select the paper's
+// parameters.
+type Options struct {
+	// Population size (default 100).
+	Population int
+	// Generations to run (default 500).
+	Generations int
+	// CrossoverRate is the probability of performing single-point
+	// crossover on a selected parent pair (default 0.9).
+	CrossoverRate float64
+	// MutationRate is the per-gene mutation probability (default 1/n).
+	MutationRate float64
+	// Seed for the deterministic RNG (used when Rand is nil).
+	Seed int64
+	// Rand overrides the RNG.
+	Rand *rand.Rand
+	// SeedBaseline injects the pure-CPU baseline into the initial
+	// population (on by default in the sense that the initial population
+	// always contains it; set SkipBaseline to disable).
+	SkipBaseline bool
+	// Fitness overrides the minimized cost function (default: the
+	// evaluator's schedule-set makespan); the multi-objective extension
+	// plugs in here.
+	Fitness model.Objective
+}
+
+// Stats reports GA effort and convergence.
+type Stats struct {
+	Generations int
+	Evaluations int
+	// BestPerGeneration records the best makespan after each generation
+	// (useful for the saturation analysis of paper Fig. 6).
+	BestPerGeneration []float64
+	Makespan          float64
+}
+
+type individual struct {
+	genes   mapping.Mapping
+	fitness float64
+}
+
+// Map runs the GA and returns the best mapping found.
+func Map(g *graph.DAG, p *platform.Platform, opt Options) (mapping.Mapping, Stats) {
+	ev := model.NewEvaluator(g, p)
+	return MapWithEvaluator(ev, opt)
+}
+
+// MapWithEvaluator is Map with a shared evaluator.
+func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats) {
+	g, p := ev.G, ev.P
+	n := g.NumTasks()
+	pop := opt.Population
+	if pop <= 0 {
+		pop = 100
+	}
+	gens := opt.Generations
+	if gens <= 0 {
+		gens = 500
+	}
+	xrate := opt.CrossoverRate
+	if xrate <= 0 {
+		xrate = 0.9
+	}
+	mrate := opt.MutationRate
+	if mrate <= 0 && n > 0 {
+		mrate = 1 / float64(n)
+	}
+	rng := opt.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
+
+	fitness := opt.Fitness
+	if fitness == nil {
+		fitness = ev.MakespanObjective()
+	}
+	var stats Stats
+	evaluate := func(ind *individual) {
+		ind.genes.Repair(g, p)
+		ind.fitness = fitness(ind.genes)
+		stats.Evaluations++
+	}
+
+	// Genome order: genes are laid out in topological order so that
+	// single-point crossover exchanges a precedence-consistent prefix.
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err) // graphs are validated before mapping
+	}
+
+	individuals := make([]individual, 0, 2*pop)
+	for i := 0; i < pop; i++ {
+		genes := make(mapping.Mapping, n)
+		if i == 0 && !opt.SkipBaseline {
+			genes = mapping.Baseline(g, p)
+		} else {
+			for v := range genes {
+				genes[v] = rng.Intn(p.NumDevices())
+			}
+		}
+		ind := individual{genes: genes}
+		evaluate(&ind)
+		individuals = append(individuals, ind)
+	}
+
+	tournament := func() *individual {
+		a, b := rng.Intn(pop), rng.Intn(pop)
+		if individuals[a].fitness <= individuals[b].fitness {
+			return &individuals[a]
+		}
+		return &individuals[b]
+	}
+
+	best := func() individual {
+		bi := 0
+		for i := 1; i < pop; i++ {
+			if individuals[i].fitness < individuals[bi].fitness {
+				bi = i
+			}
+		}
+		return individuals[bi]
+	}
+
+	for gen := 0; gen < gens; gen++ {
+		offspring := make([]individual, 0, pop)
+		for len(offspring) < pop {
+			p1, p2 := tournament(), tournament()
+			c1 := p1.genes.Clone()
+			c2 := p2.genes.Clone()
+			if rng.Float64() < xrate && n > 1 {
+				// Single-point crossover along the topological genome.
+				cut := 1 + rng.Intn(n-1)
+				for i := 0; i < cut; i++ {
+					v := order[i]
+					c1[v], c2[v] = p1.genes[v], p2.genes[v]
+				}
+				for i := cut; i < n; i++ {
+					v := order[i]
+					c1[v], c2[v] = p2.genes[v], p1.genes[v]
+				}
+			}
+			for _, c := range []mapping.Mapping{c1, c2} {
+				for v := range c {
+					if rng.Float64() < mrate {
+						c[v] = rng.Intn(p.NumDevices())
+					}
+				}
+				ind := individual{genes: c}
+				evaluate(&ind)
+				offspring = append(offspring, ind)
+				if len(offspring) == pop {
+					break
+				}
+			}
+		}
+		// Elitist (mu+lambda) survivor selection.
+		individuals = append(individuals[:pop], offspring...)
+		selectBest(individuals, pop)
+		individuals = individuals[:pop]
+		stats.BestPerGeneration = append(stats.BestPerGeneration, individuals[0].fitness)
+	}
+	stats.Generations = gens
+	b := best()
+	stats.Makespan = b.fitness
+	return b.genes, stats
+}
+
+// selectBest partially sorts so that the pop best individuals occupy the
+// prefix, with the overall best at index 0.
+func selectBest(inds []individual, pop int) {
+	// Simple selection via full sort; population sizes are small (100).
+	for i := 1; i < len(inds); i++ {
+		for j := i; j > 0 && inds[j].fitness < inds[j-1].fitness; j-- {
+			inds[j], inds[j-1] = inds[j-1], inds[j]
+		}
+	}
+	_ = pop
+}

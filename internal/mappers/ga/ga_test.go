@@ -1,0 +1,94 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+func TestValidFeasibleAndNeverWorseThanBaseline(t *testing.T) {
+	p := platform.Reference()
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.SeriesParallel(rng, 30, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(10, seed)
+		base := ev.Makespan(mapping.Baseline(g, p))
+		m, stats := MapWithEvaluator(ev, Options{Generations: 30, Seed: seed})
+		if err := m.Validate(g, p); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Feasible(g, p) {
+			t.Fatal("GA mapping must be feasible (repair)")
+		}
+		// The baseline individual is injected, and selection is elitist:
+		// the result can never be worse than the baseline.
+		if stats.Makespan > base*(1+1e-9) {
+			t.Fatalf("seed %d: GA worse than baseline: %v > %v", seed, stats.Makespan, base)
+		}
+	}
+}
+
+func TestConvergenceIsMonotone(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(7))
+	g := gen.SeriesParallel(rng, 40, gen.DefaultAttr())
+	ev := model.NewEvaluator(g, p).WithSchedules(10, 1)
+	_, stats := MapWithEvaluator(ev, Options{Generations: 40, Seed: 1})
+	if len(stats.BestPerGeneration) != 40 {
+		t.Fatalf("expected 40 generation records, got %d", len(stats.BestPerGeneration))
+	}
+	for i := 1; i < len(stats.BestPerGeneration); i++ {
+		if stats.BestPerGeneration[i] > stats.BestPerGeneration[i-1]+1e-12 {
+			t.Fatalf("elitist GA best fitness regressed at generation %d", i)
+		}
+	}
+}
+
+func TestMoreGenerationsHelpOrEqual(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(11))
+	g := gen.SeriesParallel(rng, 60, gen.DefaultAttr())
+	ev := model.NewEvaluator(g, p).WithSchedules(10, 1)
+	_, short := MapWithEvaluator(ev, Options{Generations: 10, Seed: 5})
+	_, long := MapWithEvaluator(ev, Options{Generations: 80, Seed: 5})
+	if long.Makespan > short.Makespan+1e-12 {
+		t.Fatalf("80 generations (%v) worse than 10 (%v) with same seed", long.Makespan, short.Makespan)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(13))
+	g := gen.SeriesParallel(rng, 25, gen.DefaultAttr())
+	m1, s1 := Map(g, p, Options{Generations: 20, Seed: 9})
+	m2, s2 := Map(g, p, Options{Generations: 20, Seed: 9})
+	if !m1.Equal(m2) || s1.Makespan != s2.Makespan {
+		t.Fatal("GA must be deterministic for a fixed seed")
+	}
+}
+
+func TestEvaluationBudget(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(17))
+	g := gen.SeriesParallel(rng, 20, gen.DefaultAttr())
+	ev := model.NewEvaluator(g, p)
+	_, stats := MapWithEvaluator(ev, Options{Population: 20, Generations: 10, Seed: 1})
+	// 20 initial + 10 generations x 20 offspring.
+	want := 20 + 10*20
+	if stats.Evaluations != want {
+		t.Fatalf("evaluations = %d, want %d", stats.Evaluations, want)
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	p := platform.Reference()
+	g := gen.SeriesParallel(rand.New(rand.NewSource(1)), 2, gen.DefaultAttr())
+	m, _ := Map(g, p, Options{Generations: 5, Seed: 1})
+	if err := m.Validate(g, p); err != nil {
+		t.Fatal(err)
+	}
+}

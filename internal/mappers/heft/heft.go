@@ -1,0 +1,311 @@
+// Package heft implements the two heterogeneous list-scheduling baselines
+// of the paper's evaluation: HEFT (Topcuoglu et al. [6]) and PEFT
+// (Arabnejad & Barbosa [8]). Both compute a mapping together with an
+// insertion-based schedule; as in the paper, only the mapping is kept and
+// then judged by the common model-based cost function.
+package heft
+
+import (
+	"math"
+	"sort"
+
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+// Variant selects the algorithm.
+type Variant int
+
+// Algorithm variants.
+const (
+	// HEFT ranks tasks by upward rank on averaged costs and greedily
+	// minimizes the earliest finish time.
+	HEFT Variant = iota
+	// PEFT additionally uses an optimistic cost table (OCT) to look ahead
+	// past the current task.
+	PEFT
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == HEFT {
+		return "HEFT"
+	}
+	return "PEFT"
+}
+
+// scheduler holds shared state for one run.
+type scheduler struct {
+	g    *graph.DAG
+	p    *platform.Platform
+	ev   *model.Evaluator
+	n, m int
+
+	avgExec []float64 // mean execution time per task across devices
+	exec    func(v graph.NodeID, d int) float64
+
+	// timeline bookkeeping: per device, per slot, busy intervals sorted
+	// by start time.
+	slots    [][][]interval
+	areaUsed []float64
+	aft      []float64 // actual finish time per task
+	assigned mapping.Mapping
+}
+
+type interval struct{ start, end float64 }
+
+// Map runs the selected list scheduler and returns the resulting mapping.
+func Map(g *graph.DAG, p *platform.Platform, v Variant) mapping.Mapping {
+	ev := model.NewEvaluator(g, p)
+	return MapWithEvaluator(ev, v)
+}
+
+// MapWithEvaluator is Map with a shared evaluator.
+func MapWithEvaluator(ev *model.Evaluator, v Variant) mapping.Mapping {
+	s := newScheduler(ev)
+	var prio []graph.NodeID
+	var oct [][]float64
+	if v == HEFT {
+		prio = s.rankUpwardOrder()
+	} else {
+		oct = s.optimisticCostTable()
+		prio = s.rankOCTOrder(oct)
+	}
+	for _, t := range prio {
+		s.place(t, oct)
+	}
+	return s.assigned
+}
+
+func newScheduler(ev *model.Evaluator) *scheduler {
+	g, p := ev.G, ev.P
+	s := &scheduler{
+		g: g, p: p, ev: ev,
+		n: g.NumTasks(), m: p.NumDevices(),
+		slots:    make([][][]interval, p.NumDevices()),
+		areaUsed: make([]float64, p.NumDevices()),
+		aft:      make([]float64, g.NumTasks()),
+		assigned: mapping.New(g.NumTasks(), p.Default),
+	}
+	for d := range s.slots {
+		s.slots[d] = make([][]interval, p.Devices[d].NumSlots())
+	}
+	s.exec = ev.Exec
+	s.avgExec = make([]float64, s.n)
+	for v := 0; v < s.n; v++ {
+		sum := 0.0
+		for d := 0; d < s.m; d++ {
+			sum += ev.Exec(graph.NodeID(v), d)
+		}
+		s.avgExec[v] = sum / float64(s.m)
+	}
+	return s
+}
+
+// avgComm returns the average transfer time for `bytes` over all ordered
+// device pairs (zero for co-location included, as in standard HEFT).
+func (s *scheduler) avgComm(bytes float64) float64 {
+	if bytes == 0 || s.m == 1 {
+		return 0
+	}
+	sum := 0.0
+	for a := 0; a < s.m; a++ {
+		for b := 0; b < s.m; b++ {
+			sum += s.p.TransferTime(a, b, bytes)
+		}
+	}
+	return sum / float64(s.m*s.m)
+}
+
+// rankUpwardOrder computes HEFT's upward ranks and returns tasks in
+// decreasing rank (ties by id for determinism).
+func (s *scheduler) rankUpwardOrder() []graph.NodeID {
+	rank := make([]float64, s.n)
+	order, err := s.g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := 0.0
+		for _, ei := range s.g.OutEdges(v) {
+			e := s.g.Edge(ei)
+			if r := s.avgComm(e.Bytes) + rank[e.To]; r > best {
+				best = r
+			}
+		}
+		rank[v] = s.avgExec[v] + best
+	}
+	return sortByRank(order, rank)
+}
+
+// optimisticCostTable computes PEFT's OCT: OCT(v,d) is the optimistic
+// remaining cost after v when v runs on d.
+func (s *scheduler) optimisticCostTable() [][]float64 {
+	oct := make([][]float64, s.n)
+	for v := range oct {
+		oct[v] = make([]float64, s.m)
+	}
+	order, err := s.g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for d := 0; d < s.m; d++ {
+			worst := 0.0
+			for _, ei := range s.g.OutEdges(v) {
+				e := s.g.Edge(ei)
+				bestW := math.Inf(1)
+				for w := 0; w < s.m; w++ {
+					c := oct[e.To][w] + s.exec(e.To, w) + s.p.TransferTime(d, w, e.Bytes)
+					if c < bestW {
+						bestW = c
+					}
+				}
+				if bestW > worst {
+					worst = bestW
+				}
+			}
+			oct[v][d] = worst
+		}
+	}
+	return oct
+}
+
+// rankOCTOrder ranks tasks by the mean OCT row.
+func (s *scheduler) rankOCTOrder(oct [][]float64) []graph.NodeID {
+	rank := make([]float64, s.n)
+	for v := 0; v < s.n; v++ {
+		sum := 0.0
+		for d := 0; d < s.m; d++ {
+			sum += oct[v][d]
+		}
+		rank[v] = sum / float64(s.m)
+	}
+	order, err := s.g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	return sortByRank(order, rank)
+}
+
+// sortByRank orders nodes by decreasing rank while preserving precedence:
+// standard HEFT sorts purely by rank (upward ranks of predecessors are
+// strictly larger on monotone costs; with zero-work virtual tasks ties are
+// broken topologically to stay safe).
+func sortByRank(topo []graph.NodeID, rank []float64) []graph.NodeID {
+	pos := make([]int, len(topo))
+	for i, v := range topo {
+		pos[v] = i
+	}
+	out := append([]graph.NodeID(nil), topo...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ra, rb := rank[out[a]], rank[out[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return pos[out[a]] < pos[out[b]]
+	})
+	return out
+}
+
+// place assigns task t to the device minimizing EFT (HEFT) or EFT+OCT
+// (PEFT), using insertion-based scheduling on non-spatial devices and
+// respecting FPGA area capacities.
+func (s *scheduler) place(t graph.NodeID, oct [][]float64) {
+	bestDev, bestEFT, bestStart := -1, math.Inf(1), 0.0
+	bestScore := math.Inf(1)
+	area := s.g.Task(t).Area
+	for d := 0; d < s.m; d++ {
+		dev := &s.p.Devices[d]
+		if dev.Area > 0 && area > 0 && s.areaUsed[d]+area > dev.Area {
+			continue // would violate area capacity
+		}
+		ready := 0.0
+		if s.g.InDegree(t) == 0 {
+			if sb := s.g.Task(t).SourceBytes; sb > 0 {
+				ready = s.p.TransferTime(s.p.Default, d, sb)
+			}
+		}
+		for _, ei := range s.g.InEdges(t) {
+			e := s.g.Edge(ei)
+			if r := s.aft[e.From] + s.p.TransferTime(s.assigned[e.From], d, e.Bytes); r > ready {
+				ready = r
+			}
+		}
+		exec := s.exec(t, d)
+		start, _ := s.earliestStart(d, ready, exec)
+		eft := start + exec
+		score := eft
+		if oct != nil {
+			score += oct[t][d]
+		}
+		if score < bestScore || (score == bestScore && eft < bestEFT) {
+			bestScore, bestEFT, bestDev, bestStart = score, eft, d, start
+		}
+	}
+	if bestDev < 0 {
+		// No feasible accelerator: fall back to the default device.
+		bestDev = s.p.Default
+		exec := s.exec(t, bestDev)
+		ready := 0.0
+		for _, ei := range s.g.InEdges(t) {
+			e := s.g.Edge(ei)
+			if r := s.aft[e.From] + s.p.TransferTime(s.assigned[e.From], bestDev, e.Bytes); r > ready {
+				ready = r
+			}
+		}
+		bestStart, _ = s.earliestStart(bestDev, ready, exec)
+		bestEFT = bestStart + exec
+	}
+	s.assigned[t] = bestDev
+	s.aft[t] = bestEFT
+	s.areaUsed[bestDev] += area
+	if !s.p.Devices[bestDev].Spatial {
+		_, slot := s.earliestStart(bestDev, bestStart, bestEFT-bestStart)
+		s.slots[bestDev][slot] = insertInterval(s.slots[bestDev][slot], interval{bestStart, bestEFT})
+	}
+}
+
+// earliestStart returns the earliest feasible start time >= ready on
+// device d for a task of the given duration, and the slot achieving it.
+// Spatial devices are contention-free (slot -1).
+func (s *scheduler) earliestStart(d int, ready, exec float64) (float64, int) {
+	if s.p.Devices[d].Spatial {
+		return ready, -1
+	}
+	bestStart, bestSlot := math.Inf(1), 0
+	for slot, busy := range s.slots[d] {
+		if st := insertionSlot(busy, ready, exec); st < bestStart {
+			bestStart, bestSlot = st, slot
+		}
+	}
+	return bestStart, bestSlot
+}
+
+// insertionSlot finds the earliest start >= ready such that [start,
+// start+exec) fits into a gap of the busy list.
+func insertionSlot(busy []interval, ready, exec float64) float64 {
+	start := ready
+	for _, iv := range busy {
+		if start+exec <= iv.start {
+			return start
+		}
+		if iv.end > start {
+			start = iv.end
+		}
+	}
+	return start
+}
+
+// insertInterval inserts iv keeping the list sorted by start time.
+func insertInterval(busy []interval, iv interval) []interval {
+	i := sort.Search(len(busy), func(i int) bool { return busy[i].start >= iv.start })
+	busy = append(busy, interval{})
+	copy(busy[i+1:], busy[i:])
+	busy[i] = iv
+	return busy
+}

@@ -1,0 +1,160 @@
+package heft
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+func TestProducesValidFeasibleMappings(t *testing.T) {
+	p := platform.Reference()
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.SeriesParallel(rng, 40, gen.DefaultAttr())
+		for _, v := range []Variant{HEFT, PEFT} {
+			m := Map(g, p, v)
+			if err := m.Validate(g, p); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, v, err)
+			}
+			if !m.Feasible(g, p) {
+				t.Fatalf("seed %d %v: infeasible mapping", seed, v)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(3))
+	g := gen.SeriesParallel(rng, 50, gen.DefaultAttr())
+	for _, v := range []Variant{HEFT, PEFT} {
+		m1 := Map(g, p, v)
+		m2 := Map(g, p, v)
+		if !m1.Equal(m2) {
+			t.Fatalf("%v must be deterministic", v)
+		}
+	}
+}
+
+func TestFindsImprovementOnObviousGraph(t *testing.T) {
+	// A wide fan of perfectly parallel compute-heavy tasks with small
+	// transfers: offloading must pay off for any sensible mapper.
+	g := graph.New(0, 0)
+	src := g.AddTask(graph.Task{Name: "src", Complexity: 0.1, SourceBytes: 1e6, Streamability: 1})
+	sink := g.AddTask(graph.Task{Name: "sink", Complexity: 0.1, Streamability: 1})
+	for i := 0; i < 12; i++ {
+		v := g.AddTask(graph.Task{
+			Complexity: 500, Parallelizability: 1, Streamability: 1, Area: 5,
+		})
+		g.AddEdge(src, v, 1e6)
+		g.AddEdge(v, sink, 1e6)
+	}
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(20, 1)
+	base := ev.Makespan(mapping.Baseline(g, p))
+	for _, v := range []Variant{HEFT, PEFT} {
+		m := MapWithEvaluator(ev, v)
+		if ms := ev.Makespan(m); ms >= base {
+			t.Fatalf("%v failed to accelerate an embarrassingly offloadable graph (%v >= %v)",
+				v, ms, base)
+		}
+		offloaded := 0
+		for _, d := range m {
+			if d != p.Default {
+				offloaded++
+			}
+		}
+		if offloaded == 0 {
+			t.Fatalf("%v mapped nothing off the CPU", v)
+		}
+	}
+}
+
+func TestRespectsAreaCapacity(t *testing.T) {
+	// Tasks that only an FPGA accelerates, with areas exceeding capacity
+	// in sum: the schedulers must not overfill.
+	g := graph.New(0, 0)
+	prev := graph.None
+	for i := 0; i < 10; i++ {
+		task := graph.Task{Complexity: 40, Parallelizability: 0, Streamability: 17, Area: 40}
+		if i == 0 {
+			task.SourceBytes = 1e6
+		}
+		v := g.AddTask(task)
+		if prev != graph.None {
+			g.AddEdge(prev, v, 1e6)
+		}
+		prev = v
+	}
+	p := platform.Reference() // FPGA area 120 < 10*40
+	for _, variant := range []Variant{HEFT, PEFT} {
+		m := Map(g, p, variant)
+		if !m.Feasible(g, p) {
+			t.Fatalf("%v violated the FPGA area capacity", variant)
+		}
+	}
+}
+
+func TestInsertionSlot(t *testing.T) {
+	busy := []interval{{1, 2}, {4, 6}}
+	cases := []struct {
+		ready, exec, want float64
+	}{
+		{0, 1, 0},   // fits before the first interval
+		{0, 1.5, 2}, // too long for [0,1), next gap is [2,4)
+		{2, 2, 2},   // exact gap fit
+		{5, 1, 6},   // inside a busy interval -> after it
+		{7, 3, 7},   // after everything
+	}
+	for i, c := range cases {
+		if got := insertionSlot(busy, c.ready, c.exec); got != c.want {
+			t.Errorf("case %d: insertionSlot = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestInsertInterval(t *testing.T) {
+	var busy []interval
+	for _, iv := range []interval{{4, 5}, {1, 2}, {2.5, 3}} {
+		busy = insertInterval(busy, iv)
+	}
+	for i := 1; i < len(busy); i++ {
+		if busy[i].start < busy[i-1].start {
+			t.Fatalf("not sorted: %v", busy)
+		}
+	}
+}
+
+func TestPEFTDiffersFromHEFTSometimes(t *testing.T) {
+	p := platform.Reference()
+	differ := false
+	for seed := int64(0); seed < 25 && !differ; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.SeriesParallel(rng, 60, gen.DefaultAttr())
+		if !Map(g, p, HEFT).Equal(Map(g, p, PEFT)) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("HEFT and PEFT produced identical mappings on 25 random graphs; OCT likely unused")
+	}
+}
+
+func TestHandlesVirtualAndEmptyTasks(t *testing.T) {
+	g := graph.New(0, 0)
+	a := g.AddTask(graph.Task{Virtual: true})
+	b := g.AddTask(graph.Task{Complexity: 3, SourceBytes: 0, Streamability: 2, Area: 3})
+	g.AddEdge(a, b, 0)
+	p := platform.Reference()
+	for _, v := range []Variant{HEFT, PEFT} {
+		m := Map(g, p, v)
+		if err := m.Validate(g, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

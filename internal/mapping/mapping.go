@@ -1,0 +1,131 @@
+// Package mapping defines the task-to-device assignment type shared by all
+// mapping algorithms, plus feasibility checking (FPGA area capacity) and
+// the pure-CPU baseline mapping.
+package mapping
+
+import (
+	"fmt"
+
+	"spmap/internal/graph"
+	"spmap/internal/platform"
+)
+
+// Mapping assigns every task (by NodeID index) to a device index of the
+// platform.
+type Mapping []int
+
+// New returns a mapping of n tasks, all assigned to device dev.
+func New(n, dev int) Mapping {
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = dev
+	}
+	return m
+}
+
+// Baseline returns the default mapping: every task on the platform's
+// default (CPU) device.
+func Baseline(g *graph.DAG, p *platform.Platform) Mapping {
+	return New(g.NumTasks(), p.Default)
+}
+
+// Clone returns a copy of m.
+func (m Mapping) Clone() Mapping {
+	c := make(Mapping, len(m))
+	copy(c, m)
+	return c
+}
+
+// Assign sets the device of every node in nodes and returns m for
+// chaining. The receiver is modified in place.
+func (m Mapping) Assign(nodes []graph.NodeID, dev int) Mapping {
+	for _, v := range nodes {
+		m[v] = dev
+	}
+	return m
+}
+
+// Equal reports whether two mappings are identical.
+func (m Mapping) Equal(o Mapping) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that every assignment is a valid device index.
+func (m Mapping) Validate(g *graph.DAG, p *platform.Platform) error {
+	if len(m) != g.NumTasks() {
+		return fmt.Errorf("mapping: length %d does not match %d tasks", len(m), g.NumTasks())
+	}
+	for i, d := range m {
+		if d < 0 || d >= p.NumDevices() {
+			return fmt.Errorf("mapping: task %d mapped to invalid device %d", i, d)
+		}
+	}
+	return nil
+}
+
+// AreaUsed returns the total area occupied on device dev by tasks mapped
+// to it.
+func (m Mapping) AreaUsed(g *graph.DAG, dev int) float64 {
+	sum := 0.0
+	for v, d := range m {
+		if d == dev {
+			sum += g.Task(graph.NodeID(v)).Area
+		}
+	}
+	return sum
+}
+
+// Feasible reports whether the mapping respects every device's area
+// capacity (a zero capacity means unconstrained).
+func (m Mapping) Feasible(g *graph.DAG, p *platform.Platform) bool {
+	for d := range p.Devices {
+		cap := p.Devices[d].Area
+		if cap <= 0 {
+			continue
+		}
+		if m.AreaUsed(g, d) > cap {
+			return false
+		}
+	}
+	return true
+}
+
+// Repair moves tasks off over-subscribed area-constrained devices (largest
+// area first) back to the platform default until the mapping is feasible.
+// It is used by the genetic algorithm's repair function and by list
+// schedulers as a safety net. The receiver is modified in place and
+// returned.
+func (m Mapping) Repair(g *graph.DAG, p *platform.Platform) Mapping {
+	for d := range p.Devices {
+		capacity := p.Devices[d].Area
+		if capacity <= 0 {
+			continue
+		}
+		used := m.AreaUsed(g, d)
+		for used > capacity {
+			// Evict the task with the largest area footprint.
+			worst, worstArea := -1, -1.0
+			for v, dv := range m {
+				if dv == d {
+					if a := g.Task(graph.NodeID(v)).Area; a > worstArea {
+						worst, worstArea = v, a
+					}
+				}
+			}
+			if worst < 0 {
+				break
+			}
+			m[worst] = p.Default
+			used -= worstArea
+		}
+	}
+	return m
+}

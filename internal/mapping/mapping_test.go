@@ -1,0 +1,115 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmap/internal/graph"
+	"spmap/internal/platform"
+)
+
+func areaGraph(areas ...float64) *graph.DAG {
+	g := graph.New(len(areas), 0)
+	for _, a := range areas {
+		g.AddTask(graph.Task{Area: a, Complexity: 1})
+	}
+	return g
+}
+
+func TestBaseline(t *testing.T) {
+	p := platform.Reference()
+	g := areaGraph(1, 2, 3)
+	m := Baseline(g, p)
+	for _, d := range m {
+		if d != p.Default {
+			t.Fatal("baseline must map everything to the default device")
+		}
+	}
+	if err := m.Validate(g, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignCloneEqual(t *testing.T) {
+	m := New(4, 0)
+	c := m.Clone()
+	c.Assign([]graph.NodeID{1, 2}, 2)
+	if m.Equal(c) {
+		t.Fatal("clone mutation leaked")
+	}
+	if c[1] != 2 || c[2] != 2 || c[0] != 0 {
+		t.Fatalf("assign wrong: %v", c)
+	}
+	if !c.Equal(Mapping{0, 2, 2, 0}) {
+		t.Fatal("equal failed")
+	}
+	if c.Equal(Mapping{0, 2, 2}) {
+		t.Fatal("length mismatch must not be equal")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := platform.Reference()
+	g := areaGraph(1, 1)
+	if err := (Mapping{0}).Validate(g, p); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := (Mapping{0, 99}).Validate(g, p); err == nil {
+		t.Fatal("bad device index must fail")
+	}
+}
+
+func TestFeasibleAndAreaUsed(t *testing.T) {
+	p := platform.Reference()
+	fpga := 2
+	capacity := p.Devices[fpga].Area
+	g := areaGraph(capacity/2, capacity/2, capacity/2)
+	m := New(3, p.Default)
+	if !m.Feasible(g, p) {
+		t.Fatal("cpu-only must be feasible")
+	}
+	m[0], m[1] = fpga, fpga
+	if got := m.AreaUsed(g, fpga); got != capacity {
+		t.Fatalf("area used = %v, want %v", got, capacity)
+	}
+	if !m.Feasible(g, p) {
+		t.Fatal("exactly-at-capacity must be feasible")
+	}
+	m[2] = fpga
+	if m.Feasible(g, p) {
+		t.Fatal("over capacity must be infeasible")
+	}
+}
+
+func TestRepairProperty(t *testing.T) {
+	p := platform.Reference()
+	f := func(seed int64, sz uint8) bool {
+		n := 1 + int(sz%50)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(n, 0)
+		for i := 0; i < n; i++ {
+			g.AddTask(graph.Task{Area: rng.Float64() * 40, Complexity: 1})
+		}
+		m := make(Mapping, n)
+		for i := range m {
+			m[i] = rng.Intn(p.NumDevices())
+		}
+		m.Repair(g, p)
+		return m.Feasible(g, p) && m.Validate(g, p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairKeepsFeasibleUntouched(t *testing.T) {
+	p := platform.Reference()
+	g := areaGraph(1, 1, 1)
+	m := Mapping{2, 2, 1}
+	orig := m.Clone()
+	m.Repair(g, p)
+	if !m.Equal(orig) {
+		t.Fatal("repair must not change a feasible mapping")
+	}
+}

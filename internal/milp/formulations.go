@@ -1,0 +1,658 @@
+package milp
+
+import (
+	"math/rand"
+	"time"
+
+	"spmap/internal/graph"
+	"spmap/internal/lp"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+// Formulation selects one of the paper's reference MILPs (§IV-A).
+type Formulation int
+
+// Reference formulations.
+const (
+	// WGDPDevice is the device-based MILP of Wilhelm et al. [5]: balance
+	// the per-device workload plus a cross-device traffic penalty, without
+	// ordering tasks ("WGDP Dev" in the paper).
+	WGDPDevice Formulation = iota
+	// WGDPTime is the time-based MILP of Wilhelm et al. [5]: explicit
+	// start/finish times with precedence, communication and FPGA
+	// streaming overlap ("WGDP Time").
+	WGDPTime
+	// ZhouLiu is the slot-based MILP of Zhou & Liu [2]: a total order of
+	// tasks per processing unit via execution slots.
+	ZhouLiu
+)
+
+// String implements fmt.Stringer.
+func (f Formulation) String() string {
+	switch f {
+	case WGDPDevice:
+		return "WGDPDevice"
+	case WGDPTime:
+		return "WGDPTime"
+	default:
+		return "ZhouLiu"
+	}
+}
+
+// Result of a MILP mapping run.
+type Result struct {
+	Mapping mapping.Mapping
+	Status  Status
+	Obj     float64
+	Nodes   int
+}
+
+// MapOptions configure MILP-based mapping.
+type MapOptions struct {
+	// TimeLimit per instance (default 30s; the paper used 5 minutes).
+	TimeLimit time.Duration
+	// MaxNodes bounds the branch-and-bound tree.
+	MaxNodes int
+}
+
+// Map builds the selected formulation for (g, p), solves it with
+// branch-and-bound, and extracts the task mapping from the assignment
+// variables. When the solver hits its budget the best incumbent is used;
+// if no incumbent exists the CPU baseline mapping is returned with status
+// Unknown.
+func Map(g *graph.DAG, p *platform.Platform, f Formulation, opt MapOptions) Result {
+	ev := model.NewEvaluator(g, p)
+	return MapWithEvaluator(ev, f, opt)
+}
+
+// MapWithEvaluator is Map with a shared evaluator (for its execution-time
+// table).
+func MapWithEvaluator(ev *model.Evaluator, f Formulation, opt MapOptions) Result {
+	var b builder
+	b.init(ev)
+	switch f {
+	case WGDPDevice:
+		b.buildDevice()
+	case WGDPTime:
+		b.buildTime()
+	case ZhouLiu:
+		b.buildZhouLiu()
+	}
+	// Rounding heuristics: every LP relaxation yields candidate mappings —
+	// the fractional-assignment argmax plus randomized roundings sampled
+	// proportionally to the assignment values. The best candidate by the
+	// model cost function is kept. This mirrors the primal rounding
+	// heuristics of production MILP solvers and lets the (much weaker)
+	// pure-Go branch-and-bound return sensible mappings under tight
+	// budgets; see DESIGN.md ("Substitutions").
+	var bestHeur mapping.Mapping
+	bestHeurMs := ev.Makespan(mapping.Baseline(ev.G, ev.P))
+	rng := rand.New(rand.NewSource(1))
+	consider := func(m mapping.Mapping) {
+		m.Repair(ev.G, ev.P)
+		if ms := ev.Makespan(m); ms < bestHeurMs {
+			bestHeurMs = ms
+			bestHeur = m.Clone()
+		}
+	}
+	onRelax := func(x []float64) {
+		consider(b.extract(x))
+		probs := b.assignmentProbs(x)
+		const samples = 8
+		m := make(mapping.Mapping, b.n)
+		for s := 0; s < samples; s++ {
+			for i := 0; i < b.n; i++ {
+				m[i] = sampleDevice(probs[i], rng)
+			}
+			consider(m)
+		}
+	}
+	sol := Solve(b.prob, Options{
+		TimeLimit: opt.TimeLimit, MaxNodes: opt.MaxNodes, OnRelaxation: onRelax,
+	})
+	res := Result{Status: sol.Status, Obj: sol.Obj, Nodes: sol.Nodes}
+	if sol.X != nil {
+		m := b.extract(sol.X).Repair(ev.G, ev.P)
+		if ms := ev.Makespan(m); ms <= bestHeurMs {
+			res.Mapping = m
+			return res
+		}
+	}
+	if bestHeur != nil {
+		res.Mapping = bestHeur
+		return res
+	}
+	res.Mapping = mapping.Baseline(ev.G, ev.P)
+	return res
+}
+
+// builder assembles formulations over a shared variable pool.
+type builder struct {
+	ev   *model.Evaluator
+	g    *graph.DAG
+	p    *platform.Platform
+	n, m int
+	prob *Problem
+
+	xBase int // x[i][d] = xBase + i*m + d (WGDP*) — or slot-summed for ZhouLiu
+	horiz float64
+
+	// ZhouLiu extraction state.
+	zlX func(x []float64) mapping.Mapping
+}
+
+func (b *builder) init(ev *model.Evaluator) {
+	b.ev = ev
+	b.g, b.p = ev.G, ev.P
+	b.n, b.m = ev.G.NumTasks(), ev.P.NumDevices()
+	// Scheduling horizon: total worst-case execution plus every transfer
+	// at the slowest link. Used as the big-M constant.
+	h := 0.0
+	for i := 0; i < b.n; i++ {
+		worst := 0.0
+		for d := 0; d < b.m; d++ {
+			if e := ev.Exec(graph.NodeID(i), d); e > worst {
+				worst = e
+			}
+		}
+		h += worst
+	}
+	for eIdx := 0; eIdx < b.g.NumEdges(); eIdx++ {
+		e := b.g.Edge(eIdx)
+		worst := 0.0
+		for d1 := 0; d1 < b.m; d1++ {
+			for d2 := 0; d2 < b.m; d2++ {
+				if c := b.p.TransferTime(d1, d2, e.Bytes); c > worst {
+					worst = c
+				}
+			}
+		}
+		h += worst
+	}
+	if h <= 0 {
+		h = 1
+	}
+	b.horiz = h
+}
+
+func (b *builder) exec(i int, d int) float64 { return b.ev.Exec(graph.NodeID(i), d) }
+
+// addAssignment creates the x[i][d] binaries with sum-to-one rows and area
+// capacities, starting at variable offset base.
+func (b *builder) addAssignment(base int) {
+	b.xBase = base
+	for i := 0; i < b.n; i++ {
+		vars := make([]int, b.m)
+		coefs := make([]float64, b.m)
+		for d := 0; d < b.m; d++ {
+			j := base + i*b.m + d
+			b.prob.SetBinary(j)
+			vars[d] = j
+			coefs[d] = 1
+		}
+		b.prob.LP.AddConstraint(vars, coefs, lp.EQ, 1)
+	}
+	for d := 0; d < b.m; d++ {
+		capacity := b.p.Devices[d].Area
+		if capacity <= 0 {
+			continue
+		}
+		var vars []int
+		var coefs []float64
+		for i := 0; i < b.n; i++ {
+			if a := b.g.Task(graph.NodeID(i)).Area; a > 0 {
+				vars = append(vars, base+i*b.m+d)
+				coefs = append(coefs, a)
+			}
+		}
+		if len(vars) > 0 {
+			b.prob.LP.AddConstraint(vars, coefs, lp.LE, capacity)
+		}
+	}
+}
+
+func (b *builder) x(i, d int) int { return b.xBase + i*b.m + d }
+
+// avgTransfer returns the mean transfer cost of an edge over all distinct
+// device pairs.
+func (b *builder) avgTransfer(bytes float64) float64 {
+	sum, cnt := 0.0, 0
+	for d1 := 0; d1 < b.m; d1++ {
+		for d2 := 0; d2 < b.m; d2++ {
+			if d1 != d2 {
+				sum += b.p.TransferTime(d1, d2, bytes)
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// buildDevice assembles the WGDP device-based MILP: minimize T + traffic,
+// T >= per-device load (divided by the device's concurrent slots), plus a
+// cross-edge penalty at average link cost.
+func (b *builder) buildDevice() {
+	nx := b.n * b.m
+	E := b.g.NumEdges()
+	total := nx + 1 + E // x | T | cross_e
+	b.prob = NewProblem(total)
+	b.addAssignment(0)
+	T := nx
+	crossBase := nx + 1
+	// T >= load_d / slots_d.
+	for d := 0; d < b.m; d++ {
+		var vars []int
+		var coefs []float64
+		slots := float64(b.p.Devices[d].NumSlots())
+		if b.p.Devices[d].Spatial {
+			// Spatial devices are area-constrained, not time-shared; use
+			// a generous concurrency equal to the task count.
+			slots = float64(b.n)
+		}
+		for i := 0; i < b.n; i++ {
+			vars = append(vars, b.x(i, d))
+			coefs = append(coefs, b.exec(i, d)/slots)
+		}
+		vars = append(vars, T)
+		coefs = append(coefs, -1)
+		b.prob.LP.AddConstraint(vars, coefs, lp.LE, 0)
+	}
+	// cross_e >= x[u][d] - x[v][d].
+	for eIdx := 0; eIdx < E; eIdx++ {
+		e := b.g.Edge(eIdx)
+		ce := crossBase + eIdx
+		b.prob.LP.Upper[ce] = 1
+		for d := 0; d < b.m; d++ {
+			b.prob.LP.AddConstraint(
+				[]int{b.x(int(e.From), d), b.x(int(e.To), d), ce},
+				[]float64{1, -1, -1}, lp.LE, 0)
+		}
+	}
+	// Objective: T plus average-cost cross traffic.
+	b.prob.LP.Obj[T] = 1
+	for eIdx := 0; eIdx < E; eIdx++ {
+		b.prob.LP.Obj[crossBase+eIdx] = b.avgTransfer(b.g.Edge(eIdx).Bytes)
+	}
+}
+
+// buildTime assembles the WGDP time-based MILP with explicit start/finish
+// times, linearized pairwise communication, FPGA streaming overlap and
+// single-slot device serialization. It is the only formulation that models
+// data streaming, as the paper notes.
+func (b *builder) buildTime() {
+	nx := b.n * b.m
+	E := b.g.NumEdges()
+	mm := b.m * b.m
+	// Variables: x | s_i | f_i | M | y_e(d1,d2) | o_ij (single-slot pairs)
+	sBase := nx
+	fBase := nx + b.n
+	M := nx + 2*b.n
+	yBase := M + 1
+	oBase := yBase + E*mm
+	// Serialization binaries for single-slot non-spatial devices.
+	var serial []int
+	for d := 0; d < b.m; d++ {
+		dev := &b.p.Devices[d]
+		if !dev.Spatial && dev.NumSlots() == 1 {
+			serial = append(serial, d)
+		}
+	}
+	nPairs := b.n * (b.n - 1) / 2
+	total := oBase + nPairs
+	b.prob = NewProblem(total)
+	b.addAssignment(0)
+	H := b.horiz
+
+	// Streaming device (at most one in our platforms; generalizes by
+	// taking the first).
+	streamDev := -1
+	for d := 0; d < b.m; d++ {
+		if b.p.Devices[d].Streaming {
+			streamDev = d
+			break
+		}
+	}
+
+	// f_i = s_i + sum_d exec(i,d) x(i,d); M >= f_i.
+	for i := 0; i < b.n; i++ {
+		vars := []int{fBase + i, sBase + i}
+		coefs := []float64{1, -1}
+		for d := 0; d < b.m; d++ {
+			vars = append(vars, b.x(i, d))
+			coefs = append(coefs, -b.exec(i, d))
+		}
+		b.prob.LP.AddConstraint(vars, coefs, lp.EQ, 0)
+		b.prob.LP.AddConstraint([]int{fBase + i, M}, []float64{1, -1}, lp.LE, 0)
+	}
+
+	y := func(e, d1, d2 int) int { return yBase + e*mm + d1*b.m + d2 }
+	for eIdx := 0; eIdx < E; eIdx++ {
+		e := b.g.Edge(eIdx)
+		u, v := int(e.From), int(e.To)
+		// y linking: y >= x_u,d1 + x_v,d2 - 1; sum y = 1; y <= x parts.
+		var sumVars []int
+		var sumCoefs []float64
+		for d1 := 0; d1 < b.m; d1++ {
+			for d2 := 0; d2 < b.m; d2++ {
+				yj := y(eIdx, d1, d2)
+				b.prob.LP.Upper[yj] = 1
+				sumVars = append(sumVars, yj)
+				sumCoefs = append(sumCoefs, 1)
+				b.prob.LP.AddConstraint(
+					[]int{b.x(u, d1), b.x(v, d2), yj},
+					[]float64{1, 1, -1}, lp.LE, 1)
+				b.prob.LP.AddConstraint([]int{yj, b.x(u, d1)}, []float64{1, -1}, lp.LE, 0)
+				b.prob.LP.AddConstraint([]int{yj, b.x(v, d2)}, []float64{1, -1}, lp.LE, 0)
+			}
+		}
+		b.prob.LP.AddConstraint(sumVars, sumCoefs, lp.EQ, 1)
+
+		// Precedence with communication; streaming pair may overlap.
+		streamPair := -1
+		sigma := 0.0
+		if streamDev >= 0 {
+			su := b.g.Task(e.From).Streamability
+			sv := b.g.Task(e.To).Streamability
+			if su >= 1 && sv >= 1 {
+				streamPair = y(eIdx, streamDev, streamDev)
+				sigma = su
+				if sv < su {
+					sigma = sv
+				}
+			}
+		}
+		// s_v >= f_u + sum_{(d1,d2)} cost*y  (cost(F,F)=0), relaxed by H
+		// when the streaming pair is active.
+		vars := []int{sBase + v, fBase + u}
+		coefs := []float64{-1, 1}
+		for d1 := 0; d1 < b.m; d1++ {
+			for d2 := 0; d2 < b.m; d2++ {
+				c := b.p.TransferTime(d1, d2, e.Bytes)
+				if c != 0 {
+					vars = append(vars, y(eIdx, d1, d2))
+					coefs = append(coefs, c)
+				}
+			}
+		}
+		if streamPair >= 0 {
+			vars = append(vars, streamPair)
+			coefs = append(coefs, -H)
+		}
+		b.prob.LP.AddConstraint(vars, coefs, lp.LE, 0)
+		if streamPair >= 0 {
+			// Overlap: s_v >= s_u + exec(u,F)/sigma - H(1-yFF).
+			b.prob.LP.AddConstraint(
+				[]int{sBase + v, sBase + u, streamPair},
+				[]float64{-1, 1, H}, lp.LE, H-b.exec(u, streamDev)/sigma)
+			// Drain: f_v >= f_u + exec(v,F)/sigma - H(1-yFF).
+			b.prob.LP.AddConstraint(
+				[]int{fBase + v, fBase + u, streamPair},
+				[]float64{-1, 1, H}, lp.LE, H-b.exec(v, streamDev)/sigma)
+		}
+	}
+
+	// Aggregate load bound for multi-slot devices (e.g. the CPU): M >=
+	// load_d / slots_d.
+	for d := 0; d < b.m; d++ {
+		dev := &b.p.Devices[d]
+		if dev.Spatial || dev.NumSlots() == 1 {
+			continue
+		}
+		var vars []int
+		var coefs []float64
+		slots := float64(dev.NumSlots())
+		for i := 0; i < b.n; i++ {
+			vars = append(vars, b.x(i, d))
+			coefs = append(coefs, b.exec(i, d)/slots)
+		}
+		vars = append(vars, M)
+		coefs = append(coefs, -1)
+		b.prob.LP.AddConstraint(vars, coefs, lp.LE, 0)
+	}
+
+	// Branch only on the assignment binaries; the ordering indicators
+	// below stay LP-relaxed (weaker bound, same extracted mapping).
+	b.prob.Branchable = make([]bool, total)
+	for i := 0; i < b.n; i++ {
+		for d := 0; d < b.m; d++ {
+			b.prob.Branchable[b.x(i, d)] = true
+		}
+	}
+
+	// Pairwise serialization on single-slot devices via ordering binaries.
+	pair := 0
+	for i := 0; i < b.n; i++ {
+		for j := i + 1; j < b.n; j++ {
+			oj := oBase + pair
+			pair++
+			b.prob.SetBinary(oj)
+			for _, d := range serial {
+				// f_i <= s_j + H(3 - o - x_i,d - x_j,d)
+				b.prob.LP.AddConstraint(
+					[]int{fBase + i, sBase + j, oj, b.x(i, d), b.x(j, d)},
+					[]float64{1, -1, H, H, H}, lp.LE, 3*H)
+				// f_j <= s_i + H(2 + o - x_i,d - x_j,d)
+				b.prob.LP.AddConstraint(
+					[]int{fBase + j, sBase + i, oj, b.x(i, d), b.x(j, d)},
+					[]float64{1, -1, -H, H, H}, lp.LE, 2*H)
+			}
+		}
+	}
+
+	b.prob.LP.Obj[M] = 1
+}
+
+// buildZhouLiu assembles the slot-based MILP of Zhou & Liu: binaries
+// x[i][d][k] place task i into execution slot k of device d, inducing a
+// total order per device. Communication uses the same pairwise
+// linearization via aggregated device indicators.
+func (b *builder) buildZhouLiu() {
+	n, m := b.n, b.m
+	K := n // a device may have to host every task
+	nx := n * m * K
+	// Variables: x[i][d][k] | sigma[d][k] | s_i | f_i | M
+	sigBase := nx
+	sBase := sigBase + m*K
+	fBase := sBase + n
+	M := fBase + n
+	total := M + 1
+	b.prob = NewProblem(total)
+	x := func(i, d, k int) int { return i*m*K + d*K + k }
+	H := b.horiz
+
+	// Assignment: each task in exactly one slot.
+	for i := 0; i < n; i++ {
+		var vars []int
+		var coefs []float64
+		for d := 0; d < m; d++ {
+			for k := 0; k < K; k++ {
+				j := x(i, d, k)
+				b.prob.SetBinary(j)
+				vars = append(vars, j)
+				coefs = append(coefs, 1)
+			}
+		}
+		b.prob.LP.AddConstraint(vars, coefs, lp.EQ, 1)
+	}
+	// Slot occupancy <= 1.
+	for d := 0; d < m; d++ {
+		for k := 0; k < K; k++ {
+			var vars []int
+			var coefs []float64
+			for i := 0; i < n; i++ {
+				vars = append(vars, x(i, d, k))
+				coefs = append(coefs, 1)
+			}
+			b.prob.LP.AddConstraint(vars, coefs, lp.LE, 1)
+		}
+	}
+	// Area capacities.
+	for d := 0; d < m; d++ {
+		capacity := b.p.Devices[d].Area
+		if capacity <= 0 {
+			continue
+		}
+		var vars []int
+		var coefs []float64
+		for i := 0; i < n; i++ {
+			a := b.g.Task(graph.NodeID(i)).Area
+			if a <= 0 {
+				continue
+			}
+			for k := 0; k < K; k++ {
+				vars = append(vars, x(i, d, k))
+				coefs = append(coefs, a)
+			}
+		}
+		if len(vars) > 0 {
+			b.prob.LP.AddConstraint(vars, coefs, lp.LE, capacity)
+		}
+	}
+	// Slot chaining: sigma[d][k+1] >= sigma[d][k] + sum_i exec(i,d) x[i][d][k].
+	for d := 0; d < m; d++ {
+		for k := 0; k+1 < K; k++ {
+			vars := []int{sigBase + d*K + k + 1, sigBase + d*K + k}
+			coefs := []float64{-1, 1}
+			for i := 0; i < n; i++ {
+				vars = append(vars, x(i, d, k))
+				coefs = append(coefs, b.exec(i, d))
+			}
+			b.prob.LP.AddConstraint(vars, coefs, lp.LE, 0)
+		}
+	}
+	// Task/slot time linking and finish times.
+	for i := 0; i < n; i++ {
+		// f_i = s_i + sum exec*x.
+		vars := []int{fBase + i, sBase + i}
+		coefs := []float64{1, -1}
+		for d := 0; d < m; d++ {
+			for k := 0; k < K; k++ {
+				vars = append(vars, x(i, d, k))
+				coefs = append(coefs, -b.exec(i, d))
+			}
+		}
+		b.prob.LP.AddConstraint(vars, coefs, lp.EQ, 0)
+		b.prob.LP.AddConstraint([]int{fBase + i, M}, []float64{1, -1}, lp.LE, 0)
+		for d := 0; d < m; d++ {
+			for k := 0; k < K; k++ {
+				// s_i >= sigma[d][k] - H(1-x): sigma - s_i + H x <= H.
+				b.prob.LP.AddConstraint(
+					[]int{sigBase + d*K + k, sBase + i, x(i, d, k)},
+					[]float64{1, -1, H}, lp.LE, H)
+				// s_i <= sigma[d][k] + H(1-x).
+				b.prob.LP.AddConstraint(
+					[]int{sBase + i, sigBase + d*K + k, x(i, d, k)},
+					[]float64{1, -1, H}, lp.LE, H)
+			}
+		}
+	}
+	// Precedence with communication via aggregated device indicators:
+	// s_v >= f_u + cost(d1,d2) - H(2 - X_u,d1 - X_v,d2) where X_i,d =
+	// sum_k x[i][d][k].
+	for eIdx := 0; eIdx < b.g.NumEdges(); eIdx++ {
+		e := b.g.Edge(eIdx)
+		u, v := int(e.From), int(e.To)
+		for d1 := 0; d1 < m; d1++ {
+			for d2 := 0; d2 < m; d2++ {
+				c := b.p.TransferTime(d1, d2, e.Bytes)
+				// f_u - s_v + H*X_u,d1 + H*X_v,d2 <= 2H - c.
+				vars := []int{fBase + u, sBase + v}
+				coefs := []float64{1, -1}
+				for k := 0; k < K; k++ {
+					vars = append(vars, x(u, d1, k), x(v, d2, k))
+					coefs = append(coefs, H, H)
+				}
+				b.prob.LP.AddConstraint(vars, coefs, lp.LE, 2*H-c)
+			}
+		}
+	}
+	b.prob.LP.Obj[M] = 1
+
+	b.zlX = func(sol []float64) mapping.Mapping {
+		mp := mapping.New(n, b.p.Default)
+		for i := 0; i < n; i++ {
+			bestVal := -1.0
+			for d := 0; d < m; d++ {
+				for k := 0; k < K; k++ {
+					if val := sol[x(i, d, k)]; val > bestVal {
+						bestVal = val
+						mp[i] = d
+					}
+				}
+			}
+		}
+		return mp
+	}
+}
+
+// extract converts an assignment-variable solution into a Mapping.
+func (b *builder) extract(sol []float64) mapping.Mapping {
+	if b.zlX != nil {
+		return b.zlX(sol)
+	}
+	mp := mapping.New(b.n, b.p.Default)
+	for i := 0; i < b.n; i++ {
+		bestVal := -1.0
+		for d := 0; d < b.m; d++ {
+			if v := sol[b.x(i, d)]; v > bestVal {
+				bestVal = v
+				mp[i] = d
+			}
+		}
+	}
+	return mp
+}
+
+// assignmentProbs returns, per task, the (non-negative, normalized)
+// fractional device-assignment weights of an LP solution.
+func (b *builder) assignmentProbs(sol []float64) [][]float64 {
+	probs := make([][]float64, b.n)
+	for i := 0; i < b.n; i++ {
+		row := make([]float64, b.m)
+		sum := 0.0
+		for d := 0; d < b.m; d++ {
+			v := 0.0
+			if b.zlX != nil {
+				// ZhouLiu: aggregate the slot binaries.
+				K := b.n
+				for k := 0; k < K; k++ {
+					v += sol[i*b.m*K+d*K+k]
+				}
+			} else {
+				v = sol[b.x(i, d)]
+			}
+			if v < 0 {
+				v = 0
+			}
+			row[d] = v
+			sum += v
+		}
+		if sum <= 0 {
+			row[b.p.Default] = 1
+			sum = 1
+		}
+		for d := range row {
+			row[d] /= sum
+		}
+		probs[i] = row
+	}
+	return probs
+}
+
+// sampleDevice draws a device index from a normalized weight row.
+func sampleDevice(row []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for d, w := range row {
+		acc += w
+		if r <= acc {
+			return d
+		}
+	}
+	return len(row) - 1
+}

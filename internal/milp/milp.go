@@ -1,0 +1,210 @@
+// Package milp provides a mixed-integer linear programming layer (a
+// branch-and-bound solver over the lp simplex) and the three task-mapping
+// formulations the paper compares against (§IV-A): the slot-based MILP of
+// Zhou & Liu [2] and the device-based and time-based MILPs of Wilhelm et
+// al. [5]. It substitutes the Gurobi optimizer of the paper's testbed; see
+// DESIGN.md ("Substitutions").
+package milp
+
+import (
+	"math"
+	"time"
+
+	"spmap/internal/lp"
+)
+
+// Problem extends an LP with integrality constraints.
+type Problem struct {
+	LP *lp.Problem
+	// Integer marks variables required to take integer values.
+	Integer []bool
+	// Branchable optionally restricts branching to a subset of the
+	// integer variables; a node whose branchable variables are integral
+	// counts as integer-feasible (the remaining integers are auxiliary —
+	// e.g. ordering indicators whose LP-optimal fractional values only
+	// make the relaxation weaker, never the extracted mapping invalid).
+	// Nil means every integer variable is branchable.
+	Branchable []bool
+}
+
+// NewProblem allocates a MILP with n continuous variables.
+func NewProblem(n int) *Problem {
+	return &Problem{LP: lp.NewProblem(n), Integer: make([]bool, n)}
+}
+
+// SetBinary constrains variable j to {0,1}.
+func (p *Problem) SetBinary(j int) {
+	p.Integer[j] = true
+	p.LP.Upper[j] = 1
+}
+
+// Status of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means the branch-and-bound tree was exhausted.
+	Optimal Status = iota
+	// Feasible means an incumbent exists but the time/node budget expired
+	// before proving optimality (Gurobi's TIME_LIMIT analogue).
+	Feasible
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unknown means the budget expired with no incumbent.
+	Unknown
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible(time-limit)"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Options control the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds the wall-clock search time (0 = 30s).
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of explored nodes (0 = 200000).
+	MaxNodes int
+	// Incumbent optionally warm-starts the search with a known
+	// integer-feasible solution (its objective is used for pruning; the
+	// vector is returned if nothing better is found).
+	Incumbent []float64
+	// IncumbentObj is the objective of Incumbent.
+	IncumbentObj float64
+	// OnRelaxation, when non-nil, is invoked with every node's LP
+	// relaxation solution. Callers use it to extract rounded heuristic
+	// solutions (mirroring a solver's rounding heuristics).
+	OnRelaxation func(x []float64)
+}
+
+// Solution of a MILP solve.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Nodes  int
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+}
+
+const intTol = 1e-6
+
+// Solve runs depth-first branch-and-bound with most-fractional branching.
+func Solve(p *Problem, opt Options) Solution {
+	deadline := time.Now().Add(orDur(opt.TimeLimit, 30*time.Second))
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	type node struct {
+		extra []lp.Constraint // branching bounds
+	}
+	res := Solution{Status: Unknown, Obj: math.Inf(1), Bound: math.Inf(-1)}
+	if opt.Incumbent != nil {
+		res.X = append([]float64(nil), opt.Incumbent...)
+		res.Obj = opt.IncumbentObj
+		res.Status = Feasible
+	}
+	stack := []node{{}}
+	rootSolved := false
+	infeasibleRoot := false
+	for len(stack) > 0 {
+		if res.Nodes >= maxNodes || time.Now().After(deadline) {
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		// Solve the node relaxation: base LP + branching constraints.
+		prob := *p.LP
+		prob.Cons = append(append([]lp.Constraint(nil), p.LP.Cons...), nd.extra...)
+		sol := lp.SolveDeadline(&prob, deadline)
+		if sol.Status == lp.Infeasible {
+			if !rootSolved {
+				infeasibleRoot = true
+			}
+			rootSolved = true
+			continue
+		}
+		if sol.Status != lp.Optimal {
+			// Unbounded relaxations do not occur in our bounded
+			// formulations; iteration limits are treated as prune.
+			rootSolved = true
+			continue
+		}
+		if !rootSolved {
+			res.Bound = sol.Obj
+			rootSolved = true
+		}
+		if opt.OnRelaxation != nil {
+			opt.OnRelaxation(sol.X)
+		}
+		if sol.Obj >= res.Obj-1e-9 {
+			continue // bound prune
+		}
+		// Find the most fractional integer variable.
+		branch, worst := -1, intTol
+		for j, isInt := range p.Integer {
+			if !isInt {
+				continue
+			}
+			if p.Branchable != nil && !p.Branchable[j] {
+				continue
+			}
+			f := sol.X[j] - math.Floor(sol.X[j])
+			frac := math.Min(f, 1-f)
+			if frac > worst {
+				worst = frac
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integer feasible.
+			if sol.Obj < res.Obj {
+				res.Obj = sol.Obj
+				res.X = append(res.X[:0], sol.X...)
+				res.Status = Feasible
+			}
+			continue
+		}
+		fl := math.Floor(sol.X[branch])
+		// DFS: explore the side closer to the relaxation value first
+		// (pushed last).
+		down := lp.Constraint{Vars: []int{branch}, Coefs: []float64{1}, Sense: lp.LE, RHS: fl}
+		up := lp.Constraint{Vars: []int{branch}, Coefs: []float64{1}, Sense: lp.GE, RHS: fl + 1}
+		first, second := down, up
+		if sol.X[branch]-fl > 0.5 {
+			first, second = up, down
+		}
+		stack = append(stack,
+			node{extra: append(append([]lp.Constraint(nil), nd.extra...), second)},
+			node{extra: append(append([]lp.Constraint(nil), nd.extra...), first)},
+		)
+	}
+	if len(stack) == 0 {
+		switch {
+		case res.Status == Feasible:
+			res.Status = Optimal
+		case infeasibleRoot && res.X == nil:
+			res.Status = Infeasible
+		}
+	}
+	return res
+}
+
+func orDur(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
+}

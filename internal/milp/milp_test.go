@@ -1,0 +1,151 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/lp"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+func TestBnBKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c <= 2, binaries => a=1, b=1, obj -16.
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetBinary(j)
+	}
+	p.LP.Obj = []float64{-10, -6, -4}
+	p.LP.AddConstraint([]int{0, 1, 2}, []float64{1, 1, 1}, lp.LE, 2)
+	sol := Solve(p, Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Obj+16) > 1e-6 {
+		t.Fatalf("obj = %v, want -16", sol.Obj)
+	}
+	if sol.X[0] < 0.5 || sol.X[1] < 0.5 || sol.X[2] > 0.5 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestBnBIntegerForcing(t *testing.T) {
+	// LP relaxation optimum is fractional: max x+y s.t. 2x+2y <= 3,
+	// binaries; integer optimum picks exactly one.
+	p := NewProblem(2)
+	p.SetBinary(0)
+	p.SetBinary(1)
+	p.LP.Obj = []float64{-1, -1}
+	p.LP.AddConstraint([]int{0, 1}, []float64{2, 2}, lp.LE, 3)
+	sol := Solve(p, Options{})
+	if sol.Status != Optimal || math.Abs(sol.Obj+1) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal -1", sol.Status, sol.Obj)
+	}
+}
+
+func TestBnBInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBinary(0)
+	p.LP.AddConstraint([]int{0}, []float64{1}, lp.GE, 2)
+	sol := Solve(p, Options{})
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestBnBRespectsBudget(t *testing.T) {
+	// A deliberately hard equal-split instance; the node budget must
+	// stop the search gracefully.
+	n := 24
+	p := NewProblem(n)
+	vars := make([]int, n)
+	coefs := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for j := 0; j < n; j++ {
+		p.SetBinary(j)
+		vars[j] = j
+		coefs[j] = 1 + rng.Float64()
+		p.LP.Obj[j] = -coefs[j]
+	}
+	half := 0.0
+	for _, c := range coefs {
+		half += c / 2
+	}
+	p.LP.AddConstraint(vars, coefs, lp.LE, half)
+	sol := Solve(p, Options{MaxNodes: 50})
+	if sol.Nodes > 50 {
+		t.Fatalf("explored %d nodes, budget 50", sol.Nodes)
+	}
+}
+
+func TestFormulationsProduceFeasibleMappings(t *testing.T) {
+	p := platform.Reference()
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.SeriesParallel(rng, 8, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(10, seed)
+		for _, f := range []Formulation{WGDPDevice, WGDPTime, ZhouLiu} {
+			res := MapWithEvaluator(ev, f, MapOptions{TimeLimit: 2 * time.Second})
+			if err := res.Mapping.Validate(g, p); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, f, err)
+			}
+			if !res.Mapping.Feasible(g, p) {
+				t.Fatalf("seed %d %v: infeasible mapping", seed, f)
+			}
+		}
+	}
+}
+
+func TestDeviceMILPFindsObviousOffload(t *testing.T) {
+	// Independent perfectly-parallel heavy tasks with negligible data:
+	// balancing load across devices is the whole game, the device MILP's
+	// home turf.
+	g := graph.New(12, 0)
+	for i := 0; i < 12; i++ {
+		g.AddTask(graph.Task{
+			Complexity: 500, Parallelizability: 1, Streamability: 4,
+			Area: 5, SourceBytes: 1e6,
+		})
+	}
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(10, 1)
+	base := ev.Makespan(mapping.Baseline(g, p))
+	res := MapWithEvaluator(ev, WGDPDevice, MapOptions{TimeLimit: 5 * time.Second})
+	if ms := ev.Makespan(res.Mapping); ms >= base {
+		t.Fatalf("device MILP found no improvement on a load-balancing instance (%v >= %v)", ms, base)
+	}
+}
+
+func TestMILPNeverWorseThanBaselineUnderModel(t *testing.T) {
+	// Because of the rounding fallback, the returned mapping never loses
+	// to the baseline under the shared evaluator.
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(5))
+	g := gen.SeriesParallel(rng, 10, gen.DefaultAttr())
+	ev := model.NewEvaluator(g, p).WithSchedules(10, 1)
+	base := ev.Makespan(mapping.Baseline(g, p))
+	for _, f := range []Formulation{WGDPDevice, WGDPTime, ZhouLiu} {
+		res := MapWithEvaluator(ev, f, MapOptions{TimeLimit: time.Second})
+		if ms := ev.Makespan(res.Mapping); ms > base*(1+1e-9) {
+			t.Fatalf("%v returned a mapping worse than baseline", f)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Feasible, Infeasible, Unknown} {
+		if s.String() == "" {
+			t.Fatal("empty status string")
+		}
+	}
+	for _, f := range []Formulation{WGDPDevice, WGDPTime, ZhouLiu} {
+		if f.String() == "" {
+			t.Fatal("empty formulation string")
+		}
+	}
+}

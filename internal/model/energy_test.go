@@ -1,0 +1,190 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/platform"
+)
+
+func energyPlatform() *platform.Platform {
+	p := twoDevicePlatform()
+	p.Devices[0].PowerW = 100
+	p.Devices[1].PowerW = 10
+	return p
+}
+
+func TestEnergyByHand(t *testing.T) {
+	g := graph.New(2, 1)
+	g.AddTask(graph.Task{Complexity: 1, Parallelizability: 0, Streamability: 1, SourceBytes: 1e9})
+	g.AddTask(graph.Task{Complexity: 1, Parallelizability: 0, Streamability: 1})
+	g.AddEdge(0, 1, 1e9)
+	p := energyPlatform()
+	ev := NewEvaluator(g, p)
+	// Both on CPU: 2 x 1s x 100W = 200 J.
+	if got := ev.Energy(mapping.Mapping{0, 0}); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("cpu energy = %v, want 200", got)
+	}
+	// Both on FPGA: 2 x 1s x 10W = 20 J (transfer energy not modeled).
+	if got := ev.Energy(mapping.Mapping{1, 1}); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("fpga energy = %v, want 20", got)
+	}
+}
+
+func TestEnergyInfeasible(t *testing.T) {
+	g := graph.New(1, 0)
+	g.AddTask(graph.Task{Complexity: 1, Area: 1000, SourceBytes: 1})
+	p := energyPlatform()
+	ev := NewEvaluator(g, p)
+	if got := ev.Energy(mapping.Mapping{1}); got != Infeasible {
+		t.Fatalf("energy of infeasible mapping = %v", got)
+	}
+}
+
+func TestWeightedObjectiveExtremes(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(3))
+	g := gen.SeriesParallel(rng, 30, gen.DefaultAttr())
+	ev := NewEvaluator(g, p).WithSchedules(10, 1)
+	base := mapping.Baseline(g, p)
+	pureTime := ev.WeightedObjective(1, 0)
+	pureEnergy := ev.WeightedObjective(0, 1)
+	// The baseline scores exactly 1 on each pure normalized objective.
+	if got := pureTime(base); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("baseline pure-time objective = %v, want 1", got)
+	}
+	if got := pureEnergy(base); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("baseline pure-energy objective = %v, want 1", got)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(4))
+	g := gen.SeriesParallel(rng, 20, gen.DefaultAttr())
+	ev := NewEvaluator(g, p)
+	base := mapping.Baseline(g, p)
+	want := ev.Makespan(base) * ev.Energy(base)
+	if got := ev.EDP()(base); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EDP = %v, want %v", got, want)
+	}
+}
+
+func TestParetoSweepFrontIsNonDominated(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(5))
+	g := gen.SeriesParallel(rng, 30, gen.DefaultAttr())
+	ev := NewEvaluator(g, p).WithSchedules(10, 1)
+	// A toy mapper: greedy single-device choice per objective.
+	mapper := func(obj Objective) (mapping.Mapping, error) {
+		bestM := mapping.Baseline(g, p)
+		bestC := obj(bestM)
+		for d := 0; d < p.NumDevices(); d++ {
+			m := mapping.New(g.NumTasks(), d)
+			m.Repair(g, p)
+			if c := obj(m); c < bestC {
+				bestC, bestM = c, m
+			}
+		}
+		return bestM, nil
+	}
+	front, err := ev.ParetoSweep([]float64{0, 0.25, 0.5, 0.75, 1}, mapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for i, a := range front {
+		for j, b := range front {
+			if i == j {
+				continue
+			}
+			if b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
+				(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+				t.Fatalf("front contains dominated point %d", i)
+			}
+		}
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Makespan < front[i-1].Makespan {
+			t.Fatal("front not sorted by makespan")
+		}
+	}
+}
+
+func TestBestScheduleConsistent(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(6))
+	g := gen.SeriesParallel(rng, 40, gen.DefaultAttr())
+	ev := NewEvaluator(g, p).WithSchedules(20, 1)
+	m := mapping.Baseline(g, p)
+	s := ev.BestSchedule(m)
+	if s == nil {
+		t.Fatal("nil schedule for feasible mapping")
+	}
+	if math.Abs(s.Makespan-ev.Makespan(m)) > 1e-12 {
+		t.Fatalf("schedule makespan %v != evaluator makespan %v", s.Makespan, ev.Makespan(m))
+	}
+	if len(s.Tasks) != g.NumTasks() {
+		t.Fatal("schedule must cover every task")
+	}
+	// Precedence sanity: every finish >= start; makespan = max finish.
+	maxFin := 0.0
+	for _, ts := range s.Tasks {
+		if ts.Finish < ts.Start {
+			t.Fatal("finish before start")
+		}
+		if ts.Finish > maxFin {
+			maxFin = ts.Finish
+		}
+	}
+	if math.Abs(maxFin-s.Makespan) > 1e-9 {
+		t.Fatalf("makespan %v != max finish %v", s.Makespan, maxFin)
+	}
+	for d, u := range s.Utilization {
+		if u < 0 || u > 1+1e-9 {
+			t.Fatalf("device %d utilization %v out of range", d, u)
+		}
+	}
+}
+
+func TestBestScheduleInfeasible(t *testing.T) {
+	g := graph.New(1, 0)
+	g.AddTask(graph.Task{Complexity: 1, Area: 1e9, SourceBytes: 1})
+	p := platform.Reference()
+	ev := NewEvaluator(g, p)
+	if s := ev.BestSchedule(mapping.Mapping{2}); s != nil {
+		t.Fatal("expected nil schedule for infeasible mapping")
+	}
+}
+
+func TestWriteGantt(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(7))
+	g := gen.SeriesParallel(rng, 10, gen.DefaultAttr())
+	ev := NewEvaluator(g, p)
+	s := ev.BestSchedule(mapping.Baseline(g, p))
+	var sb strings.Builder
+	s.WriteGantt(&sb, g, func(d int) string { return p.Devices[d].Name })
+	out := sb.String()
+	if !strings.Contains(out, "epyc7351p") || !strings.Contains(out, "makespan") {
+		t.Fatalf("gantt rendering incomplete:\n%s", out)
+	}
+}
+
+func TestDeviceHistogram(t *testing.T) {
+	g := graph.New(3, 0)
+	g.AddTask(graph.Task{})
+	g.AddTask(graph.Task{})
+	g.AddTask(graph.Task{Virtual: true})
+	h := DeviceHistogram(g, mapping.Mapping{0, 1, 1})
+	if h[0] != 1 || h[1] != 1 {
+		t.Fatalf("histogram %v, want [1 1] with virtual excluded", h)
+	}
+}

@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+)
+
+// TaskSchedule is the placement of one task in a concrete schedule.
+type TaskSchedule struct {
+	Task   graph.NodeID
+	Device int
+	Start  float64
+	Finish float64
+}
+
+// Schedule is a concrete simulated execution of a mapping: per-task times
+// plus the achieved makespan and per-device busy statistics.
+type Schedule struct {
+	Tasks    []TaskSchedule
+	Makespan float64
+	// BusyTime is the summed execution time per device.
+	BusyTime []float64
+	// Utilization is BusyTime normalized by (makespan x slots) per
+	// device; spatial devices are normalized by makespan only.
+	Utilization []float64
+}
+
+// BestSchedule simulates the mapping under every configured schedule
+// order and returns the full schedule achieving the minimum makespan. It
+// returns nil for infeasible mappings.
+func (e *Evaluator) BestSchedule(m mapping.Mapping) *Schedule {
+	if !e.Feasible(m) {
+		return nil
+	}
+	best := -1
+	bestMs := Infeasible
+	for i, order := range e.orders {
+		if ms := e.MakespanOrder(m, order); ms < bestMs {
+			bestMs = ms
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	// Re-simulate the winning order so the scratch start/finish arrays
+	// reflect it, then snapshot.
+	e.MakespanOrder(m, e.orders[best])
+	s := &Schedule{
+		Makespan:    bestMs,
+		BusyTime:    make([]float64, e.P.NumDevices()),
+		Utilization: make([]float64, e.P.NumDevices()),
+	}
+	for v := 0; v < e.G.NumTasks(); v++ {
+		s.Tasks = append(s.Tasks, TaskSchedule{
+			Task: graph.NodeID(v), Device: m[v],
+			Start: e.start[v], Finish: e.finish[v],
+		})
+		s.BusyTime[m[v]] += e.exec[m[v]][v]
+	}
+	sort.Slice(s.Tasks, func(a, b int) bool {
+		if s.Tasks[a].Start != s.Tasks[b].Start {
+			return s.Tasks[a].Start < s.Tasks[b].Start
+		}
+		return s.Tasks[a].Task < s.Tasks[b].Task
+	})
+	for d := range s.Utilization {
+		if bestMs <= 0 {
+			continue
+		}
+		cap := bestMs
+		if !e.P.Devices[d].Spatial {
+			cap *= float64(e.P.Devices[d].NumSlots())
+		}
+		s.Utilization[d] = s.BusyTime[d] / cap
+	}
+	return s
+}
+
+// WriteGantt renders the schedule as a textual Gantt chart, one row per
+// task, grouped by device.
+func (s *Schedule) WriteGantt(w io.Writer, g *graph.DAG, deviceName func(int) string) {
+	if s.Makespan <= 0 {
+		fmt.Fprintln(w, "(empty schedule)")
+		return
+	}
+	const width = 60
+	scale := float64(width) / s.Makespan
+	byDevice := map[int][]TaskSchedule{}
+	var devs []int
+	for _, ts := range s.Tasks {
+		if _, ok := byDevice[ts.Device]; !ok {
+			devs = append(devs, ts.Device)
+		}
+		byDevice[ts.Device] = append(byDevice[ts.Device], ts)
+	}
+	sort.Ints(devs)
+	for _, d := range devs {
+		fmt.Fprintf(w, "%s (utilization %.0f%%)\n", deviceName(d), 100*s.Utilization[d])
+		for _, ts := range byDevice[d] {
+			name := g.Task(ts.Task).Name
+			if name == "" {
+				name = fmt.Sprintf("task%d", int(ts.Task))
+			}
+			startCol := int(ts.Start * scale)
+			endCol := int(ts.Finish * scale)
+			if endCol <= startCol {
+				endCol = startCol + 1
+			}
+			if endCol > width {
+				endCol = width
+			}
+			bar := make([]byte, width)
+			for i := range bar {
+				switch {
+				case i >= startCol && i < endCol:
+					bar[i] = '#'
+				default:
+					bar[i] = '.'
+				}
+			}
+			fmt.Fprintf(w, "  %-18s |%s|\n", name, bar)
+		}
+	}
+	fmt.Fprintf(w, "makespan: %g\n", s.Makespan)
+}

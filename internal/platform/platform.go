@@ -1,0 +1,242 @@
+// Package platform models heterogeneous execution platforms: a set of
+// processing units (CPU, GPU, FPGA, ...) connected by a host-centric star
+// interconnect, following the platform model of Wilhelm et al. [5] as used
+// in the evaluation system of the paper (one AMD Epyc 7351P CPU, one AMD
+// Radeon RX Vega 56 GPU, one Xilinx XCZ7045 FPGA).
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind classifies a processing unit.
+type Kind int
+
+// Device kinds.
+const (
+	CPU Kind = iota
+	GPU
+	FPGA
+	Accel // other fixed-function accelerator
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case FPGA:
+		return "FPGA"
+	case Accel:
+		return "Accel"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind from its string name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "CPU":
+		*k = CPU
+	case "GPU":
+		*k = GPU
+	case "FPGA":
+		*k = FPGA
+	case "Accel":
+		*k = Accel
+	default:
+		return fmt.Errorf("platform: unknown device kind %q", s)
+	}
+	return nil
+}
+
+// Device describes one processing unit.
+type Device struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Lanes is the number of parallel execution lanes (CPU cores, GPU
+	// shader cores). Amdahl's law over Lanes governs how well a task with
+	// partial parallelizability accelerates.
+	Lanes float64 `json:"lanes"`
+	// PeakOps is the aggregate throughput in operations per second at
+	// perfect parallelism. A single lane runs at PeakOps/Lanes.
+	PeakOps float64 `json:"peakOps"`
+	// Streaming marks dataflow devices that can stream data between
+	// co-mapped tasks (FPGA). On such devices task execution time is
+	// PeakOps scaled by the task's streamability (pipelining depth).
+	Streaming bool `json:"streaming"`
+	// Area is the reconfigurable-area capacity. Zero means "not
+	// area-constrained" (non-FPGA devices).
+	Area float64 `json:"area,omitempty"`
+	// Bandwidth is the device's link bandwidth to the host interconnect in
+	// bytes per second.
+	Bandwidth float64 `json:"bandwidth"`
+	// Latency is the one-way transfer setup latency in seconds.
+	Latency float64 `json:"latency"`
+	// Spatial devices (FPGAs) execute co-mapped tasks concurrently in
+	// separate regions; non-spatial devices serialize task executions.
+	Spatial bool `json:"spatial"`
+	// Slots is the number of tasks a non-spatial device can execute
+	// concurrently (e.g. a 16-core CPU partitioned into 4 four-core
+	// slots). Each slot owns Lanes/Slots lanes and PeakOps/Slots peak
+	// throughput. Zero means 1.
+	Slots int `json:"slots,omitempty"`
+	// PowerW is the device's active power draw in watts while executing
+	// a task; used by the optional energy objective (multi-objective
+	// extension). Zero disables the device's energy contribution.
+	PowerW float64 `json:"powerW,omitempty"`
+}
+
+// NumSlots returns the effective concurrent-task slot count (>= 1).
+func (d *Device) NumSlots() int {
+	if d.Slots <= 0 {
+		return 1
+	}
+	return d.Slots
+}
+
+// LaneOps returns the throughput of a single lane in ops per second.
+func (d *Device) LaneOps() float64 {
+	if d.Lanes <= 0 {
+		return d.PeakOps
+	}
+	return d.PeakOps / d.Lanes
+}
+
+// Platform is an ordered set of devices. Device 0 conventionally is the
+// default (CPU) device unless Default says otherwise.
+type Platform struct {
+	Devices []Device `json:"devices"`
+	// Default is the index of the default device used for the pure-CPU
+	// baseline mapping.
+	Default int `json:"default"`
+}
+
+// NumDevices returns the number of devices.
+func (p *Platform) NumDevices() int { return len(p.Devices) }
+
+// Validate checks platform invariants.
+func (p *Platform) Validate() error {
+	if len(p.Devices) == 0 {
+		return fmt.Errorf("platform: no devices")
+	}
+	if p.Default < 0 || p.Default >= len(p.Devices) {
+		return fmt.Errorf("platform: default device %d out of range", p.Default)
+	}
+	for i, d := range p.Devices {
+		if d.PeakOps <= 0 {
+			return fmt.Errorf("platform: device %d (%s) has non-positive PeakOps", i, d.Name)
+		}
+		if d.Lanes <= 0 {
+			return fmt.Errorf("platform: device %d (%s) has non-positive Lanes", i, d.Name)
+		}
+		if d.Bandwidth <= 0 {
+			return fmt.Errorf("platform: device %d (%s) has non-positive Bandwidth", i, d.Name)
+		}
+		if d.Latency < 0 || d.Area < 0 {
+			return fmt.Errorf("platform: device %d (%s) has negative Latency/Area", i, d.Name)
+		}
+	}
+	return nil
+}
+
+// TransferTime returns the time to move `bytes` from device a to device b
+// over the host-centric star: per-hop setup latencies plus the volume over
+// the bottleneck link bandwidth. Co-located transfers are free.
+func (p *Platform) TransferTime(a, b int, bytes float64) float64 {
+	if a == b || bytes == 0 {
+		return 0
+	}
+	da, db := &p.Devices[a], &p.Devices[b]
+	bw := da.Bandwidth
+	if db.Bandwidth < bw {
+		bw = db.Bandwidth
+	}
+	return da.Latency + db.Latency + bytes/bw
+}
+
+// Reference returns the evaluation platform of the paper (§IV-A): an AMD
+// Epyc 7351P CPU (16 cores), an AMD Radeon RX Vega 56 GPU and a Xilinx
+// XCZ7045 FPGA, characterized with realistic peak rates and PCIe-class
+// links. The exact calibration of [5] is not public; see DESIGN.md
+// ("Substitutions") for why synthetic parameters preserve the relevant
+// model behaviour.
+func Reference() *Platform {
+	return &Platform{
+		Default: 0,
+		Devices: []Device{
+			{
+				Name: "epyc7351p", Kind: CPU,
+				Lanes:     16,
+				PeakOps:   160e9, // 16 cores x 10 GOPS
+				Slots:     4,     // four concurrent 4-core task slots
+				Bandwidth: 50e9,  // memory-side; CPU end of PCIe is not the bottleneck
+				Latency:   1e-6,
+				PowerW:    155,
+			},
+			{
+				Name: "vega56", Kind: GPU,
+				Lanes:     512, // effective parallel lanes after divergence/occupancy
+				PeakOps:   2e12,
+				Slots:     1,
+				Bandwidth: 1.5e9, // effective accelerator link (data-intensive regime)
+				Latency:   10e-6,
+				PowerW:    210,
+			},
+			{
+				Name: "xcz7045", Kind: FPGA,
+				Lanes:     1,
+				PeakOps:   6e9, // base rate; scaled by task streamability
+				Streaming: true,
+				Spatial:   true,
+				Area:      120,
+				Bandwidth: 1e9, // effective accelerator link (data-intensive regime)
+				Latency:   20e-6,
+				PowerW:    20,
+			},
+		},
+	}
+}
+
+// CPUOnly returns a single-CPU platform (useful for baselines and tests).
+func CPUOnly() *Platform {
+	ref := Reference()
+	return &Platform{Default: 0, Devices: ref.Devices[:1:1]}
+}
+
+// Write serializes the platform as indented JSON.
+func (p *Platform) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Read parses a platform from JSON and validates it.
+func Read(r io.Reader) (*Platform, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var p Platform
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,135 @@
+package platform
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestReferenceValid(t *testing.T) {
+	p := Reference()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumDevices() != 3 {
+		t.Fatalf("reference platform must have 3 devices, got %d", p.NumDevices())
+	}
+	kinds := map[Kind]bool{}
+	for _, d := range p.Devices {
+		kinds[d.Kind] = true
+	}
+	for _, k := range []Kind{CPU, GPU, FPGA} {
+		if !kinds[k] {
+			t.Fatalf("reference platform missing a %v", k)
+		}
+	}
+	if !p.Devices[2].Streaming || !p.Devices[2].Spatial || p.Devices[2].Area <= 0 {
+		t.Fatal("the FPGA must be streaming, spatial and area-constrained")
+	}
+	if p.Default != 0 || p.Devices[0].Kind != CPU {
+		t.Fatal("the default device must be the CPU")
+	}
+}
+
+func TestCPUOnly(t *testing.T) {
+	p := CPUOnly()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumDevices() != 1 || p.Devices[0].Kind != CPU {
+		t.Fatal("CPUOnly must expose exactly the CPU")
+	}
+}
+
+func TestValidateCatchesBadPlatforms(t *testing.T) {
+	cases := []Platform{
+		{},
+		{Devices: []Device{{Name: "d", PeakOps: 1, Lanes: 1, Bandwidth: 1}}, Default: 3},
+		{Devices: []Device{{Name: "d", PeakOps: 0, Lanes: 1, Bandwidth: 1}}},
+		{Devices: []Device{{Name: "d", PeakOps: 1, Lanes: 0, Bandwidth: 1}}},
+		{Devices: []Device{{Name: "d", PeakOps: 1, Lanes: 1, Bandwidth: 0}}},
+		{Devices: []Device{{Name: "d", PeakOps: 1, Lanes: 1, Bandwidth: 1, Latency: -1}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTransferSymmetryAndTriangle(t *testing.T) {
+	p := Reference()
+	bytes := 123e6
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			ab := p.TransferTime(a, b, bytes)
+			ba := p.TransferTime(b, a, bytes)
+			if math.Abs(ab-ba) > 1e-12 {
+				t.Fatalf("transfer not symmetric: %v vs %v", ab, ba)
+			}
+			if a == b && ab != 0 {
+				t.Fatal("self transfer must be free")
+			}
+			if a != b && ab <= 0 {
+				t.Fatal("cross transfer must cost time")
+			}
+		}
+	}
+	if p.TransferTime(0, 1, 0) != 0 {
+		t.Fatal("zero bytes must be free")
+	}
+}
+
+func TestLaneOpsAndSlots(t *testing.T) {
+	d := Device{Lanes: 16, PeakOps: 160e9, Slots: 4}
+	if got := d.LaneOps(); got != 10e9 {
+		t.Fatalf("LaneOps = %v, want 10e9", got)
+	}
+	if d.NumSlots() != 4 {
+		t.Fatal("NumSlots")
+	}
+	var zero Device
+	if zero.NumSlots() != 1 {
+		t.Fatal("zero Slots must mean 1")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Reference()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NumDevices() != p.NumDevices() {
+		t.Fatal("round trip lost devices")
+	}
+	for i := range p.Devices {
+		if p.Devices[i] != p2.Devices[i] {
+			t.Fatalf("device %d changed: %+v vs %+v", i, p.Devices[i], p2.Devices[i])
+		}
+	}
+}
+
+func TestKindJSON(t *testing.T) {
+	for _, k := range []Kind{CPU, GPU, FPGA, Accel} {
+		b, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var k2 Kind
+		if err := k2.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if k2 != k {
+			t.Fatalf("kind round trip %v -> %v", k, k2)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}

@@ -1,0 +1,59 @@
+package sp
+
+import (
+	"fmt"
+	"io"
+
+	"spmap/internal/graph"
+)
+
+// WriteDOT renders the decomposition forest in Graphviz DOT format with
+// the paper's Fig. 1 conventions: round nodes for parallel operations,
+// rectangular nodes for series operations, leaf labels "u-v".
+func (f *Forest) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph decomposition {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [fontsize=10];")
+	id := 0
+	var emit func(t *Tree) int
+	emit = func(t *Tree) int {
+		my := id
+		id++
+		switch t.Kind {
+		case LeafOp:
+			fmt.Fprintf(w, "  d%d [shape=plaintext, label=%q];\n", my, leafLabel(t))
+		case SeriesOp:
+			fmt.Fprintf(w, "  d%d [shape=box, label=%q];\n", my, spanLabel(t))
+		case ParallelOp:
+			fmt.Fprintf(w, "  d%d [shape=ellipse, label=%q];\n", my, spanLabel(t))
+		}
+		for _, c := range t.Children {
+			child := emit(c)
+			fmt.Fprintf(w, "  d%d -> d%d;\n", my, child)
+		}
+		return my
+	}
+	for i, t := range f.Trees {
+		fmt.Fprintf(w, "  subgraph cluster_%d { label=\"tree %d\";\n", i, i)
+		emit(t)
+		fmt.Fprintln(w, "  }")
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func nodeName(v graph.NodeID) string {
+	if v == graph.None {
+		return "eps"
+	}
+	return fmt.Sprint(int(v))
+}
+
+func leafLabel(t *Tree) string {
+	return nodeName(t.U) + "-" + nodeName(t.V)
+}
+
+func spanLabel(t *Tree) string {
+	return nodeName(t.U) + " .. " + nodeName(t.V)
+}

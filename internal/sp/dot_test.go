@@ -1,0 +1,28 @@
+package sp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForestWriteDOT(t *testing.T) {
+	g := fig2Graph()
+	f, err := Decompose(g, Options{Policy: CutSmallest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph decomposition", "shape=ellipse", "shape=box", "eps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// One cluster per tree.
+	if got := strings.Count(out, "subgraph cluster_"); got != len(f.Trees) {
+		t.Fatalf("clusters = %d, trees = %d", got, len(f.Trees))
+	}
+}

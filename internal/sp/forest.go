@@ -1,0 +1,357 @@
+package sp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"spmap/internal/graph"
+)
+
+// CutPolicy selects which active decomposition tree to cut from a
+// deadlocked wavefront (paper Alg. 1 line 38: "Choose any Tc"). The paper
+// uses a random choice and remarks that a well-designed heuristic can
+// improve the resulting decomposition; the alternatives are provided for
+// the ablation benches.
+type CutPolicy int
+
+// Cut policies.
+const (
+	// CutRandom cuts a uniformly random active tree (paper default).
+	CutRandom CutPolicy = iota
+	// CutSmallest cuts the active tree with the fewest edges, keeping
+	// large series-parallel subgraphs intact.
+	CutSmallest
+	// CutLargest cuts the active tree with the most edges.
+	CutLargest
+)
+
+// String implements fmt.Stringer.
+func (c CutPolicy) String() string {
+	switch c {
+	case CutRandom:
+		return "random"
+	case CutSmallest:
+		return "smallest"
+	case CutLargest:
+		return "largest"
+	}
+	return fmt.Sprintf("CutPolicy(%d)", int(c))
+}
+
+// Options configure Decompose.
+type Options struct {
+	// Policy is the deadlock cut policy (default CutRandom).
+	Policy CutPolicy
+	// Rand drives CutRandom; a deterministic source is created from Seed
+	// when nil.
+	Rand *rand.Rand
+	// Seed seeds the default RNG when Rand is nil.
+	Seed int64
+}
+
+// Forest is the result of decomposing a DAG into series-parallel
+// decomposition trees (paper Alg. 1). Trees partition the edges of the
+// (normalized) graph; the first tree grown from the virtual start edge is
+// the core tree.
+type Forest struct {
+	// Trees of the decomposition; Trees[len-1] is the core tree (Alg. 1
+	// appends cut trees first, the core tree last).
+	Trees []*Tree
+	// Graph is the graph the node ids in the trees refer to: the input
+	// DAG itself, or a normalized clone when the input had multiple
+	// sources or sinks (original node ids are preserved).
+	Graph *graph.DAG
+	// Cuts is the number of deadlock cuts performed; zero iff the
+	// normalized graph is series-parallel.
+	Cuts int
+	// Rescued counts edges recovered by the safety net (uncovered by the
+	// grown forest and added as singleton trees); always zero for
+	// well-formed inputs, kept as an auditable counter.
+	Rescued int
+	// Source and Sink are the (possibly virtual) unique start and end
+	// nodes of the normalized graph.
+	Source, Sink graph.NodeID
+}
+
+// errGuard reports a blown internal iteration guard (a bug, not an input
+// condition).
+var errGuard = errors.New("sp: decomposition iteration guard exceeded")
+
+// Decompose computes a forest of series-parallel decomposition trees for
+// an arbitrary DAG, implementing Alg. 1 of the paper. The input graph is
+// not modified. Multi-source/multi-sink graphs are normalized on a clone
+// with virtual nodes first.
+func Decompose(g *graph.DAG, opt Options) (*Forest, error) {
+	if g.NumTasks() == 0 {
+		return &Forest{Graph: g, Source: graph.None, Sink: graph.None}, nil
+	}
+	work := g
+	srcs, snks := g.Sources(), g.Sinks()
+	var source, sink graph.NodeID
+	if len(srcs) != 1 || len(snks) != 1 {
+		work = g.Clone()
+		source, sink = work.Normalize()
+	} else {
+		source, sink = srcs[0], snks[0]
+	}
+	rng := opt.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
+	b := &builder{
+		g:        work,
+		policy:   opt.Policy,
+		rng:      rng,
+		indeg:    make([]int, work.NumTasks()),
+		maxSteps: 64 * (work.NumEdges() + work.NumTasks() + 8),
+	}
+	for v := 0; v < work.NumTasks(); v++ {
+		b.indeg[v] = work.InDegree(graph.NodeID(v))
+	}
+	b.indeg[source]++ // virtual edge (epsilon, source)
+	b.source, b.sink = source, sink
+
+	core, err := b.growSeries(NewLeaf(graph.None, source, VirtualInEdge))
+	if err != nil {
+		return nil, err
+	}
+	b.forest = append(b.forest, core)
+
+	f := &Forest{
+		Trees:  b.forest,
+		Graph:  work,
+		Cuts:   b.cuts,
+		Source: source,
+		Sink:   sink,
+	}
+	f.rescueUncovered()
+	return f, nil
+}
+
+// builder holds the mutable state of one Alg. 1 run.
+type builder struct {
+	g            *graph.DAG
+	policy       CutPolicy
+	rng          *rand.Rand
+	indeg        []int // remaining expected inputs per node (cut-adjusted)
+	source, sink graph.NodeID
+	forest       []*Tree
+	cuts         int
+	steps        int
+	maxSteps     int
+}
+
+func (b *builder) step() error {
+	b.steps++
+	if b.steps > b.maxSteps {
+		return errGuard
+	}
+	return nil
+}
+
+// outAdj returns the successors of v including the virtual out-edge of the
+// sink.
+func (b *builder) outdeg(v graph.NodeID) int {
+	d := b.g.OutDegree(v)
+	if v == b.sink {
+		d++
+	}
+	return d
+}
+
+// growSeries extends T with series operations while the current end node
+// has all of its incoming edges inside T (paper Alg. 1, GROW_SERIES).
+func (b *builder) growSeries(t *Tree) (*Tree, error) {
+	for t.V != graph.None && b.indeg[t.V] <= t.outsize {
+		if err := b.step(); err != nil {
+			return nil, err
+		}
+		v := t.V
+		switch {
+		case b.outdeg(v) == 0:
+			// Isolated end (cannot occur on normalized graphs; defensive).
+			return t, nil
+		case b.outdeg(v) == 1:
+			var leaf *Tree
+			if b.g.OutDegree(v) == 1 {
+				ei := b.g.OutEdges(v)[0]
+				leaf = NewLeaf(v, b.g.Edge(ei).To, ei)
+			} else {
+				// Only the virtual out-edge remains: (sink, epsilon).
+				leaf = NewLeaf(v, graph.None, VirtualOutEdge)
+			}
+			t = series(t, leaf)
+		default:
+			tp, err := b.growParallel(v)
+			if err != nil {
+				return nil, err
+			}
+			t = series(t, tp)
+		}
+	}
+	return t, nil
+}
+
+// growParallel grows a parallel operation starting at node v using a
+// wavefront of active subtrees (paper Alg. 1, GROW_PARALLEL).
+func (b *builder) growParallel(v graph.NodeID) (*Tree, error) {
+	var w []*Tree
+	for _, ei := range b.g.OutEdges(v) {
+		w = append(w, NewLeaf(v, b.g.Edge(ei).To, ei))
+	}
+	if v == b.sink {
+		w = append(w, NewLeaf(v, graph.None, VirtualOutEdge))
+	}
+	for {
+		// repeat ... until no change in the wavefront
+		for {
+			if err := b.step(); err != nil {
+				return nil, err
+			}
+			changed := mergeWavefront(&w)
+			if len(w) == 1 {
+				return w[0], nil
+			}
+			for i, t := range w {
+				before := t.size
+				nt, err := b.growSeries(t)
+				if err != nil {
+					return nil, err
+				}
+				w[i] = nt
+				if nt.size != before {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		// Deadlock: the graph is not series-parallel here. Cut one active
+		// tree from the DAG (Alg. 1 lines 38-40).
+		idx := b.chooseCut(w)
+		tc := w[idx]
+		b.forest = append(b.forest, tc)
+		b.cuts++
+		w = append(w[:idx], w[idx+1:]...)
+		if tc.V != graph.None {
+			b.indeg[tc.V] -= tc.outsize
+		}
+		if len(w) == 1 {
+			return w[0], nil
+		}
+	}
+}
+
+// mergeWavefront combines all groups of >= 2 active trees sharing both
+// endpoints into parallel operations. It reports whether anything merged.
+func mergeWavefront(w *[]*Tree) bool {
+	type key struct{ u, v graph.NodeID }
+	groups := map[key][]int{}
+	order := []key{}
+	for i, t := range *w {
+		k := key{t.U, t.V}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	merged := false
+	var out []*Tree
+	for _, k := range order {
+		idxs := groups[k]
+		if len(idxs) == 1 {
+			out = append(out, (*w)[idxs[0]])
+			continue
+		}
+		ts := make([]*Tree, len(idxs))
+		for j, i := range idxs {
+			ts[j] = (*w)[i]
+		}
+		out = append(out, parallel(ts))
+		merged = true
+	}
+	if merged {
+		*w = out
+	}
+	return merged
+}
+
+// chooseCut applies the configured cut policy to a deadlocked wavefront.
+func (b *builder) chooseCut(w []*Tree) int {
+	switch b.policy {
+	case CutSmallest:
+		best := 0
+		for i, t := range w {
+			if t.size < w[best].size {
+				best = i
+			}
+		}
+		return best
+	case CutLargest:
+		best := 0
+		for i, t := range w {
+			if t.size > w[best].size {
+				best = i
+			}
+		}
+		return best
+	default:
+		return b.rng.Intn(len(w))
+	}
+}
+
+// rescueUncovered adds singleton leaf trees for any real edge not covered
+// by the grown forest, guaranteeing the forest partitions the edge set.
+// This cannot trigger for well-formed inputs; the counter makes it
+// auditable.
+func (f *Forest) rescueUncovered() {
+	covered := make([]bool, f.Graph.NumEdges())
+	for _, t := range f.Trees {
+		for _, ei := range t.EdgeIndices() {
+			covered[ei] = true
+		}
+	}
+	for ei, ok := range covered {
+		if !ok {
+			e := f.Graph.Edge(ei)
+			f.Trees = append(f.Trees, NewLeaf(e.From, e.To, ei))
+			f.Rescued++
+		}
+	}
+}
+
+// IsSeriesParallel reports whether the DAG (after single-source/sink
+// normalization) is two-terminal series-parallel: its decomposition forest
+// consists of a single tree and required no cuts. The check is
+// deterministic (cut policy is irrelevant when no cuts occur).
+func IsSeriesParallel(g *graph.DAG) bool {
+	f, err := Decompose(g, Options{Policy: CutSmallest})
+	if err != nil {
+		return false
+	}
+	return f.Cuts == 0 && f.Rescued == 0 && len(f.Trees) == 1
+}
+
+// CoreTree returns the tree grown from the virtual start edge (the last
+// tree appended by Decompose), or nil for an empty forest.
+func (f *Forest) CoreTree() *Tree {
+	if len(f.Trees) == 0 {
+		return nil
+	}
+	// Cut trees are appended before the core tree; rescued singletons
+	// after. The core tree is the one containing the virtual in-edge.
+	for _, t := range f.Trees {
+		found := false
+		t.Walk(func(n *Tree) {
+			if n.Kind == LeafOp && n.EdgeIndex == VirtualInEdge {
+				found = true
+			}
+		})
+		if found {
+			return t
+		}
+	}
+	return f.Trees[len(f.Trees)-1]
+}

@@ -1,0 +1,324 @@
+package sp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spmap/internal/graph"
+)
+
+// fig1Graph builds the series-parallel example of paper Fig. 1:
+// 0->1, 1->2, 2->3, 1->3, 3->5, 0->4, 4->5.
+func fig1Graph() *graph.DAG {
+	g := graph.New(6, 7)
+	for i := 0; i < 6; i++ {
+		g.AddTask(graph.Task{Complexity: 1, Streamability: 1})
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(3, 5, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(4, 5, 1)
+	return g
+}
+
+// fig2Graph builds the non-series-parallel example of paper Fig. 2:
+// 0->1, 0->4, 1->4, 1->2, 2->3, 1->3, 3->5, 4->5.
+func fig2Graph() *graph.DAG {
+	g := graph.New(6, 8)
+	for i := 0; i < 6; i++ {
+		g.AddTask(graph.Task{Complexity: 1, Streamability: 1})
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(3, 5, 1)
+	g.AddEdge(4, 5, 1)
+	return g
+}
+
+func TestFig1IsSeriesParallel(t *testing.T) {
+	g := fig1Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cuts != 0 || f.Rescued != 0 || len(f.Trees) != 1 {
+		t.Fatalf("expected SP decomposition with a single tree, got cuts=%d rescued=%d trees=%d",
+			f.Cuts, f.Rescued, len(f.Trees))
+	}
+	if !IsSeriesParallel(g) {
+		t.Fatal("Fig. 1 graph must be recognized as series-parallel")
+	}
+}
+
+func TestFig1SubgraphSet(t *testing.T) {
+	g := fig1Graph()
+	sets, _, err := SeriesParallelSubgraphs(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, s := range sets {
+		got[s.key()] = true
+	}
+	// Paper §III-C: S = {{0},...,{5},{1,2,3},{0,1,2,3,4,5}}.
+	want := []string{"0", "1", "2", "3", "4", "5", "1,2,3", "0,1,2,3,4,5"}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("expected subgraph {%s} in set, got %v", w, keys(got))
+		}
+	}
+	if len(sets) != len(want) {
+		t.Errorf("expected exactly %d subgraphs, got %d: %v", len(want), len(sets), keys(got))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFig2RequiresCuts(t *testing.T) {
+	g := fig2Graph()
+	if IsSeriesParallel(g) {
+		t.Fatal("Fig. 2 graph must not be series-parallel")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		f, err := Decompose(g, Options{Policy: CutRandom, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Cuts == 0 {
+			t.Fatalf("seed %d: expected at least one cut", seed)
+		}
+		assertEdgePartition(t, g, f)
+	}
+}
+
+func TestFig2CutSmallestMatchesPaperObservation(t *testing.T) {
+	// The paper notes that cutting branch 1-4 (a single edge) leaves the
+	// Fig. 1 decomposition tree plus one singleton: two trees total, and
+	// the singleton is the edge 1->4. CutSmallest realizes exactly that.
+	g := fig2Graph()
+	f, err := Decompose(g, Options{Policy: CutSmallest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cuts != 1 {
+		t.Fatalf("expected exactly 1 cut, got %d", f.Cuts)
+	}
+	if len(f.Trees) != 2 {
+		t.Fatalf("expected 2 trees, got %d: %v", len(f.Trees), f.Trees)
+	}
+	cut := f.Trees[0]
+	if cut.Size() != 1 || cut.U != 1 || cut.V != 4 {
+		t.Fatalf("expected the cut tree to be the single edge 1-4, got %v", cut)
+	}
+	core := f.CoreTree()
+	if core == nil || core.Size() != 9 { // 7 real + 2 virtual edges
+		t.Fatalf("unexpected core tree %v", core)
+	}
+	assertEdgePartition(t, g, f)
+}
+
+// assertEdgePartition checks the fundamental forest invariant: every real
+// edge of the (normalized) graph appears in exactly one tree leaf.
+func assertEdgePartition(t *testing.T, g *graph.DAG, f *Forest) {
+	t.Helper()
+	count := make([]int, f.Graph.NumEdges())
+	for _, tr := range f.Trees {
+		for _, ei := range tr.EdgeIndices() {
+			count[ei]++
+		}
+	}
+	for ei, c := range count {
+		if c != 1 {
+			t.Fatalf("edge %d covered %d times (want exactly 1)", ei, c)
+		}
+	}
+	_ = g
+}
+
+func TestDecomposeChain(t *testing.T) {
+	g := graph.New(5, 4)
+	for i := 0; i < 5; i++ {
+		g.AddTask(graph.Task{})
+	}
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cuts != 0 || len(f.Trees) != 1 {
+		t.Fatalf("chain must decompose without cuts, got %+v", f)
+	}
+	core := f.CoreTree()
+	if core.Kind != SeriesOp {
+		t.Fatalf("chain core should be a series op, got %v", core.Kind)
+	}
+	if !IsSeriesParallel(g) {
+		t.Fatal("chain is series-parallel")
+	}
+}
+
+func TestDecomposeDiamondFan(t *testing.T) {
+	// source -> {a,b,c} -> sink, a classic parallel operation.
+	g := graph.New(5, 6)
+	for i := 0; i < 5; i++ {
+		g.AddTask(graph.Task{})
+	}
+	for _, mid := range []graph.NodeID{1, 2, 3} {
+		g.AddEdge(0, mid, 1)
+		g.AddEdge(mid, 4, 1)
+	}
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cuts != 0 || len(f.Trees) != 1 {
+		t.Fatalf("diamond fan must decompose without cuts, got cuts=%d trees=%d", f.Cuts, len(f.Trees))
+	}
+	// The subgraph set must contain {1}, {2}, {3} singletons and the full
+	// parallel block {0,1,2,3,4}.
+	sets := SeriesParallelSet(g, f)
+	got := map[string]bool{}
+	for _, s := range sets {
+		got[s.key()] = true
+	}
+	if !got["0,1,2,3,4"] {
+		t.Fatalf("expected full parallel block in subgraph set, got %v", keys(got))
+	}
+}
+
+func TestDecomposeSingleEdge(t *testing.T) {
+	g := graph.New(2, 1)
+	g.AddTask(graph.Task{})
+	g.AddTask(graph.Task{})
+	g.AddEdge(0, 1, 1)
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 1 || f.Cuts != 0 {
+		t.Fatalf("K2 must be series-parallel: %+v", f)
+	}
+	if !IsSeriesParallel(g) {
+		t.Fatal("K2 is series-parallel by definition")
+	}
+}
+
+func TestDecomposeMultiSourceSink(t *testing.T) {
+	// Two independent chains; requires normalization.
+	g := graph.New(4, 2)
+	for i := 0; i < 4; i++ {
+		g.AddTask(graph.Task{})
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Graph == g {
+		t.Fatal("multi-source graph must be decomposed on a normalized clone")
+	}
+	if f.Cuts != 0 {
+		t.Fatalf("two parallel chains are series-parallel after normalization, got %d cuts", f.Cuts)
+	}
+	assertEdgePartition(t, g, f)
+}
+
+func TestDecomposeWGraphNonSP(t *testing.T) {
+	// The classic "W" obstruction: s->{a,b}, a->{c,d}, b->{c,d}, {c,d}->t.
+	g := graph.New(6, 8)
+	for i := 0; i < 6; i++ {
+		g.AddTask(graph.Task{})
+	}
+	s, a, bn, c, d, tt := graph.NodeID(0), graph.NodeID(1), graph.NodeID(2), graph.NodeID(3), graph.NodeID(4), graph.NodeID(5)
+	g.AddEdge(s, a, 1)
+	g.AddEdge(s, bn, 1)
+	g.AddEdge(a, c, 1)
+	g.AddEdge(a, d, 1)
+	g.AddEdge(bn, c, 1)
+	g.AddEdge(bn, d, 1)
+	g.AddEdge(c, tt, 1)
+	g.AddEdge(d, tt, 1)
+	if IsSeriesParallel(g) {
+		t.Fatal("W graph is not series-parallel")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		f, err := Decompose(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEdgePartition(t, g, f)
+		if f.Cuts == 0 {
+			t.Fatal("W graph requires cuts")
+		}
+	}
+}
+
+func TestForestPartitionRandomDAGs(t *testing.T) {
+	// Random layered DAGs (not SP in general): the forest must always
+	// partition the edges, for every cut policy.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(40)
+		g := graph.New(n, 0)
+		for i := 0; i < n; i++ {
+			g.AddTask(graph.Task{})
+		}
+		for v := 1; v < n; v++ {
+			// connect to 1..3 random earlier nodes
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				u := rng.Intn(v)
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+			}
+		}
+		g.TransitiveReduction()
+		for _, pol := range []CutPolicy{CutRandom, CutSmallest, CutLargest} {
+			f, err := Decompose(g, Options{Policy: pol, Seed: int64(trial)})
+			if err != nil {
+				t.Fatalf("trial %d policy %v: %v", trial, pol, err)
+			}
+			assertEdgePartition(t, g, f)
+			if f.Rescued != 0 {
+				t.Logf("trial %d policy %v: rescued %d edges", trial, pol, f.Rescued)
+			}
+		}
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	// Golden: the decomposition tree of the paper's Fig. 1 — the root
+	// parallel operation between node 0 and node 5 splits the graph into
+	// the left chain (0-1, inner parallel {1-2-3 || 1-3}, 3-5) and the
+	// right chain (0-4, 4-5), wrapped in the virtual epsilon edges.
+	g := fig1Graph()
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.CoreTree().String()
+	want := "S(eps-0 P(S(0-1 P(S(1-2 2-3) 1-3) 3-5) S(0-4 4-5)) 5-eps)"
+	if got != want {
+		t.Fatalf("Fig. 1 core tree = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,51 @@
+package sp
+
+import (
+	"testing"
+
+	"spmap/internal/graph"
+)
+
+// FuzzDecompose feeds arbitrary acyclic edge lists to Alg. 1 and asserts
+// the forest invariant (edge partition) plus guard-free termination for
+// every cut policy.
+func FuzzDecompose(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3})
+	f.Add([]byte{0, 1, 0, 2, 1, 3, 2, 3})
+	f.Add([]byte{0, 5, 0, 3, 3, 5, 1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxNodes = 24
+		g := graph.New(maxNodes, len(data)/2)
+		for i := 0; i < maxNodes; i++ {
+			g.AddTask(graph.Task{})
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			u := int(data[i]) % maxNodes
+			v := int(data[i+1]) % maxNodes
+			if u < v { // enforce acyclicity by id ordering
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Skip() // duplicate-free acyclic construction should not fail; be safe
+		}
+		for _, pol := range []CutPolicy{CutRandom, CutSmallest, CutLargest} {
+			forest, err := Decompose(g, Options{Policy: pol, Seed: 1})
+			if err != nil {
+				t.Fatalf("policy %v: %v", pol, err)
+			}
+			count := make([]int, forest.Graph.NumEdges())
+			for _, tr := range forest.Trees {
+				for _, ei := range tr.EdgeIndices() {
+					count[ei]++
+				}
+			}
+			for ei, c := range count {
+				if c != 1 {
+					t.Fatalf("policy %v: edge %d covered %d times", pol, ei, c)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package sp
+
+import (
+	"fmt"
+	"strings"
+
+	"spmap/internal/graph"
+)
+
+// Subgraph is a set of task nodes considered for joint remapping, sorted
+// by id.
+type Subgraph []graph.NodeID
+
+// key returns a canonical deduplication key.
+func (s Subgraph) key() string {
+	var b strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprint(&b, int(v))
+	}
+	return b.String()
+}
+
+// SingleNodeSet returns the most basic subgraph set: one singleton
+// subgraph per (non-virtual) task (paper §III-B).
+func SingleNodeSet(g *graph.DAG) []Subgraph {
+	out := make([]Subgraph, 0, g.NumTasks())
+	for v := 0; v < g.NumTasks(); v++ {
+		if g.Task(graph.NodeID(v)).Virtual {
+			continue
+		}
+		out = append(out, Subgraph{graph.NodeID(v)})
+	}
+	return out
+}
+
+// SeriesParallelSet constructs the subgraph set of §III-C from a
+// decomposition forest of the graph:
+//
+//  1. every single node,
+//  2. for each series operation, all nodes of the operation except its
+//     start and end node,
+//  3. for each parallel operation, all nodes of the operation including
+//     start and end node.
+//
+// Virtual (normalization/epsilon) nodes are excluded, sets are
+// deduplicated and empty sets dropped.
+func SeriesParallelSet(g *graph.DAG, f *Forest) []Subgraph {
+	out := SingleNodeSet(g)
+	seen := map[string]bool{}
+	for _, s := range out {
+		seen[s.key()] = true
+	}
+	addSet := func(nodes []graph.NodeID, dropEnds bool, u, v graph.NodeID) {
+		s := make(Subgraph, 0, len(nodes))
+		for _, n := range nodes {
+			if dropEnds && (n == u || n == v) {
+				continue
+			}
+			if int(n) >= g.NumTasks() || g.Task(n).Virtual {
+				continue
+			}
+			s = append(s, n)
+		}
+		if len(s) == 0 {
+			return
+		}
+		if k := s.key(); !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	for _, t := range f.Trees {
+		t.Walk(func(n *Tree) {
+			switch n.Kind {
+			case SeriesOp:
+				addSet(n.Nodes(), true, n.U, n.V)
+			case ParallelOp:
+				addSet(n.Nodes(), false, 0, 0)
+			}
+		})
+	}
+	return out
+}
+
+// SeriesParallelSubgraphs is the one-call convenience: decompose g and
+// build its series-parallel subgraph set.
+func SeriesParallelSubgraphs(g *graph.DAG, opt Options) ([]Subgraph, *Forest, error) {
+	f, err := Decompose(g, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SeriesParallelSet(g, f), f, nil
+}

@@ -1,0 +1,133 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmap/internal/graph"
+)
+
+// randomSPGraph mirrors the generator in internal/gen without importing
+// it (gen depends on sp for its tests; keep the dependency one-way).
+func randomSPGraph(rng *rand.Rand, n int) *graph.DAG {
+	type edge struct{ u, v int }
+	edges := []edge{{0, 1}}
+	nodes := 2
+	for nodes < n {
+		i := rng.Intn(len(edges))
+		if rng.Intn(3) == 0 {
+			e := edges[i]
+			w := nodes
+			nodes++
+			edges[i] = edge{e.u, w}
+			edges = append(edges, edge{w, e.v})
+		} else {
+			edges = append(edges, edges[i])
+		}
+	}
+	g := graph.New(nodes, len(edges))
+	for i := 0; i < nodes; i++ {
+		g.AddTask(graph.Task{})
+	}
+	for _, e := range edges {
+		g.AddEdge(graph.NodeID(e.u), graph.NodeID(e.v), 1)
+	}
+	g.TransitiveReduction()
+	return g
+}
+
+func TestRandomSPAlwaysRecognized(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%100)
+		g := randomSPGraph(rand.New(rand.NewSource(seed)), n)
+		return IsSeriesParallel(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphSetProperties(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%80)
+		g := randomSPGraph(rand.New(rand.NewSource(seed)), n)
+		sets, forest, err := SeriesParallelSubgraphs(g, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if forest.Cuts != 0 {
+			return false // SP graphs never need cuts
+		}
+		seen := map[string]bool{}
+		singletons := 0
+		for _, s := range sets {
+			// Sorted, within range, non-virtual, unique.
+			for i, v := range s {
+				if int(v) >= g.NumTasks() || v < 0 {
+					return false
+				}
+				if i > 0 && s[i-1] >= v {
+					return false
+				}
+			}
+			if seen[s.key()] {
+				return false
+			}
+			seen[s.key()] = true
+			if len(s) == 1 {
+				singletons++
+			}
+		}
+		// All singletons present.
+		return singletons == g.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraphSetSizeLinear(t *testing.T) {
+	// |S| must stay O(n): singletons + at most one set per decomposition
+	// operation. Verify a generous linear bound empirically.
+	for _, n := range []int{20, 50, 100, 200} {
+		g := randomSPGraph(rand.New(rand.NewSource(int64(n))), n)
+		sets, _, err := SeriesParallelSubgraphs(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sets) > 4*g.NumTasks() {
+			t.Fatalf("n=%d: subgraph set size %d exceeds linear bound", g.NumTasks(), len(sets))
+		}
+	}
+}
+
+func TestSingleNodeSetExcludesVirtual(t *testing.T) {
+	g := graph.New(3, 0)
+	g.AddTask(graph.Task{})
+	g.AddTask(graph.Task{Virtual: true})
+	g.AddTask(graph.Task{})
+	sets := SingleNodeSet(g)
+	if len(sets) != 2 {
+		t.Fatalf("expected 2 singletons, got %d", len(sets))
+	}
+}
+
+func TestTreeNodesAndEdgeIndices(t *testing.T) {
+	g := fig1Graph()
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := f.CoreTree()
+	nodes := core.Nodes()
+	if len(nodes) != 6 {
+		t.Fatalf("core tree must span all 6 nodes, got %v", nodes)
+	}
+	if got := len(core.EdgeIndices()); got != g.NumEdges() {
+		t.Fatalf("core tree has %d real edges, want %d", got, g.NumEdges())
+	}
+	if core.Size() != g.NumEdges()+2 { // plus two virtual edges
+		t.Fatalf("size = %d", core.Size())
+	}
+}

@@ -1,0 +1,132 @@
+package wf
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmap/internal/graph"
+	"spmap/internal/sp"
+)
+
+func TestAllFamiliesValid(t *testing.T) {
+	for _, f := range Families() {
+		for scale := 1; scale <= 3; scale++ {
+			rng := rand.New(rand.NewSource(int64(scale)))
+			g := Generate(f, scale, rng)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%v scale %d: %v", f, scale, err)
+			}
+			if g.NumTasks() < 3 {
+				t.Fatalf("%v scale %d: only %d tasks", f, scale, g.NumTasks())
+			}
+		}
+	}
+}
+
+func TestScaleGrowsInstances(t *testing.T) {
+	for _, f := range Families() {
+		rng := rand.New(rand.NewSource(1))
+		small := Generate(f, 1, rng).NumTasks()
+		rng = rand.New(rand.NewSource(1))
+		large := Generate(f, 6, rng).NumTasks()
+		if large <= small {
+			t.Fatalf("%v: scale 6 (%d tasks) not larger than scale 1 (%d tasks)", f, large, small)
+		}
+	}
+}
+
+func TestLargestInstancesReachPaperSizes(t *testing.T) {
+	// The paper's largest montage and epigenomics workflows contain 1312
+	// and 1695 tasks; our generators must reach that order of magnitude.
+	rng := rand.New(rand.NewSource(1))
+	epi := Generate(Epigenomics, 20, rng)
+	if epi.NumTasks() < 1000 {
+		t.Fatalf("epigenomics scale 20 has %d tasks, want >= 1000", epi.NumTasks())
+	}
+	rng = rand.New(rand.NewSource(1))
+	mon := Generate(Montage, 20, rng)
+	if mon.NumTasks() < 800 {
+		t.Fatalf("montage scale 20 has %d tasks, want >= 800", mon.NumTasks())
+	}
+}
+
+func TestEpigenomicsIsNearlySeriesParallel(t *testing.T) {
+	// Epigenomics is parallel chains -> it should decompose with zero or
+	// very few cuts; the paper notes the SP decomposition processes this
+	// family particularly efficiently.
+	rng := rand.New(rand.NewSource(2))
+	g := Generate(Epigenomics, 3, rng)
+	f, err := sp.Decompose(g, sp.Options{Policy: sp.CutSmallest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cuts > g.NumEdges()/10 {
+		t.Fatalf("epigenomics should be almost series-parallel, got %d cuts over %d edges",
+			f.Cuts, g.NumEdges())
+	}
+}
+
+func TestMontageHasHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Generate(Montage, 2, rng)
+	var names []string
+	for v := 0; v < g.NumTasks(); v++ {
+		names = append(names, g.Task(graph.NodeID(v)).Name)
+	}
+	want := map[string]bool{"mProject": false, "mDiffFit": false, "mBgModel": false,
+		"mBackground": false, "mImgtbl": false, "mAdd": false, "mShrink": false, "mJPEG": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("montage instance missing task type %s", n)
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Families() {
+		s := f.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate family name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("expected 9 families, got %d", len(seen))
+	}
+}
+
+func TestBenchmarkSetDeterministic(t *testing.T) {
+	a := BenchmarkSet(2, 1)
+	b := BenchmarkSet(2, 1)
+	if len(a) != len(b) || len(a) != 18 {
+		t.Fatalf("expected 18 instances, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Graph.NumTasks() != b[i].Graph.NumTasks() || a[i].Graph.NumEdges() != b[i].Graph.NumEdges() {
+			t.Fatalf("instance %d not deterministic", i)
+		}
+	}
+}
+
+func TestAttributesAugmented(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := Generate(SoyKB, 2, rng)
+	for v := 0; v < g.NumTasks(); v++ {
+		task := g.Task(graph.NodeID(v))
+		if task.Streamability <= 0 {
+			t.Fatal("tasks must have streamability after augmentation")
+		}
+		if task.Parallelizability < 0 || task.Parallelizability > 1 {
+			t.Fatal("parallelizability out of range")
+		}
+		if task.Area <= 0 {
+			t.Fatal("tasks must have FPGA area requirements")
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package spmap is a Go library for static task mapping on heterogeneous
+// platforms (CPU + GPU + FPGA), reproducing "Static task mapping for
+// heterogeneous systems based on series-parallel decompositions" (Wilhelm
+// & Pionteck, IPPS 2025, arXiv:2502.19745).
+//
+// The package is a facade over the internal implementation packages. A
+// typical session builds a task graph, picks a platform, and runs one of
+// the mapping algorithms:
+//
+//	g := spmap.NewDAG()
+//	a := g.AddTask(spmap.Task{Name: "load", Complexity: 4, Parallelizability: 1, Streamability: 8, Area: 4, SourceBytes: 100e6})
+//	b := g.AddTask(spmap.Task{Name: "filter", Complexity: 9, Parallelizability: 0.8, Streamability: 12, Area: 9})
+//	g.AddEdge(a, b, 100e6)
+//
+//	p := spmap.ReferencePlatform()
+//	m, stats, err := spmap.MapSeriesParallel(g, p, spmap.FirstFit)
+//	...
+//	ev := spmap.NewEvaluator(g, p).WithSchedules(100, 1)
+//	fmt.Println("makespan:", ev.Makespan(m), "improvement:", spmap.Improvement(ev, m))
+//
+// The mapping algorithms:
+//
+//   - MapSingleNode / MapSeriesParallel — the paper's decomposition-based
+//     mappers (§III), in Basic, GammaThreshold and FirstFit variants.
+//   - MapHEFT / MapPEFT — the list-scheduling baselines.
+//   - MapGenetic — the single-objective NSGA-II baseline.
+//   - MapMILP — the ZhouLiu / WGDP-Device / WGDP-Time integer programs
+//     solved by the built-in branch-and-bound solver.
+//
+// Series-parallel machinery (decomposition forests for arbitrary DAGs,
+// paper Alg. 1) is exposed via Decompose and IsSeriesParallel.
+package spmap
+
+import (
+	"math/rand"
+	"time"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/mappers/heft"
+	"spmap/internal/mapping"
+	"spmap/internal/milp"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+	"spmap/internal/sp"
+	"spmap/internal/wf"
+)
+
+// Core graph types.
+type (
+	// DAG is a directed acyclic task graph.
+	DAG = graph.DAG
+	// Task is a node of the task graph with its cost-model attributes.
+	Task = graph.Task
+	// Edge is a data dependency carrying a byte volume.
+	Edge = graph.Edge
+	// NodeID identifies a task within a DAG.
+	NodeID = graph.NodeID
+)
+
+// Platform types.
+type (
+	// Platform is a set of heterogeneous devices.
+	Platform = platform.Platform
+	// Device is one processing unit.
+	Device = platform.Device
+	// DeviceKind classifies devices (CPU, GPU, FPGA, Accel).
+	DeviceKind = platform.Kind
+)
+
+// Device kinds.
+const (
+	CPU   = platform.CPU
+	GPU   = platform.GPU
+	FPGA  = platform.FPGA
+	Accel = platform.Accel
+)
+
+// Mapping assigns each task to a device index.
+type Mapping = mapping.Mapping
+
+// Evaluator is the model-based cost function (makespan of a mapping).
+type Evaluator = model.Evaluator
+
+// Series-parallel machinery.
+type (
+	// SPTree is a series-parallel decomposition tree.
+	SPTree = sp.Tree
+	// SPForest is a forest of decomposition trees for a general DAG.
+	SPForest = sp.Forest
+	// Subgraph is a node set considered for joint remapping.
+	Subgraph = sp.Subgraph
+	// CutPolicy selects the deadlock cut heuristic of the decomposition.
+	CutPolicy = sp.CutPolicy
+)
+
+// Cut policies for the decomposition of non-series-parallel DAGs.
+const (
+	CutRandom   = sp.CutRandom
+	CutSmallest = sp.CutSmallest
+	CutLargest  = sp.CutLargest
+)
+
+// Heuristic selects the decomposition-mapper iteration scheme (§III-D).
+type Heuristic = decomp.Heuristic
+
+// Iteration heuristics.
+const (
+	// Basic fully re-evaluates all mapping operations per iteration.
+	Basic = decomp.Basic
+	// GammaThreshold prunes re-evaluations with a gamma look-ahead bound.
+	GammaThreshold = decomp.GammaThreshold
+	// FirstFit applies the first re-validated improvement (gamma = 1).
+	FirstFit = decomp.FirstFit
+)
+
+// MapperStats reports decomposition-mapper effort.
+type MapperStats = decomp.Stats
+
+// MILPKind selects a reference integer program.
+type MILPKind = milp.Formulation
+
+// MILP formulations.
+const (
+	MILPZhouLiu    = milp.ZhouLiu
+	MILPWGDPDevice = milp.WGDPDevice
+	MILPWGDPTime   = milp.WGDPTime
+)
+
+// NewDAG returns an empty task graph.
+func NewDAG() *DAG { return graph.New(0, 0) }
+
+// ReferencePlatform returns the paper's evaluation platform (§IV-A): one
+// CPU, one GPU and one streaming FPGA.
+func ReferencePlatform() *Platform { return platform.Reference() }
+
+// NewEvaluator builds the model-based cost function for (g, p). Chain
+// WithSchedules(n, seed) to evaluate mappings as the minimum over the BFS
+// and n random schedules (the paper uses n = 100).
+func NewEvaluator(g *DAG, p *Platform) *Evaluator { return model.NewEvaluator(g, p) }
+
+// BaselineMapping returns the pure-CPU (default device) mapping.
+func BaselineMapping(g *DAG, p *Platform) Mapping { return mapping.Baseline(g, p) }
+
+// Improvement returns the positive relative makespan improvement of m
+// over the pure-CPU baseline under ev (the paper's quality metric).
+func Improvement(ev *Evaluator, m Mapping) float64 {
+	base := ev.Makespan(mapping.Baseline(ev.G, ev.P))
+	ms := ev.Makespan(m)
+	if base <= 0 || ms >= base {
+		return 0
+	}
+	return (base - ms) / base
+}
+
+// MapSingleNode runs single-node decomposition mapping (§III-B).
+func MapSingleNode(g *DAG, p *Platform, h Heuristic) (Mapping, MapperStats, error) {
+	return decomp.Map(g, p, decomp.Options{Strategy: decomp.SingleNode, Heuristic: h})
+}
+
+// MapSeriesParallel runs series-parallel decomposition mapping (§III-C).
+func MapSeriesParallel(g *DAG, p *Platform, h Heuristic) (Mapping, MapperStats, error) {
+	return decomp.Map(g, p, decomp.Options{Strategy: decomp.SeriesParallel, Heuristic: h})
+}
+
+// MapGammaThreshold runs series-parallel decomposition mapping with an
+// explicit gamma look-ahead threshold (§III-D); gamma = 1 is FirstFit.
+func MapGammaThreshold(g *DAG, p *Platform, gamma float64) (Mapping, MapperStats, error) {
+	return decomp.Map(g, p, decomp.Options{
+		Strategy: decomp.SeriesParallel, Heuristic: decomp.GammaThreshold, Gamma: gamma,
+	})
+}
+
+// MapHEFT runs the Heterogeneous Earliest Finish Time baseline.
+func MapHEFT(g *DAG, p *Platform) Mapping { return heft.Map(g, p, heft.HEFT) }
+
+// MapPEFT runs the Predict Earliest Finish Time baseline.
+func MapPEFT(g *DAG, p *Platform) Mapping { return heft.Map(g, p, heft.PEFT) }
+
+// GAOptions configure MapGenetic.
+type GAOptions = ga.Options
+
+// GAStats reports genetic-algorithm effort and convergence.
+type GAStats = ga.Stats
+
+// MapGenetic runs the single-objective NSGA-II baseline.
+func MapGenetic(g *DAG, p *Platform, opt GAOptions) (Mapping, GAStats) {
+	return ga.Map(g, p, opt)
+}
+
+// MILPResult is the outcome of a MILP mapping run.
+type MILPResult = milp.Result
+
+// MapMILP builds and solves one of the reference integer programs with
+// the built-in branch-and-bound solver under the given time limit.
+func MapMILP(g *DAG, p *Platform, kind MILPKind, timeLimit time.Duration) MILPResult {
+	return milp.Map(g, p, kind, milp.MapOptions{TimeLimit: timeLimit})
+}
+
+// Decompose computes a forest of series-parallel decomposition trees for
+// an arbitrary DAG (paper Alg. 1) under the given cut policy.
+func Decompose(g *DAG, policy CutPolicy, seed int64) (*SPForest, error) {
+	return sp.Decompose(g, sp.Options{Policy: policy, Seed: seed})
+}
+
+// IsSeriesParallel reports whether the DAG (after single source/sink
+// normalization) is two-terminal series-parallel.
+func IsSeriesParallel(g *DAG) bool { return sp.IsSeriesParallel(g) }
+
+// SeriesParallelSubgraphs returns the §III-C subgraph set of a graph
+// together with the decomposition forest it derives from.
+func SeriesParallelSubgraphs(g *DAG, policy CutPolicy, seed int64) ([]Subgraph, *SPForest, error) {
+	return sp.SeriesParallelSubgraphs(g, sp.Options{Policy: policy, Seed: seed})
+}
+
+// RandomSeriesParallel generates a random series-parallel task graph with
+// n tasks and the paper's §IV-B attribute distributions.
+func RandomSeriesParallel(rng *rand.Rand, n int) *DAG {
+	return gen.SeriesParallel(rng, n, gen.DefaultAttr())
+}
+
+// RandomAlmostSeriesParallel generates a series-parallel graph with n
+// tasks plus k random (mostly conflicting) extra edges (§IV-C).
+func RandomAlmostSeriesParallel(rng *rand.Rand, n, k int) *DAG {
+	return gen.AlmostSeriesParallel(rng, n, k, gen.DefaultAttr())
+}
+
+// WorkflowFamily identifies one of the nine WfCommons-like workflow
+// generators (§IV-D).
+type WorkflowFamily = wf.Family
+
+// Workflow families.
+const (
+	Genome1000  = wf.Genome1000
+	Blast       = wf.Blast
+	BWA         = wf.BWA
+	Cycles      = wf.Cycles
+	Epigenomics = wf.Epigenomics
+	Montage     = wf.Montage
+	Seismology  = wf.Seismology
+	SoyKB       = wf.SoyKB
+	SRASearch   = wf.SRASearch
+)
+
+// GenerateWorkflow builds one synthetic workflow instance of the family
+// at the given scale (>= 1).
+func GenerateWorkflow(f WorkflowFamily, scale int, rng *rand.Rand) *DAG {
+	return wf.Generate(f, scale, rng)
+}

@@ -1,0 +1,102 @@
+package spmap_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmap"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := spmap.NewDAG()
+	a := g.AddTask(spmap.Task{Name: "a", Complexity: 4, Parallelizability: 1, Streamability: 8, Area: 4, SourceBytes: 100e6})
+	b := g.AddTask(spmap.Task{Name: "b", Complexity: 9, Parallelizability: 0.8, Streamability: 12, Area: 9})
+	c := g.AddTask(spmap.Task{Name: "c", Complexity: 5, Parallelizability: 0.2, Streamability: 5, Area: 5})
+	g.AddEdge(a, b, 100e6)
+	g.AddEdge(b, c, 100e6)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !spmap.IsSeriesParallel(g) {
+		t.Fatal("a chain is series-parallel")
+	}
+	p := spmap.ReferencePlatform()
+	ev := spmap.NewEvaluator(g, p).WithSchedules(50, 1)
+	m, stats, err := spmap.MapSeriesParallel(g, p, spmap.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != g.NumTasks() {
+		t.Fatal("mapping length mismatch")
+	}
+	if stats.Makespan <= 0 {
+		t.Fatal("stats must report the makespan")
+	}
+	if imp := spmap.Improvement(ev, m); imp < 0 || imp > 1 {
+		t.Fatalf("improvement out of range: %v", imp)
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := spmap.RandomSeriesParallel(rng, 20)
+	p := spmap.ReferencePlatform()
+	ev := spmap.NewEvaluator(g, p).WithSchedules(20, 1)
+	base := ev.Makespan(spmap.BaselineMapping(g, p))
+
+	check := func(name string, m spmap.Mapping) {
+		t.Helper()
+		if err := m.Validate(g, p); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ms := ev.Makespan(m); ms <= 0 || ms > base*10 {
+			t.Fatalf("%s: absurd makespan %v (baseline %v)", name, ms, base)
+		}
+	}
+	msn, _, err := spmap.MapSingleNode(g, p, spmap.Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("single-node", msn)
+	mgt, _, err := spmap.MapGammaThreshold(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("gamma", mgt)
+	check("heft", spmap.MapHEFT(g, p))
+	check("peft", spmap.MapPEFT(g, p))
+	mga, _ := spmap.MapGenetic(g, p, spmap.GAOptions{Generations: 10, Seed: 1})
+	check("nsga2", mga)
+}
+
+func TestFacadeDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := spmap.RandomAlmostSeriesParallel(rng, 40, 20)
+	f, err := spmap.Decompose(g, spmap.CutSmallest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cuts == 0 {
+		t.Fatal("almost-SP graph with 20 extra edges should require cuts")
+	}
+	sets, _, err := spmap.SeriesParallelSubgraphs(g, spmap.CutSmallest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) < g.NumTasks() {
+		t.Fatal("subgraph set must at least contain the singletons")
+	}
+}
+
+func TestFacadeWorkflows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := spmap.GenerateWorkflow(spmap.Epigenomics, 2, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() < 20 {
+		t.Fatalf("workflow too small: %d", g.NumTasks())
+	}
+}
