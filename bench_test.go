@@ -12,8 +12,10 @@ import (
 	"time"
 
 	"spmap"
+	"spmap/internal/eval"
 	"spmap/internal/experiments"
 	"spmap/internal/gen"
+	"spmap/internal/graph"
 	"spmap/internal/mappers/decomp"
 	"spmap/internal/mappers/ga"
 	"spmap/internal/mappers/heft"
@@ -239,3 +241,70 @@ func BenchmarkGenerateSP200(b *testing.B) {
 		gen.SeriesParallel(rng, 200, gen.DefaultAttr())
 	}
 }
+
+// --- evaluation-engine benchmarks (the BENCH_*.json perf trajectory) ---
+//
+// The three families below anchor the before/after comparison across
+// PRs: single Makespan evaluation under the paper's 101-schedule
+// protocol, one batched neighborhood re-evaluation with the incumbent
+// as cutoff, and the end-to-end series-parallel Basic mapper.
+
+func benchmarkMakespan101(b *testing.B, n int) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	m := mapping.Baseline(g, p)
+	ev.Makespan(m) // compile the kernel outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Makespan(m)
+	}
+}
+
+func BenchmarkMakespan50(b *testing.B)  { benchmarkMakespan101(b, 50) }
+func BenchmarkMakespan100(b *testing.B) { benchmarkMakespan101(b, 100) }
+func BenchmarkMakespan250(b *testing.B) { benchmarkMakespan101(b, 250) }
+
+func benchmarkEvaluateBatch(b *testing.B, n int) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	eng := model.NewEvaluator(g, p).WithSchedules(100, 1).Engine()
+	base := mapping.Baseline(g, p)
+	// The single-task move neighborhood of the baseline, evaluated
+	// against the incumbent — the decomposition mappers' hot loop.
+	var ops []eval.Op
+	for v := 0; v < g.NumTasks(); v++ {
+		for d := 0; d < p.NumDevices(); d++ {
+			ops = append(ops, eval.Op{Base: base, Patch: []graph.NodeID{graph.NodeID(v)}, Device: d})
+		}
+	}
+	incumbent := eng.Makespan(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.EvaluateBatch(ops, incumbent)
+	}
+}
+
+func BenchmarkEvaluateBatch50(b *testing.B)  { benchmarkEvaluateBatch(b, 50) }
+func BenchmarkEvaluateBatch100(b *testing.B) { benchmarkEvaluateBatch(b, 100) }
+func BenchmarkEvaluateBatch250(b *testing.B) { benchmarkEvaluateBatch(b, 250) }
+
+func benchmarkMapSeriesParallelE2E(b *testing.B, n int) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// End to end: evaluator + kernel compilation and the full Basic
+		// mapper under the paper's 101-schedule protocol.
+		ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+		if _, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+			Strategy: decomp.SeriesParallel, Heuristic: decomp.Basic,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapSeriesParallelE2E50(b *testing.B)  { benchmarkMapSeriesParallelE2E(b, 50) }
+func BenchmarkMapSeriesParallelE2E100(b *testing.B) { benchmarkMapSeriesParallelE2E(b, 100) }
+func BenchmarkMapSeriesParallelE2E250(b *testing.B) { benchmarkMapSeriesParallelE2E(b, 250) }

@@ -35,6 +35,7 @@ func main() {
 		gaGens    = flag.Int("generations", 0, "override NSGA-II generations")
 		milpBudg  = flag.Duration("milp-budget", 0, "override MILP time limit")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
+		workers   = flag.Int("workers", 0, "evaluation-engine worker pool (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		csvDir    = flag.String("csv", "", "also write <experiment>.csv files into this directory")
 	)
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 		GAGenerations:  *gaGens,
 		MILPTimeLimit:  *milpBudg,
 		Seed:           *seed,
+		Workers:        *workers,
 	}
 
 	names := strings.Split(*exp, ",")

@@ -1,0 +1,3 @@
+module spmap
+
+go 1.24

@@ -1,0 +1,147 @@
+package spmap_test
+
+// Golden equivalence tests: the evaluation-engine refactor must not
+// change any mapper output. The golden rows below were captured from the
+// pre-engine implementation (straightforward per-order simulation, no
+// early exit, serial evaluation) for fixed seeds; the current code must
+// reproduce every mapping and every makespan bit-for-bit.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+	"spmap/internal/sp"
+)
+
+type goldenRow struct {
+	seed int64
+	n    int
+	// mappings as device-digit strings
+	singleBasic, spFirstFit, spGamma2, genetic string
+	// float64 bit patterns of the result makespans and the baseline
+	msSingleBasic, msSPFirstFit, msSPGamma2, msGenetic, msBaseline uint64
+	iterSingleBasic, iterSPFirstFit, iterSPGamma2                  int
+	gaEvaluations                                                  int
+}
+
+// Captured from the seed implementation (pre-refactor) at 20 random
+// schedules, schedule seed = graph seed.
+var goldenRows = []goldenRow{
+	{1, 30, "000000000000000001010010000010", "202022200002220021012220002222", "202022200002220021012220002222", "000001000000000011020000000010", 0x3fe545ffa46bb22e, 0x3fe2d6bc164ea4c7, 0x3fe2d6bc164ea4c7, 0x3fe5438a85263b13, 0x3fe5b45003386263, 4, 6, 6, 2100},
+	{1, 60, "001100000000000021100010000100100000002001020021000020000000", "021220022221101000101100220001120122000100000001202001101200", "021202000001001001101100200000000002022020002001000200101222", "021101000000000100200000200000100002020022001021001221100010", 0x3ff0f3c6a2e0a6b7, 0x3ff0a18fc2c6fc44, 0x3ff073e516f4f677, 0x3ff030a6bfcd24b0, 0x3ff517db1239e480, 14, 9, 8, 2100},
+	{2, 30, "000000000000000000000000000000", "202202002022200002202020222022", "202202002022200002202020222022", "010000010000001000010100000100", 0x3febd8d9f116b54e, 0x3fe8840699459604, 0x3fe8840699459604, 0x3fe9bf0964e55b85, 0x3febd8d9f116b54e, 0, 5, 5, 2100},
+	{2, 60, "000000000000000000000000000000000001000000000000000000000000", "012010202000201210210101022100220001110001210001002100021010", "012010202000201210210101022100220001110001210001002100021010", "000000000000000000000000000002000001002000000000220000000000", 0x3ff673f16c833609, 0x3ff119988fe538df, 0x3ff119988fe538df, 0x3ff64cec3af4e761, 0x3ff694349c45d61c, 1, 7, 7, 2100},
+	{3, 30, "000000000000000000000000000000", "002002222022202002222200000220", "002002222022202002222200000220", "000000000000000000000000000000", 0x3fefcf390b379117, 0x3fe7a836abc50499, 0x3fe7a836abc50499, 0x3fefcf390b379117, 0x3fefcf390b379117, 0, 2, 2, 2100},
+	{3, 60, "020000202020000020000002010020020200000200000000022020002000", "000202200200002000000020200000020000122020000020220000000000", "020200222020000000000000000022020000000200000000020000020000", "020000202000000000000000000002000000000000000000020000000000", 0x3ffb5dd2318b89ed, 0x3ffc1fcbc0e29751, 0x3ff977e8ebb94a43, 0x3fff708525b9e9c7, 0x4002366afc840775, 15, 4, 4, 2100},
+}
+
+func mappingString(m mapping.Mapping) string {
+	s := ""
+	for _, d := range m {
+		s += fmt.Sprintf("%d", d)
+	}
+	return s
+}
+
+func TestGoldenMapperEquivalence(t *testing.T) {
+	p := platform.Reference()
+	for _, row := range goldenRows {
+		rng := rand.New(rand.NewSource(row.seed))
+		g := gen.SeriesParallel(rng, row.n, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(20, row.seed)
+
+		m1, st1, err := decomp.MapWithEvaluator(ev, decomp.Options{Strategy: decomp.SingleNode, Heuristic: decomp.Basic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, st2, err := decomp.MapWithEvaluator(ev, decomp.Options{Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m3, st3, err := decomp.MapWithEvaluator(ev, decomp.Options{Strategy: decomp.SeriesParallel, Heuristic: decomp.GammaThreshold, Gamma: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m4, st4 := ga.MapWithEvaluator(ev, ga.Options{Generations: 20, Seed: row.seed})
+
+		check := func(what, got, want string) {
+			t.Helper()
+			if got != want {
+				t.Errorf("seed %d n %d %s: mapping changed\n got %s\nwant %s", row.seed, row.n, what, got, want)
+			}
+		}
+		check("MapSingleNode/Basic", mappingString(m1), row.singleBasic)
+		check("MapSeriesParallel/FirstFit", mappingString(m2), row.spFirstFit)
+		check("MapGammaThreshold(2)", mappingString(m3), row.spGamma2)
+		check("MapGenetic", mappingString(m4), row.genetic)
+
+		checkBits := func(what string, got float64, want uint64) {
+			t.Helper()
+			if math.Float64bits(got) != want {
+				t.Errorf("seed %d n %d %s: makespan 0x%016x, want 0x%016x",
+					row.seed, row.n, what, math.Float64bits(got), want)
+			}
+		}
+		checkBits("SingleNode/Basic", st1.Makespan, row.msSingleBasic)
+		checkBits("SP/FirstFit", st2.Makespan, row.msSPFirstFit)
+		checkBits("SP/Gamma2", st3.Makespan, row.msSPGamma2)
+		checkBits("Genetic", st4.Makespan, row.msGenetic)
+		checkBits("Baseline", ev.Makespan(mapping.Baseline(g, p)), row.msBaseline)
+
+		if st1.Iterations != row.iterSingleBasic || st2.Iterations != row.iterSPFirstFit || st3.Iterations != row.iterSPGamma2 {
+			t.Errorf("seed %d n %d: iteration counts (%d,%d,%d) changed from (%d,%d,%d)",
+				row.seed, row.n, st1.Iterations, st2.Iterations, st3.Iterations,
+				row.iterSingleBasic, row.iterSPFirstFit, row.iterSPGamma2)
+		}
+		if st4.Evaluations != row.gaEvaluations {
+			t.Errorf("seed %d n %d: GA evaluations %d, want %d", row.seed, row.n, st4.Evaluations, row.gaEvaluations)
+		}
+	}
+}
+
+// TestEngineBackedBasicMatchesReferenceObjective runs the Basic mapper
+// twice per cut policy on a non-series-parallel graph: once on the
+// engine's batched early-exit path and once forced through the serial
+// path with the retained reference simulation as a custom objective. The
+// mappings, iteration counts, and final makespans must agree exactly —
+// the engine path may only be faster, never different.
+func TestEngineBackedBasicMatchesReferenceObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-policy equivalence sweep is slow")
+	}
+	p := platform.Reference()
+	for _, policy := range []sp.CutPolicy{sp.CutRandom, sp.CutSmallest, sp.CutLargest} {
+		rng := rand.New(rand.NewSource(42))
+		g := gen.AlmostSeriesParallel(rng, 40, 20, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(10, 4)
+		opts := decomp.Options{
+			Strategy:  decomp.SeriesParallel,
+			Heuristic: decomp.Basic,
+			SP:        sp.Options{Policy: policy, Seed: 9},
+		}
+		mEngine, stEngine, err := decomp.MapWithEvaluator(ev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := opts
+		ref.Objective = func(m mapping.Mapping) float64 { return ev.ReferenceMakespan(m) }
+		mRef, stRef, err := decomp.MapWithEvaluator(ev, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mEngine.Equal(mRef) {
+			t.Fatalf("policy %v: engine-backed mapping differs from reference-objective mapping", policy)
+		}
+		if stEngine.Makespan != stRef.Makespan || stEngine.Iterations != stRef.Iterations {
+			t.Fatalf("policy %v: stats diverged: engine %+v vs reference %+v", policy, stEngine, stRef)
+		}
+	}
+}

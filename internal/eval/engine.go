@@ -1,0 +1,311 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/platform"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Workers bounds the goroutines EvaluateBatch fans out over.
+	// Zero (or negative) selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Engine evaluates mappings against one compiled kernel. In contrast to
+// model.Evaluator, an Engine is immutable after construction and safe for
+// concurrent use from any number of goroutines: every evaluation checks a
+// private simulation state out of an internal pool. Single evaluations go
+// through Makespan/MakespanCutoff; EvaluateBatch fans a slice of
+// evaluation requests out over an internal worker pool of cloned states
+// and returns an index-aligned result slice, so any reduction over the
+// results is deterministic regardless of goroutine scheduling.
+type Engine struct {
+	k       *kernel
+	workers int
+	pool    *sync.Pool // *simState
+	prePool *sync.Pool // *batchPrefix
+}
+
+// NewEngine compiles an engine for (g, p) evaluating mappings as the
+// minimum list-schedule makespan over the given topological orders. The
+// schedule set is fixed at compile time, which keeps the cost function
+// deterministic (paper §III-A). Orders must be topological orders of g;
+// passing none selects the BFS order alone.
+func NewEngine(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID, opt Options) *Engine {
+	if len(orders) == 0 {
+		orders = [][]graph.NodeID{g.BFSOrder()}
+	}
+	k := compile(g, p, orders)
+	return &Engine{
+		k:       k,
+		workers: normWorkers(opt.Workers),
+		pool:    &sync.Pool{New: func() any { return k.newState() }},
+		prePool: &sync.Pool{New: func() any { return k.newPrefix() }},
+	}
+}
+
+// NewEngineSchedules compiles an engine whose schedule set is the BFS
+// order plus nRandom random topological orders drawn deterministically
+// from seed — the same construction as model.Evaluator.WithSchedules
+// (the paper's protocol uses nRandom = 100, §IV-A).
+func NewEngineSchedules(g *graph.DAG, p *platform.Platform, nRandom int, seed int64, opt Options) *Engine {
+	orders := make([][]graph.NodeID, 0, nRandom+1)
+	orders = append(orders, g.BFSOrder())
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nRandom; i++ {
+		orders = append(orders, g.RandomTopoOrder(rng.Intn))
+	}
+	return NewEngine(g, p, orders, opt)
+}
+
+func normWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// NumSchedules returns the size of the compiled schedule set.
+func (e *Engine) NumSchedules() int { return e.k.numOrders }
+
+// Workers returns the batch fan-out width.
+func (e *Engine) Workers() int { return e.workers }
+
+// WithWorkers returns an engine sharing this engine's kernel and state
+// pool but fanning batches out over w goroutines (w <= 0 selects
+// GOMAXPROCS). The receiver is not modified.
+func (e *Engine) WithWorkers(w int) *Engine {
+	return &Engine{k: e.k, workers: normWorkers(w), pool: e.pool, prePool: e.prePool}
+}
+
+// Op is one evaluation request of a batch: the mapping Base with every
+// task in Patch remapped to Device. A nil Patch evaluates Base as-is
+// (no copy is made — Base must not be mutated while the batch runs).
+// Sharing one Base slice across many patched ops is the intended cheap
+// encoding for neighborhood searches.
+type Op struct {
+	Base   mapping.Mapping
+	Patch  []graph.NodeID
+	Device int
+}
+
+// getState checks a simulation state out of the pool. The base-mapping
+// cache is only valid within one Engine call (callers may mutate a Base
+// slice between calls), so it is invalidated here.
+func (e *Engine) getState() *simState {
+	st := e.pool.Get().(*simState)
+	st.basePtr = nil
+	return st
+}
+
+// Feasible reports whether m satisfies all device area capacities.
+func (e *Engine) Feasible(m mapping.Mapping) bool {
+	st := e.getState()
+	ok := e.k.feasible(st, m)
+	e.pool.Put(st)
+	return ok
+}
+
+// Makespan returns the exact schedule-set makespan of m: the minimum
+// list-schedule makespan over the compiled orders, bit-identical to the
+// reference simulation. Infeasible mappings yield Infeasible.
+func (e *Engine) Makespan(m mapping.Mapping) float64 {
+	return e.MakespanCutoff(m, math.Inf(1))
+}
+
+// MakespanCutoff is Makespan with bounded early exit against a caller
+// cutoff: any schedule whose partial makespan exceeds the cutoff (or the
+// best completed schedule so far) is aborted. The result is exact and
+// bit-identical to Makespan whenever it is <= cutoff; a result > cutoff
+// only certifies that the true makespan also exceeds the cutoff (the
+// value itself is a lower bound, not the makespan). Mapper search loops
+// pass their incumbent here to discard non-improving candidates at a
+// fraction of a full evaluation's cost.
+func (e *Engine) MakespanCutoff(m mapping.Mapping, cutoff float64) float64 {
+	st := e.getState()
+	ms := e.k.makespan(st, m, cutoff)
+	e.pool.Put(st)
+	return ms
+}
+
+// Evaluate evaluates a single op under a cutoff (see MakespanCutoff for
+// the cutoff contract).
+func (e *Engine) Evaluate(op Op, cutoff float64) float64 {
+	st := e.getState()
+	ms := e.evalOp(st, op, cutoff, nil, nil)
+	e.pool.Put(st)
+	return ms
+}
+
+// EvaluateBatch evaluates every op and returns the index-aligned
+// makespans. Ops are distributed over min(Workers, len(ops)) goroutines
+// with private simulation states; each result obeys the MakespanCutoff
+// contract. The output depends only on the inputs — never on goroutine
+// scheduling — so deterministic reductions (argmin with index
+// tie-breaking, GA selection, ...) stay deterministic.
+func (e *Engine) EvaluateBatch(ops []Op, cutoff float64) []float64 {
+	out := make([]float64, len(ops))
+
+	// Patched ops of a batch overwhelmingly share one base mapping (a
+	// neighborhood search around the incumbent). Record that base's full
+	// simulation once; every sharing op then resumes each order at its
+	// first patched position instead of replaying the common prefix. The
+	// prefix is built before the workers start and only read afterwards.
+	// Recording costs about one uncut evaluation, so it only pays off
+	// once enough patched ops share the base (same threshold as
+	// Neighborhood).
+	var pre *batchPrefix
+	var preBase *int
+	shared := 0
+	for i := range ops {
+		if len(ops[i].Patch) == 0 {
+			continue
+		}
+		if preBase == nil {
+			preBase = &ops[i].Base[0]
+		}
+		if preBase == &ops[i].Base[0] {
+			if shared++; shared >= prefixBuildThreshold {
+				pre = e.prePool.Get().(*batchPrefix)
+				st := e.getState()
+				e.k.buildPrefix(st, ops[i].Base, pre)
+				e.pool.Put(st)
+				break
+			}
+		}
+	}
+	defer func() {
+		if pre != nil {
+			e.prePool.Put(pre)
+		}
+	}()
+
+	workers := e.workers
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	if workers <= 1 {
+		st := e.getState()
+		for i := range ops {
+			out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase)
+		}
+		e.pool.Put(st)
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			st := e.getState()
+			defer e.pool.Put(st)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Neighborhood amortizes prefix recording for repeated patched
+// evaluations around one base mapping — the sequential counterpart of
+// EvaluateBatch for search heuristics that must observe each result
+// before choosing the next candidate (gamma-threshold, first-fit). The
+// base's simulation is recorded lazily once the call count makes it
+// profitable; afterwards every Evaluate resumes each schedule order at
+// the candidate's first patched position. A Neighborhood is bound to the
+// contents of base at recording time and is not safe for concurrent use;
+// call Reset after mutating the base, and Close when done.
+type Neighborhood struct {
+	e     *Engine
+	base  mapping.Mapping
+	pre   *batchPrefix
+	calls int
+}
+
+// prefixBuildThreshold is the Evaluate-call count at which a
+// Neighborhood records its base prefix: recording costs about one
+// uncut full evaluation and saves roughly half of each subsequent one.
+const prefixBuildThreshold = 3
+
+// Neighborhood opens an evaluation session around base (see type doc).
+func (e *Engine) Neighborhood(base mapping.Mapping) *Neighborhood {
+	return &Neighborhood{e: e, base: base}
+}
+
+// Evaluate returns the makespan of the base with the patched tasks
+// remapped to device, under the MakespanCutoff contract.
+func (nb *Neighborhood) Evaluate(patch []graph.NodeID, device int, cutoff float64) float64 {
+	nb.calls++
+	st := nb.e.getState()
+	if nb.pre == nil && nb.calls >= prefixBuildThreshold {
+		nb.pre = nb.e.prePool.Get().(*batchPrefix)
+		nb.e.k.buildPrefix(st, nb.base, nb.pre)
+	}
+	var preBase *int
+	if nb.pre != nil {
+		preBase = &nb.base[0]
+	}
+	ms := nb.e.evalOp(st, Op{Base: nb.base, Patch: patch, Device: device}, cutoff, nb.pre, preBase)
+	nb.e.pool.Put(st)
+	return ms
+}
+
+// Reset re-arms the session after the base mapping's contents changed
+// (the recorded prefix, if any, is discarded and re-recorded lazily).
+func (nb *Neighborhood) Reset() {
+	nb.calls = 0
+	if nb.pre != nil {
+		nb.e.prePool.Put(nb.pre)
+		nb.pre = nil
+	}
+}
+
+// Close releases the session's resources. The Neighborhood must not be
+// used afterwards.
+func (nb *Neighborhood) Close() { nb.Reset() }
+
+// evalOp materializes op's mapping (patching into the state's private
+// buffer when needed) and runs the bounded makespan evaluation. pre, if
+// non-nil, is the recorded simulation of the base mapping identified by
+// preBase; ops patched on that base resume from it.
+func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *batchPrefix, preBase *int) float64 {
+	m := []int(op.Base)
+	if len(op.Patch) > 0 {
+		// Copy the base once per distinct Base slice; consecutive ops of a
+		// neighborhood search share it, so the copy amortizes away and only
+		// the patched entries are written and rolled back.
+		if st.basePtr != &op.Base[0] {
+			copy(st.mbuf, op.Base)
+			st.basePtr = &op.Base[0]
+		}
+		for _, v := range op.Patch {
+			st.mbuf[v] = op.Device
+		}
+		var ms float64
+		if pre != nil && preBase == &op.Base[0] {
+			ms = e.k.makespanResume(st, st.mbuf, op.Patch, pre, cutoff)
+		} else {
+			ms = e.k.makespan(st, st.mbuf, cutoff)
+		}
+		for _, v := range op.Patch {
+			st.mbuf[v] = op.Base[v]
+		}
+		return ms
+	}
+	return e.k.makespan(st, m, cutoff)
+}

@@ -1,0 +1,508 @@
+// Package eval is the shared evaluation engine behind the model-based
+// cost function: a compiled simulation kernel plus a batch-parallel
+// front-end (Engine).
+//
+// Compiling flattens one (graph, platform, schedule set) triple into
+// contiguous CSR-style arrays once, so that simulating a list schedule is
+// a branch-light linear scan with no per-task slice allocations or
+// pointer-chasing adjacency lookups. On top of the kernel, makespan
+// evaluation applies bounded early exit: the running makespan of a list
+// schedule is monotone non-decreasing while tasks are placed, and the
+// reported makespan of a mapping is the minimum over a fixed schedule
+// set, so each order's simulation aborts as soon as its partial makespan
+// exceeds the best completed order so far (or a caller-supplied cutoff).
+// Results are bit-identical to the straightforward simulation for every
+// value at or below the cutoff, which keeps the greedy mappers'
+// deterministic-cost termination guarantee (paper §III-A) intact.
+package eval
+
+import (
+	"math"
+
+	"spmap/internal/graph"
+	"spmap/internal/platform"
+)
+
+// Infeasible is the makespan reported for mappings that violate device
+// area capacities. It equals model.Infeasible.
+const Infeasible = math.MaxFloat64
+
+// ExecTime returns the modeled execution time of task v on device d
+// (paper §II-B). Work is complexity x input bytes. Non-streaming devices
+// follow Amdahl's law over the device's lanes: t = W*(p/Peak + (1-p)/lane).
+// Streaming (FPGA-like) devices run a task as a pipeline at
+// Peak x streamability. Virtual tasks are free everywhere.
+func ExecTime(g *graph.DAG, v graph.NodeID, d *platform.Device) float64 {
+	t := g.Task(v)
+	if t.Virtual {
+		return 0
+	}
+	work := t.Complexity * g.InBytes(v)
+	if work == 0 {
+		return 0
+	}
+	if d.Streaming {
+		s := t.Streamability
+		if s < 1 {
+			s = 1
+		}
+		return work / (d.PeakOps * s)
+	}
+	// A task occupies one of the device's slots; its parallel part scales
+	// over the slot's share of the lanes.
+	p := t.Parallelizability
+	slotPeak := d.PeakOps / float64(d.NumSlots())
+	return work * (p/slotPeak + (1-p)/d.LaneOps())
+}
+
+// streamSigma returns the pipelining overlap factor sigma >= 1 for edge
+// (u,v) when co-mapped on a streaming device, or 0 if the pair cannot
+// stream (mirrors the model's streamFactor).
+func streamSigma(g *graph.DAG, u, v graph.NodeID) float64 {
+	tu, tv := g.Task(u), g.Task(v)
+	su, sv := tu.Streamability, tv.Streamability
+	if tu.Virtual {
+		su = sv
+	}
+	if tv.Virtual {
+		sv = su
+	}
+	s := math.Min(su, sv)
+	if s < 1 {
+		return 0
+	}
+	return s
+}
+
+// kernel is the immutable compiled form of one (graph, platform,
+// schedule set) triple. All arrays are contiguous and indexed by dense
+// ids, so an order simulation touches no Go interfaces, maps, or nested
+// slices. A kernel is safe for concurrent use; the mutable scratch lives
+// in simState.
+type kernel struct {
+	n  int // tasks
+	nd int // devices
+
+	// exec is the task-by-device execution-time table, row-major by
+	// device: exec[d*n+v].
+	exec []float64
+
+	// orders holds the fixed schedule set, numOrders rows of n task ids
+	// each, concatenated. pos is its inverse: pos[o*n+v] is the position
+	// of task v within order o (used to find the resume point of patched
+	// batch evaluations).
+	orders    []int32
+	pos       []int32
+	numOrders int
+
+	// In-edge CSR: the in-edges of task v occupy inFrom/inBytes/inSigma
+	// [inStart[v]:inStart[v+1]], in the graph's insertion order (the same
+	// order DAG.InEdges reports). inSigma is the precomputed streaming
+	// overlap factor of the edge (0 = the pair cannot stream).
+	inStart []int32
+	inFrom  []int32
+	inBytes []float64
+	inSigma []float64
+
+	// entryBytes[v] is the task's SourceBytes if v is an entry task (no
+	// in-edges), else 0; entry data arrives from the host device.
+	entryBytes []float64
+	host       int
+
+	// taskArea[v] is the reconfigurable-area footprint of v.
+	taskArea []float64
+
+	// Per-device metadata.
+	devStreaming []bool
+	devSpatial   []bool
+	devArea      []float64 // capacity; 0 = unconstrained
+	// slotStart[d]..slotStart[d+1] are device d's slots in the flattened
+	// next-free array.
+	slotStart []int32
+	numSlots  int
+
+	// Star-interconnect transfer constants per ordered device pair
+	// (a*nd+b): pairLat is the summed per-hop setup latency, pairBW the
+	// bottleneck bandwidth. The transfer time of a non-local, non-empty
+	// move is pairLat + bytes/pairBW — the same expression, evaluated in
+	// the same order, as platform.TransferTime.
+	pairLat []float64
+	pairBW  []float64
+}
+
+// compile flattens (g, p, orders) into a kernel. The orders must be
+// topological orders of g covering every task.
+func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kernel {
+	n, nd := g.NumTasks(), p.NumDevices()
+	k := &kernel{
+		n: n, nd: nd,
+		exec:         make([]float64, nd*n),
+		numOrders:    len(orders),
+		orders:       make([]int32, 0, len(orders)*n),
+		inStart:      make([]int32, n+1),
+		entryBytes:   make([]float64, n),
+		host:         p.Default,
+		taskArea:     make([]float64, n),
+		devStreaming: make([]bool, nd),
+		devSpatial:   make([]bool, nd),
+		devArea:      make([]float64, nd),
+		slotStart:    make([]int32, nd+1),
+		pairLat:      make([]float64, nd*nd),
+		pairBW:       make([]float64, nd*nd),
+	}
+	for d := 0; d < nd; d++ {
+		dev := &p.Devices[d]
+		for v := 0; v < n; v++ {
+			k.exec[d*n+v] = ExecTime(g, graph.NodeID(v), dev)
+		}
+		k.devStreaming[d] = dev.Streaming
+		k.devSpatial[d] = dev.Spatial
+		k.devArea[d] = dev.Area
+		k.slotStart[d+1] = k.slotStart[d] + int32(dev.NumSlots())
+	}
+	k.numSlots = int(k.slotStart[nd])
+	k.pos = make([]int32, len(orders)*n)
+	for o, order := range orders {
+		for i, v := range order {
+			k.orders = append(k.orders, int32(v))
+			k.pos[o*n+int(v)] = int32(i)
+		}
+	}
+	ne := 0
+	for v := 0; v < n; v++ {
+		ne += g.InDegree(graph.NodeID(v))
+	}
+	k.inFrom = make([]int32, 0, ne)
+	k.inBytes = make([]float64, 0, ne)
+	k.inSigma = make([]float64, 0, ne)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		t := g.Task(id)
+		k.taskArea[v] = t.Area
+		if g.InDegree(id) == 0 {
+			k.entryBytes[v] = t.SourceBytes
+		}
+		for _, ei := range g.InEdges(id) {
+			ed := g.Edge(ei)
+			k.inFrom = append(k.inFrom, int32(ed.From))
+			k.inBytes = append(k.inBytes, ed.Bytes)
+			k.inSigma = append(k.inSigma, streamSigma(g, ed.From, id))
+		}
+		k.inStart[v+1] = int32(len(k.inFrom))
+	}
+	for a := 0; a < nd; a++ {
+		for b := 0; b < nd; b++ {
+			da, db := &p.Devices[a], &p.Devices[b]
+			bw := da.Bandwidth
+			if db.Bandwidth < bw {
+				bw = db.Bandwidth
+			}
+			k.pairLat[a*nd+b] = da.Latency + db.Latency
+			k.pairBW[a*nd+b] = bw
+		}
+	}
+	return k
+}
+
+// simState is the per-goroutine mutable scratch of one kernel.
+type simState struct {
+	start, finish []float64
+	free          []float64 // flattened per-device slot next-free times
+	area          []float64
+	mbuf          []int // patched-mapping buffer for Op evaluation
+	basePtr       *int  // identity of the Base currently copied into mbuf
+
+	// stamp/epoch discriminate, during a resumed simulation, tasks placed
+	// by this run (read from start/finish) from tasks placed before the
+	// resume point (read from the batch prefix): stamp[v] == epoch iff v
+	// was placed by the current simOrder call.
+	stamp []uint64
+	epoch uint64
+}
+
+func (k *kernel) newState() *simState {
+	return &simState{
+		start:  make([]float64, k.n),
+		finish: make([]float64, k.n),
+		free:   make([]float64, k.numSlots),
+		area:   make([]float64, k.nd),
+		mbuf:   make([]int, k.n),
+		stamp:  make([]uint64, k.n),
+	}
+}
+
+// batchPrefix is the recorded simulation of a batch's shared base
+// mapping: per order, the start/finish time of every task plus, per
+// order position, the device-slot next-free times and the running
+// makespan immediately before that position was placed. A patched
+// candidate differs from the base only at its patched tasks, so each of
+// its order simulations restores the checkpoint at the first patched
+// position and replays only the suffix — on average half the schedule,
+// on top of the early-exit savings. The prefix is written once (by the
+// goroutine issuing the batch) and read concurrently by the workers.
+type batchPrefix struct {
+	start, finish []float64 // [o*n + v]
+	freeCkpt      []float64 // [(o*n + i)*numSlots + s]
+	msCkpt        []float64 // [o*n + i]
+}
+
+func (k *kernel) newPrefix() *batchPrefix {
+	on := k.numOrders * k.n
+	return &batchPrefix{
+		start:    make([]float64, on),
+		finish:   make([]float64, on),
+		freeCkpt: make([]float64, on*k.numSlots),
+		msCkpt:   make([]float64, on),
+	}
+}
+
+// feasible mirrors model.Evaluator.Feasible bit-for-bit (same per-device
+// accumulation order).
+func (k *kernel) feasible(st *simState, m []int) bool {
+	for d := range st.area {
+		st.area[d] = 0
+	}
+	overflow := false
+	for v, d := range m {
+		a := k.taskArea[v]
+		if a == 0 {
+			continue
+		}
+		if capacity := k.devArea[d]; capacity > 0 {
+			st.area[d] += a
+			if st.area[d] > capacity {
+				overflow = true
+			}
+		}
+	}
+	return !overflow
+}
+
+// transfer is platform.TransferTime over the precomputed pair tables; the
+// floating-point expression shape matches exactly.
+func (k *kernel) transfer(a, b int, bytes float64) float64 {
+	if a == b || bytes == 0 {
+		return 0
+	}
+	pi := a*k.nd + b
+	return k.pairLat[pi] + bytes/k.pairBW[pi]
+}
+
+// simOrder simulates the o-th schedule order of mapping m, resuming at
+// position i0 from the recorded base prefix pre (pass i0 = 0, pre = nil
+// for a from-scratch simulation). It returns the makespan and true if
+// the simulation ran to completion; if the partial makespan ever exceeds
+// bound, it aborts and returns (partial, false). Every floating-point
+// operation matches model.Evaluator.MakespanOrder in value and sequence
+// (resuming replays the identical suffix arithmetic, since no patched
+// task occurs before i0), so completed simulations are bit-identical to
+// the reference.
+//
+// When rec is non-nil the simulation additionally records order o into
+// it — per-task start/finish plus per-position slot/makespan checkpoints
+// — for later resumption (see buildPrefix); recording requires i0 = 0,
+// pre = nil and an infinite bound, and routes the task times into rec's
+// arrays so the one placement loop serves both modes and cannot drift.
+func (k *kernel) simOrder(st *simState, m []int, o int, i0 int, pre *batchPrefix, bound float64, rec *batchPrefix) (float64, bool) {
+	n := k.n
+	var makespan float64
+	var preStart, preFinish []float64
+	if i0 > 0 {
+		copy(st.free, pre.freeCkpt[(o*n+i0)*k.numSlots:(o*n+i0+1)*k.numSlots])
+		makespan = pre.msCkpt[o*n+i0]
+		if makespan > bound {
+			// The base prefix alone already exceeds the bound; a
+			// from-scratch simulation would have aborted within it.
+			return makespan, false
+		}
+		preStart = pre.start[o*n : (o+1)*n]
+		preFinish = pre.finish[o*n : (o+1)*n]
+	} else {
+		for i := range st.free {
+			st.free[i] = 0
+		}
+		// With i0 == 0 every predecessor is placed by this run, so the
+		// prefix arrays are never read.
+		preStart, preFinish = st.start, st.finish
+	}
+	st.epoch++
+	epoch, stamp := st.epoch, st.stamp
+	start, finish, free := st.start, st.finish, st.free
+	if rec != nil {
+		// Record mode: task times land in the recording's per-order rows.
+		// Placed predecessors still resolve correctly — their stamps match
+		// this epoch, and both read branches alias the same rows.
+		start = rec.start[o*n : (o+1)*n]
+		finish = rec.finish[o*n : (o+1)*n]
+		preStart, preFinish = start, finish
+	}
+	for pi, v32 := range k.orders[o*n+i0 : (o+1)*n] {
+		if rec != nil {
+			copy(rec.freeCkpt[(o*n+pi)*k.numSlots:(o*n+pi+1)*k.numSlots], free)
+			rec.msCkpt[o*n+pi] = makespan
+		}
+		v := int(v32)
+		d := m[v]
+		ready := 0.0
+		if eb := k.entryBytes[v]; eb > 0 {
+			// Entry task: source data arrives from the host device.
+			ready = k.transfer(k.host, d, eb)
+		}
+		var streamDrain float64 // extra finish constraint from streaming preds
+		execD := k.exec[d*n : (d+1)*n]
+		lo, hi := k.inStart[v], k.inStart[v+1]
+		if k.devStreaming[d] {
+			for i := lo; i < hi; i++ {
+				u := int(k.inFrom[i])
+				su, fu := preStart[u], preFinish[u]
+				if stamp[u] == epoch {
+					su, fu = start[u], finish[u]
+				}
+				if m[u] == d {
+					if sigma := k.inSigma[i]; sigma > 0 {
+						// Dataflow streaming: v may begin once u emits its
+						// first chunk, and must drain after u finishes.
+						if t := su + execD[u]/sigma; t > ready {
+							ready = t
+						}
+						if t := fu + execD[v]/sigma; t > streamDrain {
+							streamDrain = t
+						}
+						continue
+					}
+				}
+				if t := fu + k.transfer(m[u], d, k.inBytes[i]); t > ready {
+					ready = t
+				}
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				u := int(k.inFrom[i])
+				fu := preFinish[u]
+				if stamp[u] == epoch {
+					fu = finish[u]
+				}
+				if t := fu + k.transfer(m[u], d, k.inBytes[i]); t > ready {
+					ready = t
+				}
+			}
+		}
+		startT := ready
+		slot := -1
+		if !k.devSpatial[d] {
+			// Earliest-free slot of the device.
+			slot = int(k.slotStart[d])
+			for s := slot + 1; s < int(k.slotStart[d+1]); s++ {
+				if free[s] < free[slot] {
+					slot = s
+				}
+			}
+			if free[slot] > startT {
+				startT = free[slot]
+			}
+		}
+		fin := startT + execD[v]
+		if streamDrain > fin {
+			fin = streamDrain
+		}
+		start[v], finish[v] = startT, fin
+		stamp[v] = epoch
+		if slot >= 0 {
+			free[slot] = fin
+		}
+		if fin > makespan {
+			makespan = fin
+			if makespan > bound {
+				// The running makespan is monotone non-decreasing, so this
+				// order's final makespan is >= the bound: it can neither
+				// become the schedule-set minimum (bound <= best completed
+				// order) nor beat the caller's cutoff.
+				return makespan, false
+			}
+		}
+	}
+	return makespan, true
+}
+
+// buildPrefix records the full (no early exit) simulation of base into
+// pre: per-order start/finish times plus per-position slot and makespan
+// checkpoints, via simOrder's record mode — the same placement loop that
+// later resumes from the recording, so the two cannot drift and resumed
+// suffixes continue bit-identically. Infeasibility of the base is
+// irrelevant here — the prefix only supplies the shared schedule state.
+func (k *kernel) buildPrefix(st *simState, base []int, pre *batchPrefix) {
+	for o := 0; o < k.numOrders; o++ {
+		k.simOrder(st, base, o, 0, nil, math.Inf(1), pre)
+	}
+}
+
+// makespan evaluates mapping m over the kernel's schedule set with
+// bounded early exit. The result is the exact schedule-set minimum
+// (bit-identical to the reference simulation) whenever it is <= cutoff;
+// otherwise some partial lower bound > cutoff is returned. Infeasible
+// mappings yield Infeasible.
+func (k *kernel) makespan(st *simState, m []int, cutoff float64) float64 {
+	if !k.feasible(st, m) {
+		return Infeasible
+	}
+	best := math.Inf(1)     // min over completed orders
+	minAbort := math.Inf(1) // min over aborted partials (all > cutoff-ish)
+	for o := 0; o < k.numOrders; o++ {
+		bound := cutoff
+		if best < bound {
+			bound = best
+		}
+		ms, complete := k.simOrder(st, m, o, 0, nil, bound, nil)
+		if complete {
+			if ms < best {
+				best = ms
+			}
+		} else if ms < minAbort {
+			minAbort = ms
+		}
+	}
+	if !math.IsInf(best, 1) {
+		return best
+	}
+	// Every order aborted against the caller's cutoff; report the smallest
+	// partial makespan observed. It exceeds the cutoff by construction and
+	// lower-bounds the true makespan.
+	return minAbort
+}
+
+// makespanResume is makespan for a patched mapping m whose unpatched
+// base was recorded into pre: each order resumes at the first position
+// holding a patched task, replaying only the suffix. Exactness contract
+// as in makespan.
+func (k *kernel) makespanResume(st *simState, m []int, patch []graph.NodeID, pre *batchPrefix, cutoff float64) float64 {
+	if !k.feasible(st, m) {
+		return Infeasible
+	}
+	n := k.n
+	best := math.Inf(1)
+	minAbort := math.Inf(1)
+	for o := 0; o < k.numOrders; o++ {
+		bound := cutoff
+		if best < bound {
+			bound = best
+		}
+		i0 := n
+		for _, v := range patch {
+			if p := int(k.pos[o*n+int(v)]); p < i0 {
+				i0 = p
+			}
+		}
+		ms, complete := k.simOrder(st, m, o, i0, pre, bound, nil)
+		if complete {
+			if ms < best {
+				best = ms
+			}
+		} else if ms < minAbort {
+			minAbort = ms
+		}
+	}
+	if !math.IsInf(best, 1) {
+		return best
+	}
+	return minAbort
+}

@@ -1,0 +1,92 @@
+package eval_test
+
+// Concurrency tests for the batch engine; run with -race in CI. One
+// engine is shared by many goroutines issuing overlapping EvaluateBatch
+// and Makespan calls, and every call must produce the same
+// scheduling-independent results.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spmap/internal/eval"
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/platform"
+)
+
+func TestEvaluateBatchConcurrentUse(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(5))
+	g := gen.SeriesParallel(rng, 60, gen.DefaultAttr())
+	eng := eval.NewEngineSchedules(g, p, 12, 2, eval.Options{Workers: 4})
+
+	base := mapping.Baseline(g, p)
+	var ops []eval.Op
+	for v := 0; v < g.NumTasks(); v += 3 {
+		for d := 0; d < p.NumDevices(); d++ {
+			ops = append(ops, eval.Op{Base: base, Patch: []graph.NodeID{graph.NodeID(v)}, Device: d})
+		}
+	}
+	want := eng.EvaluateBatch(ops, math.Inf(1))
+
+	const callers = 6
+	results := make([][]float64, callers)
+	single := make([]float64, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			// Interleave batch and single evaluations on the shared engine.
+			single[c] = eng.Makespan(base)
+			results[c] = eng.EvaluateBatch(ops, math.Inf(1))
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if single[c] != single[0] {
+			t.Fatalf("caller %d: single makespan %v != %v", c, single[c], single[0])
+		}
+		for i := range want {
+			if results[c][i] != want[i] {
+				t.Fatalf("caller %d op %d: %v != %v (scheduling-dependent result)", c, i, results[c][i], want[i])
+			}
+		}
+	}
+}
+
+func TestEvaluateBatchCutoffConcurrent(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(6))
+	g := gen.AlmostSeriesParallel(rng, 40, 15, gen.DefaultAttr())
+	eng := eval.NewEngineSchedules(g, p, 8, 3, eval.Options{})
+	base := mapping.Baseline(g, p)
+	incumbent := eng.Makespan(base)
+
+	var ops []eval.Op
+	for v := 0; v < g.NumTasks(); v++ {
+		for d := 0; d < p.NumDevices(); d++ {
+			ops = append(ops, eval.Op{Base: base, Patch: []graph.NodeID{graph.NodeID(v)}, Device: d})
+		}
+	}
+	want := eng.EvaluateBatch(ops, incumbent)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := eng.EvaluateBatch(ops, incumbent)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("op %d: %v != %v", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -37,6 +37,7 @@ func CutPolicyAblation(cfg Config) *Table {
 					Strategy:  decomp.SeriesParallel,
 					Heuristic: decomp.FirstFit,
 					SP:        sp.Options{Policy: pol, Seed: seed},
+					Workers:   cfg.Workers,
 				})
 				if err != nil {
 					panic(err)
@@ -70,6 +71,7 @@ func GammaAblation(cfg Config) *Table {
 					Strategy:  decomp.SeriesParallel,
 					Heuristic: decomp.GammaThreshold,
 					Gamma:     gm,
+					Workers:   cfg.Workers,
 				})
 				if err != nil {
 					panic(err)
@@ -78,7 +80,7 @@ func GammaAblation(cfg Config) *Table {
 			},
 		})
 	}
-	algos = append(algos, algoDecomp("Basic", decomp.SeriesParallel, decomp.Basic))
+	algos = append(algos, algoDecomp(cfg, "Basic", decomp.SeriesParallel, decomp.Basic))
 	return sweep(cfg, "ablation-gamma", "Gamma-threshold sweep (random SP graphs)", "tasks", xs, algos, mk)
 }
 
@@ -103,6 +105,7 @@ func ScheduleCountAblation(cfg Config) *Table {
 			evMap := model.NewEvaluator(g, p).WithSchedules(k, seed+1)
 			m, _, err := decomp.MapWithEvaluator(evMap, decomp.Options{
 				Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
 				panic(err)

@@ -44,6 +44,11 @@ type Config struct {
 	MILPTimeLimit time.Duration
 	// Platform overrides the evaluation platform (default Reference()).
 	Platform *platform.Platform
+	// Workers bounds the evaluation engine's worker pool used by the
+	// decomposition mappers and the GA (0 selects GOMAXPROCS, 1 forces
+	// serial — useful for like-for-like timing comparisons). Results are
+	// identical for any value.
+	Workers int
 }
 
 func (c Config) graphs() int {
@@ -187,9 +192,11 @@ func sweep(cfg Config, id, title, xlabel string, xs []int, algos []Algorithm,
 
 // Standard algorithm constructors.
 
-func algoDecomp(name string, strat decomp.Strategy, h decomp.Heuristic) Algorithm {
+func algoDecomp(cfg Config, name string, strat decomp.Strategy, h decomp.Heuristic) Algorithm {
 	return Algorithm{Name: name, Run: func(ev *model.Evaluator, seed int64) mapping.Mapping {
-		m, _, err := decomp.MapWithEvaluator(ev, decomp.Options{Strategy: strat, Heuristic: h})
+		m, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+			Strategy: strat, Heuristic: h, Workers: cfg.Workers,
+		})
 		if err != nil {
 			panic(err)
 		}
@@ -205,7 +212,9 @@ func algoHEFT(v heft.Variant) Algorithm {
 
 func algoGA(cfg Config) Algorithm {
 	return Algorithm{Name: "NSGAII", Run: func(ev *model.Evaluator, seed int64) mapping.Mapping {
-		m, _ := ga.MapWithEvaluator(ev, ga.Options{Generations: cfg.gaGens(), Seed: seed})
+		m, _ := ga.MapWithEvaluator(ev, ga.Options{
+			Generations: cfg.gaGens(), Seed: seed, Workers: cfg.Workers,
+		})
 		return m
 	}}
 }
@@ -230,8 +239,8 @@ func Fig3(cfg Config) *Table {
 		algoMILP("WGDPTime", milp.WGDPTime, cfg, 30),
 		algoMILP("WGDPDevice", milp.WGDPDevice, cfg, 0),
 		algoMILP("ZhouLiu", milp.ZhouLiu, cfg, zhouMax),
-		algoDecomp("SingleNode", decomp.SingleNode, decomp.Basic),
-		algoDecomp("SeriesParallel", decomp.SeriesParallel, decomp.Basic),
+		algoDecomp(cfg, "SingleNode", decomp.SingleNode, decomp.Basic),
+		algoDecomp(cfg, "SeriesParallel", decomp.SeriesParallel, decomp.Basic),
 	}
 	return sweep(cfg, "fig3", "Decomposition mapping vs. MILPs (random SP graphs)", "tasks",
 		xs, algos, func(x int, rng *rand.Rand) *graph.DAG {
@@ -249,10 +258,10 @@ func Fig4(cfg Config) *Table {
 	algos := []Algorithm{
 		algoHEFT(heft.HEFT),
 		algoHEFT(heft.PEFT),
-		algoDecomp("SingleNode", decomp.SingleNode, decomp.Basic),
-		algoDecomp("SeriesParallel", decomp.SeriesParallel, decomp.Basic),
-		algoDecomp("SNFirstFit", decomp.SingleNode, decomp.FirstFit),
-		algoDecomp("SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
+		algoDecomp(cfg, "SingleNode", decomp.SingleNode, decomp.Basic),
+		algoDecomp(cfg, "SeriesParallel", decomp.SeriesParallel, decomp.Basic),
+		algoDecomp(cfg, "SNFirstFit", decomp.SingleNode, decomp.FirstFit),
+		algoDecomp(cfg, "SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
 	}
 	return sweep(cfg, "fig4", "List scheduling vs. decomposition mapping (random SP graphs)", "tasks",
 		xs, algos, func(x int, rng *rand.Rand) *graph.DAG {
@@ -268,8 +277,8 @@ func Fig5(cfg Config) *Table {
 		xs = steps(5, 100, 5)
 	}
 	algos := []Algorithm{
-		algoDecomp("SNFirstFit", decomp.SingleNode, decomp.FirstFit),
-		algoDecomp("SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
+		algoDecomp(cfg, "SNFirstFit", decomp.SingleNode, decomp.FirstFit),
+		algoDecomp(cfg, "SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
 		algoGA(cfg),
 	}
 	return sweep(cfg, "fig5", "Genetic algorithm vs. FirstFit decomposition (random SP graphs)", "tasks",
@@ -294,8 +303,8 @@ func Fig6(cfg Config) *Table {
 		return gen.SeriesParallel(rng, n, gen.DefaultAttr())
 	}
 	algos := []Algorithm{
-		algoDecomp("SNFirstFit", decomp.SingleNode, decomp.FirstFit),
-		algoDecomp("SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
+		algoDecomp(cfg, "SNFirstFit", decomp.SingleNode, decomp.FirstFit),
+		algoDecomp(cfg, "SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
 	}
 	t := &Table{ID: "fig6", Title: fmt.Sprintf("NSGA-II generations tradeoff (%d-node random SP graphs)", n), XLabel: "generations"}
 	ref := make([]*Series, len(algos))
@@ -330,8 +339,8 @@ func Fig7(cfg Config) *Table {
 		algoHEFT(heft.HEFT),
 		algoHEFT(heft.PEFT),
 		algoGA(cfg),
-		algoDecomp("SNFirstFit", decomp.SingleNode, decomp.FirstFit),
-		algoDecomp("SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
+		algoDecomp(cfg, "SNFirstFit", decomp.SingleNode, decomp.FirstFit),
+		algoDecomp(cfg, "SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
 	}
 	return sweep(cfg, "fig7", "Almost series-parallel graphs (100 nodes, extra conflicting edges)", "extra edges",
 		xs, algos, func(x int, rng *rand.Rand) *graph.DAG {
@@ -362,8 +371,8 @@ func Table1(cfg Config) []WFRow {
 		algoHEFT(heft.HEFT),
 		algoHEFT(heft.PEFT),
 		algoGA(cfg),
-		algoDecomp("SNFirstFit", decomp.SingleNode, decomp.FirstFit),
-		algoDecomp("SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
+		algoDecomp(cfg, "SNFirstFit", decomp.SingleNode, decomp.FirstFit),
+		algoDecomp(cfg, "SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
 	}
 	var rows []WFRow
 	for _, fam := range wf.Families() {

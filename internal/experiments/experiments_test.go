@@ -45,6 +45,9 @@ func checkTable(t *testing.T, tab *Table, wantSeries []string) {
 }
 
 func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep; run without -short")
+	}
 	tab := Fig4(tinyCfg())
 	checkTable(t, tab, []string{"HEFT", "PEFT", "SingleNode", "SeriesParallel", "SNFirstFit", "SPFirstFit"})
 }
@@ -55,6 +58,9 @@ func TestFig5Quick(t *testing.T) {
 }
 
 func TestFig6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep; run without -short")
+	}
 	cfg := tinyCfg()
 	tab := Fig6(cfg)
 	checkTable(t, tab, []string{"SNFirstFit", "SPFirstFit", "NSGAII"})
@@ -70,6 +76,9 @@ func TestFig7Quick(t *testing.T) {
 }
 
 func TestFig3QuickRestrictsZhouLiu(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep; run without -short")
+	}
 	cfg := tinyCfg()
 	tab := Fig3(cfg)
 	checkTable(t, tab, []string{"WGDPTime", "WGDPDevice", "ZhouLiu", "SingleNode", "SeriesParallel"})
@@ -111,6 +120,9 @@ func TestTable1Quick(t *testing.T) {
 }
 
 func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep; run without -short")
+	}
 	cfg := tinyCfg()
 	checkTable(t, CutPolicyAblation(cfg), []string{"cut-random", "cut-smallest", "cut-largest"})
 	gt := GammaAblation(cfg)

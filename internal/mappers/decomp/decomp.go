@@ -10,9 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
+	"spmap/internal/eval"
 	"spmap/internal/graph"
 	"spmap/internal/mapping"
 	"spmap/internal/model"
@@ -87,9 +86,10 @@ type Options struct {
 	// return model.Infeasible for infeasible mappings; the multi-objective
 	// extension (energy, EDP, weighted scalarizations) plugs in here.
 	Objective model.Objective
-	// Workers > 1 evaluates the mapping operations of each Basic
-	// iteration concurrently on cloned evaluators. The result is
-	// identical to the serial run (the reduction is deterministic);
+	// Workers bounds the evaluation engine's worker pool for Basic's
+	// batched operation re-evaluation (0 selects GOMAXPROCS, 1 forces
+	// serial). The result is identical for any value — the batch API
+	// returns index-aligned results and the reduction is deterministic.
 	// GammaThreshold/FirstFit are inherently sequential and ignore this.
 	Workers int
 }
@@ -169,37 +169,47 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 		}
 	}
 
-	// evalOp applies op o in place, measures, and rolls back. It returns
-	// the absolute improvement over `best` (negative when worse).
+	// nb is the engine evaluation session around the incumbent mapping,
+	// assigned by the GammaThreshold/FirstFit branch when the objective
+	// is the default makespan; it amortizes the shared simulation prefix
+	// across the sequential candidate evaluations of an iteration. Basic
+	// evaluates whole batches instead, and custom objectives evaluate
+	// through their closure.
+	var nb *eval.Neighborhood
+
+	// evalOp measures applying op o to the incumbent. It returns the
+	// absolute improvement over `best` (negative when worse).
 	saved := make([]int, 0, 64)
 	evalOp := func(o mapOp) float64 {
-		changed := false
-		saved = saved[:0]
-		for _, v := range o.sg {
-			saved = append(saved, m[v])
-			if m[v] != o.dev {
-				changed = true
+		if !o.changes(m) {
+			return 0
+		}
+		stats.Evaluations++
+		var ms float64
+		if nb != nil {
+			ms = nb.Evaluate(o.sg, o.dev, math.Inf(1))
+		} else {
+			saved = saved[:0]
+			for _, v := range o.sg {
+				saved = append(saved, m[v])
+				m[v] = o.dev
 			}
-			m[v] = o.dev
-		}
-		var delta float64
-		if changed {
-			stats.Evaluations++
-			ms := cost(m)
-			if ms == model.Infeasible {
-				delta = math.Inf(-1)
-			} else {
-				delta = best - ms
+			ms = cost(m)
+			for i, v := range o.sg {
+				m[v] = saved[i]
 			}
 		}
-		for i, v := range o.sg {
-			m[v] = saved[i]
+		if ms == model.Infeasible {
+			return math.Inf(-1)
 		}
-		return delta
+		return best - ms
 	}
 	apply := func(o mapOp) {
 		for _, v := range o.sg {
 			m[v] = o.dev
+		}
+		if nb != nil {
+			nb.Reset() // the incumbent changed; the recorded prefix is stale
 		}
 		best = cost(m)
 		stats.Evaluations++
@@ -209,30 +219,35 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 
 	switch opt.Heuristic {
 	case Basic:
-		workers := opt.Workers
-		if workers < 1 {
-			workers = 1
-		}
 		if opt.Objective != nil {
-			// Custom objectives may close over shared state; evaluate
-			// them serially.
-			workers = 1
-		}
-		for stats.Iterations < maxIter {
-			bestOp, bestDelta := -1, minImprove()
-			if workers == 1 {
+			// Custom objectives may close over shared state; evaluate them
+			// serially through the plain callback.
+			for stats.Iterations < maxIter {
+				bestOp, bestDelta := -1, minImprove()
 				for i := range ops {
 					if d := evalOp(ops[i]); d > bestDelta {
 						bestOp, bestDelta = i, d
 					}
 				}
-			} else {
-				deltas := parallelDeltas(ev, m, best, ops, workers)
-				stats.Evaluations += len(ops)
-				for i, d := range deltas {
-					if d > bestDelta {
-						bestOp, bestDelta = i, d
-					}
+				if bestOp < 0 {
+					break
+				}
+				apply(ops[bestOp])
+			}
+			break
+		}
+		// Default (makespan) objective: re-evaluate every operation of the
+		// iteration as one engine batch. The cutoff rejects any candidate
+		// that cannot beat the incumbent by more than the improvement
+		// epsilon, so most simulations abort after a few tasks; results at
+		// or below the cutoff are exact, making the argmax reduction
+		// bit-identical to the serial scan.
+		eng := batchEngine(ev, opt)
+		for stats.Iterations < maxIter {
+			bestOp, bestDelta := -1, minImprove()
+			for i, d := range batchDeltas(eng, ops, m, best, best-bestDelta, &stats) {
+				if d > bestDelta {
+					bestOp, bestDelta = i, d
 				}
 			}
 			if bestOp < 0 {
@@ -247,10 +262,20 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 			gamma = 1
 		}
 		// Expected improvements seed the priority ordering; they are
-		// refreshed whenever an operation is re-evaluated (§III-D).
-		expected := make([]float64, len(ops))
-		for i := range ops {
-			expected[i] = evalOp(ops[i])
+		// refreshed whenever an operation is re-evaluated (§III-D). With
+		// the default objective the seeding pass runs as one parallel
+		// batch (exact evaluations, so the values match the serial scan);
+		// the look-ahead loop below is inherently sequential.
+		var expected []float64
+		if opt.Objective == nil {
+			nb = ev.Engine().Neighborhood(m)
+			defer nb.Close()
+			expected = batchDeltas(batchEngine(ev, opt), ops, m, best, math.Inf(1), &stats)
+		} else {
+			expected = make([]float64, len(ops))
+			for i := range ops {
+				expected[i] = evalOp(ops[i])
+			}
 		}
 		order := make([]int, len(ops))
 		for stats.Iterations < maxIter {
@@ -295,48 +320,49 @@ type mapOp struct {
 	dev int
 }
 
-// parallelDeltas evaluates the improvement of every operation relative to
-// the current mapping m with objective "makespan under ev", fanning the
-// work out over `workers` goroutines with cloned evaluators and private
-// mapping copies. The returned slice is index-aligned with ops, so the
-// subsequent reduction is deterministic regardless of scheduling.
-func parallelDeltas(ev *model.Evaluator, m mapping.Mapping, best float64, ops []mapOp, workers int) []float64 {
-	deltas := make([]float64, len(ops))
-	var wg sync.WaitGroup
-	next := int64(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			lev := ev.Clone()
-			lm := m.Clone()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(ops) {
-					return
-				}
-				o := ops[i]
-				changed := false
-				for _, v := range o.sg {
-					if lm[v] != o.dev {
-						changed = true
-					}
-					lm[v] = o.dev
-				}
-				if changed {
-					ms := lev.Makespan(lm)
-					if ms == model.Infeasible {
-						deltas[i] = math.Inf(-1)
-					} else {
-						deltas[i] = best - ms
-					}
-				}
-				for _, v := range o.sg {
-					lm[v] = m[v]
-				}
-			}
-		}()
+// changes reports whether applying o to m would alter it.
+func (o mapOp) changes(m mapping.Mapping) bool {
+	for _, v := range o.sg {
+		if m[v] != o.dev {
+			return true
+		}
 	}
-	wg.Wait()
+	return false
+}
+
+// batchEngine returns the shared evaluation engine sized to opt.Workers.
+func batchEngine(ev *model.Evaluator, opt Options) *eval.Engine {
+	eng := ev.Engine()
+	if opt.Workers > 0 {
+		eng = eng.WithWorkers(opt.Workers)
+	}
+	return eng
+}
+
+// batchDeltas evaluates every operation that would change m as one
+// engine batch against the incumbent cost `best` and returns the
+// improvement deltas aligned with ops: 0 for no-op operations, -Inf for
+// infeasible results, best - makespan otherwise. Results above the
+// cutoff follow the engine's clamping contract (they can never exceed
+// best - cutoff, so a cutoff of best - epsilon keeps any delta that
+// could be selected exact).
+func batchDeltas(eng *eval.Engine, ops []mapOp, m mapping.Mapping, best, cutoff float64, stats *Stats) []float64 {
+	batch := make([]eval.Op, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i := range ops {
+		if ops[i].changes(m) {
+			batch = append(batch, eval.Op{Base: m, Patch: ops[i].sg, Device: ops[i].dev})
+			idx = append(idx, i)
+		}
+	}
+	deltas := make([]float64, len(ops))
+	for j, ms := range eng.EvaluateBatch(batch, cutoff) {
+		stats.Evaluations++
+		if ms == model.Infeasible {
+			deltas[idx[j]] = math.Inf(-1)
+		} else {
+			deltas[idx[j]] = best - ms
+		}
+	}
 	return deltas
 }

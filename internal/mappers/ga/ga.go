@@ -9,8 +9,10 @@
 package ga
 
 import (
+	"math"
 	"math/rand"
 
+	"spmap/internal/eval"
 	"spmap/internal/graph"
 	"spmap/internal/mapping"
 	"spmap/internal/model"
@@ -39,8 +41,14 @@ type Options struct {
 	SkipBaseline bool
 	// Fitness overrides the minimized cost function (default: the
 	// evaluator's schedule-set makespan); the multi-objective extension
-	// plugs in here.
+	// plugs in here. Custom fitness functions are evaluated serially;
+	// the default makespan fitness is batch-parallel.
 	Fitness model.Objective
+	// Workers bounds the evaluation engine's worker pool for the default
+	// fitness (0 selects GOMAXPROCS, 1 forces serial). The evolution is
+	// identical for any value: populations are evaluated as index-aligned
+	// batches and no random draw depends on evaluation order.
+	Workers int
 }
 
 // Stats reports GA effort and convergence.
@@ -89,15 +97,39 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 		rng = rand.New(rand.NewSource(opt.Seed))
 	}
 
-	fitness := opt.Fitness
-	if fitness == nil {
-		fitness = ev.MakespanObjective()
-	}
 	var stats Stats
-	evaluate := func(ind *individual) {
-		ind.genes.Repair(g, p)
-		ind.fitness = fitness(ind.genes)
-		stats.Evaluations++
+	// evaluateAll scores a slice of individuals. With the default makespan
+	// fitness the whole population goes through the evaluation engine as
+	// one batch (fanned out over the engine's worker pool); a custom
+	// fitness closure is called serially. Fitness evaluation consumes no
+	// randomness, so batching does not perturb the RNG stream and the
+	// evolution is identical to individual-at-a-time evaluation.
+	var evaluateAll func(inds []individual)
+	if opt.Fitness != nil {
+		evaluateAll = func(inds []individual) {
+			for i := range inds {
+				inds[i].genes.Repair(g, p)
+				inds[i].fitness = opt.Fitness(inds[i].genes)
+				stats.Evaluations++
+			}
+		}
+	} else {
+		eng := ev.Engine()
+		if opt.Workers > 0 {
+			eng = eng.WithWorkers(opt.Workers)
+		}
+		batch := make([]eval.Op, 0, 2*pop)
+		evaluateAll = func(inds []individual) {
+			batch = batch[:0]
+			for i := range inds {
+				inds[i].genes.Repair(g, p)
+				batch = append(batch, eval.Op{Base: inds[i].genes})
+			}
+			for i, ms := range eng.EvaluateBatch(batch, math.Inf(1)) {
+				inds[i].fitness = ms
+				stats.Evaluations++
+			}
+		}
 	}
 
 	// Genome order: genes are laid out in topological order so that
@@ -117,10 +149,9 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 				genes[v] = rng.Intn(p.NumDevices())
 			}
 		}
-		ind := individual{genes: genes}
-		evaluate(&ind)
-		individuals = append(individuals, ind)
+		individuals = append(individuals, individual{genes: genes})
 	}
+	evaluateAll(individuals)
 
 	tournament := func() *individual {
 		a, b := rng.Intn(pop), rng.Intn(pop)
@@ -164,14 +195,13 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 						c[v] = rng.Intn(p.NumDevices())
 					}
 				}
-				ind := individual{genes: c}
-				evaluate(&ind)
-				offspring = append(offspring, ind)
+				offspring = append(offspring, individual{genes: c})
 				if len(offspring) == pop {
 					break
 				}
 			}
 		}
+		evaluateAll(offspring)
 		// Elitist (mu+lambda) survivor selection.
 		individuals = append(individuals[:pop], offspring...)
 		selectBest(individuals, pop)

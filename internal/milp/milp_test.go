@@ -84,6 +84,9 @@ func TestBnBRespectsBudget(t *testing.T) {
 }
 
 func TestFormulationsProduceFeasibleMappings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second MILP solve sweep; run without -short")
+	}
 	p := platform.Reference()
 	for seed := int64(0); seed < 4; seed++ {
 		rng := rand.New(rand.NewSource(seed))

@@ -7,12 +7,18 @@
 // uses the breadth-first order of the graph; the reported makespan of a
 // mapping is the minimum over the breadth-first schedule and a number of
 // random topological schedules (paper §IV-A uses 100).
+//
+// Makespan evaluation delegates to the compiled kernel of package eval
+// (CSR-flattened schedule set, bounded early exit, batch parallelism via
+// Evaluator.Engine); MakespanOrder/ReferenceMakespan retain the
+// straightforward simulation as the engine's cross-check oracle.
 package model
 
 import (
 	"math"
 	"math/rand"
 
+	"spmap/internal/eval"
 	"spmap/internal/graph"
 	"spmap/internal/mapping"
 	"spmap/internal/platform"
@@ -45,6 +51,13 @@ type Evaluator struct {
 	start, finish []float64
 	free          [][]float64 // [device][slot] next-free time
 	area          []float64
+
+	// eng is the compiled evaluation engine for the current schedule set,
+	// built lazily on first use and invalidated by WithSchedules. Makespan
+	// evaluations delegate to it; MakespanOrder below remains the
+	// straightforward reference simulation the engine is cross-checked
+	// against.
+	eng *eval.Engine
 }
 
 func makeFree(p *platform.Platform) [][]float64 {
@@ -82,12 +95,30 @@ func NewEvaluator(g *graph.DAG, p *platform.Platform) *Evaluator {
 // and returns the evaluator. The paper's evaluation protocol uses
 // nRandom = 100 (§IV-A).
 func (e *Evaluator) WithSchedules(nRandom int, seed int64) *Evaluator {
-	e.orders = e.orders[:1]
+	// Build a fresh slice rather than truncating in place: clones share
+	// the orders backing array, and appending over it would silently
+	// rewrite a sibling evaluator's schedule set.
+	orders := make([][]graph.NodeID, 0, nRandom+1)
+	orders = append(orders, e.bfs)
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < nRandom; i++ {
-		e.orders = append(e.orders, e.G.RandomTopoOrder(rng.Intn))
+		orders = append(orders, e.G.RandomTopoOrder(rng.Intn))
 	}
+	e.orders = orders
+	e.eng = nil // schedule set changed: recompile on next use
 	return e
+}
+
+// Engine returns the compiled evaluation engine for the evaluator's
+// current schedule set, building it on first use. The engine shares the
+// evaluator's cost semantics (bit-identical makespans) but is safe for
+// concurrent use and exposes cutoff-bounded and batch evaluation; see
+// package eval.
+func (e *Evaluator) Engine() *eval.Engine {
+	if e.eng == nil {
+		e.eng = eval.NewEngine(e.G, e.P, e.orders, eval.Options{})
+	}
+	return e.eng
 }
 
 // NumSchedules returns the size of the fixed schedule set.
@@ -101,6 +132,7 @@ func (e *Evaluator) Clone() *Evaluator {
 		G: e.G, P: e.P, exec: e.exec, bfs: e.bfs, orders: e.orders,
 		start: make([]float64, n), finish: make([]float64, n),
 		free: makeFree(e.P), area: make([]float64, e.P.NumDevices()),
+		eng: e.eng, // the engine is immutable and concurrency-safe
 	}
 }
 
@@ -111,26 +143,7 @@ func (e *Evaluator) Clone() *Evaluator {
 // (FPGA-like) devices run a task as a pipeline at Peak x streamability.
 // Virtual tasks are free everywhere.
 func ExecTime(g *graph.DAG, v graph.NodeID, d *platform.Device) float64 {
-	t := g.Task(v)
-	if t.Virtual {
-		return 0
-	}
-	work := t.Complexity * g.InBytes(v)
-	if work == 0 {
-		return 0
-	}
-	if d.Streaming {
-		s := t.Streamability
-		if s < 1 {
-			s = 1
-		}
-		return work / (d.PeakOps * s)
-	}
-	// A task occupies one of the device's slots; its parallel part scales
-	// over the slot's share of the lanes.
-	p := t.Parallelizability
-	slotPeak := d.PeakOps / float64(d.NumSlots())
-	return work * (p/slotPeak + (1-p)/d.LaneOps())
+	return eval.ExecTime(g, v, d)
 }
 
 // Exec returns the precomputed execution time of task v on device d.
@@ -268,7 +281,28 @@ func (e *Evaluator) MakespanOrder(m mapping.Mapping, order []graph.NodeID) float
 // default; BFS + nRandom random orders after WithSchedules). The schedule
 // set is fixed per evaluator, so the cost function is deterministic, as
 // the greedy mappers' termination guarantee requires (§III-A).
+//
+// The evaluation runs on the compiled eval.Engine kernel (CSR-flattened
+// orders with bounded early exit); the result is bit-identical to
+// ReferenceMakespan.
 func (e *Evaluator) Makespan(m mapping.Mapping) float64 {
+	return e.Engine().Makespan(m)
+}
+
+// MakespanCutoff is Makespan with bounded early exit against the caller's
+// cutoff: the result is exact when <= cutoff, otherwise it is only a
+// certificate (and lower bound) that the makespan exceeds the cutoff.
+// Search loops pass their incumbent to reject non-improving candidates
+// cheaply.
+func (e *Evaluator) MakespanCutoff(m mapping.Mapping, cutoff float64) float64 {
+	return e.Engine().MakespanCutoff(m, cutoff)
+}
+
+// ReferenceMakespan computes Makespan with the retained straightforward
+// per-order simulation (no kernel, no early exit). It exists as the
+// cross-check oracle for the compiled engine and for schedule inspection;
+// production paths use Makespan.
+func (e *Evaluator) ReferenceMakespan(m mapping.Mapping) float64 {
 	best := e.MakespanOrder(m, e.orders[0])
 	if best == Infeasible {
 		return best

@@ -280,3 +280,39 @@ func TestRelativeImprovement(t *testing.T) {
 		t.Fatalf("halving the makespan = %v, want 0.5", got)
 	}
 }
+
+func TestCloneWithSchedulesDoesNotAliasOrders(t *testing.T) {
+	// Clone shares the orders backing array; a WithSchedules on the clone
+	// must not rewrite the original's schedule set in place (regression:
+	// the in-place truncate-and-append corrupted the sibling's orders and
+	// desynchronized them from its compiled engine).
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(14))
+	g := gen.SeriesParallel(rng, 40, gen.DefaultAttr())
+	ev := NewEvaluator(g, p).WithSchedules(10, 1)
+	before := append([][]graph.NodeID(nil), ev.orders...)
+	_ = ev.Makespan(mapping.Baseline(g, p)) // compile the engine from seed-1 orders
+
+	cl := ev.Clone()
+	cl.WithSchedules(10, 2)
+
+	for i, order := range ev.orders {
+		for j, v := range order {
+			if before[i][j] != v {
+				t.Fatalf("order %d changed at %d after clone.WithSchedules", i, j)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m := make(mapping.Mapping, g.NumTasks())
+		for v := range m {
+			m[v] = rng.Intn(p.NumDevices())
+		}
+		if got, want := ev.ReferenceMakespan(m), ev.Makespan(m); got != want {
+			t.Fatalf("mapping %d: reference %v != engine %v after clone re-schedule", i, got, want)
+		}
+		if got, want := cl.ReferenceMakespan(m), cl.Makespan(m); got != want {
+			t.Fatalf("mapping %d: clone reference %v != clone engine %v", i, got, want)
+		}
+	}
+}

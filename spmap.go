@@ -29,12 +29,32 @@
 //
 // Series-parallel machinery (decomposition forests for arbitrary DAGs,
 // paper Alg. 1) is exposed via Decompose and IsSeriesParallel.
+//
+// # Evaluation engine
+//
+// All makespan evaluation runs on a compiled evaluation engine
+// (internal/eval): the schedule orders and the graph's in-edges are
+// flattened into contiguous CSR-style arrays once per evaluator, each
+// schedule simulation aborts as soon as its partial makespan can no
+// longer become the schedule-set minimum, and batches of candidate
+// mappings are evaluated across a worker pool. Results are bit-identical
+// to the straightforward simulation, so the greedy mappers' deterministic
+// termination guarantee (§III-A) is unaffected.
+//
+// Concurrency contract: an Evaluator is single-goroutine (it keeps
+// scratch buffers; use Clone per goroutine), while an Engine — obtained
+// via NewEngine or Evaluator.Engine — is immutable and safe for
+// concurrent use from any number of goroutines. Engine.EvaluateBatch
+// returns index-aligned results, so reductions over a batch are
+// deterministic regardless of scheduling; the decomposition mappers and
+// the GA evaluate their candidate sets this way by default.
 package spmap
 
 import (
 	"math/rand"
 	"time"
 
+	"spmap/internal/eval"
 	"spmap/internal/gen"
 	"spmap/internal/graph"
 	"spmap/internal/mappers/decomp"
@@ -83,6 +103,16 @@ type Mapping = mapping.Mapping
 
 // Evaluator is the model-based cost function (makespan of a mapping).
 type Evaluator = model.Evaluator
+
+// Engine is the compiled, concurrency-safe evaluation engine behind the
+// cost function: single evaluations with optional cutoff-bounded early
+// exit plus batch evaluation over an internal worker pool.
+type Engine = eval.Engine
+
+// EngineOp is one request of an Engine.EvaluateBatch call: the Base
+// mapping with the tasks in Patch remapped to Device (nil Patch
+// evaluates Base as-is).
+type EngineOp = eval.Op
 
 // Series-parallel machinery.
 type (
@@ -140,6 +170,15 @@ func ReferencePlatform() *Platform { return platform.Reference() }
 // WithSchedules(n, seed) to evaluate mappings as the minimum over the BFS
 // and n random schedules (the paper uses n = 100).
 func NewEvaluator(g *DAG, p *Platform) *Evaluator { return model.NewEvaluator(g, p) }
+
+// NewEngine compiles a concurrency-safe evaluation engine for (g, p)
+// whose schedule set is the BFS order plus nRandom random topological
+// orders drawn from seed — the batch/cutoff counterpart of
+// NewEvaluator(g, p).WithSchedules(nRandom, seed), with bit-identical
+// makespans.
+func NewEngine(g *DAG, p *Platform, nRandom int, seed int64) *Engine {
+	return eval.NewEngineSchedules(g, p, nRandom, seed, eval.Options{})
+}
 
 // BaselineMapping returns the pure-CPU (default device) mapping.
 func BaselineMapping(g *DAG, p *Platform) Mapping { return mapping.Baseline(g, p) }
