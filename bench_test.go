@@ -19,6 +19,7 @@ import (
 	"spmap/internal/mappers/decomp"
 	"spmap/internal/mappers/ga"
 	"spmap/internal/mappers/heft"
+	"spmap/internal/mappers/localsearch"
 	"spmap/internal/mapping"
 	"spmap/internal/model"
 	"spmap/internal/platform"
@@ -232,6 +233,71 @@ func BenchmarkMapNSGAII100Gen50(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ga.MapWithEvaluator(ev, ga.Options{Generations: 50, Seed: int64(i)})
+	}
+}
+
+// Local-search benchmarks: end-to-end mapper runs under the paper's
+// 101-schedule protocol at a fixed engine-evaluation budget, plus the
+// GA at the same budget (default population x 50 generations + the
+// initial population = 5100 evaluations) for the equal-budget
+// comparison that BENCH_PR2.json records.
+
+const equalBudget = ga.DefaultPopulation * 51
+
+func benchLocalSearch(b *testing.B, n int, alg localsearch.Algorithm) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	ev.Makespan(mapping.Baseline(g, p)) // compile the kernel outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+			Algorithm: alg, Seed: 1, Budget: equalBudget,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapAnneal50(b *testing.B)     { benchLocalSearch(b, 50, localsearch.Anneal) }
+func BenchmarkMapAnneal100(b *testing.B)    { benchLocalSearch(b, 100, localsearch.Anneal) }
+func BenchmarkMapAnneal250(b *testing.B)    { benchLocalSearch(b, 250, localsearch.Anneal) }
+func BenchmarkMapHillClimb50(b *testing.B)  { benchLocalSearch(b, 50, localsearch.HillClimb) }
+func BenchmarkMapHillClimb100(b *testing.B) { benchLocalSearch(b, 100, localsearch.HillClimb) }
+func BenchmarkMapHillClimb250(b *testing.B) { benchLocalSearch(b, 250, localsearch.HillClimb) }
+
+// BenchmarkMapNSGAIIEqualBudget100 is the GA at exactly the
+// local-search benchmarks' evaluation budget — the ns/op ratio against
+// BenchmarkMapAnneal100 / BenchmarkMapHillClimb100 is the wall-clock
+// price of one evaluation budget under either metaheuristic.
+func BenchmarkMapNSGAIIEqualBudget100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	ev.Makespan(mapping.Baseline(g, p))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ga.MapWithEvaluator(ev, ga.Options{Generations: equalBudget/ga.DefaultPopulation - 1, Seed: 1})
+	}
+}
+
+// BenchmarkRefineSPFirstFit100 measures the refinement pass alone on a
+// decomposition mapping (half the equal budget, as in the experiments).
+func BenchmarkRefineSPFirstFit100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	m, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+		Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := localsearch.Refine(ev, m, localsearch.Options{Seed: 1, Budget: equalBudget / 2}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

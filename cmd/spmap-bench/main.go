@@ -9,6 +9,7 @@
 //	spmap-bench -exp fig4            # one experiment
 //	spmap-bench -exp all             # fig3 fig4 fig5 fig6 fig7 table1
 //	spmap-bench -exp ablation        # extension: cut policies, gamma sweep
+//	spmap-bench -exp localsearch     # extension: GA vs anneal/hill-climb vs decomp+refine
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
 package main
 
@@ -28,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap-bench: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation all")
+		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch all")
 		paper     = flag.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = flag.Int("graphs", 0, "override graphs per data point")
 		schedules = flag.Int("schedules", 0, "override random schedules in the cost function")
@@ -105,6 +106,8 @@ func main() {
 			emit(experiments.GammaAblation(cfg))
 			fmt.Println()
 			emit(experiments.ScheduleCountAblation(cfg))
+		case "localsearch":
+			emit(experiments.LocalSearchComparison(cfg))
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}

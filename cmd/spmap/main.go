@@ -4,10 +4,13 @@
 // Usage:
 //
 //	spmap -graph app.json [-platform platform.json] [-algo spfirstfit]
-//	      [-schedules 100] [-gamma 2] [-json]
+//	      [-schedules 100] [-gamma 2] [-refine] [-json]
 //
 // Algorithms: singlenode, seriesparallel, snfirstfit, spfirstfit, gamma,
-// heft, peft, nsga2, milp-device, milp-time, milp-zhouliu.
+// heft, peft, nsga2, anneal, hillclimb, milp-device, milp-time,
+// milp-zhouliu. The -refine flag polishes any algorithm's mapping with
+// local-search refinement (never worse, deterministic under -seed for
+// any -workers value).
 package main
 
 import (
@@ -35,7 +38,10 @@ func main() {
 		gamma        = flag.Float64("gamma", 2, "gamma for -algo gamma")
 		gaGens       = flag.Int("generations", 500, "NSGA-II generations")
 		milpBudget   = flag.Duration("milp-budget", 30*time.Second, "MILP time limit")
-		seed         = flag.Int64("seed", 1, "RNG seed (schedules, GA)")
+		lsBudget     = flag.Int("ls-budget", 0, "local-search / -refine evaluation budget (0 = default 50100)")
+		refine       = flag.Bool("refine", false, "polish the mapping with local-search refinement")
+		workers      = flag.Int("workers", 0, "evaluation-engine worker pool (0 = GOMAXPROCS; results are identical)")
+		seed         = flag.Int64("seed", 1, "RNG seed (schedules, GA, local search)")
 		asJSON       = flag.Bool("json", false, "emit machine-readable JSON")
 		dotOut       = flag.String("dot", "", "write the mapped task graph as Graphviz DOT to this file")
 		gantt        = flag.Bool("gantt", false, "print a textual Gantt chart of the best schedule")
@@ -67,23 +73,39 @@ func main() {
 	start := time.Now()
 	var m spmap.Mapping
 	var stats *spmap.MapperStats
+	var lsStats *spmap.LocalSearchStats
 	switch *algo {
 	case "singlenode":
-		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.Basic, 0)
+		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.Basic, 0, *workers)
 	case "seriesparallel":
-		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.Basic, 0)
+		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.Basic, 0, *workers)
 	case "snfirstfit":
-		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.FirstFit, 0)
+		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.FirstFit, 0, *workers)
 	case "spfirstfit":
-		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.FirstFit, 0)
+		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.FirstFit, 0, *workers)
 	case "gamma":
-		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.GammaThreshold, *gamma)
+		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.GammaThreshold, *gamma, *workers)
 	case "heft":
 		m = spmap.MapHEFT(g, p)
 	case "peft":
 		m = spmap.MapPEFT(g, p)
 	case "nsga2":
-		m, _ = spmap.MapGenetic(g, p, spmap.GAOptions{Generations: *gaGens, Seed: *seed})
+		m, _ = spmap.MapGenetic(g, p, spmap.GAOptions{Generations: *gaGens, Seed: *seed, Workers: *workers})
+	case "anneal", "hillclimb":
+		alg := spmap.Anneal
+		if *algo == "hillclimb" {
+			alg = spmap.HillClimb
+		}
+		// Search under the same -schedules cost function the result is
+		// judged with (Refine from the baseline == MapLocalSearch, but on
+		// the configured evaluator instead of the BFS-only default).
+		mm, st, err := spmap.Refine(ev, spmap.BaselineMapping(g, p), spmap.LocalSearchOptions{
+			Algorithm: alg, Seed: *seed, Workers: *workers, Budget: *lsBudget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, lsStats = mm, &st
 	case "milp-device":
 		m = spmap.MapMILP(g, p, spmap.MILPWGDPDevice, *milpBudget).Mapping
 	case "milp-time":
@@ -92,6 +114,23 @@ func main() {
 		m = spmap.MapMILP(g, p, spmap.MILPZhouLiu, *milpBudget).Mapping
 	default:
 		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	if *refine && lsStats != nil {
+		// anneal/hillclimb already are local search under ev; a second
+		// refinement pass with the same seed and budget would only
+		// duplicate the work (and misreport the search effort).
+		log.Printf("-refine has no effect on -algo %s (already local search); skipping", *algo)
+	} else if *refine {
+		refined, rst, err := spmap.Refine(ev, m, spmap.LocalSearchOptions{
+			Seed: *seed, Workers: *workers, Budget: *lsBudget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, lsStats = refined, &rst
+		if !*asJSON {
+			fmt.Printf("refine:      %d evaluations, %d moves\n", rst.Evaluations, rst.Moves)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -108,6 +147,9 @@ func main() {
 		}
 		if stats != nil {
 			out["stats"] = stats
+		}
+		if lsStats != nil {
+			out["localsearch_stats"] = lsStats
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -152,8 +194,8 @@ func main() {
 	}
 }
 
-func runDecomp(g *spmap.DAG, p *spmap.Platform, s decomp.Strategy, h spmap.Heuristic, gamma float64) (spmap.Mapping, *spmap.MapperStats) {
-	m, st, err := decomp.Map(g, p, decomp.Options{Strategy: s, Heuristic: h, Gamma: gamma})
+func runDecomp(g *spmap.DAG, p *spmap.Platform, s decomp.Strategy, h spmap.Heuristic, gamma float64, workers int) (spmap.Mapping, *spmap.MapperStats) {
+	m, st, err := decomp.Map(g, p, decomp.Options{Strategy: s, Heuristic: h, Gamma: gamma, Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}

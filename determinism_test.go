@@ -1,0 +1,159 @@
+package spmap_test
+
+// Determinism matrix: every mapper, run with a fixed seed, must produce
+// an identical mapping and identical stats across repeated runs and
+// across engine worker counts. This is the contract that makes the
+// batch engine safe to put under every mapper: EvaluateBatch results
+// are index-aligned and all random draws happen on the calling
+// goroutine, so parallelism must never leak into results.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/mappers/heft"
+	"spmap/internal/mappers/localsearch"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+// determinismResult fingerprints one mapper run: the mapping plus a
+// stats rendering (fmt-formatted so new stats fields are picked up
+// automatically).
+type determinismResult struct {
+	mapping string
+	stats   string
+}
+
+func TestMapperDeterminismMatrix(t *testing.T) {
+	const seed = 42
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(3))
+	g := gen.AlmostSeriesParallel(rng, 35, 12, gen.DefaultAttr()) // non-SP: exercises cuts too
+	newEval := func() *model.Evaluator {
+		return model.NewEvaluator(g, p).WithSchedules(8, seed)
+	}
+
+	cases := []struct {
+		name string
+		run  func(ev *model.Evaluator, workers int) determinismResult
+	}{
+		{"decomp/SingleNode/Basic", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := decomp.MapWithEvaluator(ev, decomp.Options{
+				Strategy: decomp.SingleNode, Heuristic: decomp.Basic, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"decomp/SeriesParallel/Basic", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := decomp.MapWithEvaluator(ev, decomp.Options{
+				Strategy: decomp.SeriesParallel, Heuristic: decomp.Basic, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"decomp/SeriesParallel/FirstFit", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := decomp.MapWithEvaluator(ev, decomp.Options{
+				Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"decomp/SeriesParallel/Gamma2", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := decomp.MapWithEvaluator(ev, decomp.Options{
+				Strategy: decomp.SeriesParallel, Heuristic: decomp.GammaThreshold, Gamma: 2, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"heft/HEFT", func(ev *model.Evaluator, workers int) determinismResult {
+			return determinismResult{mappingString(heft.MapWithEvaluator(ev, heft.HEFT)), ""}
+		}},
+		{"heft/PEFT", func(ev *model.Evaluator, workers int) determinismResult {
+			return determinismResult{mappingString(heft.MapWithEvaluator(ev, heft.PEFT)), ""}
+		}},
+		{"ga/NSGAII", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st := ga.MapWithEvaluator(ev, ga.Options{Generations: 12, Seed: seed, Workers: workers})
+			// BestPerGeneration is a slice; include it via %+v too.
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"localsearch/Anneal", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+				Algorithm: localsearch.Anneal, Seed: seed, Workers: workers, Budget: 1500,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"localsearch/HillClimb", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+				Algorithm: localsearch.HillClimb, Seed: seed, Workers: workers, Budget: 1500,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"localsearch/Refine(HEFT)", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := localsearch.Refine(ev, heft.MapWithEvaluator(ev, heft.HEFT), localsearch.Options{
+				Seed: seed, Workers: workers, Budget: 1200,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref determinismResult
+			first := true
+			for _, workers := range []int{1, 4} {
+				for run := 0; run < 2; run++ {
+					// A fresh evaluator per run: engine compilation and any
+					// internal caching must not influence results either.
+					got := tc.run(newEval(), workers)
+					if first {
+						ref = got
+						first = false
+						continue
+					}
+					if got.mapping != ref.mapping {
+						t.Fatalf("workers=%d run=%d: mapping diverged\n got %s\nwant %s",
+							workers, run, got.mapping, ref.mapping)
+					}
+					if got.stats != ref.stats {
+						t.Fatalf("workers=%d run=%d: stats diverged\n got %s\nwant %s",
+							workers, run, got.stats, ref.stats)
+					}
+				}
+			}
+			// The mapping must be valid and area-feasible on top of stable.
+			m := make(mapping.Mapping, g.NumTasks())
+			for i, c := range ref.mapping {
+				m[i] = int(c - '0')
+			}
+			if err := m.Validate(g, p); err != nil {
+				t.Fatal(err)
+			}
+			if !m.Feasible(g, p) {
+				t.Fatalf("mapping violates device area capacities: %s", ref.mapping)
+			}
+		})
+	}
+}

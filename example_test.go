@@ -63,6 +63,29 @@ func ExampleIsSeriesParallel() {
 	// fig2: false
 }
 
+// ExampleRefine polishes a decomposition mapping with local-search
+// refinement. Refine never returns a worse mapping than its input, and
+// for a fixed Seed the result is identical for any Workers value.
+func ExampleRefine() {
+	g := spmap.RandomSeriesParallel(rand.New(rand.NewSource(5)), 40)
+	p := spmap.ReferencePlatform()
+
+	m, _, err := spmap.MapSeriesParallel(g, p, spmap.FirstFit)
+	if err != nil {
+		panic(err)
+	}
+	ev := spmap.NewEvaluator(g, p).WithSchedules(20, 1)
+	refined, stats, err := spmap.Refine(ev, m, spmap.LocalSearchOptions{
+		Seed: 1, Budget: 4000, Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("never worse: %v, evaluations <= budget: %v\n",
+		ev.Makespan(refined) <= ev.Makespan(m), stats.Evaluations <= 4000)
+	// Output: never worse: true, evaluations <= budget: true
+}
+
 // ExampleDecompose shows the decomposition forest of a non-SP graph.
 func ExampleDecompose() {
 	g := spmap.RandomAlmostSeriesParallel(rand.New(rand.NewSource(1)), 30, 15)

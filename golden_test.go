@@ -15,6 +15,7 @@ import (
 	"spmap/internal/gen"
 	"spmap/internal/mappers/decomp"
 	"spmap/internal/mappers/ga"
+	"spmap/internal/mappers/localsearch"
 	"spmap/internal/mapping"
 	"spmap/internal/model"
 	"spmap/internal/platform"
@@ -70,8 +71,6 @@ func TestGoldenMapperEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m4, st4 := ga.MapWithEvaluator(ev, ga.Options{Generations: 20, Seed: row.seed})
-
 		check := func(what, got, want string) {
 			t.Helper()
 			if got != want {
@@ -81,7 +80,6 @@ func TestGoldenMapperEquivalence(t *testing.T) {
 		check("MapSingleNode/Basic", mappingString(m1), row.singleBasic)
 		check("MapSeriesParallel/FirstFit", mappingString(m2), row.spFirstFit)
 		check("MapGammaThreshold(2)", mappingString(m3), row.spGamma2)
-		check("MapGenetic", mappingString(m4), row.genetic)
 
 		checkBits := func(what string, got float64, want uint64) {
 			t.Helper()
@@ -93,7 +91,6 @@ func TestGoldenMapperEquivalence(t *testing.T) {
 		checkBits("SingleNode/Basic", st1.Makespan, row.msSingleBasic)
 		checkBits("SP/FirstFit", st2.Makespan, row.msSPFirstFit)
 		checkBits("SP/Gamma2", st3.Makespan, row.msSPGamma2)
-		checkBits("Genetic", st4.Makespan, row.msGenetic)
 		checkBits("Baseline", ev.Makespan(mapping.Baseline(g, p)), row.msBaseline)
 
 		if st1.Iterations != row.iterSingleBasic || st2.Iterations != row.iterSPFirstFit || st3.Iterations != row.iterSPGamma2 {
@@ -101,8 +98,129 @@ func TestGoldenMapperEquivalence(t *testing.T) {
 				row.seed, row.n, st1.Iterations, st2.Iterations, st3.Iterations,
 				row.iterSingleBasic, row.iterSPFirstFit, row.iterSPGamma2)
 		}
-		if st4.Evaluations != row.gaEvaluations {
-			t.Errorf("seed %d n %d: GA evaluations %d, want %d", row.seed, row.n, st4.Evaluations, row.gaEvaluations)
+	}
+}
+
+// TestGoldenGeneticEquivalence pins the GA (the slowest of the golden
+// mappers) separately, guarded like the slow experiments/milp sweeps.
+func TestGoldenGeneticEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA golden sweep is slow")
+	}
+	p := platform.Reference()
+	for _, row := range goldenRows {
+		rng := rand.New(rand.NewSource(row.seed))
+		g := gen.SeriesParallel(rng, row.n, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(20, row.seed)
+		m, st := ga.MapWithEvaluator(ev, ga.Options{Generations: 20, Seed: row.seed})
+		if got := mappingString(m); got != row.genetic {
+			t.Errorf("seed %d n %d MapGenetic: mapping changed\n got %s\nwant %s", row.seed, row.n, got, row.genetic)
+		}
+		if math.Float64bits(st.Makespan) != row.msGenetic {
+			t.Errorf("seed %d n %d Genetic: makespan 0x%016x, want 0x%016x",
+				row.seed, row.n, math.Float64bits(st.Makespan), row.msGenetic)
+		}
+		if st.Evaluations != row.gaEvaluations {
+			t.Errorf("seed %d n %d: GA evaluations %d, want %d", row.seed, row.n, st.Evaluations, row.gaEvaluations)
+		}
+	}
+}
+
+// localsearchGoldenRow pins the stochastic local-search mappers on the
+// three seed graphs (captured at Budget 3000 / Refine budget 1500, 20
+// random schedules, schedule seed = graph seed). Any drift in the RNG
+// stream, the neighborhood construction, the acceptance rule or the
+// engine's bit-exactness shows up here.
+type localsearchGoldenRow struct {
+	seed                            int64
+	anneal, hillclimb, refine       string // device-digit mappings
+	msAnneal, msHillclimb, msRefine uint64
+	evalAnneal, movesAnneal         int
+	evalHC, movesHC                 int
+	evalRefine, movesRefine         int
+}
+
+var localsearchGoldenRows = []localsearchGoldenRow{
+	{1, "202022200002220021012220002222", "202022200002220020002220002222", "002020222222220021002221002220",
+		0x3fe2d6bc164ea4c7, 0x3fe2d6bc164ea4c7, 0x3fe2205c19cd6aaf,
+		3000, 134, 2917, 11, 1500, 59},
+	{2, "212212012122201002212121222122", "212212012122201002212121222122", "212212012122201002212121222122",
+		0x3fe48f0b5c7eb985, 0x3fe48f0b5c7eb985, 0x3fe48f0b5c7eb985,
+		3000, 48, 2923, 12, 1500, 33},
+	{3, "200022000200202200222220220002", "002002022022202002222200200220", "002002222022202002222200000220",
+		0x3fec598b9995df6f, 0x3fe731fd8c40c76d, 0x3fe7a836abc50499,
+		3000, 173, 2999, 11, 1500, 82},
+}
+
+// TestGoldenLocalSearch pins the local-search mappers' outputs,
+// makespans (as float bit patterns) and effort counters. Guarded like
+// the GA golden: the full run exercises 3 x (3000 + 3000 + 1500)
+// engine evaluations.
+func TestGoldenLocalSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("local-search golden sweep is slow")
+	}
+	p := platform.Reference()
+	for _, row := range localsearchGoldenRows {
+		rng := rand.New(rand.NewSource(row.seed))
+		g := gen.SeriesParallel(rng, 30, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(20, row.seed)
+
+		ma, sa, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+			Algorithm: localsearch.Anneal, Seed: row.seed, Budget: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mh, sh, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+			Algorithm: localsearch.HillClimb, Seed: row.seed, Budget: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+			Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, sr, err := localsearch.Refine(ev, md, localsearch.Options{Seed: row.seed, Budget: 1500})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		check := func(what, got, want string) {
+			t.Helper()
+			if got != want {
+				t.Errorf("seed %d %s: mapping changed\n got %s\nwant %s", row.seed, what, got, want)
+			}
+		}
+		check("Anneal", mappingString(ma), row.anneal)
+		check("HillClimb", mappingString(mh), row.hillclimb)
+		check("SPFF+Refine", mappingString(mr), row.refine)
+
+		checkBits := func(what string, got float64, want uint64) {
+			t.Helper()
+			if math.Float64bits(got) != want {
+				t.Errorf("seed %d %s: makespan 0x%016x, want 0x%016x", row.seed, what, math.Float64bits(got), want)
+			}
+		}
+		checkBits("Anneal", sa.Makespan, row.msAnneal)
+		checkBits("HillClimb", sh.Makespan, row.msHillclimb)
+		checkBits("SPFF+Refine", sr.Makespan, row.msRefine)
+
+		type effort struct{ evals, moves int }
+		for _, e := range []struct {
+			what      string
+			got, want effort
+		}{
+			{"Anneal", effort{sa.Evaluations, sa.Moves}, effort{row.evalAnneal, row.movesAnneal}},
+			{"HillClimb", effort{sh.Evaluations, sh.Moves}, effort{row.evalHC, row.movesHC}},
+			{"SPFF+Refine", effort{sr.Evaluations, sr.Moves}, effort{row.evalRefine, row.movesRefine}},
+		} {
+			if e.got != e.want {
+				t.Errorf("seed %d %s: effort %+v, want %+v", row.seed, e.what, e.got, e.want)
+			}
 		}
 	}
 }

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/mappers/localsearch"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+)
+
+// The local-search comparison extends the paper's metaheuristic
+// evaluation (§IV, NSGA-II only): simulated annealing and the batched
+// hill-climber run at exactly the GA's evaluation budget, plus the
+// decomposition mapper polished by annealing refinement — the ablation
+// that shows what the batch engine's prefix-resume path buys once a
+// fast evaluator makes metaheuristics on this cost model practical.
+
+// gaBudget is the GA's evaluation budget under cfg: population x
+// (generations + initial population), the equal-budget anchor for every
+// local-search variant.
+func (c Config) gaBudget() int {
+	return ga.DefaultPopulation * (c.gaGens() + 1)
+}
+
+func algoLocalSearch(cfg Config, name string, alg localsearch.Algorithm) Algorithm {
+	return Algorithm{Name: name, Run: func(ev *model.Evaluator, seed int64) mapping.Mapping {
+		m, _, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+			Algorithm: alg, Seed: seed, Workers: cfg.Workers, Budget: cfg.gaBudget(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}}
+}
+
+// algoDecompRefine maps with the FirstFit series-parallel decomposition
+// mapper and polishes the result with annealing refinement. The
+// refinement budget is half the GA budget, so the combination stays
+// well under the equal-budget anchor (the decomposition mapper itself
+// uses far fewer evaluations than the other half).
+func algoDecompRefine(cfg Config) Algorithm {
+	return Algorithm{Name: "SPFF+Refine", Run: func(ev *model.Evaluator, seed int64) mapping.Mapping {
+		m, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+			Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit, Workers: cfg.Workers,
+		})
+		if err != nil {
+			panic(err)
+		}
+		r, _, err := localsearch.Refine(ev, m, localsearch.Options{
+			Seed: seed, Workers: cfg.Workers, Budget: cfg.gaBudget() / 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}}
+}
+
+// LocalSearchComparison compares the GA against the local-search
+// mappers and decomposition+refinement at equal evaluation budgets on
+// random series-parallel graphs.
+func LocalSearchComparison(cfg Config) *Table {
+	xs := []int{25, 50, 100}
+	if cfg.Paper {
+		xs = steps(25, 200, 25)
+	}
+	algos := []Algorithm{
+		algoGA(cfg),
+		algoLocalSearch(cfg, "Anneal", localsearch.Anneal),
+		algoLocalSearch(cfg, "HillClimb", localsearch.HillClimb),
+		algoDecomp(cfg, "SPFirstFit", decomp.SeriesParallel, decomp.FirstFit),
+		algoDecompRefine(cfg),
+	}
+	return sweep(cfg, "localsearch", "GA vs. local search vs. decomposition+refine (equal evaluation budgets, random SP graphs)", "tasks",
+		xs, algos, func(x int, rng *rand.Rand) *graph.DAG {
+			return gen.SeriesParallel(rng, x, gen.DefaultAttr())
+		})
+}

@@ -19,10 +19,16 @@ import (
 	"spmap/internal/platform"
 )
 
+// DefaultPopulation is the paper's population size, used when
+// Options.Population is zero. Equal-budget comparisons against other
+// metaheuristics derive the GA's evaluation budget from it:
+// DefaultPopulation x (generations + 1).
+const DefaultPopulation = 100
+
 // Options configure the genetic algorithm; zero values select the paper's
 // parameters.
 type Options struct {
-	// Population size (default 100).
+	// Population size (default DefaultPopulation).
 	Population int
 	// Generations to run (default 500).
 	Generations int
@@ -78,7 +84,7 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 	n := g.NumTasks()
 	pop := opt.Population
 	if pop <= 0 {
-		pop = 100
+		pop = DefaultPopulation
 	}
 	gens := opt.Generations
 	if gens <= 0 {

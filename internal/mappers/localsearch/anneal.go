@@ -1,0 +1,138 @@
+package localsearch
+
+import (
+	"math"
+
+	"spmap/internal/eval"
+	"spmap/internal/graph"
+	"spmap/internal/model"
+)
+
+// acceptTailFactor bounds how far above the incumbent an annealing
+// proposal is still evaluated exactly: at delta = acceptTailFactor x T
+// the Metropolis acceptance probability is exp(-acceptTailFactor)
+// (~2e-9), so proposals whose cutoff-clamped result certifies a larger
+// delta are rejected outright without an RNG draw.
+const acceptTailFactor = 20
+
+// Proposal mix: with probability subMoveProb a subgraph co-move (one of
+// the paper's §III-C series-parallel sets onto one device), with
+// probability edgeMoveProb an edge co-move (both endpoints of a random
+// edge onto one device), otherwise a single-task move. Co-moves cross
+// the plateaus around streaming chains where no single move improves.
+const (
+	subMoveProb  = 0.25
+	edgeMoveProb = 0.25
+)
+
+// anneal runs batched simulated annealing over single-task moves, edge
+// co-moves and series-parallel subgraph co-moves.
+//
+// Proposals are drawn in blocks of BatchSize on the calling goroutine
+// (fixing the RNG stream), evaluated as one engine batch — all sharing
+// the incumbent as base, so the engine records its simulation prefix
+// once and every candidate resumes at its single patched position —
+// and then scanned in index order under Metropolis acceptance. An
+// accepted move invalidates the rest of the block (the incumbent
+// changed), so those results are discarded; the temperature follows a
+// geometric schedule paced by the fraction of the evaluation budget
+// spent.
+func (s *searcher) anneal() {
+	batch := s.opt.BatchSize
+	if batch <= 0 {
+		batch = 8
+	}
+	t0 := s.opt.InitialTemp
+	if t0 <= 0 {
+		t0 = 0.02
+	}
+	tEnd := s.opt.FinalTemp
+	if tEnd <= 0 {
+		tEnd = 1e-4
+	}
+	if tEnd > t0 {
+		tEnd = t0
+	}
+	// Temperatures scale with the starting makespan so the schedule is
+	// problem-size independent.
+	t0 *= s.stats.StartMakespan
+	tEnd *= s.stats.StartMakespan
+	logRatio := math.Log(tEnd / t0)
+
+	ops := make([]eval.Op, batch)
+	patches := make([]graph.NodeID, batch)
+	for {
+		remaining := s.opt.Budget - s.stats.Evaluations
+		if remaining <= 0 {
+			return
+		}
+		if remaining < batch {
+			batch = remaining
+		}
+		// Cooling is paced by budget consumption: T = t0 * (tEnd/t0)^frac.
+		frac := float64(s.stats.Evaluations) / float64(s.opt.Budget)
+		temp := t0 * math.Exp(frac*logRatio)
+
+		for i := 0; i < batch; i++ {
+			switch r := s.rng.Float64(); {
+			case r < subMoveProb && len(s.subs) > 0:
+				sub := s.subs[s.rng.Intn(len(s.subs))]
+				d := s.rng.Intn(s.nd)
+				if !changes(s.cur, sub, d) {
+					d = (d + 1) % s.nd // make the co-move change something
+				}
+				ops[i] = eval.Op{Base: s.cur, Patch: sub, Device: d}
+			case r < subMoveProb+edgeMoveProb && len(s.edges) > 0:
+				e := s.rng.Intn(len(s.edges))
+				d := s.rng.Intn(s.nd)
+				if u, w := s.edges[e][0], s.edges[e][1]; s.cur[u] == d && s.cur[w] == d {
+					d = (d + 1) % s.nd
+				}
+				ops[i] = eval.Op{Base: s.cur, Patch: s.edges[e][:], Device: d}
+			default:
+				v := s.rng.Intn(s.n)
+				d := s.rng.Intn(s.nd - 1)
+				if d >= s.cur[v] {
+					d++ // uniform over the other devices
+				}
+				patches[i] = graph.NodeID(v)
+				ops[i] = eval.Op{Base: s.cur, Patch: patches[i : i+1], Device: d}
+			}
+		}
+		// Results at or below the cutoff are exact; anything beyond the
+		// acceptance tail is rejected without needing its exact value.
+		cutoff := s.curMS + acceptTailFactor*temp
+		res := s.eng.EvaluateBatch(ops[:batch], cutoff)
+		s.stats.Evaluations += batch
+		for i, ms := range res {
+			if ms == model.Infeasible || ms > cutoff {
+				continue // reject: infeasible or beyond the acceptance tail
+			}
+			accept := ms <= s.curMS
+			if !accept {
+				accept = s.rng.Float64() < math.Exp((s.curMS-ms)/temp)
+			}
+			if accept {
+				for _, v := range ops[i].Patch {
+					s.cur[v] = ops[i].Device
+				}
+				s.curMS = ms
+				s.stats.Moves++
+				s.record()
+				// The incumbent changed: the remaining results of this
+				// block were evaluated against a stale base. Discard them
+				// and draw a fresh block.
+				break
+			}
+		}
+		// Elite restart: once the walk has drifted beyond the Metropolis
+		// acceptance tail above the best-seen mapping, the probability of
+		// returning below it is negligible (every step back down carries
+		// at most the tail's acceptance mass), so resume from the elite
+		// instead of cooling into a worse valley.
+		if s.curMS-s.bestMS > acceptTailFactor*temp {
+			copy(s.cur, s.best)
+			s.curMS = s.bestMS
+		}
+	}
+}

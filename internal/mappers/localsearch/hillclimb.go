@@ -1,0 +1,112 @@
+package localsearch
+
+import (
+	"spmap/internal/eval"
+	"spmap/internal/graph"
+	"spmap/internal/model"
+)
+
+// hillClimb runs batched steepest-descent with iterated-local-search
+// kicks.
+//
+// Each step evaluates the complete large neighborhood of the incumbent
+// as one engine batch with the incumbent as cutoff: every single-task
+// move (task x other device) plus every edge co-move (both endpoints of
+// an edge onto one device — the move that escapes the streaming
+// plateaus single moves cannot cross). The shared base's simulation
+// prefix is recorded once, every candidate resumes at its first patched
+// position, and non-improving candidates abort after a few placed
+// tasks. The best improving move (lowest makespan, lowest index on
+// ties) is applied. At a local optimum the climber remaps KickTasks
+// random tasks of the best-seen mapping (iterated local search restarts
+// from the elite), repairs feasibility, and climbs again; the best
+// mapping across all climbs is returned.
+func (s *searcher) hillClimb() {
+	kick := s.opt.KickTasks
+	if kick <= 0 {
+		kick = s.n / 16
+		if kick < 2 {
+			kick = 2
+		}
+	}
+
+	// The candidate set is rebuilt each step (the incumbent's devices
+	// change), but the op and patch storage is reused.
+	ops := make([]eval.Op, 0, s.n*(s.nd-1)+len(s.edges)*s.nd)
+	patches := make([]graph.NodeID, s.n)
+	for v := range patches {
+		patches[v] = graph.NodeID(v)
+	}
+	for {
+		ops = ops[:0]
+		for v := 0; v < s.n; v++ {
+			for d := 0; d < s.nd; d++ {
+				if d == s.cur[v] {
+					continue
+				}
+				ops = append(ops, eval.Op{Base: s.cur, Patch: patches[v : v+1], Device: d})
+			}
+		}
+		for ei := range s.edges {
+			u, w := s.edges[ei][0], s.edges[ei][1]
+			for d := 0; d < s.nd; d++ {
+				if s.cur[u] == d && s.cur[w] == d {
+					continue
+				}
+				ops = append(ops, eval.Op{Base: s.cur, Patch: s.edges[ei][:], Device: d})
+			}
+		}
+		for si := range s.subs {
+			for d := 0; d < s.nd; d++ {
+				if !changes(s.cur, s.subs[si], d) {
+					continue
+				}
+				ops = append(ops, eval.Op{Base: s.cur, Patch: s.subs[si], Device: d})
+			}
+		}
+		if s.stats.Evaluations+len(ops) > s.opt.Budget {
+			return // an incomplete neighborhood scan would bias the argmin
+		}
+		// The incumbent is the cutoff: improving results are exact, the
+		// rest abort early and can never win the argmin below.
+		res := s.eng.EvaluateBatch(ops, s.curMS)
+		s.stats.Evaluations += len(ops)
+		bestOp, bestMS := -1, s.curMS-s.curMS*improvementEps
+		for i, ms := range res {
+			if ms < bestMS {
+				bestOp, bestMS = i, ms
+			}
+		}
+		if bestOp >= 0 {
+			for _, v := range ops[bestOp].Patch {
+				s.cur[v] = ops[bestOp].Device
+			}
+			s.curMS = bestMS
+			s.stats.Moves++
+			s.record()
+			continue
+		}
+		// Local optimum: kick and re-climb if the budget allows another
+		// full neighborhood scan on top of the kick evaluation. The kick
+		// perturbs the best-seen mapping (iterated local search restarts
+		// from the elite, not from wherever the last climb stalled).
+		if s.stats.Evaluations+1+len(ops) > s.opt.Budget {
+			return
+		}
+		copy(s.cur, s.best)
+		for i := 0; i < kick; i++ {
+			s.cur[s.rng.Intn(s.n)] = s.rng.Intn(s.nd)
+		}
+		s.cur.Repair(s.g, s.p)
+		s.curMS = s.eng.Makespan(s.cur)
+		s.stats.Evaluations++
+		s.stats.Kicks++
+		if s.curMS == model.Infeasible {
+			// Repair could not restore feasibility (it only moves tasks to
+			// the default device); restart from the best-seen mapping.
+			copy(s.cur, s.best)
+			s.curMS = s.bestMS
+		}
+		s.record()
+	}
+}

@@ -1,0 +1,254 @@
+// Package localsearch implements metaheuristic refinement of device
+// assignments on top of the batch evaluation engine: a simulated-
+// annealing mapper and a batched large-neighborhood hill-climber. Both
+// are extensions beyond the paper (conf_ipps_WilhelmP25 evaluates a
+// genetic algorithm as its only metaheuristic baseline, §IV) and exist
+// because the engine makes exactly their inner loop cheap: every move
+// patches a single position of the incumbent mapping, so candidate
+// batches share the incumbent's simulation prefix and are fanned out
+// over the engine's worker pool with cutoff early exit.
+//
+// Both algorithms can start from scratch (the pure-CPU baseline, like
+// the decomposition mappers) or refine any other mapper's output via
+// Refine. The returned mapping is never worse than the (repaired)
+// starting mapping: the incumbent may wander uphill, but the best
+// mapping seen is tracked separately and returned.
+//
+// Determinism contract: for a fixed Options.Seed the result — mapping,
+// makespan and every Stats counter — is identical across runs and
+// across any Options.Workers value. All random draws happen on the
+// calling goroutine in a fixed order, and the engine's EvaluateBatch
+// returns index-aligned results, so no reduction depends on goroutine
+// scheduling.
+package localsearch
+
+import (
+	"math/rand"
+
+	"spmap/internal/eval"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+	"spmap/internal/sp"
+)
+
+// Algorithm selects the search scheme.
+type Algorithm int
+
+// Search schemes.
+const (
+	// Anneal is simulated annealing with Metropolis acceptance over
+	// single-task moves, edge co-moves and series-parallel subgraph
+	// co-moves, with a geometric cooling schedule paced by the
+	// evaluation budget. Proposals are drawn in blocks and evaluated as
+	// one engine batch against a temperature-dependent cutoff.
+	Anneal Algorithm = iota
+	// HillClimb is steepest-descent over the full large neighborhood
+	// (every task x other device, every edge and every series-parallel
+	// subgraph co-moved onto each device), evaluated as one engine batch
+	// per step with the incumbent as cutoff; at a local optimum it
+	// perturbs a few random tasks of the best-seen mapping (an
+	// iterated-local-search kick) and climbs again until the budget is
+	// spent.
+	HillClimb
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	if a == Anneal {
+		return "Anneal"
+	}
+	return "HillClimb"
+}
+
+// Options configure the local search; zero values select the defaults.
+type Options struct {
+	// Algorithm selects annealing (default) or hill climbing.
+	Algorithm Algorithm
+	// Seed drives the deterministic RNG. Equal seeds give identical
+	// results regardless of Workers.
+	Seed int64
+	// Workers bounds the evaluation engine's worker pool (0 selects
+	// GOMAXPROCS, 1 forces serial). The result is identical for any
+	// value; see the package determinism contract.
+	Workers int
+	// Budget caps the number of engine evaluations (default 50100, the
+	// paper GA's default budget of population x (generations+1) =
+	// 100 x 501, making equal-budget comparisons the default).
+	Budget int
+	// Init is the starting mapping (refinement mode). It is cloned and
+	// repaired; nil starts from the pure-CPU baseline.
+	Init mapping.Mapping
+
+	// BatchSize is the number of annealing proposals evaluated per
+	// engine batch (default 8). Larger batches parallelize better but
+	// discard more stale proposals after an accepted move.
+	BatchSize int
+	// InitialTemp and FinalTemp set the annealing temperature range as
+	// fractions of the starting makespan (defaults 0.02 and 1e-4).
+	InitialTemp float64
+	FinalTemp   float64
+
+	// KickTasks is the number of tasks randomly remapped when the hill
+	// climber escapes a local optimum (default max(2, n/16)).
+	KickTasks int
+}
+
+// Stats reports local-search effort and outcome. All counters are
+// deterministic for a fixed seed, regardless of Workers.
+type Stats struct {
+	Algorithm Algorithm
+	// Evaluations counts engine evaluations (including proposals
+	// discarded as stale after an accepted annealing move).
+	Evaluations int
+	// Moves counts applied mapping changes.
+	Moves int
+	// Kicks counts hill-climber perturbations (0 for annealing).
+	Kicks int
+	// StartMakespan is the makespan of the (repaired) starting mapping;
+	// Makespan is the best makespan found. Makespan <= StartMakespan
+	// always holds (for a feasible start).
+	StartMakespan float64
+	Makespan      float64
+}
+
+// Map runs local search from the pure-CPU baseline on (g, p).
+func Map(g *graph.DAG, p *platform.Platform, opt Options) (mapping.Mapping, Stats, error) {
+	return MapWithEvaluator(model.NewEvaluator(g, p), opt)
+}
+
+// MapWithEvaluator is Map with a caller-supplied evaluator (to control
+// the schedule set and share the compiled engine across runs).
+func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
+	return search(ev, opt)
+}
+
+// Refine polishes an existing mapping (any mapper's output) with local
+// search under ev's cost function. The result is never worse than the
+// repaired input mapping.
+func Refine(ev *model.Evaluator, m mapping.Mapping, opt Options) (mapping.Mapping, Stats, error) {
+	opt.Init = m
+	return search(ev, opt)
+}
+
+// searcher is the shared state of one local-search run.
+type searcher struct {
+	g     *graph.DAG
+	p     *platform.Platform
+	eng   *eval.Engine
+	rng   *rand.Rand
+	n, nd int
+	opt   Options
+	stats Stats
+
+	cur    mapping.Mapping // incumbent (mutated in place; aliased by op bases)
+	curMS  float64
+	best   mapping.Mapping // best-seen (the returned mapping)
+	bestMS float64
+
+	// edges (edge endpoint pairs) and subs (the multi-node sets of the
+	// paper's series-parallel subgraph decomposition, §III-C) extend both
+	// neighborhoods with co-moves: remapping a connected group onto one
+	// device in a single patched evaluation. Co-moves escape the
+	// single-move plateaus around streaming chains — a chain must land on
+	// the FPGA together before any individual move pays off, the same
+	// observation that motivates the paper's subgraph operations.
+	edges [][2]graph.NodeID
+	subs  []sp.Subgraph
+}
+
+func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
+	g, p := ev.G, ev.P
+	if err := validate(g, p, opt); err != nil {
+		return nil, Stats{Algorithm: opt.Algorithm}, err
+	}
+	if opt.Budget <= 0 {
+		opt.Budget = 50100 // the paper GA's default evaluation budget
+	}
+	s := &searcher{
+		g: g, p: p,
+		eng: ev.Engine(),
+		rng: rand.New(rand.NewSource(opt.Seed)),
+		n:   g.NumTasks(),
+		nd:  p.NumDevices(),
+		opt: opt,
+	}
+	if opt.Workers > 0 {
+		s.eng = s.eng.WithWorkers(opt.Workers)
+	}
+	s.stats.Algorithm = opt.Algorithm
+
+	if opt.Init != nil {
+		s.cur = opt.Init.Clone().Repair(g, p)
+	} else {
+		s.cur = mapping.Baseline(g, p)
+	}
+	s.curMS = s.eng.Makespan(s.cur)
+	s.stats.Evaluations++
+	s.edges = make([][2]graph.NodeID, 0, g.NumEdges())
+	for v := 0; v < s.n; v++ {
+		id := graph.NodeID(v)
+		for _, ei := range g.InEdges(id) {
+			s.edges = append(s.edges, [2]graph.NodeID{g.Edge(ei).From, id})
+		}
+	}
+	// The multi-node series-parallel subgraph sets (singletons are the
+	// single-move neighborhood already). Decomposition is deterministic
+	// under the search seed; on the rare failure the co-move pool just
+	// stays smaller.
+	if sets, _, err := sp.SeriesParallelSubgraphs(g, sp.Options{Seed: opt.Seed}); err == nil {
+		for _, sub := range sets {
+			if len(sub) >= 2 {
+				s.subs = append(s.subs, sub)
+			}
+		}
+	}
+	s.stats.StartMakespan = s.curMS
+	s.best = s.cur.Clone()
+	s.bestMS = s.curMS
+
+	// Degenerate instances leave nothing to search.
+	if s.n > 0 && s.nd > 1 && s.curMS > 0 {
+		switch opt.Algorithm {
+		case HillClimb:
+			s.hillClimb()
+		default:
+			s.anneal()
+		}
+	}
+	s.stats.Makespan = s.bestMS
+	return s.best, s.stats, nil
+}
+
+func validate(g *graph.DAG, p *platform.Platform, opt Options) error {
+	if opt.Init != nil {
+		if err := opt.Init.Validate(g, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record updates the best-seen mapping after the incumbent changed.
+func (s *searcher) record() {
+	if s.curMS < s.bestMS {
+		copy(s.best, s.cur)
+		s.bestMS = s.curMS
+	}
+}
+
+// changes reports whether co-moving nodes to device d would alter m.
+func changes(m mapping.Mapping, nodes []graph.NodeID, d int) bool {
+	for _, v := range nodes {
+		if m[v] != d {
+			return true
+		}
+	}
+	return false
+}
+
+// improvementEps mirrors the decomposition mappers' relative threshold
+// below which a makespan change does not count as an improvement,
+// guaranteeing termination under floating-point arithmetic.
+const improvementEps = 1e-12

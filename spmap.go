@@ -24,6 +24,12 @@
 //     mappers (§III), in Basic, GammaThreshold and FirstFit variants.
 //   - MapHEFT / MapPEFT — the list-scheduling baselines.
 //   - MapGenetic — the single-objective NSGA-II baseline.
+//   - MapLocalSearch — metaheuristic extension beyond the paper:
+//     simulated annealing or a batched large-neighborhood hill-climber
+//     over device assignments, driven by the evaluation engine's batch
+//     prefix-resume path.
+//   - Refine — local-search polishing of any other mapper's output
+//     (decomposition, HEFT/PEFT, GA); never returns a worse mapping.
 //   - MapMILP — the ZhouLiu / WGDP-Device / WGDP-Time integer programs
 //     solved by the built-in branch-and-bound solver.
 //
@@ -46,8 +52,11 @@
 // via NewEngine or Evaluator.Engine — is immutable and safe for
 // concurrent use from any number of goroutines. Engine.EvaluateBatch
 // returns index-aligned results, so reductions over a batch are
-// deterministic regardless of scheduling; the decomposition mappers and
-// the GA evaluate their candidate sets this way by default.
+// deterministic regardless of scheduling; the decomposition mappers,
+// the GA and the local-search mappers evaluate their candidate sets
+// this way by default. In particular, every stochastic mapper
+// (MapGenetic, MapLocalSearch, Refine) is reproducible: a fixed Seed
+// yields an identical mapping and stats for any Workers value.
 package spmap
 
 import (
@@ -60,6 +69,7 @@ import (
 	"spmap/internal/mappers/decomp"
 	"spmap/internal/mappers/ga"
 	"spmap/internal/mappers/heft"
+	"spmap/internal/mappers/localsearch"
 	"spmap/internal/mapping"
 	"spmap/internal/milp"
 	"spmap/internal/model"
@@ -227,6 +237,46 @@ type GAStats = ga.Stats
 // MapGenetic runs the single-objective NSGA-II baseline.
 func MapGenetic(g *DAG, p *Platform, opt GAOptions) (Mapping, GAStats) {
 	return ga.Map(g, p, opt)
+}
+
+// LocalSearchOptions configure MapLocalSearch and Refine. Seed and
+// Workers are explicit: for a fixed Seed the result (mapping, makespan
+// and stats) is identical across runs and across any Workers value —
+// random draws happen on the calling goroutine in a fixed order and
+// batch results are index-aligned, so no reduction depends on goroutine
+// scheduling.
+type LocalSearchOptions = localsearch.Options
+
+// LocalSearchStats reports local-search effort and outcome.
+type LocalSearchStats = localsearch.Stats
+
+// LocalSearchAlgorithm selects the search scheme of MapLocalSearch.
+type LocalSearchAlgorithm = localsearch.Algorithm
+
+// Local-search schemes. Both search over single-task moves, edge
+// co-moves and the paper's §III-C series-parallel subgraph co-moves
+// (the co-moves cross the streaming-chain plateaus where no single
+// move improves).
+const (
+	// Anneal is batched simulated annealing with Metropolis acceptance.
+	Anneal = localsearch.Anneal
+	// HillClimb is batched steepest-descent over the full neighborhood
+	// with iterated-local-search kicks.
+	HillClimb = localsearch.HillClimb
+)
+
+// MapLocalSearch runs local search (simulated annealing or the batched
+// hill-climber) from the pure-CPU baseline. The result is never worse
+// than the baseline mapping.
+func MapLocalSearch(g *DAG, p *Platform, opt LocalSearchOptions) (Mapping, LocalSearchStats, error) {
+	return localsearch.Map(g, p, opt)
+}
+
+// Refine polishes an existing mapping — any mapper's output — with
+// local search under ev's cost function. The result is never worse
+// than the (area-repaired) input mapping.
+func Refine(ev *Evaluator, m Mapping, opt LocalSearchOptions) (Mapping, LocalSearchStats, error) {
+	return localsearch.Refine(ev, m, opt)
 }
 
 // MILPResult is the outcome of a MILP mapping run.
