@@ -22,6 +22,7 @@ import (
 	"spmap/internal/mappers/localsearch"
 	"spmap/internal/mapping"
 	"spmap/internal/model"
+	"spmap/internal/pareto"
 	"spmap/internal/platform"
 	"spmap/internal/sp"
 )
@@ -374,3 +375,85 @@ func benchmarkMapSeriesParallelE2E(b *testing.B, n int) {
 func BenchmarkMapSeriesParallelE2E50(b *testing.B)  { benchmarkMapSeriesParallelE2E(b, 50) }
 func BenchmarkMapSeriesParallelE2E100(b *testing.B) { benchmarkMapSeriesParallelE2E(b, 100) }
 func BenchmarkMapSeriesParallelE2E250(b *testing.B) { benchmarkMapSeriesParallelE2E(b, 250) }
+
+// --- multi-objective benchmarks (BENCH_PR3.json) ---
+//
+// benchmarkEvaluateBatchMO is benchmarkEvaluateBatch with (makespan,
+// energy) pairs: the ns/op delta against BenchmarkEvaluateBatch<n> is
+// the marginal cost of the engine-level energy objective.
+
+func benchmarkEvaluateBatchMO(b *testing.B, n int) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	eng := model.NewEvaluator(g, p).WithSchedules(100, 1).Engine()
+	base := mapping.Baseline(g, p)
+	var ops []eval.Op
+	for v := 0; v < g.NumTasks(); v++ {
+		for d := 0; d < p.NumDevices(); d++ {
+			ops = append(ops, eval.Op{Base: base, Patch: []graph.NodeID{graph.NodeID(v)}, Device: d})
+		}
+	}
+	incumbent := eng.Makespan(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.EvaluateBatchMO(ops, incumbent)
+	}
+}
+
+func BenchmarkEvaluateBatchMO50(b *testing.B)  { benchmarkEvaluateBatchMO(b, 50) }
+func BenchmarkEvaluateBatchMO100(b *testing.B) { benchmarkEvaluateBatchMO(b, 100) }
+func BenchmarkEvaluateBatchMO250(b *testing.B) { benchmarkEvaluateBatchMO(b, 250) }
+
+// benchmarkEngineEnergy times the standalone energy objective (one
+// O(n) table pass plus the feasibility scan).
+func benchmarkEngineEnergy(b *testing.B, n int) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	eng := model.NewEvaluator(g, p).WithSchedules(100, 1).Engine()
+	m := mapping.Baseline(g, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Energy(m)
+	}
+}
+
+func BenchmarkEngineEnergy50(b *testing.B)  { benchmarkEngineEnergy(b, 50) }
+func BenchmarkEngineEnergy100(b *testing.B) { benchmarkEngineEnergy(b, 100) }
+func BenchmarkEngineEnergy250(b *testing.B) { benchmarkEngineEnergy(b, 250) }
+
+// benchmarkMapParetoSweep runs the weighted-sweep driver at the equal-
+// budget anchor (split across the default weights) under the paper's
+// 101-schedule protocol.
+func benchmarkMapParetoSweep(b *testing.B, n int) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	ev.Makespan(mapping.Baseline(g, p)) // compile outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pareto.WeightedSweep(ev, pareto.SweepOptions{
+			Seed: 1, Budget: equalBudget / len(pareto.DefaultWeights),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapParetoSweep50(b *testing.B)  { benchmarkMapParetoSweep(b, 50) }
+func BenchmarkMapParetoSweep100(b *testing.B) { benchmarkMapParetoSweep(b, 100) }
+func BenchmarkMapParetoSweep250(b *testing.B) { benchmarkMapParetoSweep(b, 250) }
+
+// BenchmarkMapParetoNSGA2EqualBudget100 is the two-objective NSGA-II
+// at the same total evaluation budget as the sweep benchmarks.
+func BenchmarkMapParetoNSGA2EqualBudget100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	ev.Makespan(mapping.Baseline(g, p))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{
+			Generations: equalBudget/ga.DefaultPopulation - 1, Seed: 1,
+		})
+	}
+}

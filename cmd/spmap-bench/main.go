@@ -10,6 +10,7 @@
 //	spmap-bench -exp all             # fig3 fig4 fig5 fig6 fig7 table1
 //	spmap-bench -exp ablation        # extension: cut policies, gamma sweep
 //	spmap-bench -exp localsearch     # extension: GA vs anneal/hill-climb vs decomp+refine
+//	spmap-bench -exp pareto          # extension: multi-objective sweep vs NSGA-II fronts
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
 package main
 
@@ -29,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap-bench: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch all")
+		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto all")
 		paper     = flag.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = flag.Int("graphs", 0, "override graphs per data point")
 		schedules = flag.Int("schedules", 0, "override random schedules in the cost function")
@@ -37,6 +38,7 @@ func main() {
 		milpBudg  = flag.Duration("milp-budget", 0, "override MILP time limit")
 		seed      = flag.Int64("seed", 1, "base RNG seed")
 		workers   = flag.Int("workers", 0, "evaluation-engine worker pool (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		eps       = flag.Float64("eps", 0, "Pareto archive ε-grid resolution for -exp pareto (0 = exact front)")
 		csvDir    = flag.String("csv", "", "also write <experiment>.csv files into this directory")
 	)
 	flag.Parse()
@@ -108,6 +110,22 @@ func main() {
 			emit(experiments.ScheduleCountAblation(cfg))
 		case "localsearch":
 			emit(experiments.LocalSearchComparison(cfg))
+		case "pareto":
+			rows := experiments.ParetoComparisonEps(cfg, *eps)
+			experiments.PrintPareto(os.Stdout, rows)
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, "pareto.csv"))
+				if err != nil {
+					log.Fatal(err)
+				}
+				err = experiments.WriteCSVPareto(f, rows)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}

@@ -5,12 +5,21 @@
 //
 //	spmap -graph app.json [-platform platform.json] [-algo spfirstfit]
 //	      [-schedules 100] [-gamma 2] [-refine] [-json]
+//	      [-objective time|energy|pareto] [-eps 0.01] [-front front.csv]
 //
 // Algorithms: singlenode, seriesparallel, snfirstfit, spfirstfit, gamma,
 // heft, peft, nsga2, anneal, hillclimb, milp-device, milp-time,
 // milp-zhouliu. The -refine flag polishes any algorithm's mapping with
 // local-search refinement (never worse, deterministic under -seed for
 // any -workers value).
+//
+// The -objective flag selects the optimization target: "time" (the
+// default single-objective makespan), "energy" (pure compute energy;
+// requires the local-search algorithms or -refine), or "pareto" (the
+// full makespan x energy trade-off: -algo nsga2 selects the
+// two-objective NSGA-II driver, anything else the weighted local-search
+// sweep; the front is printed, exported as CSV via -front, and bounded
+// by the ε-dominance resolution -eps).
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"time"
 
 	"spmap"
+	"spmap/internal/experiments"
 	"spmap/internal/graph"
 	"spmap/internal/mappers/decomp"
 	"spmap/internal/platform"
@@ -40,6 +50,9 @@ func main() {
 		milpBudget   = flag.Duration("milp-budget", 30*time.Second, "MILP time limit")
 		lsBudget     = flag.Int("ls-budget", 0, "local-search / -refine evaluation budget (0 = default 50100)")
 		refine       = flag.Bool("refine", false, "polish the mapping with local-search refinement")
+		objective    = flag.String("objective", "time", "optimization objective: time, energy, or pareto")
+		epsFlag      = flag.Float64("eps", 0, "Pareto archive ε-grid resolution for -objective pareto (0 = exact front)")
+		frontOut     = flag.String("front", "", "write the Pareto front as CSV to this file (-objective pareto)")
 		workers      = flag.Int("workers", 0, "evaluation-engine worker pool (0 = GOMAXPROCS; results are identical)")
 		seed         = flag.Int64("seed", 1, "RNG seed (schedules, GA, local search)")
 		asJSON       = flag.Bool("json", false, "emit machine-readable JSON")
@@ -70,6 +83,23 @@ func main() {
 	}
 
 	ev := spmap.NewEvaluator(g, p).WithSchedules(*schedules, *seed)
+	if *objective == "pareto" {
+		runPareto(g, p, ev, *algo, *epsFlag, *seed, *workers, *lsBudget, *asJSON, *frontOut)
+		return
+	}
+	var wTime, wEnergy float64
+	switch *objective {
+	case "time":
+		wTime, wEnergy = 1, 0
+	case "energy":
+		wTime, wEnergy = 0, 1
+		if *algo != "anneal" && *algo != "hillclimb" && !*refine {
+			log.Fatalf("-objective energy requires -algo anneal|hillclimb or -refine " +
+				"(the other mappers optimize the makespan only)")
+		}
+	default:
+		log.Fatalf("unknown objective %q (time, energy, pareto)", *objective)
+	}
 	start := time.Now()
 	var m spmap.Mapping
 	var stats *spmap.MapperStats
@@ -101,6 +131,7 @@ func main() {
 		// the configured evaluator instead of the BFS-only default).
 		mm, st, err := spmap.Refine(ev, spmap.BaselineMapping(g, p), spmap.LocalSearchOptions{
 			Algorithm: alg, Seed: *seed, Workers: *workers, Budget: *lsBudget,
+			WTime: wTime, WEnergy: wEnergy,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -123,6 +154,7 @@ func main() {
 	} else if *refine {
 		refined, rst, err := spmap.Refine(ev, m, spmap.LocalSearchOptions{
 			Seed: *seed, Workers: *workers, Budget: *lsBudget,
+			WTime: wTime, WEnergy: wEnergy,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -134,16 +166,21 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	base := ev.Makespan(spmap.BaselineMapping(g, p))
+	base := ev.BaselineMakespan() // cached; Improvement below reuses it
+	baseEn := ev.Energy(spmap.BaselineMapping(g, p))
 	ms := ev.Makespan(m)
+	en := ev.Energy(m)
 	if *asJSON {
 		out := map[string]any{
-			"algorithm":   *algo,
-			"mapping":     m,
-			"makespan":    ms,
-			"baseline":    base,
-			"improvement": spmap.Improvement(ev, m),
-			"elapsed_ms":  float64(elapsed.Microseconds()) / 1000,
+			"algorithm":       *algo,
+			"objective":       *objective,
+			"mapping":         m,
+			"makespan":        ms,
+			"baseline":        base,
+			"energy":          en,
+			"baseline_energy": baseEn,
+			"improvement":     spmap.Improvement(ev, m),
+			"elapsed_ms":      float64(elapsed.Microseconds()) / 1000,
 		}
 		if stats != nil {
 			out["stats"] = stats
@@ -159,9 +196,11 @@ func main() {
 		return
 	}
 	fmt.Printf("algorithm:   %s\n", *algo)
+	fmt.Printf("objective:   %s\n", *objective)
 	fmt.Printf("tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
-	fmt.Printf("baseline:    %.3f ms (pure %s)\n", 1e3*base, p.Devices[p.Default].Name)
+	fmt.Printf("baseline:    %.3f ms, %.3f J (pure %s)\n", 1e3*base, baseEn, p.Devices[p.Default].Name)
 	fmt.Printf("makespan:    %.3f ms\n", 1e3*ms)
+	fmt.Printf("energy:      %.3f J\n", en)
 	fmt.Printf("improvement: %.1f %%\n", 100*spmap.Improvement(ev, m))
 	fmt.Printf("elapsed:     %s\n", elapsed.Round(time.Microsecond))
 	fmt.Println("mapping:")
@@ -191,6 +230,100 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *dotOut)
+	}
+}
+
+// runPareto maps under the two-objective (makespan, energy) model and
+// reports the ε-dominance front.
+func runPareto(g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
+	algo string, eps float64, seed int64, workers, budget int, asJSON bool, frontOut string) {
+	var palgo spmap.ParetoAlgorithm
+	switch algo {
+	case "nsga2":
+		palgo = spmap.ParetoNSGA2
+	case "sweep", "spfirstfit": // spfirstfit is the -algo flag default
+		palgo = spmap.ParetoSweep
+	default:
+		log.Fatalf("-objective pareto supports -algo sweep (default) or nsga2, not %q", algo)
+	}
+	start := time.Now()
+	front, stats, err := spmap.MapParetoWithEvaluator(ev, spmap.ParetoOptions{
+		Algorithm: palgo, Eps: eps, Seed: seed, Workers: workers, Budget: budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	base := ev.BaselineMakespan()
+	baseEn := ev.Energy(spmap.BaselineMapping(g, p))
+	// Hypervolume normalized by the baseline box; degenerate baselines
+	// (e.g. platforms with no PowerW data) report 0 instead of NaN.
+	hv := 0.0
+	if base > 0 && baseEn > 0 {
+		hv = front.Hypervolume(base, baseEn) / (base * baseEn)
+	}
+
+	if frontOut != "" {
+		f, err := os.Create(frontOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = experiments.WriteCSVFront(f, front)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if asJSON {
+		type jsonPoint struct {
+			Makespan float64       `json:"makespan"`
+			Energy   float64       `json:"energy"`
+			Mapping  spmap.Mapping `json:"mapping"`
+		}
+		pts := make([]jsonPoint, len(front))
+		for i, pt := range front {
+			pts[i] = jsonPoint{pt.Makespan, pt.Energy, pt.Mapping}
+		}
+		out := map[string]any{
+			"algorithm":       palgo.String(),
+			"objective":       "pareto",
+			"eps":             eps,
+			"front":           pts,
+			"baseline":        base,
+			"baseline_energy": baseEn,
+			"stats":           stats,
+			"hypervolume":     hv,
+			"elapsed_ms":      float64(elapsed.Microseconds()) / 1000,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("algorithm:   %s (pareto)\n", palgo)
+	fmt.Printf("tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
+	fmt.Printf("baseline:    %.3f ms, %.3f J (pure %s)\n", 1e3*base, baseEn, p.Devices[p.Default].Name)
+	fmt.Printf("front:       %d points (eps %g, %d candidates, %d evaluations)\n",
+		stats.FrontSize, eps, stats.ArchiveSeen, stats.Evaluations)
+	fmt.Printf("hypervolume: %.4f (of the baseline box)\n", hv)
+	fmt.Printf("elapsed:     %s\n", elapsed.Round(time.Microsecond))
+	fmt.Printf("%12s %12s %10s %10s\n", "makespan_ms", "energy_J", "t_impr", "e_impr")
+	for _, pt := range front {
+		tImpr, eImpr := 0.0, 0.0
+		if base > 0 && pt.Makespan < base {
+			tImpr = (base - pt.Makespan) / base
+		}
+		if baseEn > 0 && pt.Energy < baseEn {
+			eImpr = (baseEn - pt.Energy) / baseEn
+		}
+		fmt.Printf("%12.3f %12.3f %9.1f%% %9.1f%%\n", 1e3*pt.Makespan, pt.Energy, 100*tImpr, 100*eImpr)
+	}
+	if frontOut != "" {
+		fmt.Printf("wrote %s\n", frontOut)
 	}
 }
 

@@ -9,6 +9,7 @@ package spmap_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -19,8 +20,20 @@ import (
 	"spmap/internal/mappers/localsearch"
 	"spmap/internal/mapping"
 	"spmap/internal/model"
+	"spmap/internal/pareto"
 	"spmap/internal/platform"
 )
+
+// frontFingerprint renders a Pareto front byte-exactly: per point the
+// objective bit patterns plus the mapping digits.
+func frontFingerprint(f pareto.Front) string {
+	s := ""
+	for _, p := range f {
+		s += fmt.Sprintf("(%016x,%016x,%s)", math.Float64bits(p.Makespan),
+			math.Float64bits(p.Energy), mappingString(p.Mapping))
+	}
+	return s
+}
 
 // determinismResult fingerprints one mapper run: the mapping plus a
 // stats rendering (fmt-formatted so new stats fields are picked up
@@ -116,6 +129,58 @@ func TestMapperDeterminismMatrix(t *testing.T) {
 				t.Fatal(err)
 			}
 			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		// Multi-objective mappers: the mapping under test is the front's
+		// min-makespan point; the stats fingerprint pins the whole front
+		// (objective bit patterns + mappings) plus the driver stats, so
+		// any worker-count or rerun divergence anywhere on the front
+		// fails the matrix.
+		{"localsearch/AnnealWeighted", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+				Algorithm: localsearch.Anneal, Seed: seed, Workers: workers, Budget: 1200,
+				WTime: 0.5, WEnergy: 0.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"localsearch/HillClimbEnergy", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+				Algorithm: localsearch.HillClimb, Seed: seed, Workers: workers, Budget: 1200,
+				WTime: 0, WEnergy: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st)}
+		}},
+		{"pareto/Sweep", func(ev *model.Evaluator, workers int) determinismResult {
+			front, st, err := pareto.WeightedSweep(ev, pareto.SweepOptions{
+				Seed: seed, Workers: workers, Budget: 400,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(front) == 0 {
+				t.Fatal("empty front")
+			}
+			return determinismResult{
+				mappingString(front.MinMakespan().Mapping),
+				fmt.Sprintf("%+v|%s", st, frontFingerprint(front)),
+			}
+		}},
+		{"ga/NSGA2Pareto", func(ev *model.Evaluator, workers int) determinismResult {
+			front, st := ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{
+				Population: 16, Generations: 8, Seed: seed, Workers: workers,
+			})
+			if len(front) == 0 {
+				t.Fatal("empty front")
+			}
+			return determinismResult{
+				mappingString(front.MinMakespan().Mapping),
+				fmt.Sprintf("%+v|%s", st, frontFingerprint(front)),
+			}
 		}},
 	}
 

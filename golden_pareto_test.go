@@ -1,0 +1,82 @@
+package spmap_test
+
+// Golden Pareto front corpus: the multi-objective drivers' fronts on
+// the three seed graphs (the same instances TestGoldenLocalSearch
+// pins), captured at 20 random schedules, schedule seed = graph seed,
+// sweep budget 600 per weight, NSGA-II population 20 x 10 generations.
+// Each golden string renders every front point byte-exactly — objective
+// bit patterns plus the mapping — so any drift in the engine's energy
+// arithmetic, the archive's tie-breaking, the RNG streams or the
+// selection rules shows up here.
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/model"
+	"spmap/internal/pareto"
+	"spmap/internal/platform"
+)
+
+type paretoGoldenRow struct {
+	seed         int64
+	sweep, nsga2 string
+}
+
+var paretoGoldenRows = []paretoGoldenRow{
+	{1,
+		"(3fe3333412c885cb,4057bf188c310259,202022222022220020012220000222)(3fe3a082561b6e79,40551dc4e0ac68c2,202022222122200021222220000222)(3fe5631ef9c41327,40518d9538400bc3,102001200002220221222222002222)(3fe66a94609064bc,40445bdd0c91f033,122121200022220111222221202221)(3feea3d4d69555f0,403a58f84bce6013,122111211112022111222211222212)",
+		"(3fe5b45003386263,40668a4fce3efc2d,000001000000000000000000000000)(3fe5c5b4c5cbfed3,406606aff32c67b1,000001000000000000000000000011)(3fe7040f3bd01513,4064641f6ec496b9,020001000000000000000000200000)(3fe828a673984614,406286cf2a247f7b,200000200000200020000000000000)(3fe98476ab881320,405de08509294112,020101000000010100000001222000)(3fedfbfd151957f0,405d863404c1c289,202010200000200020000010000222)(3fefd2a9e5d3f6eb,405c31215833c0c5,202000210100220021000010000220)(3ff054592623a100,405ab611324ab97a,222010200000200020000010200022)(3ff063328c9e8de2,405a97914718ea5d,202010211000200020002010000222)(3ff084f70637d52d,4056233020c7f5ec,202010211100220021020010002222)(3ff177d7629e8afd,404f0742ea7dd2ac,222020200200200121000011222220)(3ff200d924559d31,404e70bfdceac961,222000210100220121000011222220)(3ff2db11a3217265,4046c6ed67886630,222110211000210120002011222222)"},
+	{2,
+		"(3fe5a77a2aec30d5,404747031bc03bce,212202012122201102212120222122)(3fe603daf644a5d1,4041850db87115a6,212222012122201102212122220122)(3fe69845d4ae25ed,4034dbabc44662a0,212202212122121122112120211122)(3fe9b3d304ae9668,4028cb43775a0c5c,212222212122121122112120211122)(3fecb00a831e718d,4016ce582a1c05be,212222212122121122111112211121)",
+		"(3febd8d9f116b54e,4066c1e4434fc1bf,000000000000000000000000000000)(3fec3075a21b15d8,406465e62432d895,000000010000000000000000000000)(3fed1608d54912aa,405f0ff2ab345c2b,002202002020000000001010200022)(3fed6da4864d7334,405a57f66cfa89d6,002202012020000000001010200022)(3fed845cb5149b45,4057e29f6789074d,012202012020000000001010200022)(3ff4db582483b471,404ade774a4ca3c1,002222212220020200011102200222)"},
+	{3,
+		"(3feaf488515d0402,405739df435b92c1,002102111012222002222200202210)(3feecceb7c9e0ef5,4051e438a2e83948,120212202102110122022122212201)(3feece4062f3fe9e,404eb4e3fc93da26,120212202102112122022122212101)(3ff80dd3b26ec183,403c97a68382f120,112111221222110222012122220121)(3ffb40953e1b68ff,4033d4a0384db2d7,112111211122110222212122222111)",
+		"(3fefcf390b379117,406841973b61f0dc,000000000000010000000000000000)(3ff04b4be10179c4,40682e250f207945,000000000000000000000000020000)(3ff0e1a126c92160,4066588bc4f3a017,000001000000020000100000020002)(3ff0edbc6a20373c,4063cdcc177920b7,002000020020000000000000000100)(3ff114b6cc84b89a,4063090a89bad62c,002000020020100000000000000100)(3ff1786627ea69d2,40622ebfa999376b,002000020020120000000000020102)(3ff20ebb6db2116e,4060caa8f38f4a9a,002001020020120000000000020102)(3ff2ab9b1c2cbfd0,405b38bcd62e73da,002021020220100000011220220102)(3ff4635fd7aada44,404dc91900d3389e,002222220222100022000020220212)"},
+}
+
+// TestGoldenParetoFronts pins the sweep and NSGA-II fronts on the seed
+// graphs bit-for-bit, and re-validates the acceptance contract on the
+// pinned data: mutual non-domination and feasibility of every front
+// point.
+func TestGoldenParetoFronts(t *testing.T) {
+	p := platform.Reference()
+	for _, row := range paretoGoldenRows {
+		rng := rand.New(rand.NewSource(row.seed))
+		g := gen.SeriesParallel(rng, 30, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(20, row.seed)
+
+		sweep, _, err := pareto.WeightedSweep(ev, pareto.SweepOptions{Seed: row.seed, Budget: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nsga2, _ := ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{
+			Population: 20, Generations: 10, Seed: row.seed,
+		})
+		for _, c := range []struct {
+			what  string
+			front pareto.Front
+			want  string
+		}{
+			{"WeightedSweep", sweep, row.sweep},
+			{"NSGA2", nsga2, row.nsga2},
+		} {
+			if got := frontFingerprint(c.front); got != c.want {
+				t.Errorf("seed %d %s: front changed\n got %s\nwant %s", row.seed, c.what, got, c.want)
+			}
+			for i, a := range c.front {
+				if !a.Mapping.Feasible(g, p) {
+					t.Errorf("seed %d %s: front point %d infeasible", row.seed, c.what, i)
+				}
+				for j, b := range c.front {
+					if i != j && b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
+						(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+						t.Errorf("seed %d %s: front point %d dominated by %d", row.seed, c.what, i, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -136,11 +136,24 @@ func (e *Engine) MakespanCutoff(m mapping.Mapping, cutoff float64) float64 {
 	return ms
 }
 
+// Energy returns the compute energy of m in joules, bit-identical to
+// model.Evaluator.Energy: each task's execution time multiplied by its
+// device's active power (transfer and idle energy are not modeled;
+// documented simplification). Infeasible mappings yield Infeasible. The
+// energy does not depend on the schedule set, so the result is always
+// exact — there is no cutoff variant.
+func (e *Engine) Energy(m mapping.Mapping) float64 {
+	st := e.getState()
+	en := e.k.energy(st, m)
+	e.pool.Put(st)
+	return en
+}
+
 // Evaluate evaluates a single op under a cutoff (see MakespanCutoff for
 // the cutoff contract).
 func (e *Engine) Evaluate(op Op, cutoff float64) float64 {
 	st := e.getState()
-	ms := e.evalOp(st, op, cutoff, nil, nil)
+	ms := e.evalOp(st, op, cutoff, nil, nil, nil)
 	e.pool.Put(st)
 	return ms
 }
@@ -153,6 +166,28 @@ func (e *Engine) Evaluate(op Op, cutoff float64) float64 {
 // tie-breaking, GA selection, ...) stay deterministic.
 func (e *Engine) EvaluateBatch(ops []Op, cutoff float64) []float64 {
 	out := make([]float64, len(ops))
+	e.runBatch(ops, cutoff, out, nil)
+	return out
+}
+
+// EvaluateBatchMO is EvaluateBatch for the multi-objective extension: it
+// additionally returns the index-aligned compute energies of the ops'
+// (patched) mappings, each bit-identical to model.Evaluator.Energy and
+// Infeasible exactly when the makespan is. The energy is evaluated on
+// the same materialized mapping as the makespan at near-zero marginal
+// cost (one O(n) pass over the precomputed energy table, against the
+// makespan's O(orders x edges) simulation) and is always exact — only
+// the makespans obey the cutoff contract.
+func (e *Engine) EvaluateBatchMO(ops []Op, cutoff float64) (makespans, energies []float64) {
+	makespans = make([]float64, len(ops))
+	energies = make([]float64, len(ops))
+	e.runBatch(ops, cutoff, makespans, energies)
+	return makespans, energies
+}
+
+// runBatch is the shared worker-pool body of EvaluateBatch and
+// EvaluateBatchMO; en, if non-nil, receives per-op energies.
+func (e *Engine) runBatch(ops []Op, cutoff float64, out, en []float64) {
 
 	// Patched ops of a batch overwhelmingly share one base mapping (a
 	// neighborhood search around the incumbent). Record that base's full
@@ -195,10 +230,10 @@ func (e *Engine) EvaluateBatch(ops []Op, cutoff float64) []float64 {
 	if workers <= 1 {
 		st := e.getState()
 		for i := range ops {
-			out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase)
+			out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase, enPtr(en, i))
 		}
 		e.pool.Put(st)
-		return out
+		return
 	}
 	var next int64
 	var wg sync.WaitGroup
@@ -213,12 +248,20 @@ func (e *Engine) EvaluateBatch(ops []Op, cutoff float64) []float64 {
 				if i >= len(ops) {
 					return
 				}
-				out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase)
+				out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase, enPtr(en, i))
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+}
+
+// enPtr selects the i-th energy output slot, or nil when energies are
+// not requested.
+func enPtr(en []float64, i int) *float64 {
+	if en == nil {
+		return nil
+	}
+	return &en[i]
 }
 
 // Neighborhood amortizes prefix recording for repeated patched
@@ -260,7 +303,7 @@ func (nb *Neighborhood) Evaluate(patch []graph.NodeID, device int, cutoff float6
 	if nb.pre != nil {
 		preBase = &nb.base[0]
 	}
-	ms := nb.e.evalOp(st, Op{Base: nb.base, Patch: patch, Device: device}, cutoff, nb.pre, preBase)
+	ms := nb.e.evalOp(st, Op{Base: nb.base, Patch: patch, Device: device}, cutoff, nb.pre, preBase, nil)
 	nb.e.pool.Put(st)
 	return ms
 }
@@ -282,8 +325,10 @@ func (nb *Neighborhood) Close() { nb.Reset() }
 // evalOp materializes op's mapping (patching into the state's private
 // buffer when needed) and runs the bounded makespan evaluation. pre, if
 // non-nil, is the recorded simulation of the base mapping identified by
-// preBase; ops patched on that base resume from it.
-func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *batchPrefix, preBase *int) float64 {
+// preBase; ops patched on that base resume from it. en, if non-nil,
+// additionally receives the materialized mapping's compute energy
+// (always exact; Infeasible exactly when the makespan is).
+func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *batchPrefix, preBase *int, en *float64) float64 {
 	m := []int(op.Base)
 	if len(op.Patch) > 0 {
 		// Copy the base once per distinct Base slice; consecutive ops of a
@@ -302,10 +347,17 @@ func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *batchPrefix, p
 		} else {
 			ms = e.k.makespan(st, st.mbuf, cutoff)
 		}
+		if en != nil {
+			*en = e.k.energy(st, st.mbuf)
+		}
 		for _, v := range op.Patch {
 			st.mbuf[v] = op.Base[v]
 		}
 		return ms
 	}
-	return e.k.makespan(st, m, cutoff)
+	ms := e.k.makespan(st, m, cutoff)
+	if en != nil {
+		*en = e.k.energy(st, m)
+	}
+	return ms
 }

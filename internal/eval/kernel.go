@@ -87,6 +87,13 @@ type kernel struct {
 	// device: exec[d*n+v].
 	exec []float64
 
+	// energyTab is the task-by-device compute-energy table, row-major by
+	// device: energyTab[d*n+v] = exec[d*n+v] * PowerW[d]. Each entry is
+	// the exact product the reference (model.Evaluator.Energy) computes
+	// per task, so summing rows in task order reproduces the reference
+	// energy bit-for-bit.
+	energyTab []float64
+
 	// orders holds the fixed schedule set, numOrders rows of n task ids
 	// each, concatenated. pos is its inverse: pos[o*n+v] is the position
 	// of task v within order o (used to find the resume point of patched
@@ -137,6 +144,7 @@ func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kerne
 	k := &kernel{
 		n: n, nd: nd,
 		exec:         make([]float64, nd*n),
+		energyTab:    make([]float64, nd*n),
 		numOrders:    len(orders),
 		orders:       make([]int32, 0, len(orders)*n),
 		inStart:      make([]int32, n+1),
@@ -154,6 +162,7 @@ func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kerne
 		dev := &p.Devices[d]
 		for v := 0; v < n; v++ {
 			k.exec[d*n+v] = ExecTime(g, graph.NodeID(v), dev)
+			k.energyTab[d*n+v] = k.exec[d*n+v] * dev.PowerW
 		}
 		k.devStreaming[d] = dev.Streaming
 		k.devSpatial[d] = dev.Spatial
@@ -276,6 +285,24 @@ func (k *kernel) feasible(st *simState, m []int) bool {
 		}
 	}
 	return !overflow
+}
+
+// energy mirrors model.Evaluator.Energy bit-for-bit: the compute energy
+// of mapping m in joules — each task's execution time multiplied by its
+// device's active power, accumulated in task order (the products are
+// precomputed in energyTab; the sum sequence is identical to the
+// reference). Transfer and idle energy are not modeled. Infeasible
+// mappings yield Infeasible. Unlike the makespan, the energy does not
+// depend on the schedule set, so the result is always exact.
+func (k *kernel) energy(st *simState, m []int) float64 {
+	if !k.feasible(st, m) {
+		return Infeasible
+	}
+	total := 0.0
+	for v, d := range m {
+		total += k.energyTab[d*k.n+v]
+	}
+	return total
 }
 
 // transfer is platform.TransferTime over the precomputed pair tables; the

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"spmap/internal/gen"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/pareto"
+)
+
+// The Pareto experiment extends the paper's single-objective evaluation
+// to the time/energy trade-off its §II-A sketches: the weighted local-
+// search sweep and the two-objective NSGA-II run at equal evaluation
+// budgets on random series-parallel graphs, compared by normalized
+// hypervolume against the pure-CPU reference point, per-objective
+// improvement at the front's extremes, and front size.
+
+// ParetoRow is one averaged data point of the Pareto comparison.
+type ParetoRow struct {
+	Tasks     int
+	Algorithm string
+	// Hypervolume is the front's average hypervolume normalized by the
+	// baseline reference box (1 would dominate the whole box).
+	Hypervolume float64
+	// TimeImprovement and EnergyImprovement are the average relative
+	// improvements of the front's fastest and most efficient points
+	// over the pure-CPU baseline.
+	TimeImprovement   float64
+	EnergyImprovement float64
+	FrontSize         float64
+	TimeMS            float64
+}
+
+// paretoAlgo is one named multi-objective driver under test.
+type paretoAlgo struct {
+	name string
+	run  func(ev *model.Evaluator, seed int64) (pareto.Front, int)
+}
+
+func paretoAlgos(cfg Config, eps float64) []paretoAlgo {
+	budget := cfg.gaBudget()
+	return []paretoAlgo{
+		{"Sweep", func(ev *model.Evaluator, seed int64) (pareto.Front, int) {
+			f, st, err := pareto.WeightedSweep(ev, pareto.SweepOptions{
+				Seed: seed, Workers: cfg.Workers, Eps: eps,
+				Budget: budget / len(pareto.DefaultWeights),
+			})
+			if err != nil {
+				panic(err)
+			}
+			return f, st.Evaluations
+		}},
+		{"NSGA2", func(ev *model.Evaluator, seed int64) (pareto.Front, int) {
+			f, st := ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{
+				Population: ga.DefaultPopulation, Generations: cfg.gaGens(),
+				Seed: seed, Workers: cfg.Workers, Eps: eps,
+			})
+			return f, st.Evaluations
+		}},
+	}
+}
+
+// ParetoComparison sweeps graph sizes and returns one row per
+// (size, algorithm).
+func ParetoComparison(cfg Config) []ParetoRow {
+	return ParetoComparisonEps(cfg, 0)
+}
+
+// ParetoComparisonEps is ParetoComparison with an explicit archive
+// resolution.
+func ParetoComparisonEps(cfg Config, eps float64) []ParetoRow {
+	xs := []int{25, 50, 100}
+	if cfg.Paper {
+		xs = steps(25, 200, 25)
+	}
+	p := cfg.platform()
+	algos := paretoAlgos(cfg, eps)
+	rows := make([]ParetoRow, 0, len(xs)*len(algos))
+	for _, n := range xs {
+		acc := make([]ParetoRow, len(algos))
+		count := cfg.graphs()
+		for gi := 0; gi < count; gi++ {
+			seed := cfg.Seed + int64(gi)*7919
+			rng := rand.New(rand.NewSource(seed))
+			g := gen.SeriesParallel(rng, n, gen.DefaultAttr())
+			ev := model.NewEvaluator(g, p).WithSchedules(cfg.schedules(), seed+1)
+			base := mapping.Baseline(g, p)
+			baseMs, baseEn := ev.Makespan(base), ev.Energy(base)
+			for ai, a := range algos {
+				t0 := time.Now()
+				front, _ := a.run(ev, seed)
+				el := time.Since(t0)
+				acc[ai].TimeMS += float64(el.Microseconds()) / 1000
+				if len(front) == 0 || baseMs <= 0 || baseEn <= 0 {
+					continue
+				}
+				acc[ai].Hypervolume += front.Hypervolume(baseMs, baseEn) / (baseMs * baseEn)
+				if ms := front.MinMakespan().Makespan; ms < baseMs {
+					acc[ai].TimeImprovement += (baseMs - ms) / baseMs
+				}
+				if en := front.MinEnergy().Energy; en < baseEn {
+					acc[ai].EnergyImprovement += (baseEn - en) / baseEn
+				}
+				acc[ai].FrontSize += float64(len(front))
+			}
+		}
+		for ai, a := range algos {
+			c := float64(count)
+			rows = append(rows, ParetoRow{
+				Tasks: n, Algorithm: a.name,
+				Hypervolume:       acc[ai].Hypervolume / c,
+				TimeImprovement:   acc[ai].TimeImprovement / c,
+				EnergyImprovement: acc[ai].EnergyImprovement / c,
+				FrontSize:         acc[ai].FrontSize / c,
+				TimeMS:            acc[ai].TimeMS / c,
+			})
+		}
+	}
+	return rows
+}
+
+// PrintPareto renders the Pareto comparison as aligned text.
+func PrintPareto(w io.Writer, rows []ParetoRow) {
+	fmt.Fprintf(w, "# pareto — weighted sweep vs. NSGA-II (equal budgets, random SP graphs)\n\n")
+	fmt.Fprintf(w, "%-8s%-10s%14s%14s%14s%12s%12s\n",
+		"tasks", "algo", "hypervolume", "time_impr", "energy_impr", "front", "time_ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d%-10s%14.4f%14.3f%14.3f%12.1f%12.2f\n",
+			r.Tasks, r.Algorithm, r.Hypervolume, r.TimeImprovement, r.EnergyImprovement,
+			r.FrontSize, r.TimeMS)
+	}
+}
+
+// WriteCSVPareto emits the Pareto comparison in long form.
+func WriteCSVPareto(w io.Writer, rows []ParetoRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"tasks", "algorithm", "hypervolume", "time_improvement", "energy_improvement",
+		"front_size", "time_ms",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fmt.Sprint(r.Tasks), r.Algorithm,
+			fmt.Sprintf("%.6f", r.Hypervolume),
+			fmt.Sprintf("%.6f", r.TimeImprovement),
+			fmt.Sprintf("%.6f", r.EnergyImprovement),
+			fmt.Sprintf("%.2f", r.FrontSize),
+			fmt.Sprintf("%.4f", r.TimeMS),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFront emits one Pareto front in long form (for the CLI's
+// front export): point index, makespan, energy, device assignment (one
+// "-"-joined device index per task, unambiguous for any device count).
+func WriteCSVFront(w io.Writer, f pareto.Front) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"point", "makespan", "energy", "mapping"}); err != nil {
+		return err
+	}
+	for i, pt := range f {
+		ms := ""
+		for vi, d := range pt.Mapping {
+			if vi > 0 {
+				ms += "-"
+			}
+			ms += fmt.Sprint(d)
+		}
+		if err := cw.Write([]string{
+			fmt.Sprint(i),
+			fmt.Sprintf("%.9g", pt.Makespan),
+			fmt.Sprintf("%.9g", pt.Energy),
+			ms,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

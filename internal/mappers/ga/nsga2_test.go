@@ -1,0 +1,131 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/model"
+	"spmap/internal/pareto"
+	"spmap/internal/platform"
+)
+
+func paretoEval(seed int64, n int) *model.Evaluator {
+	rng := rand.New(rand.NewSource(seed))
+	g := gen.SeriesParallel(rng, n, gen.DefaultAttr())
+	return model.NewEvaluator(g, platform.Reference()).WithSchedules(8, seed)
+}
+
+func paretoFingerprint(f pareto.Front, st ParetoStats) string {
+	s := fmt.Sprintf("%+v|", st)
+	for _, p := range f {
+		s += fmt.Sprintf("(%016x,%016x,", math.Float64bits(p.Makespan), math.Float64bits(p.Energy))
+		for _, d := range p.Mapping {
+			s += fmt.Sprint(d)
+		}
+		s += ")"
+	}
+	return s
+}
+
+// TestMapParetoFrontProperties: the returned front is mutually
+// non-dominated, sorted by makespan, feasible, and spans a genuine
+// time/energy trade-off on the reference platform (min-energy point is
+// strictly more efficient than min-makespan point).
+func TestMapParetoFrontProperties(t *testing.T) {
+	ev := paretoEval(1, 30)
+	front, st := MapParetoWithEvaluator(ev, ParetoOptions{
+		Population: 24, Generations: 20, Seed: 5,
+	})
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	if st.Evaluations != 24*21 {
+		t.Fatalf("evaluations = %d, want %d", st.Evaluations, 24*21)
+	}
+	for i, a := range front {
+		if got := ev.Makespan(a.Mapping); got != a.Makespan {
+			t.Fatalf("front point %d: stored makespan %v != evaluator %v", i, a.Makespan, got)
+		}
+		if got := ev.Energy(a.Mapping); got != a.Energy {
+			t.Fatalf("front point %d: stored energy %v != evaluator %v", i, a.Energy, got)
+		}
+		for j, b := range front {
+			if i != j && b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
+				(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+				t.Fatalf("front point %d dominated by %d", i, j)
+			}
+		}
+		if i > 0 && front[i].Makespan < front[i-1].Makespan {
+			t.Fatal("front not sorted by makespan")
+		}
+	}
+	if st.BestMakespan != front[0].Makespan || st.BestEnergy != front[len(front)-1].Energy {
+		t.Fatalf("stats extremes inconsistent with front: %+v", st)
+	}
+	if len(front) > 1 && front.MinEnergy().Energy >= front.MinMakespan().Energy {
+		t.Fatal("front spans no energy trade-off")
+	}
+}
+
+// TestMapParetoDeterministicAcrossWorkers: identical front (values,
+// mappings, order) and stats for Workers {1, 4} and repeated runs.
+func TestMapParetoDeterministicAcrossWorkers(t *testing.T) {
+	ref := ""
+	for run, workers := range []int{1, 4, 1, 4} {
+		ev := paretoEval(2, 25)
+		front, st := MapParetoWithEvaluator(ev, ParetoOptions{
+			Population: 16, Generations: 10, Seed: 9, Workers: workers,
+		})
+		got := paretoFingerprint(front, st)
+		if run == 0 {
+			ref = got
+		} else if got != ref {
+			t.Fatalf("workers=%d: front diverged\n got %s\nwant %s", workers, got, ref)
+		}
+	}
+}
+
+// TestMapParetoEpsBoundsFront: a coarser ε yields a front no larger
+// than a finer one, and every ε front stays mutually non-dominated.
+func TestMapParetoEpsBoundsFront(t *testing.T) {
+	sizes := make([]int, 0, 3)
+	for _, eps := range []float64{0, 0.01, 0.1} {
+		ev := paretoEval(3, 30)
+		front, _ := MapParetoWithEvaluator(ev, ParetoOptions{
+			Population: 20, Generations: 12, Seed: 4, Eps: eps,
+		})
+		sizes = append(sizes, len(front))
+	}
+	if !(sizes[0] >= sizes[1] && sizes[1] >= sizes[2]) {
+		t.Fatalf("front sizes not monotone in eps: %v", sizes)
+	}
+	if sizes[2] < 1 {
+		t.Fatal("coarse eps produced empty front")
+	}
+}
+
+// TestMapParetoCoversSingleObjective: the front's best makespan is at
+// least as good as the single-objective GA's result at the same budget
+// and seed (the archive keeps every evaluated individual, and both
+// algorithms share genome encoding and operators).
+func TestMapParetoCoversSingleObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equal-budget cross-check is slow")
+	}
+	ev := paretoEval(4, 30)
+	opt := ParetoOptions{Population: 30, Generations: 25, Seed: 6}
+	front, _ := MapParetoWithEvaluator(ev, opt)
+	_, soStats := MapWithEvaluator(ev, Options{
+		Population: opt.Population, Generations: opt.Generations, Seed: opt.Seed,
+	})
+	// Not an identity (selection pressure differs) but the multi-
+	// objective front must land within 5% of the single-objective
+	// optimum at equal budget on these small instances.
+	if front.MinMakespan().Makespan > soStats.Makespan*1.05 {
+		t.Fatalf("pareto best makespan %v much worse than single-objective %v",
+			front.MinMakespan().Makespan, soStats.Makespan)
+	}
+}

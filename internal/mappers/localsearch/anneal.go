@@ -53,10 +53,11 @@ func (s *searcher) anneal() {
 	if tEnd > t0 {
 		tEnd = t0
 	}
-	// Temperatures scale with the starting makespan so the schedule is
+	// Temperatures scale with the starting objective value (the makespan,
+	// or the normalized cost in weighted mode) so the schedule is
 	// problem-size independent.
-	t0 *= s.stats.StartMakespan
-	tEnd *= s.stats.StartMakespan
+	t0 *= s.startVal
+	tEnd *= s.startVal
 	logRatio := math.Log(tEnd / t0)
 
 	ops := make([]eval.Op, batch)
@@ -101,24 +102,22 @@ func (s *searcher) anneal() {
 		}
 		// Results at or below the cutoff are exact; anything beyond the
 		// acceptance tail is rejected without needing its exact value.
-		cutoff := s.curMS + acceptTailFactor*temp
-		res := s.eng.EvaluateBatch(ops[:batch], cutoff)
+		cutoff := s.curVal + acceptTailFactor*temp
+		res := s.evalBatch(ops[:batch], cutoff)
 		s.stats.Evaluations += batch
-		for i, ms := range res {
-			if ms == model.Infeasible || ms > cutoff {
+		for i, val := range res {
+			if val == model.Infeasible || val > cutoff {
 				continue // reject: infeasible or beyond the acceptance tail
 			}
-			accept := ms <= s.curMS
+			accept := val <= s.curVal
 			if !accept {
-				accept = s.rng.Float64() < math.Exp((s.curMS-ms)/temp)
+				accept = s.rng.Float64() < math.Exp((s.curVal-val)/temp)
 			}
 			if accept {
 				for _, v := range ops[i].Patch {
 					s.cur[v] = ops[i].Device
 				}
-				s.curMS = ms
-				s.stats.Moves++
-				s.record()
+				s.moveTo(i, val)
 				// The incumbent changed: the remaining results of this
 				// block were evaluated against a stale base. Discard them
 				// and draw a fresh block.
@@ -130,9 +129,10 @@ func (s *searcher) anneal() {
 		// returning below it is negligible (every step back down carries
 		// at most the tail's acceptance mass), so resume from the elite
 		// instead of cooling into a worse valley.
-		if s.curMS-s.bestMS > acceptTailFactor*temp {
+		if s.curVal-s.bestVal > acceptTailFactor*temp {
 			copy(s.cur, s.best)
-			s.curMS = s.bestMS
+			s.curVal = s.bestVal
+			s.curMS, s.curEn = s.bestMS, s.bestEn
 		}
 	}
 }

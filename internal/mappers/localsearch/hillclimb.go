@@ -69,21 +69,19 @@ func (s *searcher) hillClimb() {
 		}
 		// The incumbent is the cutoff: improving results are exact, the
 		// rest abort early and can never win the argmin below.
-		res := s.eng.EvaluateBatch(ops, s.curMS)
+		res := s.evalBatch(ops, s.curVal)
 		s.stats.Evaluations += len(ops)
-		bestOp, bestMS := -1, s.curMS-s.curMS*improvementEps
-		for i, ms := range res {
-			if ms < bestMS {
-				bestOp, bestMS = i, ms
+		bestOp, bestVal := -1, s.curVal-s.curVal*improvementEps
+		for i, val := range res {
+			if val < bestVal {
+				bestOp, bestVal = i, val
 			}
 		}
 		if bestOp >= 0 {
 			for _, v := range ops[bestOp].Patch {
 				s.cur[v] = ops[bestOp].Device
 			}
-			s.curMS = bestMS
-			s.stats.Moves++
-			s.record()
+			s.moveTo(bestOp, bestVal)
 			continue
 		}
 		// Local optimum: kick and re-climb if the budget allows another
@@ -98,14 +96,24 @@ func (s *searcher) hillClimb() {
 			s.cur[s.rng.Intn(s.n)] = s.rng.Intn(s.nd)
 		}
 		s.cur.Repair(s.g, s.p)
-		s.curMS = s.eng.Makespan(s.cur)
+		if s.mo {
+			s.curMS = s.eng.Makespan(s.cur)
+			s.curEn = s.eng.Energy(s.cur)
+			s.curVal = s.cost(s.curMS, s.curEn)
+		} else {
+			s.curVal = s.eng.Makespan(s.cur)
+			s.curMS = s.curVal
+		}
 		s.stats.Evaluations++
 		s.stats.Kicks++
-		if s.curMS == model.Infeasible {
+		if s.curVal == model.Infeasible {
 			// Repair could not restore feasibility (it only moves tasks to
 			// the default device); restart from the best-seen mapping.
 			copy(s.cur, s.best)
-			s.curMS = s.bestMS
+			s.curVal = s.bestVal
+			s.curMS, s.curEn = s.bestMS, s.bestEn
+		} else {
+			s.observe()
 		}
 		s.record()
 	}

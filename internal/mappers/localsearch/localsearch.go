@@ -23,6 +23,8 @@
 package localsearch
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 
 	"spmap/internal/eval"
@@ -93,6 +95,27 @@ type Options struct {
 	// KickTasks is the number of tasks randomly remapped when the hill
 	// climber escapes a local optimum (default max(2, n/16)).
 	KickTasks int
+
+	// WTime and WEnergy select the multi-objective weighted mode: when
+	// WEnergy > 0 the search minimizes the normalized scalarization
+	//
+	//	cost = WTime * makespan/baseMakespan + WEnergy * energy/baseEnergy
+	//
+	// (the same contract as model.Evaluator.WeightedObjective, baselines
+	// from the pure-CPU mapping) instead of the raw makespan, with
+	// (makespan, energy) pairs evaluated on the engine's multi-objective
+	// batch path. WEnergy == 0 (the default) is the single-objective
+	// makespan search, bit-identical to the weights-free code path.
+	// Weights must be non-negative. In weighted mode the never-worse
+	// guarantee and the determinism contract hold for the cost.
+	WTime, WEnergy float64
+
+	// Observer, if non-nil in weighted mode, receives every feasible
+	// incumbent the search moves to (the start, accepted moves, kicks)
+	// with its exact makespan, energy and a private mapping copy —
+	// the hook Pareto drivers use to harvest front candidates beyond
+	// the single returned best. Ignored in single-objective mode.
+	Observer func(makespan, energy float64, m mapping.Mapping)
 }
 
 // Stats reports local-search effort and outcome. All counters are
@@ -107,10 +130,15 @@ type Stats struct {
 	// Kicks counts hill-climber perturbations (0 for annealing).
 	Kicks int
 	// StartMakespan is the makespan of the (repaired) starting mapping;
-	// Makespan is the best makespan found. Makespan <= StartMakespan
-	// always holds (for a feasible start).
+	// Makespan is the best makespan found. In single-objective mode
+	// Makespan <= StartMakespan always holds (for a feasible start); in
+	// weighted mode the never-worse guarantee applies to the weighted
+	// cost instead, so the best mapping's makespan may exceed the
+	// start's when energy weight buys it.
 	StartMakespan float64
 	Makespan      float64
+	// Energy is the compute energy of the returned mapping.
+	Energy float64
 }
 
 // Map runs local search from the pure-CPU baseline on (g, p).
@@ -132,7 +160,11 @@ func Refine(ev *model.Evaluator, m mapping.Mapping, opt Options) (mapping.Mappin
 	return search(ev, opt)
 }
 
-// searcher is the shared state of one local-search run.
+// searcher is the shared state of one local-search run. The search
+// loops minimize an objective *value*: in single-objective mode the
+// value is the engine makespan itself; in weighted mode it is the
+// normalized (makespan, energy) scalarization and the true objectives
+// of the incumbent/best are tracked alongside.
 type searcher struct {
 	g     *graph.DAG
 	p     *platform.Platform
@@ -142,10 +174,19 @@ type searcher struct {
 	opt   Options
 	stats Stats
 
-	cur    mapping.Mapping // incumbent (mutated in place; aliased by op bases)
-	curMS  float64
-	best   mapping.Mapping // best-seen (the returned mapping)
-	bestMS float64
+	cur     mapping.Mapping // incumbent (mutated in place; aliased by op bases)
+	curVal  float64         // incumbent objective value
+	best    mapping.Mapping // best-seen (the returned mapping)
+	bestVal float64
+
+	// Weighted (multi-objective) mode.
+	mo             bool
+	wt, we         float64   // normalized-objective weights
+	baseMs, baseEn float64   // pure-CPU normalization baselines (clamped > 0)
+	startVal       float64   // start value (paces the annealing schedule)
+	curMS, curEn   float64   // true objectives of the incumbent
+	bestMS, bestEn float64   // true objectives of the best-seen mapping
+	lastMS, lastEn []float64 // per-op true objectives of the last MO batch
 
 	// edges (edge endpoint pairs) and subs (the multi-node sets of the
 	// paper's series-parallel subgraph decomposition, §III-C) extend both
@@ -173,6 +214,8 @@ func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
 		n:   g.NumTasks(),
 		nd:  p.NumDevices(),
 		opt: opt,
+		mo:  opt.WEnergy > 0,
+		wt:  opt.WTime, we: opt.WEnergy,
 	}
 	if opt.Workers > 0 {
 		s.eng = s.eng.WithWorkers(opt.Workers)
@@ -184,7 +227,33 @@ func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
 	} else {
 		s.cur = mapping.Baseline(g, p)
 	}
-	s.curMS = s.eng.Makespan(s.cur)
+	if s.mo {
+		// Normalization baselines, mirroring WeightedObjective's
+		// contract, served from the evaluator's baseline cache so a
+		// weight sweep over one shared evaluator pays for the baseline
+		// simulation once (the evaluator's makespan and reference energy
+		// are bit-identical to the engine's).
+		s.baseMs = ev.BaselineMakespan()
+		s.baseEn = ev.Energy(mapping.Baseline(g, p))
+		if opt.Init == nil {
+			// The start IS the baseline: reuse its (raw) objectives.
+			s.curMS, s.curEn = s.baseMs, s.baseEn
+		} else {
+			s.curMS = s.eng.Makespan(s.cur)
+			s.curEn = s.eng.Energy(s.cur)
+		}
+		if s.baseMs <= 0 {
+			s.baseMs = 1
+		}
+		if s.baseEn <= 0 {
+			s.baseEn = 1
+		}
+		s.curVal = s.cost(s.curMS, s.curEn)
+		s.observe()
+	} else {
+		s.curVal = s.eng.Makespan(s.cur)
+		s.curMS = s.curVal
+	}
 	s.stats.Evaluations++
 	s.edges = make([][2]graph.NodeID, 0, g.NumEdges())
 	for v := 0; v < s.n; v++ {
@@ -205,11 +274,13 @@ func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
 		}
 	}
 	s.stats.StartMakespan = s.curMS
+	s.startVal = s.curVal
 	s.best = s.cur.Clone()
-	s.bestMS = s.curMS
+	s.bestVal = s.curVal
+	s.bestMS, s.bestEn = s.curMS, s.curEn
 
 	// Degenerate instances leave nothing to search.
-	if s.n > 0 && s.nd > 1 && s.curMS > 0 {
+	if s.n > 0 && s.nd > 1 && s.curVal > 0 {
 		switch opt.Algorithm {
 		case HillClimb:
 			s.hillClimb()
@@ -218,6 +289,11 @@ func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
 		}
 	}
 	s.stats.Makespan = s.bestMS
+	if s.mo {
+		s.stats.Energy = s.bestEn
+	} else {
+		s.stats.Energy = s.eng.Energy(s.best)
+	}
 	return s.best, s.stats, nil
 }
 
@@ -227,14 +303,96 @@ func validate(g *graph.DAG, p *platform.Platform, opt Options) error {
 			return err
 		}
 	}
+	if opt.WTime < 0 || opt.WEnergy < 0 {
+		return fmt.Errorf("localsearch: negative objective weights (%g, %g)", opt.WTime, opt.WEnergy)
+	}
 	return nil
+}
+
+// cost scalarizes exact (makespan, energy) under the weighted mode's
+// normalized objective; infeasible in, Infeasible out.
+func (s *searcher) cost(ms, en float64) float64 {
+	if ms == model.Infeasible || en == model.Infeasible {
+		return model.Infeasible
+	}
+	return s.wt*ms/s.baseMs + s.we*en/s.baseEn
+}
+
+// msCutFor converts a bound on the objective value into a makespan
+// cutoff for the engine. In single-objective mode the value is the
+// makespan. In weighted mode any candidate with cost <= bound has
+// wt*ms/baseMs <= bound (the energy term is non-negative), so
+// ms <= bound*baseMs/wt; the tiny inflation keeps the implication safe
+// under floating-point rounding (an inflated cutoff only costs early
+// exit, never exactness).
+func (s *searcher) msCutFor(bound float64) float64 {
+	if !s.mo {
+		return bound
+	}
+	if s.wt <= 0 {
+		return math.Inf(1) // pure energy: the makespan is unconstrained
+	}
+	return bound * s.baseMs / s.wt * (1 + 1e-9)
+}
+
+// evalBatch evaluates ops and returns index-aligned objective values
+// against the value bound: values at or below the bound are exact;
+// larger values only certify a value beyond the bound; Infeasible marks
+// infeasible candidates. In weighted mode the per-op true objectives
+// land in lastMS/lastEn (exact wherever the value is at or below the
+// bound).
+func (s *searcher) evalBatch(ops []eval.Op, bound float64) []float64 {
+	if !s.mo {
+		return s.eng.EvaluateBatch(ops, bound)
+	}
+	msCut := s.msCutFor(bound)
+	ms, en := s.eng.EvaluateBatchMO(ops, msCut)
+	s.lastMS, s.lastEn = ms, en
+	vals := make([]float64, len(ops))
+	for i := range ms {
+		switch {
+		case ms[i] == model.Infeasible:
+			vals[i] = model.Infeasible
+		case ms[i] > msCut:
+			// Clamped makespan: the candidate's cost certifiably exceeds
+			// the bound (see msCutFor), but is not exact.
+			vals[i] = math.Inf(1)
+		default:
+			vals[i] = s.cost(ms[i], en[i])
+		}
+	}
+	return vals
+}
+
+// moveTo commits an accepted batch candidate: the incumbent mapping was
+// already patched by the caller; i indexes the candidate within the
+// last evaluated batch.
+func (s *searcher) moveTo(i int, val float64) {
+	s.curVal = val
+	if s.mo {
+		s.curMS, s.curEn = s.lastMS[i], s.lastEn[i]
+		s.observe()
+	} else {
+		s.curMS = val
+	}
+	s.stats.Moves++
+	s.record()
+}
+
+// observe reports the (feasible) incumbent to the weighted-mode
+// observer with a private mapping copy.
+func (s *searcher) observe() {
+	if s.mo && s.opt.Observer != nil && s.curVal != model.Infeasible {
+		s.opt.Observer(s.curMS, s.curEn, s.cur.Clone())
+	}
 }
 
 // record updates the best-seen mapping after the incumbent changed.
 func (s *searcher) record() {
-	if s.curMS < s.bestMS {
+	if s.curVal < s.bestVal {
 		copy(s.best, s.cur)
-		s.bestMS = s.curMS
+		s.bestVal = s.curVal
+		s.bestMS, s.bestEn = s.curMS, s.curEn
 	}
 }
 

@@ -1,0 +1,188 @@
+package localsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+// moEval builds the shared test fixture: a random SP graph on the
+// reference platform with a small schedule set.
+func moEval(t *testing.T, seed int64, n int) *model.Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := gen.SeriesParallel(rng, n, gen.DefaultAttr())
+	return model.NewEvaluator(g, p()).WithSchedules(8, seed)
+}
+
+func p() *platform.Platform { return platform.Reference() }
+
+// TestWeightedModeNeverWorseOnCost: the returned mapping's weighted cost
+// never exceeds the start's, for several weights and both algorithms.
+func TestWeightedModeNeverWorseOnCost(t *testing.T) {
+	for _, alg := range []Algorithm{Anneal, HillClimb} {
+		for _, wt := range []float64{0, 0.25, 0.5, 1} {
+			ev := moEval(t, 3, 30)
+			obj := ev.WeightedObjective(wt, 1)
+			start := mapping.Baseline(ev.G, ev.P)
+			m, st, err := MapWithEvaluator(ev, Options{
+				Algorithm: alg, Seed: 7, Budget: 1200, WTime: wt, WEnergy: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, lim := obj(m), obj(start); got > lim+1e-12 {
+				t.Fatalf("%v wt=%g: cost worsened: %v > start %v", alg, wt, got, lim)
+			}
+			if st.Makespan != ev.Makespan(m) {
+				t.Fatalf("%v wt=%g: Stats.Makespan %v != evaluator %v", alg, wt, st.Makespan, ev.Makespan(m))
+			}
+			if st.Energy != ev.Energy(m) {
+				t.Fatalf("%v wt=%g: Stats.Energy %v != evaluator %v", alg, wt, st.Energy, ev.Energy(m))
+			}
+		}
+	}
+}
+
+// TestEnergyOnlySearchReducesEnergy: with pure energy weighting the
+// search finds a mapping at least as efficient as the CPU baseline, and
+// (on the reference platform, whose FPGA draws a tenth of the CPU's
+// power) strictly better.
+func TestEnergyOnlySearchReducesEnergy(t *testing.T) {
+	ev := moEval(t, 4, 30)
+	base := ev.Energy(mapping.Baseline(ev.G, ev.P))
+	m, st, err := MapWithEvaluator(ev, Options{
+		Algorithm: HillClimb, Seed: 1, Budget: 2000, WTime: 0, WEnergy: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Energy >= base {
+		t.Fatalf("energy-only search did not improve: %v >= baseline %v", st.Energy, base)
+	}
+	if got := ev.Energy(m); got != st.Energy {
+		t.Fatalf("stats energy %v != evaluator energy %v", st.Energy, got)
+	}
+}
+
+// TestWeightedModeDeterministicAcrossWorkers: identical mapping and
+// stats for Workers 1 vs 4 and repeated runs.
+func TestWeightedModeDeterministicAcrossWorkers(t *testing.T) {
+	for _, alg := range []Algorithm{Anneal, HillClimb} {
+		var refM mapping.Mapping
+		var refSt Stats
+		for run, workers := range []int{1, 4, 1, 4} {
+			ev := moEval(t, 5, 35)
+			m, st, err := MapWithEvaluator(ev, Options{
+				Algorithm: alg, Seed: 11, Budget: 1000, Workers: workers,
+				WTime: 0.5, WEnergy: 0.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run == 0 {
+				refM, refSt = m, st
+				continue
+			}
+			if !m.Equal(refM) {
+				t.Fatalf("%v workers=%d: mapping diverged", alg, workers)
+			}
+			if st != refSt {
+				t.Fatalf("%v workers=%d: stats diverged: %+v vs %+v", alg, workers, st, refSt)
+			}
+		}
+	}
+}
+
+// TestObserverReceivesExactIncumbents: every observed point carries the
+// exact evaluator objectives of its mapping, the observed set includes
+// the start, and observed mappings are private copies.
+func TestObserverReceivesExactIncumbents(t *testing.T) {
+	ev := moEval(t, 6, 25)
+	type obs struct {
+		ms, en float64
+		m      mapping.Mapping
+	}
+	var seen []obs
+	start := mapping.Baseline(ev.G, ev.P)
+	_, _, err := MapWithEvaluator(ev, Options{
+		Algorithm: Anneal, Seed: 2, Budget: 800, WTime: 0.5, WEnergy: 0.5,
+		Observer: func(ms, en float64, m mapping.Mapping) {
+			seen = append(seen, obs{ms, en, m})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("observer never called")
+	}
+	if !seen[0].m.Equal(start) {
+		t.Fatal("first observed incumbent is not the start mapping")
+	}
+	for i, o := range seen {
+		if o.ms != ev.Makespan(o.m) || o.en != ev.Energy(o.m) {
+			t.Fatalf("observed point %d has inexact objectives", i)
+		}
+	}
+	// Mapping copies must be independent (no aliasing of the incumbent).
+	for i := 1; i < len(seen); i++ {
+		if &seen[i].m[0] == &seen[i-1].m[0] {
+			t.Fatal("observer received aliased mapping buffers")
+		}
+	}
+}
+
+// TestObserverIgnoredInSingleObjectiveMode: the observer must not fire
+// without energy weighting (documented contract).
+func TestObserverIgnoredInSingleObjectiveMode(t *testing.T) {
+	ev := moEval(t, 6, 20)
+	calls := 0
+	_, _, err := MapWithEvaluator(ev, Options{
+		Seed: 2, Budget: 300,
+		Observer: func(ms, en float64, m mapping.Mapping) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("observer fired %d times in single-objective mode", calls)
+	}
+}
+
+// TestNegativeWeightsRejected: validation catches bad weights.
+func TestNegativeWeightsRejected(t *testing.T) {
+	ev := moEval(t, 7, 10)
+	if _, _, err := MapWithEvaluator(ev, Options{WTime: -1, WEnergy: 1}); err == nil {
+		t.Fatal("negative WTime accepted")
+	}
+	if _, _, err := MapWithEvaluator(ev, Options{WTime: 1, WEnergy: -0.5}); err == nil {
+		t.Fatal("negative WEnergy accepted")
+	}
+}
+
+// TestWeightedCostMatchesWeightedObjective: the internal scalarization
+// agrees with model.Evaluator.WeightedObjective on the returned mapping
+// (same normalization contract).
+func TestWeightedCostMatchesWeightedObjective(t *testing.T) {
+	ev := moEval(t, 8, 25)
+	const wt, we = 0.3, 0.7
+	m, st, err := MapWithEvaluator(ev, Options{
+		Algorithm: HillClimb, Seed: 3, Budget: 900, WTime: wt, WEnergy: we,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := ev.WeightedObjective(wt, we)
+	want := obj(m)
+	baseMs, baseEn := ev.Makespan(mapping.Baseline(ev.G, ev.P)), ev.Energy(mapping.Baseline(ev.G, ev.P))
+	got := wt*st.Makespan/baseMs + we*st.Energy/baseEn
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted cost %v != WeightedObjective %v", got, want)
+	}
+}

@@ -49,11 +49,10 @@ func (e *Evaluator) EnergyObjective() Objective {
 //
 // Both terms are normalized by the pure-CPU baseline so the weights are
 // dimensionless and comparable. Weights must be non-negative and not both
-// zero.
+// zero. The baseline objectives are cached on the evaluator, so
+// constructing objectives in a weight sweep is O(1) after the first.
 func (e *Evaluator) WeightedObjective(wTime, wEnergy float64) Objective {
-	base := mapping.Baseline(e.G, e.P)
-	baseMs := e.Makespan(base)
-	baseEn := e.Energy(base)
+	baseMs, baseEn := e.baselineObjectives()
 	if baseMs <= 0 {
 		baseMs = 1
 	}

@@ -63,6 +63,54 @@ func TestWeightedObjectiveExtremes(t *testing.T) {
 	}
 }
 
+// TestWeightedObjectiveCachesBaseline: constructing weighted objectives
+// must not recompute the baseline makespan/energy after the first call
+// (regression: sweeps used to pay a full baseline simulation per
+// weight). The test plants a sentinel in the cache; a recomputation
+// would overwrite it and change the objective's normalization.
+func TestWeightedObjectiveCachesBaseline(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(8))
+	g := gen.SeriesParallel(rng, 20, gen.DefaultAttr())
+	ev := NewEvaluator(g, p).WithSchedules(5, 1)
+	base := mapping.Baseline(g, p)
+
+	obj := ev.WeightedObjective(1, 0) // primes the cache
+	trueMs := ev.Makespan(base)
+	if got := obj(base); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("baseline pure-time objective = %v, want 1", got)
+	}
+	if !ev.baseValid || ev.baseMs != trueMs {
+		t.Fatalf("cache not primed: valid=%v baseMs=%v want %v", ev.baseValid, ev.baseMs, trueMs)
+	}
+
+	// Plant a sentinel: O(1) construction must read it, not recompute.
+	ev.baseMs = 2 * trueMs
+	obj2 := ev.WeightedObjective(1, 0)
+	if got, want := obj2(base), trueMs/(2*trueMs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WeightedObjective recomputed the baseline: objective = %v, want sentinel-normalized %v", got, want)
+	}
+	if got := ev.BaselineMakespan(); got != 2*trueMs {
+		t.Fatalf("BaselineMakespan bypassed the cache: %v", got)
+	}
+
+	// WithSchedules must invalidate (the baseline makespan depends on
+	// the schedule set).
+	ev.WithSchedules(5, 1)
+	if ev.baseValid {
+		t.Fatal("WithSchedules did not invalidate the baseline cache")
+	}
+	obj3 := ev.WeightedObjective(1, 0)
+	if got := obj3(base); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("post-invalidation objective = %v, want 1", got)
+	}
+
+	// Clone shares the primed cache.
+	if c := ev.Clone(); !c.baseValid || c.baseMs != ev.baseMs {
+		t.Fatal("Clone dropped the baseline cache")
+	}
+}
+
 func TestEDP(t *testing.T) {
 	p := platform.Reference()
 	rng := rand.New(rand.NewSource(4))

@@ -58,6 +58,15 @@ type Evaluator struct {
 	// straightforward reference simulation the engine is cross-checked
 	// against.
 	eng *eval.Engine
+
+	// Cached pure-CPU baseline objectives, computed lazily and
+	// invalidated by WithSchedules (the baseline makespan depends on the
+	// schedule set). Objective sweeps construct WeightedObjective and
+	// query BaselineMakespan per weight; the cache makes each
+	// construction O(1) after the first instead of a full baseline
+	// simulation.
+	baseMs, baseEn float64
+	baseValid      bool
 }
 
 func makeFree(p *platform.Platform) [][]float64 {
@@ -106,7 +115,20 @@ func (e *Evaluator) WithSchedules(nRandom int, seed int64) *Evaluator {
 	}
 	e.orders = orders
 	e.eng = nil // schedule set changed: recompile on next use
+	e.baseValid = false
 	return e
+}
+
+// baselineObjectives returns the cached (makespan, energy) of the
+// pure-CPU baseline mapping, computing both on first use.
+func (e *Evaluator) baselineObjectives() (baseMs, baseEn float64) {
+	if !e.baseValid {
+		base := mapping.Baseline(e.G, e.P)
+		e.baseMs = e.Makespan(base)
+		e.baseEn = e.Energy(base)
+		e.baseValid = true
+	}
+	return e.baseMs, e.baseEn
 }
 
 // Engine returns the compiled evaluation engine for the evaluator's
@@ -132,7 +154,8 @@ func (e *Evaluator) Clone() *Evaluator {
 		G: e.G, P: e.P, exec: e.exec, bfs: e.bfs, orders: e.orders,
 		start: make([]float64, n), finish: make([]float64, n),
 		free: makeFree(e.P), area: make([]float64, e.P.NumDevices()),
-		eng: e.eng, // the engine is immutable and concurrency-safe
+		eng:    e.eng, // the engine is immutable and concurrency-safe
+		baseMs: e.baseMs, baseEn: e.baseEn, baseValid: e.baseValid,
 	}
 }
 
@@ -321,10 +344,12 @@ func (e *Evaluator) DeterministicMakespan(m mapping.Mapping) float64 {
 	return e.MakespanOrder(m, e.bfs)
 }
 
-// BaselineMakespan returns the deterministic makespan of the pure-CPU
-// (default device) mapping.
+// BaselineMakespan returns the makespan of the pure-CPU (default
+// device) mapping under the evaluator's schedule set, cached after the
+// first call (experiment sweeps query it once per mapper run).
 func (e *Evaluator) BaselineMakespan() float64 {
-	return e.Makespan(mapping.Baseline(e.G, e.P))
+	ms, _ := e.baselineObjectives()
+	return ms
 }
 
 // TaskTimes exposes the per-task start and finish times of the most recent

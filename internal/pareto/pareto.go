@@ -1,0 +1,298 @@
+// Package pareto implements the multi-objective (makespan x energy)
+// extension the paper sketches in §II-A ("the basic algorithmic ideas
+// presented in this work can easily be transferred to multi-objective
+// optimization"): a bounded ε-dominance Pareto archive with
+// deterministic tie-breaking, the non-dominated-sorting and
+// crowding-distance primitives of NSGA-II, and front quality metrics.
+//
+// All operations are deterministic: the archive's final contents depend
+// only on the set of inserted points, never on their insertion order
+// (see Archive), and every sort breaks ties by explicit total orders,
+// so multi-objective mappers built on this package inherit the repo's
+// determinism contract (identical fronts for any engine worker count).
+package pareto
+
+import (
+	"math"
+
+	"spmap/internal/mapping"
+)
+
+// Infeasible marks points of infeasible mappings; the archive rejects
+// them. It equals model.Infeasible.
+const Infeasible = math.MaxFloat64
+
+// Point is one (makespan, energy) outcome of a mapping. Both objectives
+// are minimized.
+type Point struct {
+	Makespan float64
+	Energy   float64
+	Mapping  mapping.Mapping
+}
+
+// dominates reports whether p weakly dominates q with at least one
+// strict improvement (the standard Pareto dominance on minimization).
+func (p Point) dominates(q Point) bool {
+	return p.Makespan <= q.Makespan && p.Energy <= q.Energy &&
+		(p.Makespan < q.Makespan || p.Energy < q.Energy)
+}
+
+// WeaklyDominates reports p.Makespan <= q.Makespan && p.Energy <= q.Energy.
+func (p Point) WeaklyDominates(q Point) bool {
+	return p.Makespan <= q.Makespan && p.Energy <= q.Energy
+}
+
+// less is the deterministic total order behind every archive decision:
+// lexicographic by (Makespan, Energy, Mapping). It is consistent with
+// dominance — p dominates q implies less(p, q) — so preferring the
+// less point within an ε-box never discards a dominating point.
+func less(p, q Point) bool {
+	if p.Makespan != q.Makespan {
+		return p.Makespan < q.Makespan
+	}
+	if p.Energy != q.Energy {
+		return p.Energy < q.Energy
+	}
+	for i := range p.Mapping {
+		if i >= len(q.Mapping) {
+			return false
+		}
+		if p.Mapping[i] != q.Mapping[i] {
+			return p.Mapping[i] < q.Mapping[i]
+		}
+	}
+	return len(p.Mapping) < len(q.Mapping)
+}
+
+// Front is a set of mutually non-dominated points sorted by ascending
+// makespan (and hence descending energy).
+type Front []Point
+
+// MinMakespan returns the front's fastest point (the front must be
+// non-empty); fronts are sorted, so it is the first point.
+func (f Front) MinMakespan() Point { return f[0] }
+
+// MinEnergy returns the front's most efficient point (the last point of
+// a sorted front).
+func (f Front) MinEnergy() Point { return f[len(f)-1] }
+
+// Hypervolume returns the area weakly dominated by the front within the
+// rectangle bounded by the reference point (refMs, refEn) — the
+// standard 2-objective front quality scalar. Points outside the
+// reference box contribute only their clipped part; an empty front has
+// hypervolume 0.
+func (f Front) Hypervolume(refMs, refEn float64) float64 {
+	hv := 0.0
+	en := refEn // sweep down in energy as makespan increases
+	for _, p := range f {
+		if p.Makespan >= refMs || p.Energy >= en {
+			continue
+		}
+		hv += (refMs - p.Makespan) * (en - p.Energy)
+		en = p.Energy
+	}
+	return hv
+}
+
+// Archive is a bounded ε-dominance Pareto archive over (makespan,
+// energy) minimization, in the style of Laumanns et al.: objective
+// space is partitioned into an ε-grid (box index floor(v/ε) per
+// objective), a candidate is rejected if an archived point's box
+// dominates its box, archived points whose boxes the candidate's box
+// dominates are evicted, and within one box the lexicographic minimum
+// (makespan, energy, mapping) survives. With ε > 0 the archive holds at
+// most one point per occupied makespan box of the front's range —
+// size <= floor(maxMs/ε) - floor(minMs/ε) + 1 — which bounds both
+// memory and per-insert cost. ε = 0 degenerates to the exact
+// non-dominated archive (every comparison on the raw values).
+//
+// The archived set depends only on the set of points ever offered to
+// Add, never on their order: box dominance is a partial order on the
+// grid, so the surviving boxes are exactly the minimal occupied ones,
+// and the within-box winner is the minimum of a total order. Archived
+// points are always actually inserted points (boxes are never rounded
+// to corners), so every archived point weakly dominates some inserted
+// point — itself — and archived points are mutually non-dominated in
+// the true (not just box) sense.
+//
+// An Archive is not safe for concurrent use.
+type Archive struct {
+	eps  float64
+	pts  []Point // sorted ascending by less (=> ascending makespan)
+	seen int
+}
+
+// NewArchive returns an empty archive with resolution eps >= 0.
+func NewArchive(eps float64) *Archive {
+	if eps < 0 || math.IsNaN(eps) {
+		eps = 0
+	}
+	return &Archive{eps: eps}
+}
+
+// Eps returns the archive's ε-grid resolution.
+func (a *Archive) Eps() float64 { return a.eps }
+
+// Len returns the number of archived points.
+func (a *Archive) Len() int { return len(a.pts) }
+
+// Seen returns the number of feasible points offered to Add.
+func (a *Archive) Seen() int { return a.seen }
+
+// box returns p's ε-grid coordinates; with eps = 0 the raw values act
+// as (infinitely fine) coordinates.
+func (a *Archive) box(p Point) (bm, be float64) {
+	if a.eps == 0 {
+		return p.Makespan, p.Energy
+	}
+	return math.Floor(p.Makespan / a.eps), math.Floor(p.Energy / a.eps)
+}
+
+// Add offers p to the archive and reports whether it was archived. The
+// mapping is cloned, so callers may keep mutating their buffer.
+// Infeasible or non-finite points are rejected.
+func (a *Archive) Add(p Point) bool {
+	if p.Makespan >= Infeasible || p.Energy >= Infeasible ||
+		math.IsNaN(p.Makespan) || math.IsNaN(p.Energy) || p.Mapping == nil {
+		return false
+	}
+	a.seen++
+	pm, pe := a.box(p)
+	// Reject pass: p loses to an archived point whose box dominates p's,
+	// or to the lexicographic winner of p's own box. (At most one
+	// archived point occupies any box, and archived boxes are mutually
+	// non-dominated, so the first deciding comparison is the only one.)
+	for _, q := range a.pts {
+		qm, qe := a.box(q)
+		if qm == pm && qe == pe {
+			if !less(p, q) {
+				return false
+			}
+			break
+		}
+		if qm <= pm && qe <= pe {
+			return false
+		}
+	}
+	// Evict pass: drop every archived point whose box p's box weakly
+	// dominates (including the same-box loser), then insert p in sorted
+	// position.
+	keep := a.pts[:0]
+	for _, q := range a.pts {
+		qm, qe := a.box(q)
+		if pm <= qm && pe <= qe {
+			continue
+		}
+		keep = append(keep, q)
+	}
+	p.Mapping = p.Mapping.Clone()
+	a.pts = append(keep, p)
+	for i := len(a.pts) - 1; i > 0 && less(a.pts[i], a.pts[i-1]); i-- {
+		a.pts[i], a.pts[i-1] = a.pts[i-1], a.pts[i]
+	}
+	return true
+}
+
+// AddFront offers every point of f to the archive.
+func (a *Archive) AddFront(f Front) {
+	for _, p := range f {
+		a.Add(p)
+	}
+}
+
+// Front returns the archived non-dominated front sorted by ascending
+// makespan. The returned slice is a copy; the mappings are shared.
+func (a *Archive) Front() Front {
+	f := make(Front, len(a.pts))
+	copy(f, a.pts)
+	return f
+}
+
+// NonDominatedRanks performs the fast non-dominated sort of NSGA-II on
+// the (ms, en) objective vectors: rank[i] = 0 for the non-dominated
+// front, 1 for the front after removing rank 0, and so on. Infeasible
+// points always rank behind every feasible point (they form the final
+// fronts by makespan value, which is Infeasible for all of them — the
+// repair step makes them rare). The result is deterministic: it depends
+// only on the objective values.
+func NonDominatedRanks(ms, en []float64) []int {
+	n := len(ms)
+	rank := make([]int, n)
+	dominatedBy := make([]int, n) // points dominating i, not yet ranked
+	dominating := make([][]int, n)
+	var current []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pi := Point{Makespan: ms[i], Energy: en[i]}
+			pj := Point{Makespan: ms[j], Energy: en[j]}
+			if pi.dominates(pj) {
+				dominating[i] = append(dominating[i], j)
+				dominatedBy[j]++
+			} else if pj.dominates(pi) {
+				dominating[j] = append(dominating[j], i)
+				dominatedBy[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if dominatedBy[i] == 0 {
+			current = append(current, i)
+		}
+	}
+	for r := 0; len(current) > 0; r++ {
+		var next []int
+		for _, i := range current {
+			rank[i] = r
+			for _, j := range dominating[i] {
+				if dominatedBy[j]--; dominatedBy[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		current = next
+	}
+	return rank
+}
+
+// CrowdingDistance returns the NSGA-II crowding distance of the points
+// indexed by front within the (ms, en) arrays: boundary points get +Inf,
+// interior points the normalized side length sum of the cuboid spanned
+// by their objective-wise neighbors. Ties in objective values are
+// ordered by index, so the result is deterministic.
+func CrowdingDistance(ms, en []float64, front []int) []float64 {
+	k := len(front)
+	dist := make([]float64, k)
+	if k <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	order := make([]int, k) // positions into front, sorted per objective
+	for _, obj := range [][]float64{ms, en} {
+		for i := range order {
+			order[i] = i
+		}
+		// Deterministic insertion sort by (value, index).
+		for i := 1; i < k; i++ {
+			for j := i; j > 0; j-- {
+				a, b := order[j], order[j-1]
+				if obj[front[a]] < obj[front[b]] ||
+					(obj[front[a]] == obj[front[b]] && front[a] < front[b]) {
+					order[j], order[j-1] = order[j-1], order[j]
+				} else {
+					break
+				}
+			}
+		}
+		lo, hi := obj[front[order[0]]], obj[front[order[k-1]]]
+		dist[order[0]] = math.Inf(1)
+		dist[order[k-1]] = math.Inf(1)
+		if span := hi - lo; span > 0 {
+			for i := 1; i < k-1; i++ {
+				dist[order[i]] += (obj[front[order[i+1]]] - obj[front[order[i-1]]]) / span
+			}
+		}
+	}
+	return dist
+}

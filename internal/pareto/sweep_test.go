@@ -1,0 +1,143 @@
+package pareto_test
+
+// The sweep driver tests live in an external test package: pareto is
+// imported by the mappers, so its internal tests must not import them.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/mappers/localsearch"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/pareto"
+	"spmap/internal/platform"
+)
+
+func sweepEval(seed int64, n int) *model.Evaluator {
+	rng := rand.New(rand.NewSource(seed))
+	g := gen.SeriesParallel(rng, n, gen.DefaultAttr())
+	return model.NewEvaluator(g, platform.Reference()).WithSchedules(8, seed)
+}
+
+func fingerprint(f pareto.Front) string {
+	s := ""
+	for _, p := range f {
+		s += fmt.Sprintf("(%016x,%016x,", math.Float64bits(p.Makespan), math.Float64bits(p.Energy))
+		for _, d := range p.Mapping {
+			s += fmt.Sprint(d)
+		}
+		s += ")"
+	}
+	return s
+}
+
+// TestWeightedSweepFrontProperties: points are exact, mutually
+// non-dominated, and the w = 1 anchor guarantees the front's best
+// makespan matches the equal-budget single-objective search exactly.
+func TestWeightedSweepFrontProperties(t *testing.T) {
+	ev := sweepEval(1, 30)
+	const budget = 500
+	front, st, err := pareto.WeightedSweep(ev, pareto.SweepOptions{
+		Seed: 3, Budget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	if st.Runs != len(pareto.DefaultWeights) {
+		t.Fatalf("runs = %d, want %d", st.Runs, len(pareto.DefaultWeights))
+	}
+	for i, a := range front {
+		if got := ev.Makespan(a.Mapping); got != a.Makespan {
+			t.Fatalf("point %d: stored makespan %v != evaluator %v", i, a.Makespan, got)
+		}
+		if got := ev.Energy(a.Mapping); got != a.Energy {
+			t.Fatalf("point %d: stored energy %v != evaluator %v", i, a.Energy, got)
+		}
+		for j, b := range front {
+			if i != j && b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
+				(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+				t.Fatalf("front point %d dominated by %d", i, j)
+			}
+		}
+	}
+
+	// The w = 1 run is the plain single-objective search (bit-identical
+	// code path, same seed derivation): the front must contain a point
+	// at least as fast, and the archive preserves the exact optimum
+	// unless an even faster point dominated it.
+	_, soStats, err := localsearch.MapWithEvaluator(ev, localsearch.Options{
+		Seed: 3, Budget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BestMakespan > soStats.Makespan {
+		t.Fatalf("front best makespan %v worse than single-objective optimum %v",
+			st.BestMakespan, soStats.Makespan)
+	}
+}
+
+// TestWeightedSweepDeterministicAcrossWorkers: byte-identical fronts
+// across Workers {1, 4} and repeated runs.
+func TestWeightedSweepDeterministicAcrossWorkers(t *testing.T) {
+	ref := ""
+	var refSt pareto.SweepStats
+	for run, workers := range []int{1, 4, 1, 4} {
+		ev := sweepEval(2, 30)
+		front, st, err := pareto.WeightedSweep(ev, pareto.SweepOptions{
+			Seed: 5, Budget: 400, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fingerprint(front)
+		if run == 0 {
+			ref, refSt = got, st
+			continue
+		}
+		if got != ref {
+			t.Fatalf("workers=%d: front diverged\n got %s\nwant %s", workers, got, ref)
+		}
+		if st != refSt {
+			t.Fatalf("workers=%d: stats diverged: %+v vs %+v", workers, st, refSt)
+		}
+	}
+}
+
+// TestWeightedSweepRefinesInit: sweeping from a given mapping keeps the
+// never-worse guarantee per scalarization (spot-checked at the pure-
+// time anchor).
+func TestWeightedSweepRefinesInit(t *testing.T) {
+	ev := sweepEval(3, 25)
+	init := mapping.Baseline(ev.G, ev.P)
+	front, _, err := pareto.WeightedSweep(ev, pareto.SweepOptions{
+		Seed: 1, Budget: 300, Init: init, Algorithm: localsearch.HillClimb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, lim := front.MinMakespan().Makespan, ev.Makespan(init); got > lim {
+		t.Fatalf("front min makespan %v worse than init %v", got, lim)
+	}
+	if got, lim := front.MinEnergy().Energy, ev.Energy(init); got > lim {
+		t.Fatalf("front min energy %v worse than init %v", got, lim)
+	}
+}
+
+// TestWeightedSweepRejectsBadWeights: weights outside [0, 1] error.
+func TestWeightedSweepRejectsBadWeights(t *testing.T) {
+	ev := sweepEval(4, 10)
+	if _, _, err := pareto.WeightedSweep(ev, pareto.SweepOptions{Weights: []float64{1.5}}); err == nil {
+		t.Fatal("weight 1.5 accepted")
+	}
+	if _, _, err := pareto.WeightedSweep(ev, pareto.SweepOptions{Weights: []float64{-0.1}}); err == nil {
+		t.Fatal("weight -0.1 accepted")
+	}
+}

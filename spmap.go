@@ -30,6 +30,11 @@
 //     prefix-resume path.
 //   - Refine — local-search polishing of any other mapper's output
 //     (decomposition, HEFT/PEFT, GA); never returns a worse mapping.
+//   - MapPareto — multi-objective (makespan x energy) mapping beyond
+//     the paper (§II-A sketches the transfer): a weighted local-search
+//     sweep or a true two-objective NSGA-II over the engine's
+//     (makespan, energy) batch path, returning a bounded ε-dominance
+//     Pareto front of time/energy trade-offs.
 //   - MapMILP — the ZhouLiu / WGDP-Device / WGDP-Time integer programs
 //     solved by the built-in branch-and-bound solver.
 //
@@ -73,6 +78,7 @@ import (
 	"spmap/internal/mapping"
 	"spmap/internal/milp"
 	"spmap/internal/model"
+	"spmap/internal/pareto"
 	"spmap/internal/platform"
 	"spmap/internal/sp"
 	"spmap/internal/wf"
@@ -277,6 +283,151 @@ func MapLocalSearch(g *DAG, p *Platform, opt LocalSearchOptions) (Mapping, Local
 // than the (area-repaired) input mapping.
 func Refine(ev *Evaluator, m Mapping, opt LocalSearchOptions) (Mapping, LocalSearchStats, error) {
 	return localsearch.Refine(ev, m, opt)
+}
+
+// ParetoPoint is one (makespan, energy) outcome of a mapping on the
+// multi-objective front.
+type ParetoPoint = pareto.Point
+
+// ParetoFront is a set of mutually non-dominated (makespan, energy)
+// points sorted by ascending makespan.
+type ParetoFront = pareto.Front
+
+// ParetoArchive is the bounded ε-dominance archive behind MapPareto,
+// exported for callers that harvest fronts from their own search loops.
+type ParetoArchive = pareto.Archive
+
+// NewParetoArchive returns an empty ε-dominance archive (eps = 0 keeps
+// the exact front).
+func NewParetoArchive(eps float64) *ParetoArchive { return pareto.NewArchive(eps) }
+
+// ParetoAlgorithm selects the multi-objective driver of MapPareto.
+type ParetoAlgorithm int
+
+// Multi-objective drivers.
+const (
+	// ParetoSweep runs one weighted-scalarization local search per
+	// sweep weight over the engine's multi-objective batch path and
+	// archives every incumbent. The pure-time weight runs the plain
+	// single-objective search, so the front always contains the
+	// makespan optimum the same budget would have found alone.
+	ParetoSweep ParetoAlgorithm = iota
+	// ParetoNSGA2 runs true two-objective NSGA-II (non-dominated
+	// sorting, crowding-distance selection) and archives every
+	// evaluated individual.
+	ParetoNSGA2
+)
+
+// String implements fmt.Stringer.
+func (a ParetoAlgorithm) String() string {
+	if a == ParetoNSGA2 {
+		return "NSGA2"
+	}
+	return "Sweep"
+}
+
+// ParetoOptions configure MapPareto; zero values select the defaults.
+type ParetoOptions struct {
+	// Algorithm selects the driver (default ParetoSweep).
+	Algorithm ParetoAlgorithm
+	// Eps is the archive's ε-dominance grid resolution: the front keeps
+	// at most one point per ε-box of objective space, bounding its size
+	// (0 keeps the exact non-dominated front).
+	Eps float64
+	// Seed drives the deterministic RNG. Equal seeds give identical
+	// fronts regardless of Workers.
+	Seed int64
+	// Workers bounds the evaluation engine's worker pool (0 selects
+	// GOMAXPROCS); the front is identical for any value.
+	Workers int
+	// Budget caps total engine evaluations (default 50100, the paper
+	// GA's budget): the sweep splits it across its weights, NSGA-II
+	// derives population x (generations+1) from it.
+	Budget int
+	// Weights are the sweep's time weights in [0, 1] (sweep only;
+	// default pareto.DefaultWeights).
+	Weights []float64
+	// Init refines an existing mapping instead of the pure-CPU baseline
+	// (sweep only).
+	Init Mapping
+}
+
+// ParetoStats report MapPareto effort and outcome.
+type ParetoStats struct {
+	Algorithm   ParetoAlgorithm
+	Evaluations int
+	// FrontSize is the returned front's size; ArchiveSeen counts the
+	// feasible points offered to the ε-archive.
+	FrontSize   int
+	ArchiveSeen int
+	// BestMakespan and BestEnergy are the front's per-objective minima.
+	BestMakespan float64
+	BestEnergy   float64
+}
+
+// MapPareto maps (g, p) under the two-objective (makespan, energy)
+// model and returns the ε-dominance Pareto front. Both objectives are
+// evaluated on the engine's multi-objective batch path (energy at
+// near-zero marginal cost next to the makespan simulation). The front
+// is deterministic for a fixed Seed regardless of Workers.
+func MapPareto(g *DAG, p *Platform, opt ParetoOptions) (ParetoFront, ParetoStats, error) {
+	return MapParetoWithEvaluator(model.NewEvaluator(g, p), opt)
+}
+
+// MapParetoWithEvaluator is MapPareto with a caller-supplied evaluator
+// (to control the schedule set and share the compiled engine).
+func MapParetoWithEvaluator(ev *Evaluator, opt ParetoOptions) (ParetoFront, ParetoStats, error) {
+	budget := opt.Budget
+	if budget <= 0 {
+		budget = 50100
+	}
+	stats := ParetoStats{Algorithm: opt.Algorithm}
+	switch opt.Algorithm {
+	case ParetoNSGA2:
+		// Derive (population, generations) from the evaluation budget:
+		// the paper's population of 100 once the budget carries it, a
+		// smaller population (still >= 4) below.
+		pop := ga.DefaultPopulation
+		if budget < 2*pop {
+			if pop = budget / 8; pop < 4 {
+				pop = 4
+			}
+		}
+		gens := budget/pop - 1
+		if gens < 1 {
+			gens = 1
+		}
+		front, st := ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{
+			Population: pop, Generations: gens,
+			Seed: opt.Seed, Workers: opt.Workers, Eps: opt.Eps,
+		})
+		stats.Evaluations = st.Evaluations
+		stats.FrontSize = st.FrontSize
+		stats.ArchiveSeen = st.ArchiveSeen
+		stats.BestMakespan, stats.BestEnergy = st.BestMakespan, st.BestEnergy
+		return front, stats, nil
+	default:
+		weights := opt.Weights
+		if len(weights) == 0 {
+			weights = pareto.DefaultWeights
+		}
+		perWeight := budget / len(weights)
+		if perWeight < 1 {
+			perWeight = 1 // a zero budget would select the sweep's default
+		}
+		front, st, err := pareto.WeightedSweep(ev, pareto.SweepOptions{
+			Weights: weights, Eps: opt.Eps, Budget: perWeight,
+			Seed: opt.Seed, Workers: opt.Workers, Init: opt.Init,
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Evaluations = st.Evaluations
+		stats.FrontSize = st.FrontSize
+		stats.ArchiveSeen = st.ArchiveSeen
+		stats.BestMakespan, stats.BestEnergy = st.BestMakespan, st.BestEnergy
+		return front, stats, nil
+	}
 }
 
 // MILPResult is the outcome of a MILP mapping run.
