@@ -6,6 +6,7 @@
 package spmap_test
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"spmap/internal/model"
 	"spmap/internal/pareto"
 	"spmap/internal/platform"
+	"spmap/internal/portfolio"
 	"spmap/internal/sp"
 )
 
@@ -455,5 +457,58 @@ func BenchmarkMapParetoNSGA2EqualBudget100(b *testing.B) {
 		ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{
 			Generations: equalBudget/ga.DefaultPopulation - 1, Seed: 1,
 		})
+	}
+}
+
+// Portfolio benchmarks: the full racing portfolio at the equal-budget
+// anchor under the paper's 101-schedule protocol, with and without the
+// shared evaluation cache — the ns/op ratio is the wall-clock saving
+// cross-mapper memoization buys (results are bit-identical either way;
+// BENCH_PR4.json records the numbers).
+
+func benchmarkMapPortfolio(b *testing.B, n int, disableCache bool) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	ev := model.NewEvaluator(g, p).WithSchedules(100, 1)
+	ev.Makespan(mapping.Baseline(g, p)) // compile the kernel outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := portfolio.MapWithEvaluator(ev, portfolio.Options{
+			Seed: 1, Budget: equalBudget, DisableCache: disableCache,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapPortfolio50(b *testing.B)         { benchmarkMapPortfolio(b, 50, false) }
+func BenchmarkMapPortfolio100(b *testing.B)        { benchmarkMapPortfolio(b, 100, false) }
+func BenchmarkMapPortfolio250(b *testing.B)        { benchmarkMapPortfolio(b, 250, false) }
+func BenchmarkMapPortfolioNoCache50(b *testing.B)  { benchmarkMapPortfolio(b, 50, true) }
+func BenchmarkMapPortfolioNoCache100(b *testing.B) { benchmarkMapPortfolio(b, 100, true) }
+func BenchmarkMapPortfolioNoCache250(b *testing.B) { benchmarkMapPortfolio(b, 250, true) }
+
+// BenchmarkEvaluateBatchCached100 re-evaluates one warm neighborhood
+// batch through the memoizing cache — the engine-level upper bound of
+// the cache's saving (every op a hit).
+func BenchmarkEvaluateBatchCached100(b *testing.B) {
+	g := benchGraph(100)
+	p := platform.Reference()
+	eng := spmap.NewEngine(g, p, 100, 1).WithCache(eval.NewCache())
+	base := mapping.Baseline(g, p)
+	var ops []eval.Op
+	patches := make([]graph.NodeID, g.NumTasks())
+	for v := 0; v < g.NumTasks(); v++ {
+		patches[v] = graph.NodeID(v)
+		for d := 0; d < p.NumDevices(); d++ {
+			if d != base[v] {
+				ops = append(ops, eval.Op{Base: base, Patch: patches[v : v+1], Device: d})
+			}
+		}
+	}
+	eng.EvaluateBatch(ops, math.Inf(1)) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.EvaluateBatch(ops, math.Inf(1))
 	}
 }

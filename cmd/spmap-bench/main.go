@@ -11,6 +11,7 @@
 //	spmap-bench -exp ablation        # extension: cut policies, gamma sweep
 //	spmap-bench -exp localsearch     # extension: GA vs anneal/hill-climb vs decomp+refine
 //	spmap-bench -exp pareto          # extension: multi-objective sweep vs NSGA-II fronts
+//	spmap-bench -exp portfolio       # extension: portfolio racing vs single mappers
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
 package main
 
@@ -30,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap-bench: ")
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto all")
+		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio all")
 		paper     = flag.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = flag.Int("graphs", 0, "override graphs per data point")
 		schedules = flag.Int("schedules", 0, "override random schedules in the cost function")
@@ -110,6 +111,8 @@ func main() {
 			emit(experiments.ScheduleCountAblation(cfg))
 		case "localsearch":
 			emit(experiments.LocalSearchComparison(cfg))
+		case "portfolio":
+			emit(experiments.PortfolioComparison(cfg))
 		case "pareto":
 			rows := experiments.ParetoComparisonEps(cfg, *eps)
 			experiments.PrintPareto(os.Stdout, rows)

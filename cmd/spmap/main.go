@@ -8,10 +8,13 @@
 //	      [-objective time|energy|pareto] [-eps 0.01] [-front front.csv]
 //
 // Algorithms: singlenode, seriesparallel, snfirstfit, spfirstfit, gamma,
-// heft, peft, nsga2, anneal, hillclimb, milp-device, milp-time,
-// milp-zhouliu. The -refine flag polishes any algorithm's mapping with
-// local-search refinement (never worse, deterministic under -seed for
-// any -workers value).
+// heft, peft, nsga2, anneal, hillclimb, portfolio, milp-device,
+// milp-time, milp-zhouliu. The -refine flag polishes any algorithm's
+// mapping with local-search refinement (never worse, deterministic under
+// -seed for any -workers value). "portfolio" races the whole mapper
+// portfolio (SPFF+Refine, HEFT/PEFT+Refine, anneal, hillclimb, NSGA-II)
+// concurrently under the shared -ls-budget with a memoizing evaluation
+// cache and cross-pollination of the incumbent best mapping.
 //
 // The -objective flag selects the optimization target: "time" (the
 // default single-objective makespan), "energy" (pure compute energy;
@@ -20,14 +23,22 @@
 // two-objective NSGA-II driver, anything else the weighted local-search
 // sweep; the front is printed, exported as CSV via -front, and bounded
 // by the ε-dominance resolution -eps).
+//
+// Unknown -algo/-objective values and nonsensical numeric flags
+// (negative -eps, non-positive -ls-budget, -workers, -schedules out of
+// range, -gamma < 1) exit with status 2 and a usage message instead of
+// silently falling back to defaults.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"spmap"
@@ -40,81 +51,149 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap: ")
-	var (
-		graphPath    = flag.String("graph", "", "task graph JSON file (required)")
-		platformPath = flag.String("platform", "", "platform JSON file (default: paper reference platform)")
-		algo         = flag.String("algo", "spfirstfit", "mapping algorithm")
-		schedules    = flag.Int("schedules", 100, "random schedules in the cost function")
-		gamma        = flag.Float64("gamma", 2, "gamma for -algo gamma")
-		gaGens       = flag.Int("generations", 500, "NSGA-II generations")
-		milpBudget   = flag.Duration("milp-budget", 30*time.Second, "MILP time limit")
-		lsBudget     = flag.Int("ls-budget", 0, "local-search / -refine evaluation budget (0 = default 50100)")
-		refine       = flag.Bool("refine", false, "polish the mapping with local-search refinement")
-		objective    = flag.String("objective", "time", "optimization objective: time, energy, or pareto")
-		epsFlag      = flag.Float64("eps", 0, "Pareto archive ε-grid resolution for -objective pareto (0 = exact front)")
-		frontOut     = flag.String("front", "", "write the Pareto front as CSV to this file (-objective pareto)")
-		workers      = flag.Int("workers", 0, "evaluation-engine worker pool (0 = GOMAXPROCS; results are identical)")
-		seed         = flag.Int64("seed", 1, "RNG seed (schedules, GA, local search)")
-		asJSON       = flag.Bool("json", false, "emit machine-readable JSON")
-		dotOut       = flag.String("dot", "", "write the mapped task graph as Graphviz DOT to this file")
-		gantt        = flag.Bool("gantt", false, "print a textual Gantt chart of the best schedule")
-	)
-	flag.Parse()
-	if *graphPath == "" {
-		flag.Usage()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0) // -h/-help: usage already printed
+	case isUsageError(err):
 		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
+
+// usageError marks option-validation failures: main exits 2 after run
+// has printed the message and the flag usage.
+type usageError struct{ error }
+
+func isUsageError(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+// knownAlgos is the -algo vocabulary (for -objective time|energy).
+var knownAlgos = map[string]bool{
+	"singlenode": true, "seriesparallel": true, "snfirstfit": true,
+	"spfirstfit": true, "gamma": true, "heft": true, "peft": true,
+	"nsga2": true, "anneal": true, "hillclimb": true, "portfolio": true,
+	"milp-device": true, "milp-time": true, "milp-zhouliu": true,
+	"sweep": true, // pareto-only driver name, accepted for symmetry
+}
+
+// run is main's testable body: it parses and validates args, executes
+// the mapping, and writes the report to stdout. Errors of type
+// usageError (and flag parse errors, which the FlagSet reports to
+// stderr itself) correspond to exit status 2.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		graphPath    = fs.String("graph", "", "task graph JSON file (required)")
+		platformPath = fs.String("platform", "", "platform JSON file (default: paper reference platform)")
+		algo         = fs.String("algo", "spfirstfit", "mapping algorithm")
+		schedules    = fs.Int("schedules", 100, "random schedules in the cost function (>= 0)")
+		gamma        = fs.Float64("gamma", 2, "gamma for -algo gamma (>= 1)")
+		gaGens       = fs.Int("generations", 500, "NSGA-II generations (> 0)")
+		milpBudget   = fs.Duration("milp-budget", 30*time.Second, "MILP time limit")
+		lsBudget     = fs.Int("ls-budget", 50100, "local-search / -refine / portfolio evaluation budget (> 0)")
+		refine       = fs.Bool("refine", false, "polish the mapping with local-search refinement")
+		objective    = fs.String("objective", "time", "optimization objective: time, energy, or pareto")
+		epsFlag      = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -objective pareto (>= 0; 0 = exact front)")
+		frontOut     = fs.String("front", "", "write the Pareto front as CSV to this file (-objective pareto)")
+		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "evaluation-engine worker pool (> 0; results are identical for any value)")
+		seed         = fs.Int64("seed", 1, "RNG seed (schedules, GA, local search, portfolio)")
+		asJSON       = fs.Bool("json", false, "emit machine-readable JSON")
+		dotOut       = fs.String("dot", "", "write the mapped task graph as Graphviz DOT to this file")
+		gantt        = fs.Bool("gantt", false, "print a textual Gantt chart of the best schedule")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		// The FlagSet already reported the problem and the usage to
+		// stderr; classify it for main's exit-2 path without reprinting.
+		return usageError{err}
+	}
+	usage := func(format string, a ...any) error {
+		err := usageError{fmt.Errorf(format, a...)}
+		fmt.Fprintf(stderr, "spmap: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	switch {
+	case *graphPath == "":
+		return usage("-graph is required")
+	case !knownAlgos[*algo]:
+		return usage("unknown algorithm %q", *algo)
+	case *objective != "time" && *objective != "energy" && *objective != "pareto":
+		return usage("unknown objective %q (time, energy, pareto)", *objective)
+	case *epsFlag < 0:
+		return usage("-eps must be >= 0, got %g", *epsFlag)
+	case *lsBudget <= 0:
+		return usage("-ls-budget must be > 0, got %d", *lsBudget)
+	case *workers <= 0:
+		return usage("-workers must be > 0, got %d", *workers)
+	case *schedules < 0:
+		return usage("-schedules must be >= 0, got %d", *schedules)
+	case *gamma < 1:
+		return usage("-gamma must be >= 1, got %g", *gamma)
+	case *gaGens <= 0:
+		return usage("-generations must be > 0, got %d", *gaGens)
+	case *algo == "sweep" && *objective != "pareto":
+		return usage("-algo sweep is a pareto driver; pass -objective pareto")
+	case *objective == "pareto" && *algo != "sweep" && *algo != "nsga2" && *algo != "spfirstfit":
+		return usage("-objective pareto supports -algo sweep (default) or nsga2, not %q", *algo)
+	case *objective == "energy" && (*algo == "portfolio" ||
+		(*algo != "anneal" && *algo != "hillclimb" && !*refine)):
+		return usage("-objective energy requires -algo anneal|hillclimb or -refine " +
+			"(the other mappers, including the portfolio, optimize the makespan only)")
 	}
 
 	g, err := readGraph(*graphPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	p := spmap.ReferencePlatform()
 	if *platformPath != "" {
 		f, err := os.Open(*platformPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		p, err = platform.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	ev := spmap.NewEvaluator(g, p).WithSchedules(*schedules, *seed)
 	if *objective == "pareto" {
-		runPareto(g, p, ev, *algo, *epsFlag, *seed, *workers, *lsBudget, *asJSON, *frontOut)
-		return
+		return runPareto(stdout, g, p, ev, *algo, *epsFlag, *seed, *workers, *lsBudget, *asJSON, *frontOut)
 	}
 	var wTime, wEnergy float64
 	switch *objective {
 	case "time":
 		wTime, wEnergy = 1, 0
 	case "energy":
-		wTime, wEnergy = 0, 1
-		if *algo != "anneal" && *algo != "hillclimb" && !*refine {
-			log.Fatalf("-objective energy requires -algo anneal|hillclimb or -refine " +
-				"(the other mappers optimize the makespan only)")
-		}
-	default:
-		log.Fatalf("unknown objective %q (time, energy, pareto)", *objective)
+		wTime, wEnergy = 0, 1 // validated above: local search or -refine
 	}
 	start := time.Now()
 	var m spmap.Mapping
 	var stats *spmap.MapperStats
 	var lsStats *spmap.LocalSearchStats
+	var pfStats *spmap.PortfolioStats
 	switch *algo {
 	case "singlenode":
-		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.Basic, 0, *workers)
+		m, stats, err = runDecomp(g, p, decomp.SingleNode, spmap.Basic, 0, *workers)
 	case "seriesparallel":
-		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.Basic, 0, *workers)
+		m, stats, err = runDecomp(g, p, decomp.SeriesParallel, spmap.Basic, 0, *workers)
 	case "snfirstfit":
-		m, stats = runDecomp(g, p, decomp.SingleNode, spmap.FirstFit, 0, *workers)
+		m, stats, err = runDecomp(g, p, decomp.SingleNode, spmap.FirstFit, 0, *workers)
 	case "spfirstfit":
-		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.FirstFit, 0, *workers)
+		m, stats, err = runDecomp(g, p, decomp.SeriesParallel, spmap.FirstFit, 0, *workers)
 	case "gamma":
-		m, stats = runDecomp(g, p, decomp.SeriesParallel, spmap.GammaThreshold, *gamma, *workers)
+		m, stats, err = runDecomp(g, p, decomp.SeriesParallel, spmap.GammaThreshold, *gamma, *workers)
 	case "heft":
 		m = spmap.MapHEFT(g, p)
 	case "peft":
@@ -129,14 +208,22 @@ func main() {
 		// Search under the same -schedules cost function the result is
 		// judged with (Refine from the baseline == MapLocalSearch, but on
 		// the configured evaluator instead of the BFS-only default).
-		mm, st, err := spmap.Refine(ev, spmap.BaselineMapping(g, p), spmap.LocalSearchOptions{
+		mm, st, lerr := spmap.Refine(ev, spmap.BaselineMapping(g, p), spmap.LocalSearchOptions{
 			Algorithm: alg, Seed: *seed, Workers: *workers, Budget: *lsBudget,
 			WTime: wTime, WEnergy: wEnergy,
 		})
-		if err != nil {
-			log.Fatal(err)
+		if lerr != nil {
+			return lerr
 		}
 		m, lsStats = mm, &st
+	case "portfolio":
+		mm, st, perr := spmap.MapPortfolioWithEvaluator(ev, spmap.PortfolioOptions{
+			Seed: *seed, Workers: *workers, Budget: *lsBudget,
+		})
+		if perr != nil {
+			return perr
+		}
+		m, pfStats = mm, &st
 	case "milp-device":
 		m = spmap.MapMILP(g, p, spmap.MILPWGDPDevice, *milpBudget).Mapping
 	case "milp-time":
@@ -144,24 +231,31 @@ func main() {
 	case "milp-zhouliu":
 		m = spmap.MapMILP(g, p, spmap.MILPZhouLiu, *milpBudget).Mapping
 	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+		// knownAlgos and this dispatch are maintained together; a name
+		// validated above but not dispatched here is a programming error,
+		// not a user error.
+		return fmt.Errorf("internal error: algorithm %q validated but not dispatched", *algo)
 	}
-	if *refine && lsStats != nil {
-		// anneal/hillclimb already are local search under ev; a second
-		// refinement pass with the same seed and budget would only
-		// duplicate the work (and misreport the search effort).
-		log.Printf("-refine has no effect on -algo %s (already local search); skipping", *algo)
+	if err != nil {
+		return err
+	}
+	if *refine && (lsStats != nil || pfStats != nil) {
+		// anneal/hillclimb already are local search under ev, and the
+		// portfolio contains refinement members; a second pass with the
+		// same seed and budget would only duplicate the work (and
+		// misreport the search effort).
+		fmt.Fprintf(stderr, "spmap: -refine has no effect on -algo %s (already includes local search); skipping\n", *algo)
 	} else if *refine {
-		refined, rst, err := spmap.Refine(ev, m, spmap.LocalSearchOptions{
+		refined, rst, rerr := spmap.Refine(ev, m, spmap.LocalSearchOptions{
 			Seed: *seed, Workers: *workers, Budget: *lsBudget,
 			WTime: wTime, WEnergy: wEnergy,
 		})
-		if err != nil {
-			log.Fatal(err)
+		if rerr != nil {
+			return rerr
 		}
 		m, lsStats = refined, &rst
 		if !*asJSON {
-			fmt.Printf("refine:      %d evaluations, %d moves\n", rst.Evaluations, rst.Moves)
+			fmt.Fprintf(stdout, "refine:      %d evaluations, %d moves\n", rst.Evaluations, rst.Moves)
 		}
 	}
 	elapsed := time.Since(start)
@@ -188,55 +282,69 @@ func main() {
 		if lsStats != nil {
 			out["localsearch_stats"] = lsStats
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			log.Fatal(err)
+		if pfStats != nil {
+			out["portfolio_stats"] = pfStats
 		}
-		return
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
 	}
-	fmt.Printf("algorithm:   %s\n", *algo)
-	fmt.Printf("objective:   %s\n", *objective)
-	fmt.Printf("tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
-	fmt.Printf("baseline:    %.3f ms, %.3f J (pure %s)\n", 1e3*base, baseEn, p.Devices[p.Default].Name)
-	fmt.Printf("makespan:    %.3f ms\n", 1e3*ms)
-	fmt.Printf("energy:      %.3f J\n", en)
-	fmt.Printf("improvement: %.1f %%\n", 100*spmap.Improvement(ev, m))
-	fmt.Printf("elapsed:     %s\n", elapsed.Round(time.Microsecond))
-	fmt.Println("mapping:")
+	fmt.Fprintf(stdout, "algorithm:   %s\n", *algo)
+	fmt.Fprintf(stdout, "objective:   %s\n", *objective)
+	fmt.Fprintf(stdout, "tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
+	fmt.Fprintf(stdout, "baseline:    %.3f ms, %.3f J (pure %s)\n", 1e3*base, baseEn, p.Devices[p.Default].Name)
+	fmt.Fprintf(stdout, "makespan:    %.3f ms\n", 1e3*ms)
+	fmt.Fprintf(stdout, "energy:      %.3f J\n", en)
+	fmt.Fprintf(stdout, "improvement: %.1f %%\n", 100*spmap.Improvement(ev, m))
+	fmt.Fprintf(stdout, "elapsed:     %s\n", elapsed.Round(time.Microsecond))
+	if pfStats != nil {
+		fmt.Fprintf(stdout, "portfolio:   %d members, %d rounds, %d evaluations (budget %d), %d budget moved, cache hit rate %.0f %%\n",
+			len(pfStats.Members), pfStats.Rounds, pfStats.Evaluations, *lsBudget,
+			pfStats.BudgetMoved, 100*pfStats.Cache.HitRate())
+		for _, ms := range pfStats.Members {
+			marker := " "
+			if pfStats.Best >= 0 && pfStats.Members[pfStats.Best].Kind == ms.Kind {
+				marker = "*"
+			}
+			fmt.Fprintf(stdout, "  %s%-12s budget %6d  evals %6d  syncs %3d  adopted %2d  makespan %.3f ms\n",
+				marker, ms.Kind, ms.Budget, ms.Evaluations, ms.Syncs, ms.Injected, 1e3*ms.Makespan)
+		}
+	}
+	fmt.Fprintln(stdout, "mapping:")
 	for v := spmap.NodeID(0); int(v) < g.NumTasks(); v++ {
 		name := g.Task(v).Name
 		if name == "" {
 			name = fmt.Sprintf("task%d", int(v))
 		}
-		fmt.Printf("  %-24s -> %s\n", name, p.Devices[m[v]].Name)
+		fmt.Fprintf(stdout, "  %-24s -> %s\n", name, p.Devices[m[v]].Name)
 	}
 	if *gantt {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		if s := ev.BestSchedule(m); s != nil {
-			s.WriteGantt(os.Stdout, g, func(d int) string { return p.Devices[d].Name })
+			s.WriteGantt(stdout, g, func(d int) string { return p.Devices[d].Name })
 		}
 	}
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		err = g.WriteDOT(f, nil, func(v spmap.NodeID) int { return m[v] })
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", *dotOut)
+		fmt.Fprintf(stdout, "wrote %s\n", *dotOut)
 	}
+	return nil
 }
 
 // runPareto maps under the two-objective (makespan, energy) model and
 // reports the ε-dominance front.
-func runPareto(g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
-	algo string, eps float64, seed int64, workers, budget int, asJSON bool, frontOut string) {
+func runPareto(stdout io.Writer, g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
+	algo string, eps float64, seed int64, workers, budget int, asJSON bool, frontOut string) error {
 	var palgo spmap.ParetoAlgorithm
 	switch algo {
 	case "nsga2":
@@ -244,14 +352,15 @@ func runPareto(g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
 	case "sweep", "spfirstfit": // spfirstfit is the -algo flag default
 		palgo = spmap.ParetoSweep
 	default:
-		log.Fatalf("-objective pareto supports -algo sweep (default) or nsga2, not %q", algo)
+		// Unreachable: the upfront validation admits only the three names.
+		return fmt.Errorf("internal error: pareto driver %q validated but not dispatched", algo)
 	}
 	start := time.Now()
 	front, stats, err := spmap.MapParetoWithEvaluator(ev, spmap.ParetoOptions{
 		Algorithm: palgo, Eps: eps, Seed: seed, Workers: workers, Budget: budget,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	elapsed := time.Since(start)
 	base := ev.BaselineMakespan()
@@ -266,14 +375,14 @@ func runPareto(g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
 	if frontOut != "" {
 		f, err := os.Create(frontOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		err = experiments.WriteCSVFront(f, front)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if asJSON {
@@ -297,21 +406,18 @@ func runPareto(g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
 			"hypervolume":     hv,
 			"elapsed_ms":      float64(elapsed.Microseconds()) / 1000,
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			log.Fatal(err)
-		}
-		return
+		return enc.Encode(out)
 	}
-	fmt.Printf("algorithm:   %s (pareto)\n", palgo)
-	fmt.Printf("tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
-	fmt.Printf("baseline:    %.3f ms, %.3f J (pure %s)\n", 1e3*base, baseEn, p.Devices[p.Default].Name)
-	fmt.Printf("front:       %d points (eps %g, %d candidates, %d evaluations)\n",
+	fmt.Fprintf(stdout, "algorithm:   %s (pareto)\n", palgo)
+	fmt.Fprintf(stdout, "tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
+	fmt.Fprintf(stdout, "baseline:    %.3f ms, %.3f J (pure %s)\n", 1e3*base, baseEn, p.Devices[p.Default].Name)
+	fmt.Fprintf(stdout, "front:       %d points (eps %g, %d candidates, %d evaluations)\n",
 		stats.FrontSize, eps, stats.ArchiveSeen, stats.Evaluations)
-	fmt.Printf("hypervolume: %.4f (of the baseline box)\n", hv)
-	fmt.Printf("elapsed:     %s\n", elapsed.Round(time.Microsecond))
-	fmt.Printf("%12s %12s %10s %10s\n", "makespan_ms", "energy_J", "t_impr", "e_impr")
+	fmt.Fprintf(stdout, "hypervolume: %.4f (of the baseline box)\n", hv)
+	fmt.Fprintf(stdout, "elapsed:     %s\n", elapsed.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "%12s %12s %10s %10s\n", "makespan_ms", "energy_J", "t_impr", "e_impr")
 	for _, pt := range front {
 		tImpr, eImpr := 0.0, 0.0
 		if base > 0 && pt.Makespan < base {
@@ -320,19 +426,20 @@ func runPareto(g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
 		if baseEn > 0 && pt.Energy < baseEn {
 			eImpr = (baseEn - pt.Energy) / baseEn
 		}
-		fmt.Printf("%12.3f %12.3f %9.1f%% %9.1f%%\n", 1e3*pt.Makespan, pt.Energy, 100*tImpr, 100*eImpr)
+		fmt.Fprintf(stdout, "%12.3f %12.3f %9.1f%% %9.1f%%\n", 1e3*pt.Makespan, pt.Energy, 100*tImpr, 100*eImpr)
 	}
 	if frontOut != "" {
-		fmt.Printf("wrote %s\n", frontOut)
+		fmt.Fprintf(stdout, "wrote %s\n", frontOut)
 	}
+	return nil
 }
 
-func runDecomp(g *spmap.DAG, p *spmap.Platform, s decomp.Strategy, h spmap.Heuristic, gamma float64, workers int) (spmap.Mapping, *spmap.MapperStats) {
+func runDecomp(g *spmap.DAG, p *spmap.Platform, s decomp.Strategy, h spmap.Heuristic, gamma float64, workers int) (spmap.Mapping, *spmap.MapperStats, error) {
 	m, st, err := decomp.Map(g, p, decomp.Options{Strategy: s, Heuristic: h, Gamma: gamma, Workers: workers})
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
-	return m, &st
+	return m, &st, nil
 }
 
 func readGraph(path string) (*spmap.DAG, error) {

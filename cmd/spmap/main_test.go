@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spmap/internal/gen"
+)
+
+// writeTestGraph writes a small random series-parallel graph as JSON and
+// returns its path.
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g := gen.SeriesParallel(rand.New(rand.NewSource(1)), 12, gen.DefaultAttr())
+	path := filepath.Join(t.TempDir(), "graph.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFlagValidation drives run's flag-parsing path: unknown -algo /
+// -objective values and nonsensical numeric flags must fail as usage
+// errors (exit status 2 in main) instead of silently falling back to
+// defaults.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"missing graph", []string{}, "-graph is required"},
+		{"unknown algo", []string{"-graph", "g.json", "-algo", "quantum"}, `unknown algorithm "quantum"`},
+		{"unknown objective", []string{"-graph", "g.json", "-objective", "latency"}, `unknown objective "latency"`},
+		{"negative eps", []string{"-graph", "g.json", "-eps", "-0.5"}, "-eps must be >= 0"},
+		{"zero ls-budget", []string{"-graph", "g.json", "-ls-budget", "0"}, "-ls-budget must be > 0"},
+		{"negative ls-budget", []string{"-graph", "g.json", "-ls-budget", "-100"}, "-ls-budget must be > 0"},
+		{"zero workers", []string{"-graph", "g.json", "-workers", "0"}, "-workers must be > 0"},
+		{"negative workers", []string{"-graph", "g.json", "-workers", "-2"}, "-workers must be > 0"},
+		{"negative schedules", []string{"-graph", "g.json", "-schedules", "-1"}, "-schedules must be >= 0"},
+		{"gamma below one", []string{"-graph", "g.json", "-algo", "gamma", "-gamma", "0.5"}, "-gamma must be >= 1"},
+		{"zero generations", []string{"-graph", "g.json", "-algo", "nsga2", "-generations", "0"}, "-generations must be > 0"},
+		{"sweep without pareto", []string{"-graph", "g.json", "-algo", "sweep"}, "pareto driver"},
+		{"energy with heft", []string{"-graph", "g.json", "-algo", "heft", "-objective", "energy"}, "-objective energy requires"},
+		{"undeclared flag", []string{"-graph", "g.json", "-frobnicate"}, ""}, // FlagSet's own error
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			err := run(tc.args, io.Discard, &stderr)
+			if err == nil {
+				t.Fatalf("args %q accepted; want a usage error", tc.args)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %q: error %q does not contain %q", tc.args, err, tc.want)
+			}
+			if tc.want != "" {
+				if !isUsageError(err) {
+					t.Fatalf("args %q: error %v is not a usage error (would not exit 2)", tc.args, err)
+				}
+				if out := stderr.String(); !strings.Contains(out, "Usage") && !strings.Contains(out, "-graph") {
+					t.Fatalf("args %q: no usage message on stderr:\n%s", tc.args, out)
+				}
+			}
+		})
+	}
+}
+
+// TestRunAlgorithms smoke-runs the CLI body end to end for a
+// representative algorithm set, including the portfolio.
+func TestRunAlgorithms(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	for _, algo := range []string{"spfirstfit", "heft", "anneal", "portfolio"} {
+		t.Run(algo, func(t *testing.T) {
+			var stdout bytes.Buffer
+			args := []string{"-graph", graphPath, "-algo", algo, "-schedules", "5",
+				"-ls-budget", "600", "-workers", "2", "-json"}
+			if err := run(args, &stdout, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			var out map[string]any
+			if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+				t.Fatalf("non-JSON output: %v\n%s", err, stdout.String())
+			}
+			if out["algorithm"] != algo {
+				t.Fatalf("algorithm = %v, want %s", out["algorithm"], algo)
+			}
+			if _, ok := out["makespan"].(float64); !ok {
+				t.Fatalf("no makespan in output: %v", out)
+			}
+			if algo == "portfolio" {
+				if _, ok := out["portfolio_stats"]; !ok {
+					t.Fatalf("portfolio run missing portfolio_stats: %v", out)
+				}
+			}
+		})
+	}
+}
+
+// TestRunPortfolioText checks the human-readable portfolio report.
+func TestRunPortfolioText(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	var stdout bytes.Buffer
+	err := run([]string{"-graph", graphPath, "-algo", "portfolio", "-schedules", "5",
+		"-ls-budget", "600", "-workers", "2"}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"portfolio:", "SPFF+Refine", "NSGA2", "mapping:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("portfolio report missing %q:\n%s", want, out)
+		}
+	}
+	// -refine on the portfolio is redundant and must be skipped, not run.
+	var stdout2 bytes.Buffer
+	err = run([]string{"-graph", graphPath, "-algo", "portfolio", "-refine", "-schedules", "5",
+		"-ls-budget", "600"}, &stdout2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the CLI-level determinism
+// contract: identical output (modulo the elapsed timing) for any
+// -workers value.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	outputs := make([]string, 0, 2)
+	for _, workers := range []string{"1", "4"} {
+		var stdout bytes.Buffer
+		err := run([]string{"-graph", graphPath, "-algo", "portfolio", "-schedules", "5",
+			"-ls-budget", "600", "-workers", workers, "-json"}, &stdout, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		delete(out, "elapsed_ms")
+		// Cache telemetry is wall-clock dependent by design.
+		if ps, ok := out["portfolio_stats"].(map[string]any); ok {
+			delete(ps, "Cache")
+		}
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, string(b))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-workers changed the output:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestPortfolioEnergyObjectiveRejected pins that the portfolio cannot
+// be asked for an objective it does not optimize, even with -refine.
+func TestPortfolioEnergyObjectiveRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", "g.json", "-algo", "portfolio", "-objective", "energy"},
+		{"-graph", "g.json", "-algo", "portfolio", "-objective", "energy", "-refine"},
+	} {
+		err := run(args, io.Discard, io.Discard)
+		if err == nil || !isUsageError(err) {
+			t.Fatalf("args %q: got %v, want a usage error", args, err)
+		}
+	}
+}
+
+// TestUndeclaredFlagIsUsageError pins the exit-2 classification of
+// flag-parse failures.
+func TestUndeclaredFlagIsUsageError(t *testing.T) {
+	var stderr bytes.Buffer
+	err := run([]string{"-graph", "g.json", "-frobnicate"}, io.Discard, &stderr)
+	if err == nil || !isUsageError(err) {
+		t.Fatalf("undeclared flag: got %v, want a usage error (exit 2)", err)
+	}
+}
+
+// TestEveryKnownAlgoDispatches guards the knownAlgos/dispatch pairing:
+// every validated name (except the pareto-only "sweep" driver) must run
+// end to end rather than fall into the internal-error default.
+func TestEveryKnownAlgoDispatches(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	for algo := range knownAlgos {
+		if algo == "sweep" {
+			continue // pareto-only driver, rejected for -objective time
+		}
+		t.Run(algo, func(t *testing.T) {
+			args := []string{"-graph", graphPath, "-algo", algo, "-schedules", "2",
+				"-ls-budget", "300", "-generations", "3", "-milp-budget", "100ms", "-json"}
+			if err := run(args, io.Discard, io.Discard); err != nil {
+				t.Fatalf("-algo %s: %v", algo, err)
+			}
+		})
+	}
+}
+
+// TestParetoDriverValidatedUpfront pins that a non-pareto algorithm
+// under -objective pareto is a usage error (exit 2), symmetric with
+// the -algo sweep -objective time case.
+func TestParetoDriverValidatedUpfront(t *testing.T) {
+	err := run([]string{"-graph", "g.json", "-objective", "pareto", "-algo", "heft"},
+		io.Discard, io.Discard)
+	if err == nil || !isUsageError(err) {
+		t.Fatalf("got %v, want a usage error", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"spmap/internal/model"
 	"spmap/internal/pareto"
 	"spmap/internal/platform"
+	"spmap/internal/portfolio"
 )
 
 // frontFingerprint renders a Pareto front byte-exactly: per point the
@@ -169,6 +170,19 @@ func TestMapperDeterminismMatrix(t *testing.T) {
 				mappingString(front.MinMakespan().Mapping),
 				fmt.Sprintf("%+v|%s", st, frontFingerprint(front)),
 			}
+		}},
+		// The portfolio races all members on real goroutines with the
+		// shared evaluation cache; mapping and all deterministic stats
+		// (cache telemetry excluded — it is wall-clock-dependent by
+		// design and zeroed by Deterministic) must be byte-identical.
+		{"portfolio", func(ev *model.Evaluator, workers int) determinismResult {
+			m, st, err := portfolio.MapWithEvaluator(ev, portfolio.Options{
+				Seed: seed, Workers: workers, Budget: 2400,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st.Deterministic())}
 		}},
 		{"ga/NSGA2Pareto", func(ev *model.Evaluator, workers int) determinismResult {
 			front, st := ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{

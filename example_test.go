@@ -121,6 +121,31 @@ func ExampleMapPareto() {
 	// Output: non-dominated: true, trade-off: true, exact objectives: true
 }
 
+// ExampleMapPortfolio races the whole mapper portfolio (decomposition
+// with refinement, HEFT/PEFT seeds, annealing, hill climbing, GA) under
+// one shared evaluation budget with a shared memoizing evaluation
+// cache. The result is never worse than the pure-CPU baseline and — the
+// portfolio's hard contract — identical for a fixed Seed across any
+// Workers value and with or without the cache.
+func ExampleMapPortfolio() {
+	g := spmap.RandomSeriesParallel(rand.New(rand.NewSource(5)), 40)
+	p := spmap.ReferencePlatform()
+
+	m, stats, err := spmap.MapPortfolio(g, p, spmap.PortfolioOptions{
+		Seed: 1, Budget: 4000, Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ev := spmap.NewEvaluator(g, p)
+	fmt.Printf("valid: %v, beats baseline: %v, members: %d, within budget: %v\n",
+		m.Validate(g, p) == nil,
+		stats.Makespan < ev.BaselineMakespan(),
+		len(stats.Members),
+		stats.Evaluations <= 4000)
+	// Output: valid: true, beats baseline: true, members: 6, within budget: true
+}
+
 // ExampleDecompose shows the decomposition forest of a non-SP graph.
 func ExampleDecompose() {
 	g := spmap.RandomAlmostSeriesParallel(rand.New(rand.NewSource(1)), 30, 15)

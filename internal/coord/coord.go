@@ -1,0 +1,57 @@
+// Package coord defines the cross-mapper coordination contract used by
+// the portfolio runner (internal/portfolio): a synchronization hook the
+// search mappers (localsearch, ga) invoke at deterministic points of
+// their search loops — annealing block boundaries, hill-climb step
+// boundaries, GA generation boundaries — to report progress and receive
+// directives (an elite mapping to adopt, a budget adjustment, or a stop
+// order).
+//
+// The contract is deliberately synchronous: a mapper calls its SyncFunc
+// and blocks until it returns. A coordinator that wants to race several
+// mappers concurrently implements the rendezvous on its side (the
+// portfolio runner parks each caller on a channel until every racing
+// member has reached its own sync point), which keeps every exchange a
+// deterministic function of the mappers' seeds and options — never of
+// goroutine timing.
+package coord
+
+import "spmap/internal/mapping"
+
+// SyncInfo is the progress snapshot a mapper hands to its Sync hook.
+type SyncInfo struct {
+	// Evaluations is the number of engine evaluations the mapper has
+	// consumed so far (cache hits included — budgets are logical).
+	Evaluations int
+	// Budget is the mapper's current evaluation budget (initial budget
+	// plus all applied deltas).
+	Budget int
+	// BestValue is the objective value of the best mapping found so far;
+	// Best is a private copy of that mapping (the receiver may retain
+	// it).
+	BestValue float64
+	Best      mapping.Mapping
+}
+
+// SyncDirective is the coordinator's reply to one SyncInfo.
+type SyncDirective struct {
+	// Elite, if non-nil, is a mapping the mapper should adopt as its
+	// incumbent when EliteValue improves on the incumbent's value. The
+	// mapper clones it; EliteValue must be the elite's exact objective
+	// value under the mapper's own cost function (all portfolio members
+	// share one engine, so the coordinator can forward a value reported
+	// by another member without re-evaluation).
+	Elite      mapping.Mapping
+	EliteValue float64
+	// BudgetDelta is added to the mapper's evaluation budget (negative
+	// values steal budget; the mapper stops once its consumed
+	// evaluations reach the adjusted budget).
+	BudgetDelta int
+	// Stop ends the search immediately; the mapper returns its best-seen
+	// result.
+	Stop bool
+}
+
+// SyncFunc is the hook signature. Implementations must be deterministic
+// functions of the information exchanged (plus their own state) for the
+// mappers' determinism contracts to extend to coordinated runs.
+type SyncFunc func(SyncInfo) SyncDirective

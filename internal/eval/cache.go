@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a concurrency-safe memoizing store of exact evaluation
+// results, shared between any number of engines (and therefore between
+// any number of mappers racing over one kernel — the portfolio runner's
+// cross-mapper reuse). Attach it with Engine.WithCache; afterwards every
+// Makespan / MakespanCutoff / Evaluate / EvaluateBatch / EvaluateBatchMO
+// call first consults the cache and only simulates on a miss.
+//
+// Correctness contract: the cache only ever stores *exact* results — a
+// makespan is stored when it obeyed the cutoff (result <= cutoff) or is
+// the definitive Infeasible sentinel, and energies are exact by
+// construction. A hit therefore returns the bit-identical value a fresh
+// simulation would produce, for any cutoff: exact values at or below the
+// caller's cutoff are what the engine contract promises, and an exact
+// value above it still certifies that the true makespan exceeds the
+// cutoff. Cutoff-clamped partial results (lower bounds) are never
+// stored. Consequently a cached engine can only change *which* value
+// above the cutoff a caller observes — never whether it is above — so
+// any search that treats beyond-cutoff results as plain rejections (all
+// mappers in this repository do) returns bit-identical mappings and
+// deterministic stats with and without a cache.
+//
+// Keys are the full materialized device assignment (one byte per task),
+// so distinct mappings can never collide; "mapping hash" lookups are
+// resolved by Go's string-keyed map. Caching requires a platform with at
+// most 255 devices (WithCache rejects larger platforms).
+//
+// Telemetry (hits/misses/stores) is wall-clock dependent: two ops of one
+// batch carrying the same mapping may both miss when evaluated
+// concurrently but hit back-to-back when evaluated serially. Results are
+// unaffected (both orders produce the same exact values); only the
+// counters vary, so they are reported separately from any determinism-
+// checked statistics.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]cacheEntry
+	// k is the kernel the cache is bound to, set on first attach. Keys
+	// are only device-assignment bytes, so entries are meaningless under
+	// any other (graph, platform, schedule set); WithCache refuses to
+	// attach the cache to a different kernel.
+	k *kernel
+
+	hits, misses, stores atomic.Int64
+}
+
+// cacheEntry is one memoized result. hasEn discriminates entries whose
+// energy has been materialized (energies are computed lazily: the
+// single-objective paths never pay for them).
+type cacheEntry struct {
+	ms, en float64
+	hasEn  bool
+}
+
+// NewCache returns an empty evaluation cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]cacheEntry)}
+}
+
+// CacheStats is a telemetry snapshot. The counters depend on goroutine
+// timing (see type Cache) and are excluded from the repository's
+// determinism contracts.
+type CacheStats struct {
+	// Hits counts lookups served from the cache; Misses counts lookups
+	// that fell through to a simulation.
+	Hits, Misses int64
+	// Stores counts exact results inserted; Entries is the current size.
+	Stores, Entries int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns a telemetry snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Stores:  c.stores.Load(),
+		Entries: int64(n),
+	}
+}
+
+// Len returns the number of cached mappings.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// lookup returns the entry under key, counting a hit or miss. The key
+// slice is not retained.
+func (c *Cache) lookup(key []byte) (cacheEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[string(key)] // no-alloc map access
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// store inserts or upgrades the entry under key. An existing entry is
+// never downgraded: energies, once materialized, are kept. The key is
+// copied.
+func (c *Cache) store(key []byte, ent cacheEntry) {
+	c.mu.Lock()
+	if old, ok := c.entries[string(key)]; ok && old.hasEn && !ent.hasEn {
+		ent.en, ent.hasEn = old.en, true
+	}
+	c.entries[string(key)] = ent
+	c.mu.Unlock()
+	c.stores.Add(1)
+}
+
+// bind associates the cache with a kernel on first attach and reports
+// whether k is the bound kernel.
+func (c *Cache) bind(k *kernel) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.k == nil {
+		c.k = k
+	}
+	return c.k == k
+}
+
+// WithCache returns an engine sharing this engine's kernel, state pool
+// and worker count but memoizing exact evaluation results in c. The
+// receiver is not modified; passing nil detaches any cache. Results are
+// bit-identical to the uncached engine (see type Cache for the exactness
+// argument).
+//
+// A cache is bound to the kernel of its first attach: keys are only the
+// device-assignment bytes, so entries would be silently wrong under any
+// other (graph, platform, schedule set). Attaching the cache to an
+// engine with a different kernel — or to a platform with more than 255
+// devices, which byte keys cannot encode — yields an engine without a
+// cache. Engines derived via WithWorkers share the kernel and stay
+// cacheable.
+func (e *Engine) WithCache(c *Cache) *Engine {
+	if c != nil && (e.k.nd > 255 || !c.bind(e.k)) {
+		c = nil
+	}
+	return &Engine{k: e.k, workers: e.workers, pool: e.pool, prePool: e.prePool, cache: c}
+}
+
+// Cache returns the attached evaluation cache (nil when uncached).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// cachedEval wraps one materialized-mapping evaluation with a cache
+// lookup and an exactness-gated store. m is the fully materialized
+// device assignment; sim runs the simulation on a miss (or when the
+// cached entry lacks a requested energy).
+func (e *Engine) cachedEval(st *simState, m []int, cutoff float64, en *float64, sim func() float64) float64 {
+	key := st.keybuf[:len(m)]
+	for i, d := range m {
+		key[i] = byte(d)
+	}
+	if ent, ok := e.cache.lookup(key); ok {
+		if en == nil {
+			return ent.ms
+		}
+		if !ent.hasEn {
+			// Materialize the energy lazily (one O(n) table pass) and
+			// upgrade the entry for the next multi-objective caller.
+			ent.en, ent.hasEn = e.k.energy(st, m), true
+			e.cache.store(key, ent)
+		}
+		*en = ent.en
+		return ent.ms
+	}
+	ms := sim()
+	if en != nil {
+		*en = e.k.energy(st, m)
+	}
+	// Only exact results are cacheable: values within the cutoff, and
+	// the Infeasible sentinel (definitive regardless of cutoff).
+	// Cutoff-clamped lower bounds are not.
+	if ms <= cutoff || ms == Infeasible {
+		ent := cacheEntry{ms: ms}
+		if en != nil {
+			ent.en, ent.hasEn = *en, true
+		}
+		e.cache.store(key, ent)
+	}
+	return ms
+}

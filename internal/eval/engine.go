@@ -32,6 +32,9 @@ type Engine struct {
 	workers int
 	pool    *sync.Pool // *simState
 	prePool *sync.Pool // *batchPrefix
+	// cache, if non-nil, memoizes exact evaluation results across all
+	// engines sharing it (see WithCache and type Cache).
+	cache *Cache
 }
 
 // NewEngine compiles an engine for (g, p) evaluating mappings as the
@@ -79,11 +82,11 @@ func (e *Engine) NumSchedules() int { return e.k.numOrders }
 // Workers returns the batch fan-out width.
 func (e *Engine) Workers() int { return e.workers }
 
-// WithWorkers returns an engine sharing this engine's kernel and state
-// pool but fanning batches out over w goroutines (w <= 0 selects
-// GOMAXPROCS). The receiver is not modified.
+// WithWorkers returns an engine sharing this engine's kernel, state
+// pool and cache but fanning batches out over w goroutines (w <= 0
+// selects GOMAXPROCS). The receiver is not modified.
 func (e *Engine) WithWorkers(w int) *Engine {
-	return &Engine{k: e.k, workers: normWorkers(w), pool: e.pool, prePool: e.prePool}
+	return &Engine{k: e.k, workers: normWorkers(w), pool: e.pool, prePool: e.prePool, cache: e.cache}
 }
 
 // Op is one evaluation request of a batch: the mapping Base with every
@@ -131,7 +134,7 @@ func (e *Engine) Makespan(m mapping.Mapping) float64 {
 // fraction of a full evaluation's cost.
 func (e *Engine) MakespanCutoff(m mapping.Mapping, cutoff float64) float64 {
 	st := e.getState()
-	ms := e.k.makespan(st, m, cutoff)
+	ms := e.evalOp(st, Op{Base: m}, cutoff, nil, nil, nil)
 	e.pool.Put(st)
 	return ms
 }
@@ -185,19 +188,54 @@ func (e *Engine) EvaluateBatchMO(ops []Op, cutoff float64) (makespans, energies 
 	return makespans, energies
 }
 
+// lazyPrefix defers recording a shared base mapping's simulation until
+// a simulation actually needs it: with a warm evaluation cache most (or
+// all) ops of a batch are served without simulating, and an eagerly
+// recorded prefix would cost a full uncut evaluation for nothing. The
+// build runs at most once (sync.Once publishes the prefix safely to
+// every concurrently-missing worker); a prefix installed at
+// construction (the Neighborhood path) is reused as-is.
+type lazyPrefix struct {
+	once sync.Once
+	e    *Engine
+	base mapping.Mapping
+	pre  *batchPrefix
+}
+
+// get returns the recorded prefix, building it on first use.
+func (lp *lazyPrefix) get() *batchPrefix {
+	lp.once.Do(func() {
+		if lp.pre != nil {
+			return // pre-built (Neighborhood's eager path)
+		}
+		lp.pre = lp.e.prePool.Get().(*batchPrefix)
+		st := lp.e.getState()
+		lp.e.k.buildPrefix(st, lp.base, lp.pre)
+		lp.e.pool.Put(st)
+	})
+	return lp.pre
+}
+
+// release returns the recorded prefix, if any, to the pool.
+func (lp *lazyPrefix) release() {
+	if lp != nil && lp.pre != nil {
+		lp.e.prePool.Put(lp.pre)
+		lp.pre = nil
+	}
+}
+
 // runBatch is the shared worker-pool body of EvaluateBatch and
 // EvaluateBatchMO; en, if non-nil, receives per-op energies.
 func (e *Engine) runBatch(ops []Op, cutoff float64, out, en []float64) {
 
 	// Patched ops of a batch overwhelmingly share one base mapping (a
 	// neighborhood search around the incumbent). Record that base's full
-	// simulation once; every sharing op then resumes each order at its
-	// first patched position instead of replaying the common prefix. The
-	// prefix is built before the workers start and only read afterwards.
-	// Recording costs about one uncut evaluation, so it only pays off
-	// once enough patched ops share the base (same threshold as
-	// Neighborhood).
-	var pre *batchPrefix
+	// simulation once — lazily, on the first op a cache (if any) cannot
+	// serve; every sharing op then resumes each order at its first
+	// patched position instead of replaying the common prefix. Recording
+	// costs about one uncut evaluation, so it only pays off once enough
+	// patched ops share the base (same threshold as Neighborhood).
+	var pre *lazyPrefix
 	var preBase *int
 	shared := 0
 	for i := range ops {
@@ -209,19 +247,12 @@ func (e *Engine) runBatch(ops []Op, cutoff float64, out, en []float64) {
 		}
 		if preBase == &ops[i].Base[0] {
 			if shared++; shared >= prefixBuildThreshold {
-				pre = e.prePool.Get().(*batchPrefix)
-				st := e.getState()
-				e.k.buildPrefix(st, ops[i].Base, pre)
-				e.pool.Put(st)
+				pre = &lazyPrefix{e: e, base: ops[i].Base}
 				break
 			}
 		}
 	}
-	defer func() {
-		if pre != nil {
-			e.prePool.Put(pre)
-		}
-	}()
+	defer pre.release()
 
 	workers := e.workers
 	if workers > len(ops) {
@@ -269,14 +300,16 @@ func enPtr(en []float64, i int) *float64 {
 // EvaluateBatch for search heuristics that must observe each result
 // before choosing the next candidate (gamma-threshold, first-fit). The
 // base's simulation is recorded lazily once the call count makes it
-// profitable; afterwards every Evaluate resumes each schedule order at
-// the candidate's first patched position. A Neighborhood is bound to the
-// contents of base at recording time and is not safe for concurrent use;
-// call Reset after mutating the base, and Close when done.
+// profitable — and, with a cache attached, only when a candidate
+// actually misses; afterwards every Evaluate resumes each schedule
+// order at the candidate's first patched position. A Neighborhood is
+// bound to the contents of base at recording time and is not safe for
+// concurrent use; call Reset after mutating the base, and Close when
+// done.
 type Neighborhood struct {
 	e     *Engine
 	base  mapping.Mapping
-	pre   *batchPrefix
+	pre   *lazyPrefix
 	calls int
 }
 
@@ -296,8 +329,7 @@ func (nb *Neighborhood) Evaluate(patch []graph.NodeID, device int, cutoff float6
 	nb.calls++
 	st := nb.e.getState()
 	if nb.pre == nil && nb.calls >= prefixBuildThreshold {
-		nb.pre = nb.e.prePool.Get().(*batchPrefix)
-		nb.e.k.buildPrefix(st, nb.base, nb.pre)
+		nb.pre = &lazyPrefix{e: nb.e, base: nb.base}
 	}
 	var preBase *int
 	if nb.pre != nil {
@@ -312,10 +344,8 @@ func (nb *Neighborhood) Evaluate(patch []graph.NodeID, device int, cutoff float6
 // (the recorded prefix, if any, is discarded and re-recorded lazily).
 func (nb *Neighborhood) Reset() {
 	nb.calls = 0
-	if nb.pre != nil {
-		nb.e.prePool.Put(nb.pre)
-		nb.pre = nil
-	}
+	nb.pre.release()
+	nb.pre = nil
 }
 
 // Close releases the session's resources. The Neighborhood must not be
@@ -324,11 +354,11 @@ func (nb *Neighborhood) Close() { nb.Reset() }
 
 // evalOp materializes op's mapping (patching into the state's private
 // buffer when needed) and runs the bounded makespan evaluation. pre, if
-// non-nil, is the recorded simulation of the base mapping identified by
-// preBase; ops patched on that base resume from it. en, if non-nil,
-// additionally receives the materialized mapping's compute energy
-// (always exact; Infeasible exactly when the makespan is).
-func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *batchPrefix, preBase *int, en *float64) float64 {
+// non-nil, is the (lazily recorded) simulation of the base mapping
+// identified by preBase; ops patched on that base resume from it. en,
+// if non-nil, additionally receives the materialized mapping's compute
+// energy (always exact; Infeasible exactly when the makespan is).
+func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *lazyPrefix, preBase *int, en *float64) float64 {
 	m := []int(op.Base)
 	if len(op.Patch) > 0 {
 		// Copy the base once per distinct Base slice; consecutive ops of a
@@ -342,18 +372,27 @@ func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *batchPrefix, p
 			st.mbuf[v] = op.Device
 		}
 		var ms float64
-		if pre != nil && preBase == &op.Base[0] {
-			ms = e.k.makespanResume(st, st.mbuf, op.Patch, pre, cutoff)
-		} else {
-			ms = e.k.makespan(st, st.mbuf, cutoff)
+		sim := func() float64 {
+			if pre != nil && preBase == &op.Base[0] {
+				return e.k.makespanResume(st, st.mbuf, op.Patch, pre.get(), cutoff)
+			}
+			return e.k.makespan(st, st.mbuf, cutoff)
 		}
-		if en != nil {
-			*en = e.k.energy(st, st.mbuf)
+		if e.cache != nil {
+			ms = e.cachedEval(st, st.mbuf, cutoff, en, sim)
+		} else {
+			ms = sim()
+			if en != nil {
+				*en = e.k.energy(st, st.mbuf)
+			}
 		}
 		for _, v := range op.Patch {
 			st.mbuf[v] = op.Base[v]
 		}
 		return ms
+	}
+	if e.cache != nil {
+		return e.cachedEval(st, m, cutoff, en, func() float64 { return e.k.makespan(st, m, cutoff) })
 	}
 	ms := e.k.makespan(st, m, cutoff)
 	if en != nil {

@@ -218,8 +218,9 @@ type simState struct {
 	start, finish []float64
 	free          []float64 // flattened per-device slot next-free times
 	area          []float64
-	mbuf          []int // patched-mapping buffer for Op evaluation
-	basePtr       *int  // identity of the Base currently copied into mbuf
+	mbuf          []int  // patched-mapping buffer for Op evaluation
+	basePtr       *int   // identity of the Base currently copied into mbuf
+	keybuf        []byte // cache-key scratch (one byte per task)
 
 	// stamp/epoch discriminate, during a resumed simulation, tasks placed
 	// by this run (read from start/finish) from tasks placed before the
@@ -236,6 +237,7 @@ func (k *kernel) newState() *simState {
 		free:   make([]float64, k.numSlots),
 		area:   make([]float64, k.nd),
 		mbuf:   make([]int, k.n),
+		keybuf: make([]byte, k.n),
 		stamp:  make([]uint64, k.n),
 	}
 }

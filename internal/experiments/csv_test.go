@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"spmap/internal/mapping"
+	"spmap/internal/pareto"
 )
 
 func TestWriteCSV(t *testing.T) {
@@ -42,5 +46,61 @@ func TestWriteCSVTable1(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "blast,10,HEFT,0.100000") {
 		t.Fatalf("bad csv: %s", sb.String())
+	}
+}
+
+// failingWriter errors after budget bytes — a full disk or closed pipe
+// stand-in. The csv package buffers rows, so only exporters that check
+// Flush()/Error() surface the failure.
+type failingWriter struct{ budget int }
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errDiskFull
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestCSVExportersPropagateWriteErrors drives every CSV exporter
+// against writers that fail at various points (immediately, mid-table)
+// and asserts the error is propagated rather than swallowed — a
+// truncated results file must never look like a success.
+func TestCSVExportersPropagateWriteErrors(t *testing.T) {
+	tab := &Table{
+		ID: "figX", XLabel: "tasks",
+		Series: []*Series{
+			{Name: "A", Points: []Point{{X: 5, Improvement: 0.1, TimeMS: 2, Found: 1}}},
+			{Name: "B", Points: []Point{{X: 5, Improvement: 0.2, TimeMS: 4, Found: 0.5}}},
+		},
+	}
+	wfRows := []WFRow{{
+		Family: "blast", Tasks: 10,
+		Improvement: map[string]float64{"HEFT": 0.1},
+		TotalTimeMS: map[string]float64{"HEFT": 3},
+	}}
+	paretoRows := []ParetoRow{{Tasks: 25, Algorithm: "Sweep", Hypervolume: 0.5, FrontSize: 3}}
+	front := pareto.Front{{Makespan: 1, Energy: 2, Mapping: mapping.Mapping{0, 1, 2}}}
+
+	exporters := []struct {
+		name string
+		run  func(w *failingWriter) error
+	}{
+		{"Table.WriteCSV", func(w *failingWriter) error { return tab.WriteCSV(w) }},
+		{"WriteCSVTable1", func(w *failingWriter) error { return WriteCSVTable1(w, wfRows) }},
+		{"WriteCSVPareto", func(w *failingWriter) error { return WriteCSVPareto(w, paretoRows) }},
+		{"WriteCSVFront", func(w *failingWriter) error { return WriteCSVFront(w, front) }},
+	}
+	for _, ex := range exporters {
+		for _, budget := range []int{0, 10} {
+			if err := ex.run(&failingWriter{budget: budget}); !errors.Is(err, errDiskFull) {
+				t.Errorf("%s with write budget %d: error %v, want the writer's failure",
+					ex.name, budget, err)
+			}
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"spmap/internal/coord"
 	"spmap/internal/eval"
 	"spmap/internal/graph"
 	"spmap/internal/mapping"
@@ -55,12 +56,32 @@ type Options struct {
 	// identical for any value: populations are evaluated as index-aligned
 	// batches and no random draw depends on evaluation order.
 	Workers int
+	// Budget caps engine evaluations (0 = uncapped): the initial
+	// population is shrunk to at most Budget individuals and the GA
+	// stops before any generation whose evaluation would exceed the cap,
+	// so it never overshoots. Generations remains the outer limit.
+	Budget int
+	// Sync, if non-nil, is invoked at generation boundaries whenever at
+	// least SyncEvery evaluations accrued since the last call — the
+	// portfolio runner's coordination hook. The directive may adjust
+	// Budget, stop the evolution, or inject an elite: an elite whose
+	// EliteValue improves on the current worst individual replaces it
+	// without spending an evaluation (EliteValue must be exact under the
+	// same engine). SyncEvery <= 0 disables the hook.
+	Sync      coord.SyncFunc
+	SyncEvery int
 }
 
 // Stats reports GA effort and convergence.
 type Stats struct {
+	// Generations counts generations actually evolved (may stop short of
+	// Options.Generations under a Budget or a Sync stop directive).
 	Generations int
 	Evaluations int
+	// Syncs counts Sync-hook invocations; Injected counts elites adopted
+	// into the population (both 0 without a hook).
+	Syncs    int
+	Injected int
 	// BestPerGeneration records the best makespan after each generation
 	// (useful for the saturation analysis of paper Fig. 6).
 	BestPerGeneration []float64
@@ -85,6 +106,10 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 	pop := opt.Population
 	if pop <= 0 {
 		pop = DefaultPopulation
+	}
+	if opt.Budget > 0 && pop > opt.Budget {
+		// Even the initial population must respect the evaluation cap.
+		pop = opt.Budget
 	}
 	gens := opt.Generations
 	if gens <= 0 {
@@ -177,7 +202,14 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 		return individuals[bi]
 	}
 
+	budget := opt.Budget
+	lastSync := 0
 	for gen := 0; gen < gens; gen++ {
+		// The budget gate never overshoots: a generation costs exactly pop
+		// evaluations, so stop before one that would exceed the cap.
+		if budget > 0 && stats.Evaluations+pop > budget {
+			break
+		}
 		offspring := make([]individual, 0, pop)
 		for len(offspring) < pop {
 			p1, p2 := tournament(), tournament()
@@ -213,8 +245,41 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 		selectBest(individuals, pop)
 		individuals = individuals[:pop]
 		stats.BestPerGeneration = append(stats.BestPerGeneration, individuals[0].fitness)
+		stats.Generations = gen + 1
+
+		// Coordination rendezvous at the generation boundary (portfolio
+		// racing).
+		if opt.Sync != nil && opt.SyncEvery > 0 && stats.Evaluations-lastSync >= opt.SyncEvery {
+			lastSync = stats.Evaluations
+			stats.Syncs++
+			d := opt.Sync(coord.SyncInfo{
+				Evaluations: stats.Evaluations,
+				Budget:      budget,
+				BestValue:   individuals[0].fitness,
+				Best:        individuals[0].genes.Clone(),
+			})
+			budget += d.BudgetDelta
+			// Elite adoption is free (no evaluation): the coordinator
+			// forwards the exact fitness another member computed on the
+			// shared engine; the elite displaces the current worst
+			// survivor when it improves on it.
+			if d.Elite != nil && len(d.Elite) == n {
+				wi := 0
+				for i := 1; i < pop; i++ {
+					if individuals[i].fitness > individuals[wi].fitness {
+						wi = i
+					}
+				}
+				if d.EliteValue < individuals[wi].fitness {
+					individuals[wi] = individual{genes: d.Elite.Clone(), fitness: d.EliteValue}
+					stats.Injected++
+				}
+			}
+			if d.Stop {
+				break
+			}
+		}
 	}
-	stats.Generations = gens
 	b := best()
 	stats.Makespan = b.fitness
 	return b.genes, stats

@@ -95,13 +95,36 @@ func newScheduler(ev *model.Evaluator) *scheduler {
 	s.exec = ev.Exec
 	s.avgExec = make([]float64, s.n)
 	for v := 0; v < s.n; v++ {
-		sum := 0.0
+		// Upward ranks average execution times over the devices the task
+		// can actually run on: a task whose area footprint exceeds a
+		// device's total capacity can never be placed there (place skips
+		// it unconditionally), and averaging its exec time in anyway
+		// poisons the ranks on platforms with restricted device support.
+		sum, feasible := 0.0, 0
 		for d := 0; d < s.m; d++ {
+			if !s.deviceAdmits(graph.NodeID(v), d) {
+				continue
+			}
 			sum += ev.Exec(graph.NodeID(v), d)
+			feasible++
 		}
-		s.avgExec[v] = sum / float64(s.m)
+		if feasible == 0 {
+			// No device admits the task (place falls back to the default
+			// device); rank it by its default-device time.
+			sum, feasible = ev.Exec(graph.NodeID(v), p.Default), 1
+		}
+		s.avgExec[v] = sum / float64(feasible)
 	}
 	return s
+}
+
+// deviceAdmits reports whether device d can ever execute task v: an
+// area-constrained device admits only tasks whose footprint fits its
+// total capacity.
+func (s *scheduler) deviceAdmits(v graph.NodeID, d int) bool {
+	dev := &s.p.Devices[d]
+	area := s.g.Task(v).Area
+	return dev.Area <= 0 || area <= 0 || area <= dev.Area
 }
 
 // avgComm returns the average transfer time for `bytes` over all ordered
@@ -158,12 +181,25 @@ func (s *scheduler) optimisticCostTable() [][]float64 {
 			worst := 0.0
 			for _, ei := range s.g.OutEdges(v) {
 				e := s.g.Edge(ei)
+				// The optimistic successor placement minimizes over the
+				// devices that actually admit the successor (same
+				// restricted-support rule as avgExec); devices the task
+				// can never run on must not leak into the lookahead.
 				bestW := math.Inf(1)
 				for w := 0; w < s.m; w++ {
+					if !s.deviceAdmits(e.To, w) {
+						continue
+					}
 					c := oct[e.To][w] + s.exec(e.To, w) + s.p.TransferTime(d, w, e.Bytes)
 					if c < bestW {
 						bestW = c
 					}
+				}
+				if math.IsInf(bestW, 1) {
+					// No device admits the successor: place falls back to
+					// the default device, so look ahead through it.
+					w := s.p.Default
+					bestW = oct[e.To][w] + s.exec(e.To, w) + s.p.TransferTime(d, w, e.Bytes)
 				}
 				if bestW > worst {
 					worst = bestW
@@ -175,15 +211,23 @@ func (s *scheduler) optimisticCostTable() [][]float64 {
 	return oct
 }
 
-// rankOCTOrder ranks tasks by the mean OCT row.
+// rankOCTOrder ranks tasks by the mean OCT row over the devices that
+// admit the task (mirroring avgExec's restricted-support averaging).
 func (s *scheduler) rankOCTOrder(oct [][]float64) []graph.NodeID {
 	rank := make([]float64, s.n)
 	for v := 0; v < s.n; v++ {
-		sum := 0.0
+		sum, feasible := 0.0, 0
 		for d := 0; d < s.m; d++ {
+			if !s.deviceAdmits(graph.NodeID(v), d) {
+				continue
+			}
 			sum += oct[v][d]
+			feasible++
 		}
-		rank[v] = sum / float64(s.m)
+		if feasible == 0 {
+			sum, feasible = oct[v][s.p.Default], 1
+		}
+		rank[v] = sum / float64(feasible)
 	}
 	order, err := s.g.TopoSort()
 	if err != nil {

@@ -145,6 +145,91 @@ func TestPEFTDiffersFromHEFTSometimes(t *testing.T) {
 	}
 }
 
+// restrictedPlatform returns a two-device platform whose second device
+// is area-constrained: tasks with Area > capacity can only ever run on
+// the CPU.
+func restrictedPlatform(fpgaPeak float64) *platform.Platform {
+	ref := platform.Reference()
+	fpga := ref.Devices[2]
+	fpga.PeakOps = fpgaPeak
+	fpga.Area = 20
+	return &platform.Platform{Default: 0, Devices: []platform.Device{ref.Devices[0], fpga}}
+}
+
+// TestAvgExecFeasibleDevicesOnly is the upward-rank regression test: a
+// task that fits no accelerator must be ranked by the devices that
+// admit it, not by a mean poisoned with execution times of devices it
+// can never run on.
+func TestAvgExecFeasibleDevicesOnly(t *testing.T) {
+	p := restrictedPlatform(60e9)
+	g := graph.New(0, 0)
+	big := g.AddTask(graph.Task{Name: "big", Complexity: 10, SourceBytes: 1e6, Streamability: 8, Area: 50})
+	small := g.AddTask(graph.Task{Name: "small", Complexity: 10, Streamability: 8, Area: 5})
+	g.AddEdge(big, small, 1e6)
+
+	ev := model.NewEvaluator(g, p)
+	s := newScheduler(ev)
+	// big fits only the CPU: its rank base is exactly the CPU time.
+	if want := ev.Exec(big, 0); s.avgExec[big] != want {
+		t.Errorf("avgExec(big) = %v, want the CPU-only time %v (infeasible FPGA included?)", s.avgExec[big], want)
+	}
+	// small fits both devices: its rank base is the two-device mean.
+	if want := (ev.Exec(small, 0) + ev.Exec(small, 1)) / 2; s.avgExec[small] != want {
+		t.Errorf("avgExec(small) = %v, want the all-device mean %v", s.avgExec[small], want)
+	}
+	// The two exec times differ, so the old all-device mean would have
+	// produced a different rank for big — the assertion above is a real
+	// regression guard, not a tautology.
+	if ev.Exec(big, 0) == ev.Exec(big, 1) {
+		t.Fatal("test platform degenerate: big runs equally fast everywhere")
+	}
+}
+
+// TestRanksInvariantToInfeasibleDeviceSpeed pins the end-to-end
+// property behind the fix: the speed of a device that admits no task
+// cannot influence the mapping (before the fix it leaked into both
+// HEFT's upward-rank averages and PEFT's optimistic cost table). The
+// platform keeps a fully usable GPU next to the no-task FPGA, so the
+// rank order genuinely decides a CPU/GPU placement — an all-one-device
+// fallback would make the check vacuous.
+func TestRanksInvariantToInfeasibleDeviceSpeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := gen.SeriesParallel(rng, 30, gen.DefaultAttr())
+	// Give every task an area above the FPGA capacity of 20 (the CPU and
+	// GPU are not area-constrained and admit everything).
+	for v := 0; v < g.NumTasks(); v++ {
+		if task := g.Task(graph.NodeID(v)); !task.Virtual {
+			task.Area = 50
+		}
+	}
+	mixedPlatform := func(fpgaPeak float64) *platform.Platform {
+		ref := platform.Reference()
+		fpga := ref.Devices[2]
+		fpga.PeakOps = fpgaPeak
+		fpga.Area = 20
+		return &platform.Platform{Default: 0, Devices: []platform.Device{ref.Devices[0], ref.Devices[1], fpga}}
+	}
+	for _, variant := range []Variant{HEFT, PEFT} {
+		slow := Map(g, mixedPlatform(1e9), variant)
+		fast := Map(g, mixedPlatform(900e9), variant)
+		if !slow.Equal(fast) {
+			t.Errorf("%v: mapping depends on the speed of a device no task can run on", variant)
+		}
+		offloaded := false
+		for _, d := range slow {
+			if d == 2 {
+				t.Fatalf("%v: task mapped to a device it does not fit", variant)
+			}
+			if d == 1 {
+				offloaded = true
+			}
+		}
+		if !offloaded {
+			t.Fatalf("%v: degenerate all-CPU mapping; the invariance check proves nothing", variant)
+		}
+	}
+}
+
 func TestHandlesVirtualAndEmptyTasks(t *testing.T) {
 	g := graph.New(0, 0)
 	a := g.AddTask(graph.Task{Virtual: true})

@@ -67,11 +67,17 @@ func (s *searcher) anneal() {
 		if remaining <= 0 {
 			return
 		}
+		// Shrink the final block to the remaining budget without losing
+		// the configured size (a Sync budget grant may extend the run).
+		batch := batch
 		if remaining < batch {
 			batch = remaining
 		}
 		// Cooling is paced by budget consumption: T = t0 * (tEnd/t0)^frac.
-		frac := float64(s.stats.Evaluations) / float64(s.opt.Budget)
+		// An elite adoption resets schedStart (see maybeSync), so the
+		// schedule restarts over whatever budget remains; without a Sync
+		// hook schedStart is 0 and the pacing is the classic one.
+		frac := float64(s.stats.Evaluations-s.schedStart) / float64(s.opt.Budget-s.schedStart)
 		temp := t0 * math.Exp(frac*logRatio)
 
 		for i := 0; i < batch; i++ {
@@ -133,6 +139,10 @@ func (s *searcher) anneal() {
 			copy(s.cur, s.best)
 			s.curVal = s.bestVal
 			s.curMS, s.curEn = s.bestMS, s.bestEn
+		}
+		// Coordination rendezvous at the block boundary (portfolio racing).
+		if s.maybeSync() {
+			return
 		}
 	}
 }

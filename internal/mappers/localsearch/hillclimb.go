@@ -38,6 +38,10 @@ func (s *searcher) hillClimb() {
 		patches[v] = graph.NodeID(v)
 	}
 	for {
+		// Coordination rendezvous at the step boundary (portfolio racing).
+		if s.maybeSync() {
+			return
+		}
 		ops = ops[:0]
 		for v := 0; v < s.n; v++ {
 			for d := 0; d < s.nd; d++ {

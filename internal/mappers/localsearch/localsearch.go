@@ -27,6 +27,7 @@ import (
 	"math"
 	"math/rand"
 
+	"spmap/internal/coord"
 	"spmap/internal/eval"
 	"spmap/internal/graph"
 	"spmap/internal/mapping"
@@ -116,6 +117,21 @@ type Options struct {
 	// the hook Pareto drivers use to harvest front candidates beyond
 	// the single returned best. Ignored in single-objective mode.
 	Observer func(makespan, energy float64, m mapping.Mapping)
+
+	// Sync, if non-nil, is invoked at deterministic points of the search
+	// (annealing block boundaries, hill-climb step boundaries) whenever
+	// at least SyncEvery evaluations accrued since the last call — the
+	// portfolio runner's coordination hook. The directive may adjust the
+	// budget, stop the search, or inject an elite incumbent: in
+	// single-objective mode an elite whose EliteValue improves on the
+	// incumbent makespan is adopted without spending an evaluation
+	// (EliteValue must be exact under the same engine); in weighted mode
+	// elite injection is ignored (EliteValue is not comparable across
+	// differently-weighted cost functions). SyncEvery <= 0 disables the
+	// hook. The determinism contract extends to hooked runs as long as
+	// Sync itself is deterministic.
+	Sync      coord.SyncFunc
+	SyncEvery int
 }
 
 // Stats reports local-search effort and outcome. All counters are
@@ -129,6 +145,10 @@ type Stats struct {
 	Moves int
 	// Kicks counts hill-climber perturbations (0 for annealing).
 	Kicks int
+	// Syncs counts Sync-hook invocations; Injected counts elites adopted
+	// as the incumbent (both 0 without a hook).
+	Syncs    int
+	Injected int
 	// StartMakespan is the makespan of the (repaired) starting mapping;
 	// Makespan is the best makespan found. In single-objective mode
 	// Makespan <= StartMakespan always holds (for a feasible start); in
@@ -178,6 +198,9 @@ type searcher struct {
 	curVal  float64         // incumbent objective value
 	best    mapping.Mapping // best-seen (the returned mapping)
 	bestVal float64
+
+	lastSync   int // evaluations consumed at the last Sync invocation
+	schedStart int // evaluations at the last annealing-schedule restart
 
 	// Weighted (multi-objective) mode.
 	mo             bool
@@ -385,6 +408,45 @@ func (s *searcher) observe() {
 	if s.mo && s.opt.Observer != nil && s.curVal != model.Infeasible {
 		s.opt.Observer(s.curMS, s.curEn, s.cur.Clone())
 	}
+}
+
+// maybeSync invokes the coordination hook once SyncEvery evaluations
+// accrued since the last call, applying its directive (budget delta,
+// elite adoption, stop). It reports whether the search must stop.
+// Called only at deterministic loop boundaries, so hooked runs keep the
+// package determinism contract.
+func (s *searcher) maybeSync() (stop bool) {
+	if s.opt.Sync == nil || s.opt.SyncEvery <= 0 ||
+		s.stats.Evaluations-s.lastSync < s.opt.SyncEvery {
+		return false
+	}
+	s.lastSync = s.stats.Evaluations
+	s.stats.Syncs++
+	d := s.opt.Sync(coord.SyncInfo{
+		Evaluations: s.stats.Evaluations,
+		Budget:      s.opt.Budget,
+		BestValue:   s.bestVal,
+		Best:        s.best.Clone(),
+	})
+	s.opt.Budget += d.BudgetDelta
+	// Elite adoption is free (no evaluation): the coordinator forwards
+	// the exact value another member computed on the shared engine. In
+	// weighted mode values from other members are not comparable to this
+	// searcher's scalarization, so injection is skipped.
+	if !s.mo && d.Elite != nil && len(d.Elite) == len(s.cur) && d.EliteValue < s.curVal {
+		copy(s.cur, d.Elite)
+		s.curVal = d.EliteValue
+		s.curMS = d.EliteValue
+		s.stats.Injected++
+		s.record()
+		// Adoption restarts the annealing cooling schedule over the
+		// remaining budget (a reheat): continuing a nearly-frozen
+		// schedule from a foreign incumbent would only polish it, while
+		// an iterated restart explores around it — the portfolio's
+		// restart semantics.
+		s.schedStart = s.stats.Evaluations
+	}
+	return d.Stop
 }
 
 // record updates the best-seen mapping after the incumbent changed.

@@ -143,6 +143,19 @@ func (e *Evaluator) Engine() *eval.Engine {
 	return e.eng
 }
 
+// WithEngine installs eng as the evaluator's engine and returns the
+// evaluator. Every mapper that evaluates through this evaluator (all of
+// them — Makespan delegates to the engine) then uses eng; the portfolio
+// runner uses this to put one memoizing cached engine behind every
+// racing mapper. eng must derive from this evaluator's own Engine (same
+// kernel — e.g. Engine().WithCache(...).WithWorkers(...)): makespans
+// must stay bit-identical to the evaluator's schedule set. WithSchedules
+// discards the installed engine along with the schedule set.
+func (e *Evaluator) WithEngine(eng *eval.Engine) *Evaluator {
+	e.eng = eng
+	return e
+}
+
 // NumSchedules returns the size of the fixed schedule set.
 func (e *Evaluator) NumSchedules() int { return len(e.orders) }
 

@@ -1,0 +1,329 @@
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mappers/ga"
+	"spmap/internal/mappers/heft"
+	"spmap/internal/mappers/localsearch"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+)
+
+func seedGraph(seed int64, n int) *graph.DAG {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.SeriesParallel(rng, n, gen.DefaultAttr())
+}
+
+func newEval(g *graph.DAG, p *platform.Platform, seed int64) *model.Evaluator {
+	return model.NewEvaluator(g, p).WithSchedules(20, seed)
+}
+
+func mappingString(m []int) string {
+	s := ""
+	for _, d := range m {
+		s += fmt.Sprintf("%d", d)
+	}
+	return s
+}
+
+// fingerprint renders a run byte-exactly: the mapping digits, the
+// makespan bit pattern and the deterministic stats (cache telemetry
+// excluded — it is wall-clock dependent by design).
+func fingerprint(m []int, st Stats) string {
+	return fmt.Sprintf("%s|%016x|%+v", mappingString(m), math.Float64bits(st.Makespan), st.Deterministic())
+}
+
+// TestDeterminismAcrossWorkersAndRuns runs the full portfolio twice per
+// worker count; every run must produce a byte-identical mapping and
+// deterministic stats. This is the package's core contract: racing on
+// real goroutines with a shared cache must never leak scheduling into
+// results.
+func TestDeterminismAcrossWorkersAndRuns(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(3, 35)
+	var ref string
+	first := true
+	for _, workers := range []int{1, 4} {
+		for run := 0; run < 2; run++ {
+			ev := newEval(g, p, 3)
+			m, st, err := MapWithEvaluator(ev, Options{Seed: 42, Budget: 3000, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fingerprint(m, st)
+			if first {
+				ref, first = got, false
+				continue
+			}
+			if got != ref {
+				t.Fatalf("workers=%d run=%d diverged:\n got %s\nwant %s", workers, run, got, ref)
+			}
+		}
+	}
+}
+
+// TestCacheDifferential is the cache's correctness proof at the system
+// level: cache-on and cache-off portfolio runs must produce bit-identical
+// mappings and deterministic stats (the cache may only save wall-clock
+// time, never change a result).
+func TestCacheDifferential(t *testing.T) {
+	p := platform.Reference()
+	for _, seed := range []int64{1, 2, 3} {
+		g := seedGraph(seed, 30)
+		mOn, stOn, err := MapWithEvaluator(newEval(g, p, seed), Options{Seed: seed, Budget: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mOff, stOff, err := MapWithEvaluator(newEval(g, p, seed), Options{Seed: seed, Budget: 3000, DisableCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on, off := fingerprint(mOn, stOn), fingerprint(mOff, stOff); on != off {
+			t.Fatalf("seed %d: cache changed the result\n on  %s\n off %s", seed, on, off)
+		}
+		if stOn.Cache.Hits == 0 {
+			t.Fatalf("seed %d: cache never hit — differential test proves nothing: %+v", seed, stOn.Cache)
+		}
+		if stOff.Cache != (Stats{}).Cache {
+			t.Fatalf("seed %d: cache-off run reported cache telemetry: %+v", seed, stOff.Cache)
+		}
+	}
+}
+
+// TestNeverWorseThanBestSingleMember pins the acceptance criterion: on
+// the three seed graphs, the portfolio at the default equal-budget
+// anchor (50100, the paper GA's budget) is never worse than any single
+// member granted the same total budget. Guarded like the other
+// full-budget sweeps.
+func TestNeverWorseThanBestSingleMember(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-budget portfolio race is slow")
+	}
+	p := platform.Reference()
+	const budget = 50100
+	for _, seed := range []int64{1, 2, 3} {
+		g := seedGraph(seed, 30)
+		ev := newEval(g, p, seed)
+		_, st, err := MapWithEvaluator(ev, Options{Seed: seed, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles := map[string]float64{}
+		_, sa, err := localsearch.MapWithEvaluator(ev, localsearch.Options{Algorithm: localsearch.Anneal, Seed: seed, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles["Anneal"] = sa.Makespan
+		_, sh, err := localsearch.MapWithEvaluator(ev, localsearch.Options{Algorithm: localsearch.HillClimb, Seed: seed, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles["HillClimb"] = sh.Makespan
+		md, dst, err := decomp.MapWithEvaluator(ev, decomp.Options{Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rs, err := localsearch.Refine(ev, md, localsearch.Options{Seed: seed, Budget: budget - dst.Evaluations})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles["SPFF+Refine"] = rs.Makespan
+		for name, variant := range map[string]heft.Variant{"HEFT+Refine": heft.HEFT, "PEFT+Refine": heft.PEFT} {
+			_, hs, err := localsearch.Refine(ev, heft.MapWithEvaluator(ev, variant), localsearch.Options{Seed: seed, Budget: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			singles[name] = hs.Makespan
+		}
+		pop := ga.DefaultPopulation
+		_, gs := ga.MapWithEvaluator(ev, ga.Options{Population: pop, Generations: budget/pop + 1, Budget: budget, Seed: seed})
+		singles["NSGA2"] = gs.Makespan
+
+		for name, ms := range singles {
+			if st.Makespan > ms*(1+1e-12) {
+				t.Errorf("seed %d: portfolio %.9f worse than equal-budget %s %.9f",
+					seed, st.Makespan, name, ms)
+			}
+		}
+	}
+}
+
+// TestReturnedMakespanExact verifies the reported makespan is the
+// engine-exact makespan of the returned mapping and that the mapping is
+// valid and feasible.
+func TestReturnedMakespanExact(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(2, 40)
+	ev := newEval(g, p, 2)
+	m, st, err := MapWithEvaluator(ev, Options{Seed: 7, Budget: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, p); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Feasible(g, p) {
+		t.Fatal("portfolio returned an area-infeasible mapping")
+	}
+	if got := ev.Makespan(m); math.Float64bits(got) != math.Float64bits(st.Makespan) {
+		t.Fatalf("reported makespan %v != exact %v", st.Makespan, got)
+	}
+	base := ev.BaselineMakespan()
+	if st.Makespan > base {
+		t.Fatalf("portfolio worse than the pure-CPU baseline: %v > %v", st.Makespan, base)
+	}
+}
+
+// TestBudgetAccounting checks the shared budget is respected (modulo
+// nothing: members never overshoot their allocations) and that stealing
+// conserves the total.
+func TestBudgetAccounting(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(1, 30)
+	const budget = 4800
+	_, st, err := MapWithEvaluator(newEval(g, p, 1), Options{Seed: 1, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evaluations > budget {
+		t.Fatalf("portfolio consumed %d evaluations over the budget %d", st.Evaluations, budget)
+	}
+	if st.Evaluations < budget/2 {
+		t.Fatalf("portfolio left most of the budget unused: %d of %d", st.Evaluations, budget)
+	}
+	totalAlloc := 0
+	for _, ms := range st.Members {
+		totalAlloc += ms.Budget
+		if ms.Evaluations > ms.Budget {
+			t.Errorf("member %s overshot its allocation: %d > %d", ms.Kind, ms.Evaluations, ms.Budget)
+		}
+	}
+	if want := (budget / len(st.Members)) * len(st.Members); totalAlloc != want {
+		t.Errorf("stealing did not conserve the budget: allocations sum to %d, want %d", totalAlloc, want)
+	}
+}
+
+// TestMemberSubsetAndValidation covers custom member sets and option
+// validation.
+func TestMemberSubsetAndValidation(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(1, 25)
+	m, st, err := MapWithEvaluator(newEval(g, p, 1), Options{
+		Seed: 1, Budget: 800, Members: []MemberKind{Anneal, NSGA2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 2 || st.Members[0].Kind != Anneal || st.Members[1].Kind != NSGA2 {
+		t.Fatalf("member stats do not match the requested subset: %+v", st.Members)
+	}
+	if err := m.Validate(g, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MapWithEvaluator(newEval(g, p, 1), Options{Members: []MemberKind{MemberKind(99)}}); err == nil {
+		t.Fatal("unknown member kind accepted")
+	}
+}
+
+// TestCrossPollination builds an instance where one member (the HEFT
+// seed) starts far ahead and checks the incumbent actually reaches the
+// other members (Injected counters move) — the mechanism the racing
+// design relies on.
+func TestCrossPollination(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(3, 30)
+	_, st, err := MapWithEvaluator(newEval(g, p, 3), Options{Seed: 3, Budget: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	for _, ms := range st.Members {
+		injected += ms.Injected
+	}
+	if injected == 0 {
+		t.Fatalf("no member ever adopted the published incumbent: %+v", st.Members)
+	}
+	// Every finishing member must have converged to (at least) the
+	// portfolio best or its own better value — i.e. no member reports a
+	// best worse than what injection offered it last.
+	for _, ms := range st.Members {
+		if ms.Syncs > 0 && ms.Makespan > st.Makespan*(1+0.5) {
+			t.Errorf("member %s finished far above the incumbent despite syncing: %v vs %v",
+				ms.Kind, ms.Makespan, st.Makespan)
+		}
+	}
+}
+
+// TestConcurrentPortfolios runs independent portfolio instances in
+// parallel (exercised under -race in CI): nothing may be shared between
+// runs but the process-wide engine state pools.
+func TestConcurrentPortfolios(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(2, 25)
+	want := ""
+	{
+		m, st, err := MapWithEvaluator(newEval(g, p, 2), Options{Seed: 5, Budget: 1200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = fingerprint(m, st)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, st, err := MapWithEvaluator(newEval(g, p, 2), Options{Seed: 5, Budget: 1200, Workers: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := fingerprint(m, st); got != want {
+				errs <- fmt.Errorf("concurrent run diverged:\n got %s\nwant %s", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestTinyBudget exercises the degenerate path: a budget too small for
+// any search still returns a valid mapping (the openers' outputs).
+func TestTinyBudget(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(1, 20)
+	m, st, err := MapWithEvaluator(newEval(g, p, 1), Options{Seed: 1, Budget: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, p); err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan == math.Inf(1) {
+		t.Fatal("no makespan reported")
+	}
+}
+
+// TestDuplicateMembersRejected pins the duplicate-kind validation.
+func TestDuplicateMembersRejected(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(1, 20)
+	_, _, err := MapWithEvaluator(newEval(g, p, 1), Options{
+		Members: []MemberKind{Anneal, Anneal},
+	})
+	if err == nil {
+		t.Fatal("duplicate member kinds accepted")
+	}
+}

@@ -35,6 +35,13 @@
 //     sweep or a true two-objective NSGA-II over the engine's
 //     (makespan, energy) batch path, returning a bounded ε-dominance
 //     Pareto front of time/energy trade-offs.
+//   - MapPortfolio — algorithm racing beyond the paper: the whole
+//     mapper portfolio (decomposition+refine, HEFT/PEFT+refine,
+//     annealing, hill climbing, GA) runs concurrently under one shared
+//     evaluation budget with a shared memoizing evaluation cache,
+//     cross-pollination of the incumbent best mapping, and budget
+//     stealing from stalled members — deterministic for a fixed Seed
+//     regardless of Workers.
 //   - MapMILP — the ZhouLiu / WGDP-Device / WGDP-Time integer programs
 //     solved by the built-in branch-and-bound solver.
 //
@@ -80,6 +87,7 @@ import (
 	"spmap/internal/model"
 	"spmap/internal/pareto"
 	"spmap/internal/platform"
+	"spmap/internal/portfolio"
 	"spmap/internal/sp"
 	"spmap/internal/wf"
 )
@@ -428,6 +436,60 @@ func MapParetoWithEvaluator(ev *Evaluator, opt ParetoOptions) (ParetoFront, Pare
 		stats.BestMakespan, stats.BestEnergy = st.BestMakespan, st.BestEnergy
 		return front, stats, nil
 	}
+}
+
+// PortfolioOptions configure MapPortfolio; zero values select the
+// defaults (full portfolio, the paper GA's 50100-evaluation budget, the
+// shared evaluation cache on).
+type PortfolioOptions = portfolio.Options
+
+// PortfolioStats report a portfolio race: per-member budgets,
+// evaluations and outcomes, coordination rounds, reallocated budget,
+// and the shared cache's telemetry. All fields except Cache are
+// deterministic for a fixed Seed regardless of Workers (cache hit
+// counts depend on wall-clock interleaving; Stats.Deterministic zeroes
+// them for fingerprinting).
+type PortfolioStats = portfolio.Stats
+
+// PortfolioMember identifies one racing mapper of MapPortfolio.
+type PortfolioMember = portfolio.MemberKind
+
+// Portfolio members.
+const (
+	// PortfolioSPFFRefine is the series-parallel FirstFit decomposition
+	// mapper polished by annealing refinement.
+	PortfolioSPFFRefine = portfolio.SPFFRefine
+	// PortfolioHEFTRefine / PortfolioPEFTRefine refine the list-
+	// scheduling seed mappings.
+	PortfolioHEFTRefine = portfolio.HEFTRefine
+	PortfolioPEFTRefine = portfolio.PEFTRefine
+	// PortfolioAnneal and PortfolioHillClimb are the local searches from
+	// the pure-CPU baseline.
+	PortfolioAnneal    = portfolio.Anneal
+	PortfolioHillClimb = portfolio.HillClimb
+	// PortfolioNSGA2 is the single-objective genetic algorithm.
+	PortfolioNSGA2 = portfolio.NSGA2
+)
+
+// MapPortfolio races the mapper portfolio on (g, p) under a shared
+// evaluation budget: every member searches concurrently on the same
+// memoizing evaluation engine (a candidate proposed by two mappers is
+// simulated once), the best mapping found so far is periodically
+// published and injected into stalled members as a restart elite, and
+// members that stop improving donate budget to the leader. The result
+// is never worse than what the best-performing member would have found
+// with its share, and deterministic for a fixed Options.Seed across any
+// Options.Workers value (see internal/portfolio for the rendezvous
+// design that keeps real concurrency out of the results).
+func MapPortfolio(g *DAG, p *Platform, opt PortfolioOptions) (Mapping, PortfolioStats, error) {
+	return portfolio.Map(g, p, opt)
+}
+
+// MapPortfolioWithEvaluator is MapPortfolio with a caller-supplied
+// evaluator (to control the schedule set and share the compiled
+// engine). The evaluator is not mutated.
+func MapPortfolioWithEvaluator(ev *Evaluator, opt PortfolioOptions) (Mapping, PortfolioStats, error) {
+	return portfolio.MapWithEvaluator(ev, opt)
 }
 
 // MILPResult is the outcome of a MILP mapping run.
