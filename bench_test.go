@@ -512,3 +512,43 @@ func BenchmarkEvaluateBatchCached100(b *testing.B) {
 		eng.EvaluateBatch(ops, math.Inf(1))
 	}
 }
+
+// Online replay benchmarks: a mixed 6-event scenario replayed against a
+// live instance under the paper's 101-schedule protocol, warm-start
+// repair vs cold per-event re-mapping at the same per-event budget —
+// the wall-clock counterpart of the quality comparison in
+// BENCH_PR5.json (warm is never worse on the seed graphs and spends
+// less simulation time per event because the incumbent seeds the
+// search).
+
+func benchmarkReplay(b *testing.B, n int, cold bool) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	sc := spmap.NewScenario(rand.New(rand.NewSource(2)), spmap.ScenarioOptions{Events: 6})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spmap.Replay(g, p, sc, spmap.OnlineOptions{
+			Schedules: 100, Seed: 1, RepairBudget: 2000, Cold: cold,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayWarm50(b *testing.B)  { benchmarkReplay(b, 50, false) }
+func BenchmarkReplayCold50(b *testing.B)  { benchmarkReplay(b, 50, true) }
+func BenchmarkReplayWarm100(b *testing.B) { benchmarkReplay(b, 100, false) }
+func BenchmarkReplayCold100(b *testing.B) { benchmarkReplay(b, 100, true) }
+func BenchmarkReplayPortfolioRepair50(b *testing.B) {
+	g := benchGraph(50)
+	p := platform.Reference()
+	sc := spmap.NewScenario(rand.New(rand.NewSource(2)), spmap.ScenarioOptions{Events: 6})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spmap.Replay(g, p, sc, spmap.OnlineOptions{
+			Schedules: 100, Seed: 1, RepairBudget: 2000, Repair: spmap.RepairPortfolio,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

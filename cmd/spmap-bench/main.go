@@ -12,12 +12,19 @@
 //	spmap-bench -exp localsearch     # extension: GA vs anneal/hill-climb vs decomp+refine
 //	spmap-bench -exp pareto          # extension: multi-objective sweep vs NSGA-II fronts
 //	spmap-bench -exp portfolio       # extension: portfolio racing vs single mappers
+//	spmap-bench -exp online          # extension: warm-start repair vs cold re-map per event
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
+//
+// Unknown -exp names, negative numeric overrides and an unwritable -csv
+// directory exit with status 2 and a usage message before any
+// experiment runs, instead of producing partial or garbage output.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -30,19 +37,102 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap-bench: ")
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0) // -h/-help: usage already printed
+	case isUsageError(err):
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
+
+// usageError marks option-validation failures: main exits 2 after run
+// has printed the message and the flag usage.
+type usageError struct{ error }
+
+func isUsageError(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+// knownExperiments is the -exp vocabulary.
+var knownExperiments = map[string]bool{
+	"fig3": true, "fig4": true, "fig5": true, "fig6": true, "fig7": true,
+	"table1": true, "ablation": true, "localsearch": true, "pareto": true,
+	"portfolio": true, "online": true,
+}
+
+// run is main's testable body: it parses and validates args, executes
+// the experiments and writes the reports to stdout. Errors of type
+// usageError (and flag parse errors, which the FlagSet reports to
+// stderr itself) correspond to exit status 2.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spmap-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio all")
-		paper     = flag.Bool("paper", false, "full paper-scale protocol (slow)")
-		graphs    = flag.Int("graphs", 0, "override graphs per data point")
-		schedules = flag.Int("schedules", 0, "override random schedules in the cost function")
-		gaGens    = flag.Int("generations", 0, "override NSGA-II generations")
-		milpBudg  = flag.Duration("milp-budget", 0, "override MILP time limit")
-		seed      = flag.Int64("seed", 1, "base RNG seed")
-		workers   = flag.Int("workers", 0, "evaluation-engine worker pool (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		eps       = flag.Float64("eps", 0, "Pareto archive ε-grid resolution for -exp pareto (0 = exact front)")
-		csvDir    = flag.String("csv", "", "also write <experiment>.csv files into this directory")
+		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online all")
+		paper     = fs.Bool("paper", false, "full paper-scale protocol (slow)")
+		graphs    = fs.Int("graphs", 0, "override graphs per data point (>= 0; 0 = profile default)")
+		schedules = fs.Int("schedules", 0, "override random schedules in the cost function (>= 0)")
+		gaGens    = fs.Int("generations", 0, "override NSGA-II generations (>= 0)")
+		milpBudg  = fs.Duration("milp-budget", 0, "override MILP time limit (>= 0)")
+		seed      = fs.Int64("seed", 1, "base RNG seed")
+		workers   = fs.Int("workers", 0, "evaluation-engine worker pool (>= 0; 0 = GOMAXPROCS, 1 = serial; results are identical)")
+		eps       = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -exp pareto (>= 0; 0 = exact front)")
+		csvDir    = fs.String("csv", "", "also write <experiment>.csv files into this directory")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		// The FlagSet already reported the problem and the usage to
+		// stderr; classify it for main's exit-2 path without reprinting.
+		return usageError{err}
+	}
+	usage := func(format string, a ...any) error {
+		err := usageError{fmt.Errorf(format, a...)}
+		fmt.Fprintf(stderr, "spmap-bench: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	switch {
+	case *graphs < 0:
+		return usage("-graphs must be >= 0, got %d", *graphs)
+	case *schedules < 0:
+		return usage("-schedules must be >= 0, got %d", *schedules)
+	case *gaGens < 0:
+		return usage("-generations must be >= 0, got %d", *gaGens)
+	case *milpBudg < 0:
+		return usage("-milp-budget must be >= 0, got %s", *milpBudg)
+	case *eps < 0:
+		return usage("-eps must be >= 0, got %g", *eps)
+	case *workers < 0:
+		return usage("-workers must be >= 0, got %d", *workers)
+	}
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
+	}
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+		if !knownExperiments[names[i]] {
+			return usage("unknown experiment %q", names[i])
+		}
+	}
+	if *csvDir != "" {
+		// Probe writability upfront: failing after hours of sweep is the
+		// expensive way to learn about a typoed output directory.
+		probe, err := os.CreateTemp(*csvDir, ".spmap-bench-probe-*")
+		if err != nil {
+			return usage("-csv directory not writable: %v", err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+
 	cfg := experiments.Config{
 		Paper:          *paper,
 		GraphsPerPoint: *graphs,
@@ -52,86 +142,77 @@ func main() {
 		Seed:           *seed,
 		Workers:        *workers,
 	}
-
-	names := strings.Split(*exp, ",")
-	if *exp == "all" {
-		names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
-	}
-	emit := func(t *experiments.Table) {
-		t.Print(os.Stdout)
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, t.ID+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			err = t.WriteCSV(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				log.Fatal(err)
-			}
+	emitCSV := func(name string, write func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
 		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	emit := func(t *experiments.Table) error {
+		t.Print(stdout)
+		return emitCSV(t.ID, t.WriteCSV)
 	}
 	for _, name := range names {
 		start := time.Now()
-		switch strings.TrimSpace(name) {
+		var err error
+		switch name {
 		case "fig3":
-			emit(experiments.Fig3(cfg))
+			err = emit(experiments.Fig3(cfg))
 		case "fig4":
-			emit(experiments.Fig4(cfg))
+			err = emit(experiments.Fig4(cfg))
 		case "fig5":
-			emit(experiments.Fig5(cfg))
+			err = emit(experiments.Fig5(cfg))
 		case "fig6":
-			emit(experiments.Fig6(cfg))
+			err = emit(experiments.Fig6(cfg))
 		case "fig7":
-			emit(experiments.Fig7(cfg))
+			err = emit(experiments.Fig7(cfg))
 		case "table1":
 			rows := experiments.Table1(cfg)
-			experiments.PrintTable1(os.Stdout, rows)
-			if *csvDir != "" {
-				f, err := os.Create(filepath.Join(*csvDir, "table1.csv"))
-				if err != nil {
-					log.Fatal(err)
-				}
-				err = experiments.WriteCSVTable1(f, rows)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-				if err != nil {
-					log.Fatal(err)
-				}
-			}
+			experiments.PrintTable1(stdout, rows)
+			err = emitCSV("table1", func(w io.Writer) error {
+				return experiments.WriteCSVTable1(w, rows)
+			})
 		case "ablation":
-			emit(experiments.CutPolicyAblation(cfg))
-			fmt.Println()
-			emit(experiments.GammaAblation(cfg))
-			fmt.Println()
-			emit(experiments.ScheduleCountAblation(cfg))
+			if err = emit(experiments.CutPolicyAblation(cfg)); err != nil {
+				break
+			}
+			fmt.Fprintln(stdout)
+			if err = emit(experiments.GammaAblation(cfg)); err != nil {
+				break
+			}
+			fmt.Fprintln(stdout)
+			err = emit(experiments.ScheduleCountAblation(cfg))
 		case "localsearch":
-			emit(experiments.LocalSearchComparison(cfg))
+			err = emit(experiments.LocalSearchComparison(cfg))
 		case "portfolio":
-			emit(experiments.PortfolioComparison(cfg))
+			err = emit(experiments.PortfolioComparison(cfg))
+		case "online":
+			err = emit(experiments.OnlineComparison(cfg))
 		case "pareto":
 			rows := experiments.ParetoComparisonEps(cfg, *eps)
-			experiments.PrintPareto(os.Stdout, rows)
-			if *csvDir != "" {
-				f, err := os.Create(filepath.Join(*csvDir, "pareto.csv"))
-				if err != nil {
-					log.Fatal(err)
-				}
-				err = experiments.WriteCSVPareto(f, rows)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-				if err != nil {
-					log.Fatal(err)
-				}
-			}
+			experiments.PrintPareto(stdout, rows)
+			err = emitCSV("pareto", func(w io.Writer) error {
+				return experiments.WriteCSVPareto(w, rows)
+			})
 		default:
-			log.Fatalf("unknown experiment %q", name)
+			// knownExperiments and this dispatch are maintained together; a
+			// name validated above but not dispatched here is a programming
+			// error, not a user error.
+			return fmt.Errorf("internal error: experiment %q validated but not dispatched", name)
 		}
-		fmt.Printf("\n[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchFlagValidation drives run's flag-parsing path: unknown -exp
+// names, negative numeric overrides and an unwritable -csv directory
+// must fail as usage errors (exit status 2 in main) before any
+// experiment runs, instead of producing partial or garbage output.
+func TestBenchFlagValidation(t *testing.T) {
+	unwritable := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(unwritable, []byte("file, not dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown exp", []string{"-exp", "fig99"}, `unknown experiment "fig99"`},
+		{"unknown exp in list", []string{"-exp", "fig3,warp"}, `unknown experiment "warp"`},
+		{"negative graphs", []string{"-graphs", "-1"}, "-graphs must be >= 0"},
+		{"negative schedules", []string{"-schedules", "-5"}, "-schedules must be >= 0"},
+		{"negative generations", []string{"-generations", "-2"}, "-generations must be >= 0"},
+		{"negative milp budget", []string{"-milp-budget", "-3s"}, "-milp-budget must be >= 0"},
+		{"negative eps", []string{"-eps", "-0.1"}, "-eps must be >= 0"},
+		{"negative workers", []string{"-workers", "-4"}, "-workers must be >= 0"},
+		{"missing csv dir", []string{"-exp", "fig3", "-csv", filepath.Join(unwritable, "nope")}, "-csv directory not writable"},
+		{"csv dir is a file", []string{"-exp", "fig3", "-csv", unwritable}, "-csv directory not writable"},
+		{"undeclared flag", []string{"-frobnicate"}, ""}, // FlagSet's own error
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			err := run(tc.args, io.Discard, &stderr)
+			if err == nil {
+				t.Fatalf("args %q accepted; want a usage error", tc.args)
+			}
+			if !isUsageError(err) {
+				t.Fatalf("args %q: error %v is not a usage error (would not exit 2)", tc.args, err)
+			}
+			if tc.want != "" {
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("args %q: error %q does not contain %q", tc.args, err, tc.want)
+				}
+				if out := stderr.String(); !strings.Contains(out, "Usage") && !strings.Contains(out, "-exp") {
+					t.Fatalf("args %q: no usage message on stderr:\n%s", tc.args, out)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchOnlineExperiment smoke-runs the online warm-vs-cold
+// comparison end to end on a tiny profile, including the CSV export.
+func TestBenchOnlineExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	err := run([]string{"-exp", "online", "-graphs", "1", "-schedules", "2", "-csv", dir}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"WarmRepair", "ColdRemap", "online completed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("online report missing %q:\n%s", want, out)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "online.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "WarmRepair") {
+		t.Fatalf("online.csv missing the warm series:\n%s", csv)
+	}
+	// No stray probe files may survive the writability check.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".spmap-bench-probe-") {
+			t.Fatalf("writability probe %s left behind", e.Name())
+		}
+	}
+}
+
+// TestBenchValidatesBeforeRunning pins that a bad flag combined with a
+// valid experiment never starts the sweep (no experiment output before
+// the usage error).
+func TestBenchValidatesBeforeRunning(t *testing.T) {
+	var stdout bytes.Buffer
+	err := run([]string{"-exp", "fig3,bogus", "-graphs", "1"}, &stdout, io.Discard)
+	if err == nil || !isUsageError(err) {
+		t.Fatalf("got %v, want a usage error", err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("experiment output emitted before validation failed:\n%s", stdout.String())
+	}
+}

@@ -1,6 +1,7 @@
 // Command spmap-gen generates task graphs as JSON: random series-parallel
 // graphs, almost series-parallel graphs with extra conflicting edges
-// (paper §IV-B/C) or synthetic WfCommons-like workflow instances (§IV-D).
+// (paper §IV-B/C), synthetic WfCommons-like workflow instances (§IV-D),
+// the reference platform, or online-replay scenarios for spmap -scenario.
 //
 // Usage:
 //
@@ -8,11 +9,18 @@
 //	spmap-gen -kind almost-sp -n 100 -extra 50 > app.json
 //	spmap-gen -kind workflow -family montage -scale 3 > app.json
 //	spmap-gen -kind platform > platform.json
+//	spmap-gen -kind scenario -events 8 > scenario.json
+//
+// Unknown -kind/-family names and nonsensical numeric flags
+// (non-positive -n/-scale/-events, negative -extra) exit with status 2
+// and a usage message instead of producing garbage or panicking.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -24,23 +32,100 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap-gen: ")
-	var (
-		kind   = flag.String("kind", "sp", "sp | almost-sp | workflow | platform")
-		n      = flag.Int("n", 50, "number of tasks (sp, almost-sp)")
-		extra  = flag.Int("extra", 20, "extra conflicting edges (almost-sp)")
-		family = flag.String("family", "montage", "workflow family (1000genome, blast, bwa, cycles, epigenomics, montage, seismology, soykb, srasearch)")
-		scale  = flag.Int("scale", 1, "workflow scale factor")
-		seed   = flag.Int64("seed", 1, "RNG seed")
-	)
-	flag.Parse()
-	rng := rand.New(rand.NewSource(*seed))
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0) // -h/-help: usage already printed
+	case isUsageError(err):
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
 
-	if *kind == "platform" {
-		p := spmap.ReferencePlatform()
-		if err := p.Write(os.Stdout); err != nil {
-			log.Fatal(err)
+// usageError marks option-validation failures: main exits 2 after run
+// has printed the message and the flag usage.
+type usageError struct{ error }
+
+func isUsageError(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+// run is main's testable body: it parses and validates args and writes
+// the generated artifact to stdout (a summary goes to stderr). Errors
+// of type usageError (and flag parse errors, which the FlagSet reports
+// to stderr itself) correspond to exit status 2.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spmap-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind   = fs.String("kind", "sp", "sp | almost-sp | workflow | platform | scenario")
+		n      = fs.Int("n", 50, "number of tasks (sp, almost-sp; > 0)")
+		extra  = fs.Int("extra", 20, "extra conflicting edges (almost-sp; >= 0)")
+		family = fs.String("family", "montage", "workflow family (1000genome, blast, bwa, cycles, epigenomics, montage, seismology, soykb, srasearch)")
+		scale  = fs.Int("scale", 1, "workflow scale factor (> 0)")
+		events = fs.Int("events", 6, "scenario event count (scenario; > 0)")
+		seed   = fs.Int64("seed", 1, "RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
 		}
-		return
+		// The FlagSet already reported the problem and the usage to
+		// stderr; classify it for main's exit-2 path without reprinting.
+		return usageError{err}
+	}
+	usage := func(format string, a ...any) error {
+		err := usageError{fmt.Errorf(format, a...)}
+		fmt.Fprintf(stderr, "spmap-gen: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	var fam wf.Family
+	switch *kind {
+	case "sp", "almost-sp":
+		if *n <= 0 {
+			return usage("-n must be > 0, got %d", *n)
+		}
+		if *kind == "almost-sp" && *extra < 0 {
+			return usage("-extra must be >= 0, got %d", *extra)
+		}
+	case "workflow":
+		var ok bool
+		if fam, ok = familyByName(*family); !ok {
+			return usage("unknown family %q", *family)
+		}
+		if *scale <= 0 {
+			return usage("-scale must be > 0, got %d", *scale)
+		}
+	case "platform":
+	case "scenario":
+		if *events <= 0 {
+			return usage("-events must be > 0, got %d", *events)
+		}
+	default:
+		return usage("unknown kind %q (sp, almost-sp, workflow, platform, scenario)", *kind)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	switch *kind {
+	case "platform":
+		return spmap.ReferencePlatform().Write(stdout)
+	case "scenario":
+		// Fail/degrade targets are drawn against the reference platform's
+		// geometry (3 devices, host device 0) — the same default spmap
+		// replays scenarios on.
+		p := spmap.ReferencePlatform()
+		sc := spmap.NewScenario(rng, spmap.ScenarioOptions{
+			Events: *events, Devices: p.NumDevices(), DefaultDevice: p.Default,
+		})
+		if err := sc.Write(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "generated %d events\n", len(sc.Events))
+		return nil
 	}
 
 	var g *spmap.DAG
@@ -50,21 +135,16 @@ func main() {
 	case "almost-sp":
 		g = spmap.RandomAlmostSeriesParallel(rng, *n, *extra)
 	case "workflow":
-		fam, ok := familyByName(*family)
-		if !ok {
-			log.Fatalf("unknown family %q", *family)
-		}
 		g = spmap.GenerateWorkflow(fam, *scale, rng)
-	default:
-		log.Fatalf("unknown kind %q", *kind)
 	}
 	if err := g.Validate(); err != nil {
-		log.Fatalf("generated graph invalid: %v", err)
+		return fmt.Errorf("generated graph invalid: %v", err)
 	}
-	if _, err := g.WriteTo(os.Stdout); err != nil {
-		log.Fatal(err)
+	if _, err := g.WriteTo(stdout); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "generated %d tasks, %d edges\n", g.NumTasks(), g.NumEdges())
+	fmt.Fprintf(stderr, "generated %d tasks, %d edges\n", g.NumTasks(), g.NumEdges())
+	return nil
 }
 
 func familyByName(name string) (wf.Family, bool) {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+)
+
+// TestGenFlagValidation drives run's flag-parsing path (the mirror of
+// cmd/spmap's treatment): unknown -kind/-family names and nonsensical
+// numeric flags must fail as usage errors (exit status 2 in main)
+// instead of producing garbage or panicking.
+func TestGenFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown kind", []string{"-kind", "torus"}, `unknown kind "torus"`},
+		{"unknown family", []string{"-kind", "workflow", "-family", "skynet"}, `unknown family "skynet"`},
+		{"zero n", []string{"-kind", "sp", "-n", "0"}, "-n must be > 0"},
+		{"negative n", []string{"-kind", "almost-sp", "-n", "-10"}, "-n must be > 0"},
+		{"negative extra", []string{"-kind", "almost-sp", "-extra", "-1"}, "-extra must be >= 0"},
+		{"zero scale", []string{"-kind", "workflow", "-scale", "0"}, "-scale must be > 0"},
+		{"negative scale", []string{"-kind", "workflow", "-scale", "-3"}, "-scale must be > 0"},
+		{"zero events", []string{"-kind", "scenario", "-events", "0"}, "-events must be > 0"},
+		{"undeclared flag", []string{"-frobnicate"}, ""}, // FlagSet's own error
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			err := run(tc.args, io.Discard, &stderr)
+			if err == nil {
+				t.Fatalf("args %q accepted; want a usage error", tc.args)
+			}
+			if !isUsageError(err) {
+				t.Fatalf("args %q: error %v is not a usage error (would not exit 2)", tc.args, err)
+			}
+			if tc.want != "" {
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("args %q: error %q does not contain %q", tc.args, err, tc.want)
+				}
+				if out := stderr.String(); !strings.Contains(out, "Usage") && !strings.Contains(out, "-kind") {
+					t.Fatalf("args %q: no usage message on stderr:\n%s", tc.args, out)
+				}
+			}
+		})
+	}
+}
+
+// TestGenKinds runs every kind end to end and checks the emitted JSON
+// parses as what it claims to be.
+func TestGenKinds(t *testing.T) {
+	t.Run("sp", func(t *testing.T) {
+		g := genGraph(t, "-kind", "sp", "-n", "20")
+		if g.NumTasks() < 20 {
+			t.Fatalf("sp graph has %d tasks, want >= 20", g.NumTasks())
+		}
+	})
+	t.Run("almost-sp", func(t *testing.T) {
+		g := genGraph(t, "-kind", "almost-sp", "-n", "20", "-extra", "5")
+		if g.NumTasks() < 20 {
+			t.Fatalf("almost-sp graph has %d tasks, want >= 20", g.NumTasks())
+		}
+	})
+	t.Run("workflow", func(t *testing.T) {
+		g := genGraph(t, "-kind", "workflow", "-family", "montage", "-scale", "1")
+		if g.NumTasks() == 0 {
+			t.Fatal("empty workflow graph")
+		}
+	})
+	t.Run("platform", func(t *testing.T) {
+		out := genOutput(t, "-kind", "platform")
+		var p map[string]any
+		if err := json.Unmarshal(out, &p); err != nil {
+			t.Fatalf("platform output is not JSON: %v", err)
+		}
+		if _, ok := p["devices"]; !ok {
+			t.Fatal("platform JSON has no devices")
+		}
+	})
+	t.Run("scenario", func(t *testing.T) {
+		out := genOutput(t, "-kind", "scenario", "-events", "7", "-seed", "3")
+		sc, err := gen.ReadScenario(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("scenario output does not parse: %v", err)
+		}
+		if len(sc.Events) != 7 {
+			t.Fatalf("scenario has %d events, want 7", len(sc.Events))
+		}
+	})
+}
+
+// TestGenDeterministic pins that equal seeds yield byte-identical
+// output.
+func TestGenDeterministic(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "sp", "-n", "15", "-seed", "9"},
+		{"-kind", "scenario", "-events", "5", "-seed", "9"},
+	} {
+		a := genOutput(t, args...)
+		b := genOutput(t, args...)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("args %q: output not deterministic", args)
+		}
+	}
+}
+
+func genOutput(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var stdout bytes.Buffer
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	return stdout.Bytes()
+}
+
+func genGraph(t *testing.T, args ...string) *graph.DAG {
+	t.Helper()
+	g, err := graph.Read(bytes.NewReader(genOutput(t, args...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

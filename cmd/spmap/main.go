@@ -24,7 +24,15 @@
 // sweep; the front is printed, exported as CSV via -front, and bounded
 // by the ε-dominance resolution -eps).
 //
-// Unknown -algo/-objective values and nonsensical numeric flags
+// The -scenario flag switches to online replay mode: the graph becomes
+// a live instance perturbed by the scenario's event stream (device
+// failures/degradations, subgraph arrivals/departures; generate streams
+// with spmap-gen -kind scenario), with the incumbent mapping migrated
+// and warm-start-repaired after each event under the -ls-budget
+// per-event budget. -repair selects the repair pass: refine (default),
+// portfolio, or cold (re-map from scratch — the comparison baseline).
+//
+// Unknown -algo/-objective/-repair values and nonsensical numeric flags
 // (negative -eps, non-positive -ls-budget, -workers, -schedules out of
 // range, -gamma < 1) exit with status 2 and a usage message instead of
 // silently falling back to defaults.
@@ -96,13 +104,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		gamma        = fs.Float64("gamma", 2, "gamma for -algo gamma (>= 1)")
 		gaGens       = fs.Int("generations", 500, "NSGA-II generations (> 0)")
 		milpBudget   = fs.Duration("milp-budget", 30*time.Second, "MILP time limit")
-		lsBudget     = fs.Int("ls-budget", 50100, "local-search / -refine / portfolio evaluation budget (> 0)")
+		lsBudget     = fs.Int("ls-budget", 50100, "local-search / -refine / portfolio evaluation budget; per-event repair budget in -scenario mode (> 0)")
 		refine       = fs.Bool("refine", false, "polish the mapping with local-search refinement")
 		objective    = fs.String("objective", "time", "optimization objective: time, energy, or pareto")
 		epsFlag      = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -objective pareto (>= 0; 0 = exact front)")
 		frontOut     = fs.String("front", "", "write the Pareto front as CSV to this file (-objective pareto)")
 		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "evaluation-engine worker pool (> 0; results are identical for any value)")
-		seed         = fs.Int64("seed", 1, "RNG seed (schedules, GA, local search, portfolio)")
+		scenario     = fs.String("scenario", "", "replay this online scenario JSON against the graph (see spmap-gen -kind scenario)")
+		repairMode   = fs.String("repair", "refine", "scenario repair mode: refine, portfolio, or cold (re-map from scratch)")
+		seed         = fs.Int64("seed", 1, "RNG seed (schedules, GA, local search, portfolio, replay)")
 		asJSON       = fs.Bool("json", false, "emit machine-readable JSON")
 		dotOut       = fs.String("dot", "", "write the mapped task graph as Graphviz DOT to this file")
 		gantt        = fs.Bool("gantt", false, "print a textual Gantt chart of the best schedule")
@@ -121,6 +131,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return err
 	}
+	// Flags the user passed explicitly, for rejecting combinations where
+	// a default-valued flag is fine but a deliberate one is ignored.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	switch {
 	case *graphPath == "":
 		return usage("-graph is required")
@@ -148,6 +162,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		(*algo != "anneal" && *algo != "hillclimb" && !*refine)):
 		return usage("-objective energy requires -algo anneal|hillclimb or -refine " +
 			"(the other mappers, including the portfolio, optimize the makespan only)")
+	case *repairMode != "refine" && *repairMode != "portfolio" && *repairMode != "cold":
+		return usage("unknown repair mode %q (refine, portfolio, cold)", *repairMode)
+	case *scenario != "" && *objective != "time":
+		return usage("-scenario replay optimizes the makespan only; drop -objective %s", *objective)
+	case *scenario != "" && (*dotOut != "" || *gantt || *frontOut != "" || *refine || explicit["algo"]):
+		return usage("-scenario replay mode does not support -algo/-refine/-dot/-gantt/-front " +
+			"(select the repair pass with -repair instead)")
+	case *scenario != "" && explicit["schedules"] && *schedules == 0:
+		return usage("-scenario replay has no BFS-only mode; -schedules must be > 0 (default 100)")
+	case *scenario == "" && explicit["repair"]:
+		return usage("-repair selects the -scenario replay repair pass; pass -scenario")
 	}
 
 	g, err := readGraph(*graphPath)
@@ -167,6 +192,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *scenario != "" {
+		return runScenario(stdout, g, p, *scenario, *repairMode, *schedules, *seed, *workers, *lsBudget, *asJSON)
+	}
 	ev := spmap.NewEvaluator(g, p).WithSchedules(*schedules, *seed)
 	if *objective == "pareto" {
 		return runPareto(stdout, g, p, ev, *algo, *epsFlag, *seed, *workers, *lsBudget, *asJSON, *frontOut)
@@ -338,6 +366,69 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *dotOut)
 	}
+	return nil
+}
+
+// runScenario replays an online scenario against the graph: after each
+// event (device failure/degradation, subgraph arrival/departure) the
+// incumbent mapping is migrated and repaired under the -ls-budget
+// per-event budget with the selected -repair mode.
+func runScenario(stdout io.Writer, g *spmap.DAG, p *spmap.Platform,
+	path, mode string, schedules int, seed int64, workers, budget int, asJSON bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sc, err := spmap.ReadScenario(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	opt := spmap.OnlineOptions{
+		Schedules: schedules, Seed: seed, Workers: workers, RepairBudget: budget,
+	}
+	switch mode {
+	case "portfolio":
+		opt.Repair = spmap.RepairPortfolio
+	case "cold":
+		opt.Cold = true
+	}
+	start := time.Now()
+	m, stats, err := spmap.Replay(g, p, sc, opt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if asJSON {
+		out := map[string]any{
+			"repair":            mode,
+			"events":            stats.Events,
+			"initial_makespan":  stats.InitialMakespan,
+			"final_makespan":    stats.FinalMakespan,
+			"final_mapping":     m,
+			"total_evaluations": stats.TotalEvaluations,
+			"kernel_rebuilds":   stats.KernelRebuilds,
+			"elapsed_ms":        float64(elapsed.Microseconds()) / 1000,
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(stdout, "scenario:    %s (%d events, repair %s, budget %d/event)\n",
+		path, len(sc.Events), mode, budget)
+	fmt.Fprintf(stdout, "initial:     %d tasks, %d devices, makespan %.3f ms\n",
+		stats.InitialTasks, stats.InitialDevices, 1e3*stats.InitialMakespan)
+	fmt.Fprintf(stdout, "%5s %-15s %6s %4s %7s %7s %7s %12s %12s %12s\n",
+		"event", "kind", "tasks", "dev", "evict", "arrive", "depart", "migrated_ms", "makespan_ms", "baseline_ms")
+	for _, e := range stats.Events {
+		fmt.Fprintf(stdout, "%5d %-15s %6d %4d %7d %7d %7d %12.3f %12.3f %12.3f\n",
+			e.Index, e.Kind, e.Tasks, e.Devices, e.Evicted, e.Arrived, e.Departed,
+			1e3*e.MigratedMakespan, 1e3*e.Makespan, 1e3*e.Baseline)
+	}
+	fmt.Fprintf(stdout, "final:       makespan %.3f ms, %d evaluations, %d kernel rebuilds, cache hit rate %.0f %%\n",
+		1e3*stats.FinalMakespan, stats.TotalEvaluations, stats.KernelRebuilds, 100*stats.Cache.HitRate())
+	fmt.Fprintf(stdout, "elapsed:     %s\n", elapsed.Round(time.Microsecond))
 	return nil
 }
 

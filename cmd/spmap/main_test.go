@@ -220,3 +220,125 @@ func TestParetoDriverValidatedUpfront(t *testing.T) {
 		t.Fatalf("got %v, want a usage error", err)
 	}
 }
+
+// writeTestScenario writes a small mixed scenario as JSON and returns
+// its path.
+func writeTestScenario(t *testing.T) string {
+	t.Helper()
+	sc := gen.Scenario{Events: []gen.Event{
+		{Time: 1, Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 0.5, BandwidthScale: 1},
+		{Time: 2, Kind: gen.TaskArrive, Tasks: 4, Seed: 7},
+		{Time: 3, Kind: gen.DeviceFail, Device: 2},
+	}}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunScenarioReplay drives the -scenario replay mode end to end:
+// text report, JSON report, and the repair-mode vocabulary.
+func TestRunScenarioReplay(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	scenarioPath := writeTestScenario(t)
+
+	var stdout bytes.Buffer
+	err := run([]string{"-graph", graphPath, "-scenario", scenarioPath,
+		"-schedules", "3", "-ls-budget", "300", "-workers", "2"}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"scenario:", "device-degrade", "task-arrive", "device-fail", "final:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario report missing %q:\n%s", want, out)
+		}
+	}
+
+	for _, mode := range []string{"refine", "portfolio", "cold"} {
+		var jsonOut bytes.Buffer
+		err := run([]string{"-graph", graphPath, "-scenario", scenarioPath, "-repair", mode,
+			"-schedules", "3", "-ls-budget", "300", "-json"}, &jsonOut, io.Discard)
+		if err != nil {
+			t.Fatalf("-repair %s: %v", mode, err)
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(jsonOut.Bytes(), &rep); err != nil {
+			t.Fatalf("-repair %s: non-JSON output: %v\n%s", mode, err, jsonOut.String())
+		}
+		if rep["repair"] != mode {
+			t.Fatalf("repair = %v, want %s", rep["repair"], mode)
+		}
+		if evs, ok := rep["events"].([]any); !ok || len(evs) != 3 {
+			t.Fatalf("-repair %s: replayed %v events, want 3", mode, rep["events"])
+		}
+	}
+}
+
+// TestRunScenarioValidation pins the replay mode's usage errors.
+func TestRunScenarioValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-repair", "prayer"}, "unknown repair mode"},
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-objective", "energy"}, "makespan only"},
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-repair", "cold", "-ls-budget", "0"}, "-ls-budget"},
+		// Flags replay mode would otherwise silently ignore are rejected.
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-dot", "out.dot"}, "does not support"},
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-gantt"}, "does not support"},
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-refine"}, "does not support"},
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-algo", "portfolio"}, "does not support"},
+		{[]string{"-graph", "g.json", "-scenario", "s.json", "-schedules", "0"}, "no BFS-only mode"},
+		{[]string{"-graph", "g.json", "-repair", "portfolio"}, "pass -scenario"},
+	} {
+		err := run(tc.args, io.Discard, io.Discard)
+		if err == nil || !isUsageError(err) || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("args %q: got %v, want usage error containing %q", tc.args, err, tc.want)
+		}
+	}
+	// A missing scenario file is an I/O error, not a usage error.
+	graphPath := writeTestGraph(t)
+	err := run([]string{"-graph", graphPath, "-scenario", "does-not-exist.json"}, io.Discard, io.Discard)
+	if err == nil || isUsageError(err) {
+		t.Fatalf("missing scenario file: got %v, want a plain error", err)
+	}
+}
+
+// TestRunScenarioDeterministicAcrossWorkers extends the CLI determinism
+// contract to replay mode: identical JSON (modulo timing) for any
+// -workers value.
+func TestRunScenarioDeterministicAcrossWorkers(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	scenarioPath := writeTestScenario(t)
+	outputs := make([]string, 0, 2)
+	for _, workers := range []string{"1", "4"} {
+		var stdout bytes.Buffer
+		err := run([]string{"-graph", graphPath, "-scenario", scenarioPath,
+			"-schedules", "3", "-ls-budget", "300", "-workers", workers, "-json"}, &stdout, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		delete(out, "elapsed_ms")
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, string(b))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-workers changed the replay output:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"spmap/internal/mappers/localsearch"
 	"spmap/internal/mapping"
 	"spmap/internal/model"
+	"spmap/internal/online"
 	"spmap/internal/pareto"
 	"spmap/internal/platform"
 	"spmap/internal/portfolio"
@@ -183,6 +184,38 @@ func TestMapperDeterminismMatrix(t *testing.T) {
 				t.Fatal(err)
 			}
 			return determinismResult{mappingString(m), fmt.Sprintf("%+v", st.Deterministic())}
+		}},
+		// Online replay: a mixed scenario (arrival, degradation, failure,
+		// departure) replayed on the shared instance. The stats fingerprint
+		// is the full byte-exact replay trace; the case itself additionally
+		// pins cache on == cache off, so the matrix covers the contract's
+		// whole (Workers x cache) grid. The scenario ends balanced (the
+		// arrival departs again), so the final mapping validates against
+		// the matrix's original graph.
+		{"online/Replay", func(ev *model.Evaluator, workers int) determinismResult {
+			sc := gen.Scenario{Events: []gen.Event{
+				{Time: 1, Kind: gen.TaskArrive, Tasks: 5, Seed: 11},
+				{Time: 2, Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 0.6, BandwidthScale: 0.8},
+				{Time: 3, Kind: gen.DeviceFail, Device: 2},
+				{Time: 4, Kind: gen.TaskDepart, Arrival: 0},
+			}}
+			var m mapping.Mapping
+			var trace string
+			for _, disableCache := range []bool{false, true} {
+				mm, st, err := online.Replay(g, p, sc, online.Options{
+					Schedules: 5, Seed: seed, RepairBudget: 600,
+					Workers: workers, DisableCache: disableCache,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr := st.Trace(); trace == "" {
+					m, trace = mm, tr
+				} else if tr != trace {
+					t.Fatalf("replay trace diverged between cache on and off:\n%s\nvs\n%s", trace, tr)
+				}
+			}
+			return determinismResult{mappingString(m), trace}
 		}},
 		{"ga/NSGA2Pareto", func(ev *model.Evaluator, workers int) determinismResult {
 			front, st := ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{

@@ -156,3 +156,33 @@ func ExampleDecompose() {
 	fmt.Printf("trees > 1: %v, cuts > 0: %v\n", len(f.Trees) > 1, f.Cuts > 0)
 	// Output: trees > 1: true, cuts > 0: true
 }
+
+// ExampleReplay runs an online scenario — a device degradation, a
+// subgraph arrival and a device failure — against a live instance. The
+// incumbent mapping is migrated and warm-start-repaired after every
+// event; the replay trace is byte-identical for any Workers value.
+func ExampleReplay() {
+	g := spmap.RandomSeriesParallel(rand.New(rand.NewSource(5)), 30)
+	p := spmap.ReferencePlatform()
+	sc := spmap.Scenario{Events: []spmap.ScenarioEvent{
+		{Time: 1, Kind: spmap.DeviceDegrade, Device: 1, SpeedScale: 0.5, BandwidthScale: 1},
+		{Time: 2, Kind: spmap.TaskArrive, Tasks: 6, Seed: 77},
+		{Time: 3, Kind: spmap.DeviceFail, Device: 2},
+	}}
+	m, stats, err := spmap.Replay(g, p, sc, spmap.OnlineOptions{
+		Schedules: 10, Seed: 1, RepairBudget: 1500, Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	repairedAll := true
+	for _, e := range stats.Events {
+		if e.Makespan > e.MigratedMakespan {
+			repairedAll = false
+		}
+	}
+	fmt.Printf("events: %d, final tasks: %d, final devices: %d, repair never worse: %v, mapping valid: %v\n",
+		len(stats.Events), len(m), stats.Events[len(stats.Events)-1].Devices,
+		repairedAll, len(m) == g.NumTasks()+6)
+	// Output: events: 3, final tasks: 36, final devices: 2, repair never worse: true, mapping valid: true
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -148,16 +149,30 @@ func (c *Cache) bind(k *kernel) bool {
 // A cache is bound to the kernel of its first attach: keys are only the
 // device-assignment bytes, so entries would be silently wrong under any
 // other (graph, platform, schedule set). Attaching the cache to an
-// engine with a different kernel — or to a platform with more than 255
-// devices, which byte keys cannot encode — yields an engine without a
-// cache. Engines derived via WithWorkers share the kernel and stay
-// cacheable.
+// engine with a different kernel is therefore a programming error and
+// panics — callers recompiling kernels (e.g. online replay after a
+// platform perturbation) must create a fresh Cache per kernel rather
+// than carry entries across. (Earlier versions silently dropped the
+// cache here, which masked exactly that misuse as a performance
+// regression.) Platforms with more than 255 devices, which byte keys
+// cannot encode, panic as well; probe with Cacheable first. Engines
+// derived via WithWorkers share the kernel and stay cacheable.
 func (e *Engine) WithCache(c *Cache) *Engine {
-	if c != nil && (e.k.nd > 255 || !c.bind(e.k)) {
-		c = nil
+	if c != nil {
+		if e.k.nd > 255 {
+			panic(fmt.Sprintf("eval: cache keys cannot encode %d devices (max 255); guard WithCache with Engine.Cacheable", e.k.nd))
+		}
+		if !c.bind(e.k) {
+			panic("eval: cache is bound to a different kernel (graph, platform or schedule set); " +
+				"create a fresh Cache per compiled kernel instead of re-attaching one across rebuilds")
+		}
 	}
 	return &Engine{k: e.k, workers: e.workers, pool: e.pool, prePool: e.prePool, cache: c}
 }
+
+// Cacheable reports whether a Cache can serve this engine's platform
+// (byte keys require at most 255 devices).
+func (e *Engine) Cacheable() bool { return e.k.nd <= 255 }
 
 // Cache returns the attached evaluation cache (nil when uncached).
 func (e *Engine) Cache() *Cache { return e.cache }

@@ -1,8 +1,10 @@
 package eval
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -152,8 +154,10 @@ func TestCacheInfeasibleExact(t *testing.T) {
 	}
 }
 
-// TestCacheTooManyDevices pins the >255-device guard: WithCache must
-// degrade to an uncached engine rather than corrupt byte keys.
+// TestCacheTooManyDevices pins the >255-device guard: byte keys cannot
+// encode such platforms, so WithCache must fail loudly (and Cacheable
+// must report the engine as uncacheable) rather than corrupt keys or
+// silently drop the cache.
 func TestCacheTooManyDevices(t *testing.T) {
 	base := platform.Reference().Devices[0]
 	p := &platform.Platform{}
@@ -162,10 +166,24 @@ func TestCacheTooManyDevices(t *testing.T) {
 	}
 	g := graph.New(0, 0)
 	g.AddTask(graph.Task{Complexity: 2, SourceBytes: 1e6, Streamability: 1})
-	eng := NewEngine(g, p, nil, Options{Workers: 1}).WithCache(NewCache())
-	if eng.Cache() != nil {
-		t.Fatal("cache accepted a 300-device platform; byte keys would collide")
+	eng := NewEngine(g, p, nil, Options{Workers: 1})
+	if eng.Cacheable() {
+		t.Fatal("Cacheable accepted a 300-device platform; byte keys would collide")
 	}
+	if msg := mustPanic(func() { eng.WithCache(NewCache()) }); msg == "" {
+		t.Fatal("WithCache silently accepted a 300-device platform")
+	}
+}
+
+// mustPanic runs f and returns the panic message ("" if f returned).
+func mustPanic(f func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	f()
+	return ""
 }
 
 // TestCacheConcurrentHammer hammers one shared cache from many
@@ -225,8 +243,10 @@ func TestCacheConcurrentHammer(t *testing.T) {
 }
 
 // TestCacheBoundToKernel pins the kernel binding: a cache attached to
-// one engine must refuse engines compiled from a different kernel
-// (same-length mappings under a different graph would silently alias).
+// one engine must refuse engines compiled from a different kernel with
+// an explicit panic (same-length mappings under a different graph would
+// silently alias; a silently-dropped cache — the old behaviour — would
+// just as silently stop hitting when attached across kernel rebuilds).
 func TestCacheBoundToKernel(t *testing.T) {
 	p := platform.Reference()
 	gA := gen.SeriesParallel(rand.New(rand.NewSource(1)), 20, gen.DefaultAttr())
@@ -236,14 +256,26 @@ func TestCacheBoundToKernel(t *testing.T) {
 	if engA.Cache() == nil {
 		t.Fatal("first attach rejected")
 	}
+	// Re-attaching to the same kernel (and to WithWorkers siblings, which
+	// share it) is the documented re-bind path and must keep working.
+	if engA.WithCache(c).Cache() != c {
+		t.Fatal("re-attach to the bound kernel rejected")
+	}
 	if engA.WithWorkers(4).Cache() == nil {
 		t.Fatal("WithWorkers sibling lost the cache despite sharing the kernel")
 	}
-	if engB := NewEngine(gB, p, nil, Options{Workers: 1}).WithCache(c); engB.Cache() != nil {
-		t.Fatal("cache attached to a different kernel; aliased entries would return wrong makespans")
+	if msg := mustPanic(func() { NewEngine(gB, p, nil, Options{Workers: 1}).WithCache(c) }); msg == "" {
+		t.Fatal("cache silently attached to a different kernel; aliased entries would return wrong makespans")
+	} else if !strings.Contains(msg, "different kernel") {
+		t.Fatalf("cross-kernel attach panic does not explain itself: %q", msg)
 	}
 	// Different schedule set over the same graph is a different kernel too.
-	if engA2 := NewEngineSchedules(gA, p, 5, 1, Options{Workers: 1}).WithCache(c); engA2.Cache() != nil {
-		t.Fatal("cache attached across schedule sets")
+	if mustPanic(func() { NewEngineSchedules(gA, p, 5, 1, Options{Workers: 1}).WithCache(c) }) == "" {
+		t.Fatal("cache silently attached across schedule sets")
+	}
+	// The failed attaches must not have poisoned the binding: the original
+	// kernel still works.
+	if engA.WithCache(c).Cache() != c {
+		t.Fatal("binding lost after rejected attaches")
 	}
 }

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"spmap/internal/gen"
+	"spmap/internal/online"
+)
+
+// The online experiment measures what the online subsystem exists for:
+// after each perturbation of a live instance, warm-start repair of the
+// migrated incumbent versus a cold full re-map from scratch at the same
+// post-event evaluation budget. Each series point is averaged over
+// cfg.graphs() random 50-task instances, each replaying its own
+// generated scenario; the x axis is the event index, so the curves show
+// how the two strategies track a drifting instance over time.
+
+// onlineRepairBudget is the per-event budget of the comparison.
+func (c Config) onlineRepairBudget() int {
+	if c.Paper {
+		return 5000
+	}
+	return 2000
+}
+
+// OnlineComparison compares warm-start repair against cold re-mapping
+// at equal per-event budget. Improvement is relative to the post-event
+// pure-default-device baseline of the same instance state, so both
+// series are on the same scale at every x.
+func OnlineComparison(cfg Config) *Table {
+	const nTasks = 50
+	events := 6
+	if cfg.Paper {
+		events = 10
+	}
+	p := cfg.platform()
+	count := cfg.graphs()
+
+	warm := &Series{Name: "WarmRepair", Points: make([]Point, events)}
+	cold := &Series{Name: "ColdRemap", Points: make([]Point, events)}
+	for gi := 0; gi < count; gi++ {
+		seed := cfg.Seed + int64(gi)*7919
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.SeriesParallel(rng, nTasks, gen.DefaultAttr())
+		sc := gen.NewScenario(rng, gen.ScenarioOptions{
+			Events: events, Devices: p.NumDevices(), DefaultDevice: p.Default,
+		})
+		opt := online.Options{
+			Schedules: cfg.schedules(), Seed: seed, Workers: cfg.Workers,
+			RepairBudget: cfg.onlineRepairBudget(),
+		}
+		for _, series := range []struct {
+			s    *Series
+			cold bool
+		}{{warm, false}, {cold, true}} {
+			opt.Cold = series.cold
+			t0 := time.Now()
+			_, st, err := online.Replay(g, p, sc, opt)
+			if err != nil {
+				panic(err)
+			}
+			perEvent := float64(time.Since(t0).Microseconds()) / 1000 / float64(events)
+			for i, e := range st.Events {
+				imp := 0.0
+				if e.Baseline > 0 && e.Makespan < e.Baseline {
+					imp = (e.Baseline - e.Makespan) / e.Baseline
+				}
+				series.s.Points[i].Improvement += imp
+				series.s.Points[i].TimeMS += perEvent
+				if imp > 0 {
+					series.s.Points[i].Found++
+				}
+			}
+		}
+	}
+	for _, s := range []*Series{warm, cold} {
+		for i := range s.Points {
+			s.Points[i].X = float64(i)
+			s.Points[i].Improvement /= float64(count)
+			s.Points[i].TimeMS /= float64(count)
+			s.Points[i].Found /= float64(count)
+		}
+	}
+	return &Table{
+		ID:     "online",
+		Title:  "Warm-start repair vs. cold re-map after each event (equal per-event budgets, 50-task random SP instances)",
+		XLabel: "event",
+		Series: []*Series{warm, cold},
+	}
+}

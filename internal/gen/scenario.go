@@ -1,0 +1,228 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// EventKind classifies one perturbation of a live mapping instance. The
+// kinds cover the two dynamic regimes the static paper leaves open:
+// platform change (device failure and degradation) and application
+// change (series-parallel subgraph arrival and departure).
+type EventKind int
+
+// Scenario event kinds.
+const (
+	// DeviceFail removes a device from the platform; tasks mapped to it
+	// must be evicted and re-placed.
+	DeviceFail EventKind = iota
+	// DeviceDegrade scales a device's compute throughput and/or link
+	// bandwidth (thermal throttling, link contention).
+	DeviceDegrade
+	// TaskArrive inserts a random series-parallel subgraph, attached
+	// below an existing task.
+	TaskArrive
+	// TaskDepart removes a previously arrived subgraph.
+	TaskDepart
+
+	numEventKinds
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case DeviceFail:
+		return "device-fail"
+	case DeviceDegrade:
+		return "device-degrade"
+	case TaskArrive:
+		return "task-arrive"
+	case TaskDepart:
+		return "task-depart"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind from its string name.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for c := EventKind(0); c < numEventKinds; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("gen: unknown scenario event kind %q", s)
+}
+
+// Event is one timestamped perturbation of a scenario. Which fields are
+// meaningful depends on Kind; the rest stay zero.
+type Event struct {
+	// Time is the event's timestamp (scenario-relative, strictly
+	// increasing). Replay is event-driven, so the absolute values only
+	// label the trace.
+	Time float64   `json:"time"`
+	Kind EventKind `json:"kind"`
+	// Device is the target device index (DeviceFail, DeviceDegrade),
+	// in the numbering of the platform at event time.
+	Device int `json:"device,omitempty"`
+	// SpeedScale and BandwidthScale multiply the device's PeakOps and
+	// Bandwidth (DeviceDegrade). Values must be in (0, 1]; 1 leaves the
+	// respective attribute untouched.
+	SpeedScale     float64 `json:"speedScale,omitempty"`
+	BandwidthScale float64 `json:"bandwidthScale,omitempty"`
+	// Tasks is the arriving series-parallel subgraph's size and Seed the
+	// deterministic generator seed for its structure, attributes and
+	// attach point (TaskArrive).
+	Tasks int   `json:"tasks,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+	// Arrival indexes the live arrival groups (in arrival order) to
+	// remove (TaskDepart).
+	Arrival int `json:"arrival,omitempty"`
+}
+
+// Scenario is a deterministic event stream for online replay.
+type Scenario struct {
+	Name   string  `json:"name,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// ScenarioOptions configure NewScenario; zero values select the
+// defaults.
+type ScenarioOptions struct {
+	// Events is the stream length (default 6).
+	Events int
+	// Devices is the platform size the fail/degrade events draw their
+	// targets from (default 3, the reference platform); DefaultDevice is
+	// the protected host device that never fails (default 0).
+	Devices       int
+	DefaultDevice int
+	// ArriveTasks bounds an arriving subgraph's size: sizes are drawn
+	// uniformly from 2..ArriveTasks (default 8).
+	ArriveTasks int
+	// PFail, PDegrade, PArrive and PDepart weight the event-kind draw
+	// (all zero selects 1:2:4:2). Kinds that are invalid in the current
+	// state (failing the last non-default device, departing with no live
+	// arrival) fall back to TaskArrive, keeping every generated stream
+	// replayable.
+	PFail, PDegrade, PArrive, PDepart float64
+}
+
+// NewScenario draws a valid scenario from rng: timestamps strictly
+// increase, no event fails the protected default device (or the last
+// surviving companion of it), degradations only target surviving
+// devices, and departures only reference live arrival groups. Equal rng
+// states yield identical scenarios.
+func NewScenario(rng *rand.Rand, opt ScenarioOptions) Scenario {
+	if opt.Events <= 0 {
+		opt.Events = 6
+	}
+	if opt.Devices <= 0 {
+		opt.Devices = 3
+	}
+	if opt.DefaultDevice < 0 || opt.DefaultDevice >= opt.Devices {
+		opt.DefaultDevice = 0
+	}
+	if opt.ArriveTasks < 2 {
+		opt.ArriveTasks = 8
+	}
+	wFail, wDegrade, wArrive, wDepart := opt.PFail, opt.PDegrade, opt.PArrive, opt.PDepart
+	if wFail <= 0 && wDegrade <= 0 && wArrive <= 0 && wDepart <= 0 {
+		wFail, wDegrade, wArrive, wDepart = 1, 2, 4, 2
+	}
+	total := wFail + wDegrade + wArrive + wDepart
+
+	// Device indices are always in the numbering of the platform AT EVENT
+	// TIME: replay removes failed devices and renumbers the survivors
+	// densely, so the generator tracks the surviving count and the
+	// default device's shifting position.
+	count := opt.Devices
+	defaultPos := opt.DefaultDevice
+	liveArrivals := 0
+	t := 0.0
+
+	sc := Scenario{Events: make([]Event, 0, opt.Events)}
+	for i := 0; i < opt.Events; i++ {
+		t += 1 + rng.ExpFloat64()
+		var kind EventKind
+		switch x := rng.Float64() * total; {
+		case x < wFail:
+			kind = DeviceFail
+		case x < wFail+wDegrade:
+			kind = DeviceDegrade
+		case x < wFail+wDegrade+wArrive:
+			kind = TaskArrive
+		default:
+			kind = TaskDepart
+		}
+		// Re-target invalid kinds at an always-valid arrival so the
+		// stream stays replayable under any interleaving.
+		if kind == DeviceFail && count <= 2 {
+			kind = TaskArrive // keep at least one companion of the default
+		}
+		if kind == TaskDepart && liveArrivals == 0 {
+			kind = TaskArrive
+		}
+		e := Event{Time: t, Kind: kind}
+		switch kind {
+		case DeviceFail:
+			// A surviving non-default device, in current numbering.
+			d := rng.Intn(count - 1)
+			if d >= defaultPos {
+				d++
+			}
+			e.Device = d
+			if d < defaultPos {
+				defaultPos--
+			}
+			count--
+		case DeviceDegrade:
+			e.Device = rng.Intn(count)
+			e.SpeedScale = 0.3 + 0.6*rng.Float64()
+			e.BandwidthScale = 1
+			if rng.Intn(2) == 0 {
+				e.BandwidthScale = 0.3 + 0.6*rng.Float64()
+			}
+		case TaskArrive:
+			e.Tasks = 2 + rng.Intn(opt.ArriveTasks-1)
+			e.Seed = rng.Int63()
+			liveArrivals++
+		case TaskDepart:
+			e.Arrival = rng.Intn(liveArrivals)
+			liveArrivals--
+		}
+		sc.Events = append(sc.Events, e)
+	}
+	return sc
+}
+
+// Write serializes the scenario as indented JSON.
+func (s Scenario) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// ReadScenario parses a scenario from JSON.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestNewScenarioValidStreams checks the generator's structural
+// guarantees across seeds: strictly increasing timestamps, device
+// indices consistent with the shrinking current-numbering platform, the
+// default device never failing, at least two devices surviving, and
+// departures only referencing live arrivals.
+func TestNewScenarioValidStreams(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		opt := ScenarioOptions{Events: 10, Devices: 4, DefaultDevice: 1, PFail: 3, PDepart: 3}
+		sc := NewScenario(rand.New(rand.NewSource(seed)), opt)
+		if len(sc.Events) != 10 {
+			t.Fatalf("seed %d: %d events", seed, len(sc.Events))
+		}
+		count, defaultPos, live := opt.Devices, opt.DefaultDevice, 0
+		lastT := 0.0
+		for i, e := range sc.Events {
+			if e.Time <= lastT {
+				t.Fatalf("seed %d event %d: time %v not increasing past %v", seed, i, e.Time, lastT)
+			}
+			lastT = e.Time
+			switch e.Kind {
+			case DeviceFail:
+				if e.Device < 0 || e.Device >= count {
+					t.Fatalf("seed %d event %d: fail device %d of %d", seed, i, e.Device, count)
+				}
+				if e.Device == defaultPos {
+					t.Fatalf("seed %d event %d: failed the default device", seed, i)
+				}
+				if count <= 2 {
+					t.Fatalf("seed %d event %d: failure below the 2-device floor", seed, i)
+				}
+				if e.Device < defaultPos {
+					defaultPos--
+				}
+				count--
+			case DeviceDegrade:
+				if e.Device < 0 || e.Device >= count {
+					t.Fatalf("seed %d event %d: degrade device %d of %d", seed, i, e.Device, count)
+				}
+				if e.SpeedScale <= 0 || e.SpeedScale > 1 || e.BandwidthScale <= 0 || e.BandwidthScale > 1 {
+					t.Fatalf("seed %d event %d: scales (%v, %v)", seed, i, e.SpeedScale, e.BandwidthScale)
+				}
+			case TaskArrive:
+				if e.Tasks < 2 {
+					t.Fatalf("seed %d event %d: arrival size %d", seed, i, e.Tasks)
+				}
+				live++
+			case TaskDepart:
+				if e.Arrival < 0 || e.Arrival >= live {
+					t.Fatalf("seed %d event %d: departure %d of %d live", seed, i, e.Arrival, live)
+				}
+				live--
+			default:
+				t.Fatalf("seed %d event %d: unknown kind %v", seed, i, e.Kind)
+			}
+		}
+	}
+}
+
+// TestNewScenarioDeterministic pins that equal rng states yield
+// identical scenarios.
+func TestNewScenarioDeterministic(t *testing.T) {
+	a := NewScenario(rand.New(rand.NewSource(9)), ScenarioOptions{Events: 12})
+	b := NewScenario(rand.New(rand.NewSource(9)), ScenarioOptions{Events: 12})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scenarios diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestScenarioJSONRoundTrip pins the on-disk format: Write then
+// ReadScenario reproduces the scenario exactly, and a second Write is
+// byte-identical.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := NewScenario(rand.New(rand.NewSource(3)), ScenarioOptions{Events: 8, PFail: 2, PDepart: 2})
+	sc.Name = "roundtrip"
+	var buf bytes.Buffer
+	if err := sc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sc) {
+		t.Fatalf("round trip changed the scenario:\n%+v\n%+v", got, sc)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialization not byte-identical")
+	}
+}
+
+// TestScenarioJSONRejectsUnknownKind pins the kind vocabulary.
+func TestScenarioJSONRejectsUnknownKind(t *testing.T) {
+	_, err := ReadScenario(strings.NewReader(`{"events":[{"time":1,"kind":"meteor-strike"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario event kind") {
+		t.Fatalf("got %v, want unknown-kind error", err)
+	}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if strings.HasPrefix(k.String(), "EventKind(") {
+			t.Fatalf("kind %d has no string name", int(k))
+		}
+	}
+}

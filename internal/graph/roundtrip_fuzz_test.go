@@ -1,0 +1,83 @@
+package graph_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+)
+
+// FuzzAugmentedRoundTrip pins the serialization of fully augmented
+// graphs: gen.Augment fills every attribute with lognormal/uniform
+// float64 draws, and both exporters must survive them bit-for-bit —
+// JSON write → read → write must be byte-identical (Go's shortest
+// float64 representation round-trips exactly), and the DOT rendering of
+// the reparsed graph must equal the original's. The online subsystem
+// ships augmented graphs through exactly this path (spmap-gen → spmap
+// -scenario), so a lossy corner here would silently change replays.
+func FuzzAugmentedRoundTrip(f *testing.F) {
+	f.Add(int64(1), 10, 0)
+	f.Add(int64(2), 25, 8)
+	f.Add(int64(3), 60, 30)
+	f.Add(int64(-7), 2, 1)
+	f.Add(int64(9999), 120, 64)
+	f.Fuzz(func(t *testing.T, seed int64, n, extra int) {
+		// Bound the instance size; the generators clamp n < 2 themselves.
+		if n < 0 {
+			n = -n
+		}
+		n = n%120 + 2
+		if extra < 0 {
+			extra = -extra
+		}
+		extra %= 64
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.AlmostSeriesParallel(rng, n, extra, gen.DefaultAttr())
+
+		var json1 bytes.Buffer
+		if _, err := g.WriteTo(&json1); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, err := graph.Read(bytes.NewReader(json1.Bytes()))
+		if err != nil {
+			t.Fatalf("read back own output: %v", err)
+		}
+		var json2 bytes.Buffer
+		if _, err := g2.WriteTo(&json2); err != nil {
+			t.Fatalf("re-write: %v", err)
+		}
+		if !bytes.Equal(json1.Bytes(), json2.Bytes()) {
+			t.Fatalf("JSON round trip not byte-identical:\n%s\nvs\n%s", json1.String(), json2.String())
+		}
+
+		var dot1, dot2 bytes.Buffer
+		if err := g.WriteDOT(&dot1, nil, nil); err != nil {
+			t.Fatalf("dot: %v", err)
+		}
+		if err := g2.WriteDOT(&dot2, nil, nil); err != nil {
+			t.Fatalf("dot after round trip: %v", err)
+		}
+		if !bytes.Equal(dot1.Bytes(), dot2.Bytes()) {
+			t.Fatalf("DOT rendering changed across the JSON round trip:\n%s\nvs\n%s", dot1.String(), dot2.String())
+		}
+
+		// Attribute-exactness double check beyond byte equality: every
+		// float64 must come back with the identical bit pattern.
+		if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph size")
+		}
+		for v := 0; v < g.NumTasks(); v++ {
+			a, b := g.Task(graph.NodeID(v)), g2.Task(graph.NodeID(v))
+			if *a != *b {
+				t.Fatalf("task %d changed across the round trip: %+v vs %+v", v, *a, *b)
+			}
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if g.Edge(i) != g2.Edge(i) {
+				t.Fatalf("edge %d changed across the round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,619 @@
+// Package online implements scenario replay for dynamic mapping
+// instances — the workload class the static paper (one graph, one
+// platform, one mapping) leaves open. A deterministic event stream
+// (gen.Scenario) perturbs a live instance: devices fail or degrade,
+// series-parallel subgraphs arrive and depart. After each event the
+// subsystem rebuilds the compiled evaluation kernel, migrates the
+// incumbent mapping (evicting tasks from failed devices, placing
+// arrivals with the paper's series-parallel FirstFit mapper on the
+// arriving subgraph) and repairs it with a budgeted warm-start pass:
+// annealing refinement from the better of (migrated incumbent, fresh
+// SPFF seed) by default, or a portfolio race seeded with the incumbent.
+// The alternative it is measured
+// against — Options.Cold — re-maps from scratch after every event at
+// the same budget, which is what a static mapper forced into a dynamic
+// setting would have to do.
+//
+// Cache lifecycle: one eval.Cache lives per compiled kernel. Events
+// that change the graph or platform recompile the kernel and discard
+// the cache (eval.WithCache panics on cross-kernel re-attach, so stale
+// reuse cannot poison results); no-op events (degrade with unit scales,
+// zero-task arrivals) keep kernel and cache warm across the event.
+//
+// Determinism contract: for fixed Options.Seed and scenario, the replay
+// trace — every post-event mapping, every makespan bit pattern, every
+// counter except cache telemetry — is byte-identical across runs,
+// across any Options.Workers value, and with the cache on or off
+// (Stats.Trace renders exactly the covered fields).
+package online
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"spmap/internal/eval"
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mappers/decomp"
+	"spmap/internal/mappers/localsearch"
+	"spmap/internal/mapping"
+	"spmap/internal/model"
+	"spmap/internal/platform"
+	"spmap/internal/portfolio"
+)
+
+// RepairMode selects the warm-start repair pass run after each event.
+type RepairMode int
+
+// Repair modes.
+const (
+	// RepairRefine is a degenerate two-seed race: the SPFF opener is
+	// re-run on the perturbed instance inside the budget and annealing
+	// refinement starts from the better of (migrated incumbent, fresh
+	// SPFF seed) — never worse than either seed. The opener, like the
+	// portfolio's, is not budget-sliceable and may overrun a budget
+	// smaller than its own evaluation count (refinement is then skipped).
+	RepairRefine RepairMode = iota
+	// RepairPortfolio races the full mapper portfolio seeded with the
+	// migrated incumbent as warm-start elite (never worse either).
+	RepairPortfolio
+)
+
+// String implements fmt.Stringer.
+func (m RepairMode) String() string {
+	if m == RepairPortfolio {
+		return "portfolio"
+	}
+	return "refine"
+}
+
+// Options configure Replay; zero values select the defaults.
+type Options struct {
+	// Schedules is the number of random topological schedules (next to
+	// the BFS order) in each rebuilt kernel's cost function (default
+	// 20; there is no zero-value way to request a BFS-only replay).
+	Schedules int
+	// Seed drives every deterministic draw: the schedule sets, the
+	// initial mapping's refinement and each event's repair pass.
+	Seed int64
+	// Workers bounds the evaluation engine's worker pool (0 selects
+	// GOMAXPROCS). The replay trace is identical for any value.
+	Workers int
+	// RepairBudget is the per-event evaluation budget of the repair pass
+	// (default 3000). Arrival placement (SPFF on the arriving subgraph)
+	// spends out of the same budget, keeping warm-vs-cold comparisons at
+	// equal post-event budget honest.
+	RepairBudget int
+	// Repair selects the warm-start repair pass (default RepairRefine).
+	Repair RepairMode
+	// Cold discards the warm start: after each event the instance is
+	// re-mapped from scratch (SPFF opener plus refinement on the
+	// remaining budget) exactly as at replay start — the equal-budget
+	// baseline the warm path is measured against.
+	Cold bool
+	// DisableCache turns the per-kernel evaluation cache off (the trace
+	// is identical either way; the cache only saves wall-clock time).
+	DisableCache bool
+}
+
+// EventStats records one replayed event.
+type EventStats struct {
+	Index int
+	Kind  gen.EventKind
+	Time  float64
+	// Tasks and Devices are the post-event instance sizes.
+	Tasks, Devices int
+	// Evicted counts tasks moved off a failed device, Arrived tasks
+	// inserted, Departed tasks removed.
+	Evicted, Arrived, Departed int
+	// KernelRebuilt reports whether the event forced a kernel recompile
+	// (and with it a fresh evaluation cache).
+	KernelRebuilt bool
+	// PlacementEvaluations is the SPFF spend placing arrivals;
+	// RepairEvaluations the repair pass's spend. The refinement phase
+	// never overshoots the per-event budget, but the SPFF openers are
+	// not budget-sliceable, so the sum may overrun a budget smaller than
+	// one opener run (the portfolio's opener contract).
+	PlacementEvaluations, RepairEvaluations int
+	// Baseline is the post-event pure-default-device makespan,
+	// MigratedMakespan the incumbent's makespan after migration but
+	// before repair, and Makespan the repaired incumbent's makespan.
+	Baseline         float64
+	MigratedMakespan float64
+	Makespan         float64
+	// Mapping is the post-repair incumbent (private copy).
+	Mapping mapping.Mapping
+}
+
+// Stats reports a whole replay. Every field except Cache is
+// deterministic for fixed (scenario, Options.Seed) regardless of
+// Options.Workers and cache use; Trace renders exactly those fields.
+type Stats struct {
+	// InitialTasks/InitialDevices/InitialMakespan/InitialEvaluations and
+	// InitialMapping describe the instance after the opening SPFF+refine
+	// mapping, before any event.
+	InitialTasks       int
+	InitialDevices     int
+	InitialEvaluations int
+	InitialMakespan    float64
+	InitialMapping     mapping.Mapping
+	// Events holds one record per scenario event, in order.
+	Events []EventStats
+	// FinalMakespan is the last event's makespan (the initial one for an
+	// empty scenario); TotalEvaluations sums all placement and repair
+	// spend including the opening mapping; KernelRebuilds counts
+	// recompiles forced by events.
+	FinalMakespan    float64
+	TotalEvaluations int
+	KernelRebuilds   int
+	// Cache accumulates the per-kernel caches' telemetry across the
+	// whole replay (Entries sums final sizes). Hit counts depend on
+	// goroutine timing and are excluded from the determinism contract
+	// and from Trace.
+	Cache eval.CacheStats
+}
+
+// Trace renders the deterministic replay fingerprint: all makespans as
+// float64 bit patterns, all mappings as device-index strings, all
+// counters — and no wall-clock-dependent telemetry. Byte-identical
+// traces are the subsystem's determinism contract.
+func (s Stats) Trace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "init tasks=%d devices=%d evals=%d ms=%016x map=%s\n",
+		s.InitialTasks, s.InitialDevices, s.InitialEvaluations,
+		f64bits(s.InitialMakespan), mapString(s.InitialMapping))
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "event=%d kind=%s t=%016x tasks=%d devices=%d evict=%d arrive=%d depart=%d rebuilt=%t pevals=%d revals=%d base=%016x migrated=%016x ms=%016x map=%s\n",
+			e.Index, e.Kind, f64bits(e.Time), e.Tasks, e.Devices,
+			e.Evicted, e.Arrived, e.Departed, e.KernelRebuilt,
+			e.PlacementEvaluations, e.RepairEvaluations,
+			f64bits(e.Baseline), f64bits(e.MigratedMakespan), f64bits(e.Makespan),
+			mapString(e.Mapping))
+	}
+	fmt.Fprintf(&b, "final ms=%016x evals=%d rebuilds=%d\n",
+		f64bits(s.FinalMakespan), s.TotalEvaluations, s.KernelRebuilds)
+	return b.String()
+}
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+
+// mapString renders a mapping as dot-separated device indices.
+func mapString(m mapping.Mapping) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, d := range m {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	return b.String()
+}
+
+// replayer is the live instance state of one Replay call.
+type replayer struct {
+	opt Options
+	g   *graph.DAG
+	p   *platform.Platform
+	m   mapping.Mapping
+	// arrivals tracks each live arrived group's node ids (current
+	// numbering), in arrival order — the TaskDepart address space.
+	arrivals [][]graph.NodeID
+
+	ev    *model.Evaluator
+	cache *eval.Cache
+	stats Stats
+}
+
+// Replay runs the scenario against a live copy of (g, p): it maps the
+// initial instance with the series-parallel FirstFit mapper plus
+// refinement under the repair budget, then applies each event (see the
+// package doc for the per-event pipeline) and returns the final
+// incumbent mapping with the full replay statistics. The inputs are not
+// mutated.
+func Replay(g *graph.DAG, p *platform.Platform, sc gen.Scenario, opt Options) (mapping.Mapping, Stats, error) {
+	if opt.Schedules < 0 {
+		return nil, Stats{}, fmt.Errorf("online: negative schedule count %d", opt.Schedules)
+	}
+	if opt.Schedules == 0 {
+		opt.Schedules = 20
+	}
+	if opt.RepairBudget < 0 {
+		return nil, Stats{}, fmt.Errorf("online: negative repair budget %d", opt.RepairBudget)
+	}
+	if opt.RepairBudget == 0 {
+		opt.RepairBudget = 3000
+	}
+	if opt.Repair != RepairRefine && opt.Repair != RepairPortfolio {
+		return nil, Stats{}, fmt.Errorf("online: unknown repair mode %d", int(opt.Repair))
+	}
+	if g.NumTasks() == 0 {
+		return nil, Stats{}, fmt.Errorf("online: empty task graph")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("online: %w", err)
+	}
+	r := &replayer{
+		opt: opt,
+		g:   g.Clone(),
+		p:   &platform.Platform{Default: p.Default, Devices: append([]platform.Device(nil), p.Devices...)},
+	}
+	r.rebuildKernel()
+
+	// Opening mapping: the same SPFF + refine pipeline the cold path
+	// re-runs after every event, under the same budget.
+	m, evals, err := r.mapFromScratch(opt.Seed)
+	if err != nil {
+		return nil, r.stats, err
+	}
+	r.m = m
+	r.stats.InitialTasks = r.g.NumTasks()
+	r.stats.InitialDevices = r.p.NumDevices()
+	r.stats.InitialEvaluations = evals
+	r.stats.InitialMakespan = r.ev.Makespan(r.m)
+	r.stats.InitialMapping = r.m.Clone()
+	r.stats.TotalEvaluations = evals
+	r.stats.FinalMakespan = r.stats.InitialMakespan
+
+	for i, e := range sc.Events {
+		rec := EventStats{Index: i, Kind: e.Kind, Time: e.Time}
+		changed, err := r.apply(e, &rec)
+		if err != nil {
+			return nil, r.stats, fmt.Errorf("online: event %d (%s): %w", i, e.Kind, err)
+		}
+		if changed {
+			r.rebuildKernel()
+			r.stats.KernelRebuilds++
+		}
+		rec.KernelRebuilt = changed
+		rec.Tasks, rec.Devices = r.g.NumTasks(), r.p.NumDevices()
+		// Safety net: migration can leave area-overcommitted devices
+		// (evictions pile onto the default, arrivals onto the FPGA).
+		r.m.Repair(r.g, r.p)
+		rec.Baseline = r.ev.BaselineMakespan()
+		rec.MigratedMakespan = r.ev.Makespan(r.m)
+		if err := r.repair(i, &rec); err != nil {
+			return nil, r.stats, fmt.Errorf("online: event %d (%s): %w", i, e.Kind, err)
+		}
+		rec.Mapping = r.m.Clone()
+		r.stats.TotalEvaluations += rec.PlacementEvaluations + rec.RepairEvaluations
+		r.stats.FinalMakespan = rec.Makespan
+		r.stats.Events = append(r.stats.Events, rec)
+	}
+	r.foldCacheStats()
+	return r.m.Clone(), r.stats, nil
+}
+
+// rebuildKernel compiles a fresh evaluator (schedule set from the replay
+// seed) with the requested worker fan-out and a fresh per-kernel cache,
+// folding the outgoing cache's telemetry into the replay stats first.
+func (r *replayer) rebuildKernel() {
+	r.foldCacheStats()
+	ev := model.NewEvaluator(r.g, r.p).WithSchedules(r.opt.Schedules, r.opt.Seed)
+	eng := ev.Engine()
+	if r.opt.Workers > 0 {
+		eng = eng.WithWorkers(r.opt.Workers)
+	}
+	r.cache = nil
+	if !r.opt.DisableCache && eng.Cacheable() {
+		r.cache = eval.NewCache()
+		eng = eng.WithCache(r.cache)
+	}
+	r.ev = ev.WithEngine(eng)
+}
+
+// foldCacheStats accumulates the current cache's telemetry (Entries sums
+// final sizes across kernels).
+func (r *replayer) foldCacheStats() {
+	if r.cache == nil {
+		return
+	}
+	st := r.cache.Stats()
+	r.stats.Cache.Hits += st.Hits
+	r.stats.Cache.Misses += st.Misses
+	r.stats.Cache.Stores += st.Stores
+	r.stats.Cache.Entries += st.Entries
+}
+
+// mapFromScratch runs the static pipeline (SPFF opener, refinement on
+// the remaining repair budget) on the current kernel and returns the
+// mapping with its total evaluation spend.
+func (r *replayer) mapFromScratch(seed int64) (mapping.Mapping, int, error) {
+	m, dst, err := decomp.MapWithEvaluator(r.ev, decomp.Options{
+		Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit, Workers: r.opt.Workers,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	evals := dst.Evaluations
+	if remaining := r.opt.RepairBudget - evals; remaining > 0 {
+		rm, rst, err := localsearch.Refine(r.ev, m, localsearch.Options{
+			Budget: remaining, Seed: seed, Workers: r.opt.Workers,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		m, evals = rm, evals+rst.Evaluations
+	}
+	return m, evals, nil
+}
+
+// repair runs the post-event repair pass under the remaining budget and
+// updates the incumbent. Cold mode re-maps from scratch; warm mode
+// refines (or portfolio-races from) the migrated incumbent.
+func (r *replayer) repair(event int, rec *EventStats) error {
+	seed := r.opt.Seed + int64(event+1)*9973
+	budget := r.opt.RepairBudget - rec.PlacementEvaluations
+	if r.opt.Cold {
+		m, evals, err := r.mapFromScratch(seed)
+		if err != nil {
+			return err
+		}
+		r.m = m
+		rec.RepairEvaluations = evals
+		rec.Makespan = r.ev.Makespan(r.m)
+		return nil
+	}
+	if budget <= 0 {
+		rec.Makespan = rec.MigratedMakespan
+		return nil
+	}
+	switch r.opt.Repair {
+	case RepairPortfolio:
+		m, st, err := portfolio.MapWithEvaluator(r.ev, portfolio.Options{
+			Init: r.m, Budget: budget, Seed: seed, Workers: r.opt.Workers,
+			DisableCache: r.opt.DisableCache, Cache: r.cache,
+		})
+		if err != nil {
+			return err
+		}
+		r.m = m
+		rec.RepairEvaluations = st.Evaluations
+		rec.Makespan = st.Makespan
+	default:
+		// Degenerate two-seed race: re-run the SPFF opener on the
+		// perturbed instance inside the budget and refine from the better
+		// of (migrated incumbent, fresh SPFF seed). The start therefore
+		// never trails the cold pipeline's start at the same refinement
+		// budget, while the incumbent — usually the better seed — carries
+		// the previous search's work across the event.
+		start, startMS := r.m, rec.MigratedMakespan
+		spffM, dst, err := decomp.MapWithEvaluator(r.ev, decomp.Options{
+			Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit, Workers: r.opt.Workers,
+		})
+		if err != nil {
+			// Propagate like the cold path does: silently dropping the SPFF
+			// seed would cripple the warm side of every warm-vs-cold
+			// comparison without a trace.
+			return err
+		}
+		evals := dst.Evaluations
+		if dst.Makespan < startMS {
+			start, startMS = spffM, dst.Makespan
+		}
+		r.m = start
+		rec.Makespan = startMS
+		if remaining := budget - evals; remaining > 0 {
+			m, st, err := localsearch.Refine(r.ev, start, localsearch.Options{
+				Budget: remaining, Seed: seed, Workers: r.opt.Workers,
+			})
+			if err != nil {
+				return err
+			}
+			r.m = m
+			evals += st.Evaluations
+			rec.Makespan = st.Makespan
+		}
+		rec.RepairEvaluations = evals
+	}
+	return nil
+}
+
+// apply mutates the live instance according to e and reports whether the
+// kernel must be rebuilt.
+func (r *replayer) apply(e gen.Event, rec *EventStats) (changed bool, err error) {
+	switch e.Kind {
+	case gen.DeviceFail:
+		return r.applyFail(e, rec)
+	case gen.DeviceDegrade:
+		return r.applyDegrade(e)
+	case gen.TaskArrive:
+		return r.applyArrive(e, rec)
+	case gen.TaskDepart:
+		return r.applyDepart(e, rec)
+	}
+	return false, fmt.Errorf("unknown event kind %d", int(e.Kind))
+}
+
+// applyFail removes device e.Device, renumbers the survivors densely,
+// and evicts its tasks onto the default device.
+func (r *replayer) applyFail(e gen.Event, rec *EventStats) (bool, error) {
+	d := e.Device
+	if d < 0 || d >= r.p.NumDevices() {
+		return false, fmt.Errorf("device %d out of range (%d devices)", d, r.p.NumDevices())
+	}
+	if d == r.p.Default {
+		return false, fmt.Errorf("cannot fail the default (host) device %d", d)
+	}
+	devices := make([]platform.Device, 0, r.p.NumDevices()-1)
+	devices = append(devices, r.p.Devices[:d]...)
+	devices = append(devices, r.p.Devices[d+1:]...)
+	newDefault := r.p.Default
+	if newDefault > d {
+		newDefault--
+	}
+	r.p = &platform.Platform{Default: newDefault, Devices: devices}
+	for v, dev := range r.m {
+		switch {
+		case dev == d:
+			r.m[v] = newDefault
+			rec.Evicted++
+		case dev > d:
+			r.m[v] = dev - 1
+		}
+	}
+	return true, nil
+}
+
+// applyDegrade scales the device's throughput and bandwidth in place on
+// a private platform copy. Unit scales are a no-op that keeps the
+// kernel (and its warm cache).
+func (r *replayer) applyDegrade(e gen.Event) (bool, error) {
+	d := e.Device
+	if d < 0 || d >= r.p.NumDevices() {
+		return false, fmt.Errorf("device %d out of range (%d devices)", d, r.p.NumDevices())
+	}
+	speed, bw := e.SpeedScale, e.BandwidthScale
+	if speed <= 0 || speed > 1 || bw <= 0 || bw > 1 {
+		return false, fmt.Errorf("degrade scales (%g, %g) outside (0, 1]", speed, bw)
+	}
+	if speed == 1 && bw == 1 {
+		return false, nil
+	}
+	devices := append([]platform.Device(nil), r.p.Devices...)
+	devices[d].PeakOps *= speed
+	devices[d].Bandwidth *= bw
+	r.p = &platform.Platform{Default: r.p.Default, Devices: devices}
+	return true, nil
+}
+
+// applyArrive generates the arriving series-parallel subgraph from the
+// event seed, attaches it below a seed-chosen existing task, places its
+// tasks with the paper's SPFF mapper on the subgraph (warm mode) and
+// extends the incumbent mapping.
+func (r *replayer) applyArrive(e gen.Event, rec *EventStats) (bool, error) {
+	if e.Tasks == 0 {
+		return false, nil // explicit no-op arrival: kernel and cache stay warm
+	}
+	if e.Tasks < 2 {
+		return false, fmt.Errorf("arrival size %d below the 2-task minimum", e.Tasks)
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+	sub := gen.SeriesParallel(rng, e.Tasks, gen.DefaultAttr())
+
+	// Place the arrivals before attaching: the subgraph is series-
+	// parallel by construction, so SPFF is exact paper machinery. A
+	// failed placement (cannot happen for gen output, but the event
+	// stream is caller data) falls back to the default device.
+	place := mapping.Baseline(sub, r.p)
+	if !r.opt.Cold {
+		if pm, pst, err := decomp.Map(sub, r.p, decomp.Options{
+			Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit, Workers: r.opt.Workers,
+		}); err == nil {
+			place = pm
+			rec.PlacementEvaluations = pst.Evaluations
+		}
+	}
+
+	// Attach point: a seed-chosen non-virtual existing task.
+	candidates := make([]graph.NodeID, 0, r.g.NumTasks())
+	for v := 0; v < r.g.NumTasks(); v++ {
+		if !r.g.Task(graph.NodeID(v)).Virtual {
+			candidates = append(candidates, graph.NodeID(v))
+		}
+	}
+	if len(candidates) == 0 {
+		return false, fmt.Errorf("no non-virtual task to attach the arrival to")
+	}
+	attach := candidates[rng.Intn(len(candidates))]
+
+	idMap := make([]graph.NodeID, sub.NumTasks())
+	group := make([]graph.NodeID, 0, sub.NumTasks())
+	for v := 0; v < sub.NumTasks(); v++ {
+		id := graph.NodeID(v)
+		t := *sub.Task(id)
+		srcBytes := t.SourceBytes
+		entry := sub.InDegree(id) == 0
+		if entry {
+			// The former entry task is now fed by the attach edge.
+			t.SourceBytes = 0
+		}
+		nv := r.g.AddTask(t)
+		idMap[v] = nv
+		group = append(group, nv)
+		r.m = append(r.m, place[v])
+		if entry {
+			bytes := srcBytes
+			if bytes <= 0 {
+				bytes = gen.DefaultAttr().EdgeBytes
+			}
+			r.g.AddEdge(attach, nv, bytes)
+		}
+	}
+	for i := 0; i < sub.NumEdges(); i++ {
+		ed := sub.Edge(i)
+		r.g.AddEdge(idMap[ed.From], idMap[ed.To], ed.Bytes)
+	}
+	r.arrivals = append(r.arrivals, group)
+	rec.Arrived = len(group)
+	return true, nil
+}
+
+// applyDepart removes a live arrival group, rebuilding the graph with
+// dense renumbering and migrating the incumbent mapping and the
+// remaining arrival groups.
+func (r *replayer) applyDepart(e gen.Event, rec *EventStats) (bool, error) {
+	if e.Arrival < 0 || e.Arrival >= len(r.arrivals) {
+		return false, fmt.Errorf("arrival group %d out of range (%d live)", e.Arrival, len(r.arrivals))
+	}
+	group := r.arrivals[e.Arrival]
+	r.arrivals = append(r.arrivals[:e.Arrival:e.Arrival], r.arrivals[e.Arrival+1:]...)
+	dep := make(map[graph.NodeID]bool, len(group))
+	for _, v := range group {
+		dep[v] = true
+	}
+
+	n := r.g.NumTasks()
+	taskMap := make([]graph.NodeID, n)
+	newG := graph.New(n-len(group), r.g.NumEdges())
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		if dep[id] {
+			taskMap[v] = graph.None
+			continue
+		}
+		taskMap[v] = newG.AddTask(*r.g.Task(id))
+	}
+	// Retained tasks fed exclusively by departed producers fall back to
+	// reading the departed volume from the host (SourceBytes), so their
+	// work does not silently vanish with the edge.
+	lostBytes := make([]float64, n)
+	liveIn := make([]int, n)
+	for i := 0; i < r.g.NumEdges(); i++ {
+		ed := r.g.Edge(i)
+		if dep[ed.From] || dep[ed.To] {
+			if !dep[ed.To] {
+				lostBytes[ed.To] += ed.Bytes
+			}
+			continue
+		}
+		newG.AddEdge(taskMap[ed.From], taskMap[ed.To], ed.Bytes)
+		liveIn[ed.To]++
+	}
+	for v := 0; v < n; v++ {
+		if taskMap[v] != graph.None && liveIn[v] == 0 && lostBytes[v] > 0 {
+			newG.Task(taskMap[v]).SourceBytes += lostBytes[v]
+		}
+	}
+
+	m2 := make(mapping.Mapping, 0, n-len(group))
+	for v := 0; v < n; v++ {
+		if taskMap[v] != graph.None {
+			m2 = append(m2, r.m[v])
+		}
+	}
+	for gi, grp := range r.arrivals {
+		ng := make([]graph.NodeID, len(grp))
+		for i, v := range grp {
+			ng[i] = taskMap[v]
+		}
+		r.arrivals[gi] = ng
+	}
+	r.g, r.m = newG, m2
+	rec.Departed = len(group)
+	return true, nil
+}

@@ -1,0 +1,259 @@
+package online
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/platform"
+)
+
+// seedInstance is the repository's standard seed instance: a 30-task
+// random series-parallel graph on the reference platform.
+func seedInstance(seed int64) (*graph.DAG, *platform.Platform) {
+	return gen.SeriesParallel(rand.New(rand.NewSource(seed)), 30, gen.DefaultAttr()), platform.Reference()
+}
+
+// TestReplayEventSemantics drives one hand-written scenario through
+// every event kind and checks the instance bookkeeping after each step.
+func TestReplayEventSemantics(t *testing.T) {
+	g, p := seedInstance(1)
+	n0 := g.NumTasks()
+	sc := gen.Scenario{Events: []gen.Event{
+		{Time: 1, Kind: gen.TaskArrive, Tasks: 5, Seed: 99},
+		{Time: 2, Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 0.5, BandwidthScale: 1},
+		{Time: 3, Kind: gen.DeviceFail, Device: 2},
+		{Time: 4, Kind: gen.TaskDepart, Arrival: 0},
+	}}
+	m, st, err := Replay(g, p, sc, Options{Schedules: 5, Seed: 7, RepairBudget: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Events) != 4 {
+		t.Fatalf("replayed %d of 4 events", len(st.Events))
+	}
+	arrive, degrade, fail, depart := st.Events[0], st.Events[1], st.Events[2], st.Events[3]
+
+	if arrive.Arrived == 0 || arrive.Tasks <= n0 || arrive.Tasks != n0+arrive.Arrived {
+		t.Fatalf("arrival bookkeeping: n0=%d arrived=%d tasks=%d", n0, arrive.Arrived, arrive.Tasks)
+	}
+	if !arrive.KernelRebuilt {
+		t.Fatal("arrival did not rebuild the kernel")
+	}
+	if degrade.Devices != 3 || degrade.Evicted != 0 || !degrade.KernelRebuilt {
+		t.Fatalf("degrade bookkeeping: %+v", degrade)
+	}
+	if fail.Devices != 2 {
+		t.Fatalf("failing device 2 left %d devices", fail.Devices)
+	}
+	for _, d := range fail.Mapping {
+		if d < 0 || d >= 2 {
+			t.Fatalf("post-fail mapping references device %d of a 2-device platform", d)
+		}
+	}
+	if depart.Tasks != fail.Tasks-arrive.Arrived || depart.Departed != arrive.Arrived {
+		t.Fatalf("departure bookkeeping: arrive=%+v depart=%+v", arrive, depart)
+	}
+	if depart.Tasks != n0 {
+		t.Fatalf("departure did not restore the original task count: %d != %d", depart.Tasks, n0)
+	}
+	if len(m) != n0 {
+		t.Fatalf("final mapping length %d != %d tasks", len(m), n0)
+	}
+	if st.FinalMakespan != depart.Makespan {
+		t.Fatal("FinalMakespan does not track the last event")
+	}
+	if st.KernelRebuilds != 4 {
+		t.Fatalf("KernelRebuilds = %d, want 4", st.KernelRebuilds)
+	}
+	// The graph and the inputs must be untouched.
+	if g.NumTasks() != n0 || p.NumDevices() != 3 {
+		t.Fatal("Replay mutated its inputs")
+	}
+	// Every event's repair never ends worse than its migrated start.
+	for _, e := range st.Events {
+		if e.Makespan > e.MigratedMakespan {
+			t.Fatalf("event %d: repair worsened the incumbent: %v > %v", e.Index, e.Makespan, e.MigratedMakespan)
+		}
+		// The SPFF opener inside the warm pass is not budget-sliceable
+		// (same contract as the portfolio's opener member), so the spend
+		// may overrun a small budget by at most one opener run; the
+		// refinement phase itself never overshoots.
+		if e.PlacementEvaluations+e.RepairEvaluations > 400+2500 {
+			t.Fatalf("event %d spent far beyond budget+opener: %d + %d",
+				e.Index, e.PlacementEvaluations, e.RepairEvaluations)
+		}
+	}
+}
+
+// TestReplayNoopEventsKeepKernel pins the cache lifecycle: events that
+// do not change graph or platform keep the compiled kernel (and with it
+// the warm evaluation cache).
+func TestReplayNoopEventsKeepKernel(t *testing.T) {
+	g, p := seedInstance(2)
+	sc := gen.Scenario{Events: []gen.Event{
+		{Time: 1, Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 1, BandwidthScale: 1},
+		{Time: 2, Kind: gen.TaskArrive, Tasks: 0},
+	}}
+	_, st, err := Replay(g, p, sc, Options{Schedules: 5, Seed: 3, RepairBudget: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KernelRebuilds != 0 {
+		t.Fatalf("no-op events rebuilt the kernel %d times", st.KernelRebuilds)
+	}
+	for _, e := range st.Events {
+		if e.KernelRebuilt {
+			t.Fatalf("event %d (%s) reported a rebuild", e.Index, e.Kind)
+		}
+	}
+	// The second no-op's repair runs against the kernel the first one
+	// warmed: with the cache on, the migrated-incumbent lookup must hit.
+	if st.Cache.Hits == 0 {
+		t.Fatalf("no cache hits across no-op events: %+v", st.Cache)
+	}
+}
+
+// TestReplayTraceDeterminism is the subsystem's core contract: byte-
+// identical traces across repeated runs, any Workers value, cache on
+// and off — for both repair modes.
+func TestReplayTraceDeterminism(t *testing.T) {
+	g, p := seedInstance(3)
+	sc := gen.NewScenario(rand.New(rand.NewSource(11)), gen.ScenarioOptions{Events: 5})
+	for _, mode := range []RepairMode{RepairRefine, RepairPortfolio} {
+		var ref string
+		for _, workers := range []int{1, 4} {
+			for _, disableCache := range []bool{false, true} {
+				_, st, err := Replay(g, p, sc, Options{
+					Schedules: 5, Seed: 42, RepairBudget: 600,
+					Repair: mode, Workers: workers, DisableCache: disableCache,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				trace := st.Trace()
+				if ref == "" {
+					ref = trace
+					continue
+				}
+				if trace != ref {
+					t.Fatalf("%s: trace diverged (workers=%d cache=%v):\n got %s\nwant %s",
+						mode, workers, !disableCache, trace, ref)
+				}
+			}
+		}
+		if !strings.Contains(ref, "final ms=") {
+			t.Fatalf("%s: trace misses the final line:\n%s", mode, ref)
+		}
+	}
+}
+
+// TestWarmNeverWorseThanCold pins the acceptance criterion: on the
+// three seed graphs, warm-start repair is never worse than a cold full
+// re-map at equal post-event budget — after every single event.
+func TestWarmNeverWorseThanCold(t *testing.T) {
+	const budget = 2500
+	for seed := int64(1); seed <= 3; seed++ {
+		g, p := seedInstance(seed)
+		sc := gen.NewScenario(rand.New(rand.NewSource(seed+100)), gen.ScenarioOptions{Events: 6})
+		warm, wst, err := Replay(g, p, sc, Options{Schedules: 20, Seed: seed, RepairBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cst, err := Replay(g, p, sc, Options{Schedules: 20, Seed: seed, RepairBudget: budget, Cold: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wst.Events) != len(cst.Events) {
+			t.Fatalf("seed %d: event counts diverged", seed)
+		}
+		for i := range wst.Events {
+			w, c := wst.Events[i], cst.Events[i]
+			if w.Makespan > c.Makespan {
+				t.Errorf("seed %d event %d (%s): warm %v worse than cold %v",
+					seed, i, w.Kind, w.Makespan, c.Makespan)
+			}
+		}
+		if len(warm) == 0 {
+			t.Fatalf("seed %d: empty final mapping", seed)
+		}
+	}
+}
+
+// TestReplayRejectsInvalidScenarios pins the error paths: a scenario
+// must not be able to corrupt the instance silently.
+func TestReplayRejectsInvalidScenarios(t *testing.T) {
+	g, p := seedInstance(1)
+	opt := Options{Schedules: 2, RepairBudget: 50}
+	cases := []struct {
+		name string
+		sc   gen.Scenario
+		want string
+	}{
+		{"fail default", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceFail, Device: 0}}}, "default"},
+		{"fail out of range", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceFail, Device: 9}}}, "out of range"},
+		{"degrade out of range", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceDegrade, Device: -1, SpeedScale: 0.5, BandwidthScale: 1}}}, "out of range"},
+		{"degrade bad scale", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 1.5, BandwidthScale: 1}}}, "outside"},
+		{"depart nothing", gen.Scenario{Events: []gen.Event{{Kind: gen.TaskDepart, Arrival: 0}}}, "out of range"},
+		{"one-task arrival", gen.Scenario{Events: []gen.Event{{Kind: gen.TaskArrive, Tasks: 1}}}, "minimum"},
+		{"unknown kind", gen.Scenario{Events: []gen.Event{{Kind: gen.EventKind(99)}}}, "unknown event kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Replay(g, p, tc.sc, opt)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	if _, _, err := Replay(g, p, gen.Scenario{}, Options{Repair: RepairMode(7)}); err == nil {
+		t.Fatal("unknown repair mode accepted")
+	}
+	if _, _, err := Replay(graph.New(0, 0), p, gen.Scenario{}, Options{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+// TestGeneratedScenariosReplayable fuzz-lite: every generated scenario
+// must replay without error across a spread of seeds, and consecutive
+// failures must keep the platform above one device.
+func TestGeneratedScenariosReplayable(t *testing.T) {
+	g, p := seedInstance(4)
+	for seed := int64(0); seed < 12; seed++ {
+		sc := gen.NewScenario(rand.New(rand.NewSource(seed)), gen.ScenarioOptions{Events: 8, PFail: 4, PDepart: 3})
+		m, st, err := Replay(g, p, sc, Options{Schedules: 2, Seed: seed, RepairBudget: 120})
+		if err != nil {
+			t.Fatalf("seed %d: %v\nscenario: %+v", seed, err, sc)
+		}
+		if len(st.Events) != 8 {
+			t.Fatalf("seed %d: replayed %d of 8 events", seed, len(st.Events))
+		}
+		last := st.Events[len(st.Events)-1]
+		if len(m) != last.Tasks {
+			t.Fatalf("seed %d: mapping length %d != %d tasks", seed, len(m), last.Tasks)
+		}
+	}
+}
+
+// TestReplayDefaultSchedules pins the documented zero-value default:
+// an unset Schedules must behave exactly like the documented 20.
+func TestReplayDefaultSchedules(t *testing.T) {
+	g, p := seedInstance(5)
+	sc := gen.Scenario{Events: []gen.Event{
+		{Time: 1, Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 0.5, BandwidthScale: 1},
+	}}
+	_, def, err := Replay(g, p, sc, Options{Seed: 1, RepairBudget: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, twenty, err := Replay(g, p, sc, Options{Seed: 1, RepairBudget: 200, Schedules: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Trace() != twenty.Trace() {
+		t.Fatalf("zero-value Schedules does not match the documented default of 20:\n%s\nvs\n%s",
+			def.Trace(), twenty.Trace())
+	}
+}

@@ -124,6 +124,18 @@ type Options struct {
 	// DisableCache turns the shared evaluation cache off (results are
 	// identical either way; the cache only saves wall-clock time).
 	DisableCache bool
+	// Cache, if non-nil, is used as the shared evaluation cache instead
+	// of a fresh one — the online-replay warm path, which keeps one cache
+	// alive per compiled kernel across repair races. It must be fresh or
+	// bound to the evaluator's kernel (eval.Cache panics otherwise).
+	// Ignored when DisableCache is set.
+	Cache *eval.Cache
+	// Init, if non-nil, warm-starts the race: the (validated, repaired)
+	// mapping is evaluated once and installed as the round-0 incumbent,
+	// so the result is never worse than Init and stalled members adopt
+	// it as an elite — the online-replay repair entry point. Stats.Best
+	// stays -1 when no member improves on it.
+	Init mapping.Mapping
 }
 
 // MemberStats reports one member's deterministic outcome.
@@ -151,7 +163,8 @@ type Stats struct {
 	// Rounds counts coordination rounds.
 	Rounds int
 	// Best is the index (into Members) of the member that found the
-	// returned mapping first; Makespan is its exact makespan.
+	// returned mapping first (-1 when no member improved on the
+	// warm-start incumbent Options.Init); Makespan is its exact makespan.
 	Best     int
 	Makespan float64
 	// BudgetMoved is the total evaluation budget reallocated from
@@ -264,8 +277,10 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 	if opt.Workers > 0 {
 		eng = eng.WithWorkers(opt.Workers)
 	}
-	if !opt.DisableCache {
-		cache = eval.NewCache()
+	if !opt.DisableCache && eng.Cacheable() {
+		if cache = opt.Cache; cache == nil {
+			cache = eval.NewCache()
+		}
 		eng = eng.WithCache(cache)
 	}
 	root := ev.Clone().WithEngine(eng)
@@ -297,6 +312,19 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 	globalVal := math.Inf(1)
 	var globalBest mapping.Mapping
 	leader := -1
+	initEvals := 0
+	if opt.Init != nil {
+		// Warm start: the incumbent enters the race as the round-0 best,
+		// costing one (exact) evaluation. Members that stall adopt it via
+		// the usual elite publication; the returned mapping can only
+		// improve on it.
+		if err := opt.Init.Validate(ev.G, ev.P); err != nil {
+			return nil, stats, fmt.Errorf("portfolio: warm-start mapping: %w", err)
+		}
+		warm := opt.Init.Clone().Repair(ev.G, ev.P)
+		globalVal, globalBest = eng.Makespan(warm), warm
+		initEvals = 1
+	}
 
 	live := len(members)
 	for live > 0 {
@@ -398,6 +426,7 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 		}
 		stats.Evaluations += mr.evals
 	}
+	stats.Evaluations += initEvals
 	if globalBest == nil {
 		return nil, stats, fmt.Errorf("portfolio: no member produced a mapping")
 	}

@@ -13,6 +13,7 @@ import (
 	"spmap/internal/mappers/ga"
 	"spmap/internal/mappers/heft"
 	"spmap/internal/mappers/localsearch"
+	"spmap/internal/mapping"
 	"spmap/internal/model"
 	"spmap/internal/platform"
 )
@@ -325,5 +326,73 @@ func TestDuplicateMembersRejected(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("duplicate member kinds accepted")
+	}
+}
+
+// TestWarmStartInit pins the Options.Init warm-start entry point (the
+// online-replay repair path): the result is never worse than the
+// warm-start mapping, a deliberately unbeatable incumbent is returned
+// verbatim with Best == -1, and warm-started runs stay deterministic
+// across workers.
+func TestWarmStartInit(t *testing.T) {
+	g := seedGraph(5, 30)
+	p := platform.Reference()
+	ev := newEval(g, p, 5)
+
+	// A strong incumbent: the SPFF+Refine pipeline at a healthy budget.
+	seedM, _, err := decomp.MapWithEvaluator(ev, decomp.Options{
+		Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, _, err := localsearch.Refine(ev, seedM, localsearch.Options{Seed: 1, Budget: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strongMS := ev.Makespan(strong)
+
+	// Tiny budget: no member can possibly beat the incumbent, so the
+	// race must hand it back exactly, flagged as unbeaten.
+	m, st, err := MapWithEvaluator(ev, Options{Seed: 2, Budget: 60, Init: strong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan > strongMS {
+		t.Fatalf("warm-started race worse than its Init: %v > %v", st.Makespan, strongMS)
+	}
+	if st.Makespan == strongMS {
+		if st.Best != -1 {
+			t.Fatalf("unbeaten incumbent reported member %d as best", st.Best)
+		}
+		if !mapping.Mapping(m).Equal(strong) {
+			t.Fatal("unbeaten incumbent not returned verbatim")
+		}
+	}
+
+	// Determinism across workers with a warm start, at a budget where
+	// members actually race.
+	var ref string
+	for _, workers := range []int{1, 4} {
+		m, st, err := MapWithEvaluator(newEval(g, p, 5), Options{
+			Seed: 3, Budget: 1800, Workers: workers, Init: seedM,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Makespan > ev.Makespan(seedM) {
+			t.Fatalf("workers=%d: warm-started race worse than Init", workers)
+		}
+		fp := fingerprint(m, st)
+		if ref == "" {
+			ref = fp
+		} else if fp != ref {
+			t.Fatalf("warm-started race diverged across workers:\n%s\n%s", fp, ref)
+		}
+	}
+
+	// Invalid warm starts are rejected explicitly.
+	if _, _, err := MapWithEvaluator(ev, Options{Init: mapping.Mapping{0}}); err == nil {
+		t.Fatal("length-mismatched Init accepted")
 	}
 }

@@ -48,6 +48,18 @@
 // Series-parallel machinery (decomposition forests for arbitrary DAGs,
 // paper Alg. 1) is exposed via Decompose and IsSeriesParallel.
 //
+// # Online replay
+//
+// Beyond the paper's static setting, Replay runs a deterministic
+// scenario — device failures, device degradation, series-parallel
+// subgraph arrivals and departures (NewScenario) — against a live
+// instance: after each event the evaluation kernel is rebuilt, the
+// incumbent mapping is migrated (evictions, SPFF placement of arrivals)
+// and repaired with a budgeted warm-start pass that is never worse than
+// re-mapping from scratch at the same budget. The replay trace is
+// byte-identical for any Workers value, with the evaluation cache on or
+// off (OnlineStats.Trace).
+//
 // # Evaluation engine
 //
 // All makespan evaluation runs on a compiled evaluation engine
@@ -72,6 +84,7 @@
 package spmap
 
 import (
+	"io"
 	"math/rand"
 	"time"
 
@@ -85,6 +98,7 @@ import (
 	"spmap/internal/mapping"
 	"spmap/internal/milp"
 	"spmap/internal/model"
+	"spmap/internal/online"
 	"spmap/internal/pareto"
 	"spmap/internal/platform"
 	"spmap/internal/portfolio"
@@ -527,6 +541,79 @@ func RandomSeriesParallel(rng *rand.Rand, n int) *DAG {
 // tasks plus k random (mostly conflicting) extra edges (§IV-C).
 func RandomAlmostSeriesParallel(rng *rand.Rand, n, k int) *DAG {
 	return gen.AlmostSeriesParallel(rng, n, k, gen.DefaultAttr())
+}
+
+// Scenario is a deterministic event stream for online replay: device
+// failures and degradations, series-parallel subgraph arrivals and
+// departures, each timestamped and seed-parametrized.
+type Scenario = gen.Scenario
+
+// ScenarioEvent is one timestamped perturbation of a Scenario.
+type ScenarioEvent = gen.Event
+
+// ScenarioEventKind classifies a scenario event.
+type ScenarioEventKind = gen.EventKind
+
+// Scenario event kinds.
+const (
+	DeviceFail    = gen.DeviceFail
+	DeviceDegrade = gen.DeviceDegrade
+	TaskArrive    = gen.TaskArrive
+	TaskDepart    = gen.TaskDepart
+)
+
+// ScenarioOptions configure NewScenario.
+type ScenarioOptions = gen.ScenarioOptions
+
+// NewScenario draws a valid random scenario from rng: timestamps
+// strictly increase, the default (host) device never fails and at least
+// two devices survive, and departures only reference live arrivals.
+func NewScenario(rng *rand.Rand, opt ScenarioOptions) Scenario {
+	return gen.NewScenario(rng, opt)
+}
+
+// ReadScenario parses a scenario from JSON (the format spmap-gen
+// -kind scenario emits and Scenario.Write produces).
+func ReadScenario(r io.Reader) (Scenario, error) { return gen.ReadScenario(r) }
+
+// OnlineOptions configure Replay; zero values select the defaults
+// (20 random schedules per kernel, a 3000-evaluation repair budget,
+// refinement repair, the per-kernel evaluation cache on).
+type OnlineOptions = online.Options
+
+// OnlineStats report a whole replay: the opening mapping, one record
+// per event (migration counts, kernel rebuilds, makespans before and
+// after repair) and the totals. Every field except the cache telemetry
+// is deterministic for a fixed seed regardless of Workers; Trace
+// renders exactly the deterministic fields.
+type OnlineStats = online.Stats
+
+// OnlineEventStats records one replayed scenario event.
+type OnlineEventStats = online.EventStats
+
+// OnlineRepairMode selects the per-event warm-start repair pass.
+type OnlineRepairMode = online.RepairMode
+
+// Online repair modes.
+const (
+	// RepairRefine races the migrated incumbent against a fresh SPFF
+	// seed and refines the better with annealing (default).
+	RepairRefine = online.RepairRefine
+	// RepairPortfolio races the full mapper portfolio warm-started with
+	// the migrated incumbent.
+	RepairPortfolio = online.RepairPortfolio
+)
+
+// Replay runs a scenario against a live copy of (g, p): the instance is
+// mapped with SPFF plus refinement, then every event is applied —
+// kernel rebuild, incumbent migration, budgeted warm-start repair — and
+// the final mapping is returned with the full replay statistics. The
+// inputs are not mutated. Warm-start repair is never worse than the
+// migrated incumbent, and on the repository's seed instances never
+// worse than a cold re-map at equal post-event budget (OnlineOptions.
+// Cold selects that cold baseline for comparisons).
+func Replay(g *DAG, p *Platform, sc Scenario, opt OnlineOptions) (Mapping, OnlineStats, error) {
+	return online.Replay(g, p, sc, opt)
 }
 
 // WorkflowFamily identifies one of the nine WfCommons-like workflow
