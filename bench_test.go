@@ -535,6 +535,46 @@ func benchmarkReplay(b *testing.B, n int, cold bool) {
 	}
 }
 
+// --- incremental-session benchmarks (BENCH_PR6.json) ---
+//
+// One steady-state session move under the paper's 101-schedule
+// protocol. Evaluate<n> is the pure candidate-rejection path (cutoff =
+// incumbent, nothing applied): the global capacity bound plus bounded
+// resumed replays. Move<n> interleaves one Apply every 8 candidates, so
+// the lazy-apply folds (the windowed recording rebase) are amortized
+// into the per-move cost the way a real search pays them. Run with
+// -benchmem: the scratch-reuse audit pins 0 allocs/op for both.
+
+func benchmarkIncrementalSession(b *testing.B, n, acceptEvery int) {
+	g := benchGraph(n)
+	p := platform.Reference()
+	eng := model.NewEvaluator(g, p).WithSchedules(100, 1).Engine().WithWorkers(1)
+	inc := eng.Incremental(mapping.Baseline(g, p), nil)
+	defer inc.Close()
+	cur := inc.Makespan()
+	nd := p.NumDevices()
+	patch := make([]graph.NodeID, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		patch[0] = graph.NodeID(rng.Intn(n))
+		dev := rng.Intn(nd)
+		inc.Evaluate(patch, dev, cur)
+		if acceptEvery > 0 && i%acceptEvery == acceptEvery-1 {
+			inc.Apply(patch, dev)
+			cur = inc.Makespan() // track the moving incumbent exactly
+		}
+	}
+}
+
+func BenchmarkIncrementalEvaluate50(b *testing.B)  { benchmarkIncrementalSession(b, 50, 0) }
+func BenchmarkIncrementalEvaluate100(b *testing.B) { benchmarkIncrementalSession(b, 100, 0) }
+func BenchmarkIncrementalEvaluate250(b *testing.B) { benchmarkIncrementalSession(b, 250, 0) }
+func BenchmarkIncrementalMove50(b *testing.B)      { benchmarkIncrementalSession(b, 50, 8) }
+func BenchmarkIncrementalMove100(b *testing.B)     { benchmarkIncrementalSession(b, 100, 8) }
+func BenchmarkIncrementalMove250(b *testing.B)     { benchmarkIncrementalSession(b, 250, 8) }
+
 func BenchmarkReplayWarm50(b *testing.B)  { benchmarkReplay(b, 50, false) }
 func BenchmarkReplayCold50(b *testing.B)  { benchmarkReplay(b, 50, true) }
 func BenchmarkReplayWarm100(b *testing.B) { benchmarkReplay(b, 100, false) }

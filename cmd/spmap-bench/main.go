@@ -13,11 +13,14 @@
 //	spmap-bench -exp pareto          # extension: multi-objective sweep vs NSGA-II fronts
 //	spmap-bench -exp portfolio       # extension: portfolio racing vs single mappers
 //	spmap-bench -exp online          # extension: warm-start repair vs cold re-map per event
+//	spmap-bench -exp incremental     # extension: incremental vs resume vs full move throughput
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
+//	spmap-bench -exp incremental -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Unknown -exp names, negative numeric overrides and an unwritable -csv
-// directory exit with status 2 and a usage message before any
-// experiment runs, instead of producing partial or garbage output.
+// Unknown -exp names, negative numeric overrides, an unwritable -csv
+// directory and uncreatable -cpuprofile/-memprofile paths exit with
+// status 2 and a usage message before any experiment runs, instead of
+// producing partial or garbage output.
 package main
 
 import (
@@ -28,6 +31,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,7 +67,7 @@ func isUsageError(err error) bool {
 var knownExperiments = map[string]bool{
 	"fig3": true, "fig4": true, "fig5": true, "fig6": true, "fig7": true,
 	"table1": true, "ablation": true, "localsearch": true, "pareto": true,
-	"portfolio": true, "online": true,
+	"portfolio": true, "online": true, "incremental": true,
 }
 
 // run is main's testable body: it parses and validates args, executes
@@ -73,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spmap-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online all")
+		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental all")
 		paper     = fs.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = fs.Int("graphs", 0, "override graphs per data point (>= 0; 0 = profile default)")
 		schedules = fs.Int("schedules", 0, "override random schedules in the cost function (>= 0)")
@@ -83,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers   = fs.Int("workers", 0, "evaluation-engine worker pool (>= 0; 0 = GOMAXPROCS, 1 = serial; results are identical)")
 		eps       = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -exp pareto (>= 0; 0 = exact front)")
 		csvDir    = fs.String("csv", "", "also write <experiment>.csv files into this directory")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -131,6 +138,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		probe.Close()
 		os.Remove(probe.Name())
+	}
+	// Profile files are created before any experiment runs for the same
+	// reason: a typoed path must fail in milliseconds, not after the
+	// sweep. The CPU profile covers the experiment loop only (not flag
+	// parsing); the heap profile is taken after the last experiment.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return usage("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return usage("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	var memProfFile *os.File
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return usage("-memprofile: %v", err)
+		}
+		memProfFile = f
+		defer f.Close()
 	}
 
 	cfg := experiments.Config{
@@ -197,6 +231,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			err = emit(experiments.PortfolioComparison(cfg))
 		case "online":
 			err = emit(experiments.OnlineComparison(cfg))
+		case "incremental":
+			rows := experiments.IncrementalComparison(cfg)
+			experiments.PrintIncremental(stdout, rows)
+			err = emitCSV("incremental", func(w io.Writer) error {
+				return experiments.WriteCSVIncremental(w, rows)
+			})
 		case "pareto":
 			rows := experiments.ParetoComparisonEps(cfg, *eps)
 			experiments.PrintPareto(stdout, rows)
@@ -213,6 +253,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "\n[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if memProfFile != nil {
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(memProfFile); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
 	}
 	return nil
 }

@@ -33,6 +33,8 @@ func TestBenchFlagValidation(t *testing.T) {
 		{"negative workers", []string{"-workers", "-4"}, "-workers must be >= 0"},
 		{"missing csv dir", []string{"-exp", "fig3", "-csv", filepath.Join(unwritable, "nope")}, "-csv directory not writable"},
 		{"csv dir is a file", []string{"-exp", "fig3", "-csv", unwritable}, "-csv directory not writable"},
+		{"uncreatable cpuprofile", []string{"-exp", "fig3", "-cpuprofile", filepath.Join(unwritable, "cpu.pprof")}, "-cpuprofile"},
+		{"uncreatable memprofile", []string{"-exp", "fig3", "-memprofile", filepath.Join(unwritable, "mem.pprof")}, "-memprofile"},
 		{"undeclared flag", []string{"-frobnicate"}, ""}, // FlagSet's own error
 	}
 	for _, tc := range cases {
@@ -90,6 +92,50 @@ func TestBenchOnlineExperiment(t *testing.T) {
 	for _, e := range entries {
 		if strings.HasPrefix(e.Name(), ".spmap-bench-probe-") {
 			t.Fatalf("writability probe %s left behind", e.Name())
+		}
+	}
+}
+
+// TestBenchIncrementalExperiment smoke-runs the move-throughput
+// comparison end to end on a tiny profile with CSV export and both
+// profilers enabled. The experiment itself panics if the three
+// evaluation strategies ever disagree, so a clean run doubles as a
+// differential check.
+func TestBenchIncrementalExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout bytes.Buffer
+	err := run([]string{"-exp", "incremental", "-schedules", "2",
+		"-cpuprofile", cpu, "-memprofile", mem, "-csv", dir}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"full", "resume", "incremental", "moves/sec", "incremental completed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("incremental report missing %q:\n%s", want, out)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "incremental.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "speedup_vs_full") {
+		t.Fatalf("incremental.csv missing header:\n%s", csv)
+	}
+	for _, p := range []string{cpu, mem} {
+		// StopCPUProfile runs in a defer inside run, so both files are
+		// complete by the time run returns.
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
 		}
 	}
 }

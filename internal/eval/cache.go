@@ -167,7 +167,7 @@ func (e *Engine) WithCache(c *Cache) *Engine {
 				"create a fresh Cache per compiled kernel instead of re-attaching one across rebuilds")
 		}
 	}
-	return &Engine{k: e.k, workers: e.workers, pool: e.pool, prePool: e.prePool, cache: c}
+	return &Engine{k: e.k, workers: e.workers, pool: e.pool, prePool: e.prePool, cache: c, noInc: e.noInc}
 }
 
 // Cacheable reports whether a Cache can serve this engine's platform

@@ -82,6 +82,35 @@ func FuzzEngineEnergyMatchesReference(f *testing.F) {
 				}
 			}
 		}
+
+		// An incremental session is single-objective, so the energy path
+		// never goes through it — but a live session shares the engine's
+		// state pools with the MO batch path. Interleaving the two must
+		// perturb neither: session makespans stay bit-identical to the
+		// reference and batch energies keep matching wantEn throughout.
+		inc := eng.Incremental(m, nil)
+		rng := rand.New(rand.NewSource(seed + 17))
+		cur := m.Clone()
+		one := make([]graph.NodeID, 1)
+		for step := 0; step < 4; step++ {
+			one[0] = graph.NodeID(rng.Intn(g.NumTasks()))
+			d := rng.Intn(nd)
+			cand := cur.Clone().Assign(one, d)
+			if got, want := inc.Evaluate(one, d, math.Inf(1)), ev.ReferenceMakespan(cand); got != want {
+				t.Fatalf("session step %d: eval %v != reference %v", step, got, want)
+			}
+			if _, en := eng.EvaluateBatchMO(ops, math.Inf(1)); en[0] != wantEn[0] {
+				t.Fatalf("session step %d: interleaved MO energy %v != reference %v", step, en[0], wantEn[0])
+			}
+			if rng.Intn(2) == 0 {
+				inc.Apply(one, d)
+				cur = cand
+			}
+		}
+		if got, want := inc.Makespan(), ev.ReferenceMakespan(cur); got != want {
+			t.Fatalf("session makespan %v != reference %v after MO interleaving", got, want)
+		}
+		inc.Close()
 	})
 }
 

@@ -35,6 +35,10 @@ type Engine struct {
 	// cache, if non-nil, memoizes exact evaluation results across all
 	// engines sharing it (see WithCache and type Cache).
 	cache *Cache
+	// noInc disables the fast-forward incremental resume path (see
+	// WithIncremental); kept in negated form so the zero value selects
+	// the fast path.
+	noInc bool
 }
 
 // NewEngine compiles an engine for (g, p) evaluating mappings as the
@@ -86,7 +90,18 @@ func (e *Engine) Workers() int { return e.workers }
 // pool and cache but fanning batches out over w goroutines (w <= 0
 // selects GOMAXPROCS). The receiver is not modified.
 func (e *Engine) WithWorkers(w int) *Engine {
-	return &Engine{k: e.k, workers: normWorkers(w), pool: e.pool, prePool: e.prePool, cache: e.cache}
+	return &Engine{k: e.k, workers: normWorkers(w), pool: e.pool, prePool: e.prePool, cache: e.cache, noInc: e.noInc}
+}
+
+// WithIncremental returns an engine sharing this engine's kernel, pools
+// and cache, with the fast-forward incremental resume path enabled
+// (on = true; the default for every new engine) or disabled (plain
+// prefix-resume — the PR 4 behavior, kept selectable for benchmark
+// comparisons). Both settings produce bit-identical results for every
+// evaluation (see makespanInc); the switch only changes how much of each
+// schedule order is replayed. The receiver is not modified.
+func (e *Engine) WithIncremental(on bool) *Engine {
+	return &Engine{k: e.k, workers: e.workers, pool: e.pool, prePool: e.prePool, cache: e.cache, noInc: !on}
 }
 
 // Op is one evaluation request of a batch: the mapping Base with every
@@ -374,7 +389,10 @@ func (e *Engine) evalOp(st *simState, op Op, cutoff float64, pre *lazyPrefix, pr
 		var ms float64
 		sim := func() float64 {
 			if pre != nil && preBase == &op.Base[0] {
-				return e.k.makespanResume(st, st.mbuf, op.Patch, pre.get(), cutoff)
+				if e.noInc {
+					return e.k.makespanResume(st, st.mbuf, op.Patch, pre.get(), cutoff)
+				}
+				return e.k.makespanInc(st, st.mbuf, op.Patch, pre.get(), cutoff, true, nil, nil)
 			}
 			return e.k.makespan(st, st.mbuf, cutoff)
 		}

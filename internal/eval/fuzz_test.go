@@ -10,6 +10,7 @@ package eval_test
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"spmap/internal/eval"
@@ -128,6 +129,82 @@ func FuzzEngineMatchesReference(f *testing.F) {
 					}
 				}
 			}
+		}
+
+		// Incremental session: a payload-derived move sequence
+		// interleaves Evaluate (exact and under a cutoff), Apply, Rebase
+		// and Makespan; every result must stay bit-identical to the
+		// reference simulation of the materialized mapping. The parity
+		// gate forces the plain prefix-resume fallback for odd-sized
+		// multi-task patches, so both session paths are driven.
+		n := g.NumTasks()
+		rng := rand.New(rand.NewSource(seed<<8 | int64(len(data)%251)))
+		gate := func(p []graph.NodeID) bool { return len(p)%2 == 0 }
+		inc := eng.Incremental(m, gate)
+		cur := m.Clone()
+		for step := 0; step < 10; step++ {
+			np := 1 + rng.Intn(3)
+			if np > n {
+				np = n
+			}
+			dev := rng.Intn(nd)
+			patch := make([]graph.NodeID, 0, np)
+			for len(patch) < np {
+				v := graph.NodeID(rng.Intn(n))
+				dup := false
+				for _, u := range patch {
+					dup = dup || u == v
+				}
+				if !dup {
+					patch = append(patch, v)
+				}
+			}
+			cand := cur.Clone().Assign(patch, dev)
+			wantC := ev.ReferenceMakespan(cand)
+			if got := inc.Evaluate(patch, dev, math.Inf(1)); got != wantC {
+				t.Fatalf("session step %d: eval %v != reference %v (patch %v dev %d)",
+					step, got, wantC, patch, dev)
+			}
+			if wantC != model.Infeasible && wantC > 0 {
+				cutoff := wantC * [3]float64{0.75, 1, 1.25}[rng.Intn(3)]
+				got := inc.Evaluate(patch, dev, cutoff)
+				if got <= cutoff && got != wantC {
+					t.Fatalf("session step %d cutoff %v: got %v, want exact %v", step, cutoff, got, wantC)
+				}
+				if got > cutoff && (wantC <= cutoff || got > wantC) {
+					t.Fatalf("session step %d cutoff %v: invalid certificate %v (exact %v)",
+						step, cutoff, got, wantC)
+				}
+			}
+			switch rng.Intn(4) {
+			case 0, 1:
+				inc.Apply(patch, dev)
+				cur = cand
+			case 2: // rejected candidate; the session base is unchanged
+			case 3:
+				for v := range cur {
+					cur[v] = rng.Intn(nd)
+				}
+				inc.Rebase(cur)
+			}
+			if rng.Intn(3) == 0 {
+				if got, want := inc.Makespan(), ev.ReferenceMakespan(cur); got != want {
+					t.Fatalf("session step %d: makespan %v != reference %v", step, got, want)
+				}
+			}
+		}
+		if st := inc.Stats(); st.Evals == 0 || st.Rebuilds == 0 {
+			t.Fatalf("session stats did not count: %+v", st)
+		}
+		inc.Close()
+		// Pool hygiene: buffers returned by Close must not poison later
+		// engine evaluations, and a WithIncremental(false) engine must
+		// refuse to open a session at all.
+		if got, want := eng.Makespan(cur), ev.ReferenceMakespan(cur); got != want {
+			t.Fatalf("post-Close engine %v != reference %v", got, want)
+		}
+		if eng.WithIncremental(false).Incremental(m, nil) != nil {
+			t.Fatal("Incremental session on a WithIncremental(false) engine")
 		}
 	})
 }

@@ -111,6 +111,13 @@ type kernel struct {
 	inBytes []float64
 	inSigma []float64
 
+	// Out-edge CSR: the readers of task v occupy outTo[outStart[v]:
+	// outStart[v+1]]; outEdge holds the matching in-edge index (for
+	// bytes/sigma). Built by transposing the in-edge CSR in compile.
+	outStart []int32
+	outTo    []int32
+	outEdge  []int32
+
 	// entryBytes[v] is the task's SourceBytes if v is an entry task (no
 	// in-edges), else 0; entry data arrives from the host device.
 	entryBytes []float64
@@ -127,6 +134,10 @@ type kernel struct {
 	// next-free array.
 	slotStart []int32
 	numSlots  int
+	// invSlots[d] is 1/numSlots(d) for non-spatial devices and 0 for
+	// spatial ones — the capacity factor of the incremental evaluator's
+	// load lower bound (see incremental.go).
+	invSlots []float64
 
 	// Star-interconnect transfer constants per ordered device pair
 	// (a*nd+b): pairLat is the summed per-hop setup latency, pairBW the
@@ -135,6 +146,20 @@ type kernel struct {
 	// the same order, as platform.TransferTime.
 	pairLat []float64
 	pairBW  []float64
+
+	// maxOutPos[o*n+v] is, within order o, the last position that reads
+	// task v's placement: the maximum order-o position over v itself and
+	// all of v's consumers. It is the static half of the incremental
+	// evaluator's dirty-path bound (see incremental.go): once a resumed
+	// simulation passes this position for every mutated task, no
+	// remaining task can observe the mutation through a data edge, and
+	// only the device-slot state can still differ from the memoized base
+	// recording. Mapping-independent, so it lives on the kernel.
+	maxOutPos []int32
+	// bres[v] is the downstream path residual: a mapping-free lower
+	// bound on the schedule time after v's finish (built in compile,
+	// used by the incremental evaluator's path rejection bound).
+	bres []float64
 }
 
 // compile flattens (g, p, orders) into a kernel. The orders must be
@@ -170,6 +195,12 @@ func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kerne
 		k.slotStart[d+1] = k.slotStart[d] + int32(dev.NumSlots())
 	}
 	k.numSlots = int(k.slotStart[nd])
+	k.invSlots = make([]float64, nd)
+	for d := 0; d < nd; d++ {
+		if !k.devSpatial[d] {
+			k.invSlots[d] = 1 / float64(k.slotStart[d+1]-k.slotStart[d])
+		}
+	}
 	k.pos = make([]int32, len(orders)*n)
 	for o, order := range orders {
 		for i, v := range order {
@@ -199,6 +230,30 @@ func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kerne
 		}
 		k.inStart[v+1] = int32(len(k.inFrom))
 	}
+	// Out-edge CSR: the in-edge CSR transposed, with outEdge pointing
+	// back at the in-edge record so consumers can read bytes/sigma. The
+	// incremental evaluator walks it to bound, for a moved task, how far
+	// each of its not-yet-placed readers' dependence terms can shift
+	// backward (see readerDelta in incremental.go).
+	k.outStart = make([]int32, n+1)
+	for i := range k.inFrom {
+		k.outStart[k.inFrom[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		k.outStart[v+1] += k.outStart[v]
+	}
+	k.outTo = make([]int32, len(k.inFrom))
+	k.outEdge = make([]int32, len(k.inFrom))
+	fill := make([]int32, n)
+	for w := 0; w < n; w++ {
+		for i := k.inStart[w]; i < k.inStart[w+1]; i++ {
+			u := k.inFrom[i]
+			at := k.outStart[u] + fill[u]
+			fill[u]++
+			k.outTo[at] = int32(w)
+			k.outEdge[at] = i
+		}
+	}
 	for a := 0; a < nd; a++ {
 		for b := 0; b < nd; b++ {
 			da, db := &p.Devices[a], &p.Devices[b]
@@ -208,6 +263,73 @@ func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kerne
 			}
 			k.pairLat[a*nd+b] = da.Latency + db.Latency
 			k.pairBW[a*nd+b] = bw
+		}
+	}
+	// Consumer-position index: transpose the in-edge CSR per order. A
+	// task's own position is the floor (a move of v always re-places v
+	// itself).
+	k.maxOutPos = make([]int32, len(orders)*n)
+	for o := range orders {
+		row := k.maxOutPos[o*n : (o+1)*n]
+		posRow := k.pos[o*n : (o+1)*n]
+		for v := 0; v < n; v++ {
+			row[v] = posRow[v]
+		}
+		for v := 0; v < n; v++ {
+			pv := posRow[v]
+			for i := k.inStart[v]; i < k.inStart[v+1]; i++ {
+				if u := k.inFrom[i]; pv > row[u] {
+					row[u] = pv
+				}
+			}
+		}
+	}
+	// Downstream residuals: bres[v] lower-bounds, over every possible
+	// mapping, the schedule time that must elapse after v finishes —
+	// the longest chain of per-edge finish-to-finish deltas below v.
+	// Each dependence edge u -> w forces finish(w) >= finish(u) + delta
+	// with delta = exec(w on its device) in the blocking case or
+	// exec(w)/sigma in the streaming case (the drain constraint), so the
+	// mapping-free delta is min(min_d exec, min_{streaming d} exec/sigma).
+	// Any placed task v therefore certifies makespan >= finish(v) +
+	// bres[v] — the path lower bound the incremental evaluator uses to
+	// reject over-cutoff candidates without replaying their schedules
+	// (see incremental.go).
+	k.bres = make([]float64, n)
+	if k.numOrders > 0 {
+		minExec := make([]float64, n)
+		minExecStream := make([]float64, n)
+		for v := 0; v < n; v++ {
+			me, ms := math.Inf(1), math.Inf(1)
+			for d := 0; d < nd; d++ {
+				e := k.exec[d*n+v]
+				if e < me {
+					me = e
+				}
+				if k.devStreaming[d] && e < ms {
+					ms = e
+				}
+			}
+			minExec[v], minExecStream[v] = me, ms
+		}
+		// Any schedule order is a topological order; sweeping one in
+		// reverse finalizes every reader before its producers.
+		ord := k.orders[:n]
+		for j := n - 1; j >= 0; j-- {
+			w := int(ord[j])
+			bw := k.bres[w]
+			for i := k.inStart[w]; i < k.inStart[w+1]; i++ {
+				u := int(k.inFrom[i])
+				dm := minExec[w]
+				if sigma := k.inSigma[i]; sigma > 0 && !math.IsInf(minExecStream[w], 1) {
+					if x := minExecStream[w] / sigma; x < dm {
+						dm = x
+					}
+				}
+				if x := bw + dm; x > k.bres[u] {
+					k.bres[u] = x
+				}
+			}
 		}
 	}
 	return k
@@ -228,17 +350,37 @@ type simState struct {
 	// was placed by the current simOrder call.
 	stamp []uint64
 	epoch uint64
+
+	// load/freeSum are the incremental evaluator's per-device capacity
+	// scratch: remaining execution load of the unplaced order suffix and
+	// the running sum of slot next-free times (see incremental.go).
+	load    []float64
+	freeSum []float64
+
+	// sortA/sortB are the dominance check's per-device slot sorting
+	// scratch (see slotsDominate in incremental.go).
+	sortA, sortB []float64
+
+	// cpbuf is the composed-patch scratch of the incremental session's
+	// lazy apply: the caller's patch extended with an order's pending
+	// not-yet-folded moves (see kernel.composed in incremental.go).
+	cpbuf []graph.NodeID
 }
 
 func (k *kernel) newState() *simState {
 	return &simState{
-		start:  make([]float64, k.n),
-		finish: make([]float64, k.n),
-		free:   make([]float64, k.numSlots),
-		area:   make([]float64, k.nd),
-		mbuf:   make([]int, k.n),
-		keybuf: make([]byte, k.n),
-		stamp:  make([]uint64, k.n),
+		start:   make([]float64, k.n),
+		finish:  make([]float64, k.n),
+		free:    make([]float64, k.numSlots),
+		area:    make([]float64, k.nd),
+		mbuf:    make([]int, k.n),
+		keybuf:  make([]byte, k.n),
+		stamp:   make([]uint64, k.n),
+		load:    make([]float64, k.nd),
+		freeSum: make([]float64, k.nd),
+		sortA:   make([]float64, k.numSlots),
+		sortB:   make([]float64, k.numSlots),
+		cpbuf:   make([]graph.NodeID, 0, k.n),
 	}
 }
 
@@ -255,6 +397,35 @@ type batchPrefix struct {
 	start, finish []float64 // [o*n + v]
 	freeCkpt      []float64 // [(o*n + i)*numSlots + s]
 	msCkpt        []float64 // [o*n + i]
+
+	// sufMax[o*(n+1)+i] is the maximum finish time over order-o positions
+	// >= i of the recorded base (sufMax[..+n] = -Inf). It is the
+	// memoized contribution of the untouched suffix: a resumed simulation
+	// whose schedule state reconverges with the recording at position i
+	// has final makespan max(running, sufMax[i]) without replaying the
+	// suffix (see incremental.go). sufMax[o*(n+1)] is order o's full
+	// recorded makespan. Filled by buildPrefix; kept consistent by
+	// Incremental.Apply's windowed rebase.
+	sufMax []float64
+
+	// baseMO[o*n+v] is the device the order-o recording placed task v on —
+	// the reference the incremental bounds diff patches against. The rows
+	// start identical (buildPrefix) but diverge under the incremental
+	// session's lazy apply, which folds accepted moves into each order's
+	// recording only when that order is actually evaluated again (see
+	// Incremental.Apply and kernel.applyOrder in incremental.go).
+	baseMO []int32
+	// sufLoad[(o*(n+1)+i)*nd+d] is the total execution time, on device d,
+	// of the order-o tasks at positions >= i under baseMO's order-o row
+	// (row n is all zeros). It feeds the capacity lower bound (see
+	// incremental.go):
+	// at a resume position the remaining per-device load divided by the
+	// device's slot count bounds the order makespan from below, killing
+	// over-cutoff candidates without replaying them. Unlike the schedule
+	// recording it is pure arithmetic over (order, mapping), so
+	// Incremental.Apply keeps it exactly up to date with the same
+	// suffix-sum recurrence buildPrefix uses (bit-identical, drift-free).
+	sufLoad []float64
 }
 
 func (k *kernel) newPrefix() *batchPrefix {
@@ -264,6 +435,9 @@ func (k *kernel) newPrefix() *batchPrefix {
 		finish:   make([]float64, on),
 		freeCkpt: make([]float64, on*k.numSlots),
 		msCkpt:   make([]float64, on),
+		sufMax:   make([]float64, k.numOrders*(k.n+1)),
+		baseMO:   make([]int32, on),
+		sufLoad:  make([]float64, k.numOrders*(k.n+1)*k.nd),
 	}
 }
 
@@ -460,8 +634,36 @@ func (k *kernel) simOrder(st *simState, m []int, o int, i0 int, pre *batchPrefix
 // suffixes continue bit-identically. Infeasibility of the base is
 // irrelevant here — the prefix only supplies the shared schedule state.
 func (k *kernel) buildPrefix(st *simState, base []int, pre *batchPrefix) {
+	n, nd := k.n, k.nd
 	for o := 0; o < k.numOrders; o++ {
+		row := pre.baseMO[o*n : (o+1)*n]
+		for v, d := range base {
+			row[v] = int32(d)
+		}
 		k.simOrder(st, base, o, 0, nil, math.Inf(1), pre)
+		suf := pre.sufMax[o*(n+1) : (o+1)*(n+1)]
+		suf[n] = math.Inf(-1)
+		finish := pre.finish[o*n : (o+1)*n]
+		order := k.orders[o*n : (o+1)*n]
+		for j := n - 1; j >= 0; j-- {
+			suf[j] = suf[j+1]
+			if f := finish[order[j]]; f > suf[j] {
+				suf[j] = f
+			}
+		}
+		// Suffix loads, by the same reverse recurrence Incremental.Apply
+		// re-derives dirty rows with (each row = the row above plus one
+		// task), so a rebuilt row is bit-identical to a fresh build.
+		sl := pre.sufLoad[o*(n+1)*nd : (o+1)*(n+1)*nd]
+		for d := 0; d < nd; d++ {
+			sl[n*nd+d] = 0
+		}
+		for j := n - 1; j >= 0; j-- {
+			copy(sl[j*nd:(j+1)*nd], sl[(j+1)*nd:(j+2)*nd])
+			v := int(order[j])
+			d := base[v]
+			sl[j*nd+d] += k.exec[d*n+v]
+		}
 	}
 }
 

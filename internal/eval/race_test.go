@@ -59,6 +59,69 @@ func TestEvaluateBatchConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestIncrementalSessionsConcurrent pins the incremental sessions'
+// supported concurrency shape: each session is single-goroutine, but
+// any number of sessions may share one engine (and its state pools)
+// while other goroutines run batches on it. Every session must produce
+// the same values a private engine evaluation would.
+func TestIncrementalSessionsConcurrent(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(7))
+	g := gen.SeriesParallel(rng, 50, gen.DefaultAttr())
+	eng := eval.NewEngineSchedules(g, p, 10, 4, eval.Options{Workers: 4})
+	n := g.NumTasks()
+	nd := p.NumDevices()
+	base := mapping.Baseline(g, p)
+
+	var ops []eval.Op
+	for v := 0; v < n; v += 2 {
+		ops = append(ops, eval.Op{Base: base, Patch: []graph.NodeID{graph.NodeID(v)}, Device: (v + 1) % nd})
+	}
+	wantBatch := eng.EvaluateBatch(ops, math.Inf(1))
+
+	const sessions = 4
+	var wg sync.WaitGroup
+	for c := 0; c < sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			inc := eng.Incremental(base, nil)
+			defer inc.Close()
+			cur := base.Clone()
+			patch := make([]graph.NodeID, 1)
+			for step := 0; step < 40; step++ {
+				patch[0] = graph.NodeID(rng.Intn(n))
+				dev := rng.Intn(nd)
+				want := eng.Makespan(cur.Clone().Assign(patch, dev))
+				if got := inc.Evaluate(patch, dev, math.Inf(1)); got != want {
+					t.Errorf("session %d step %d: %v != %v", c, step, got, want)
+					return
+				}
+				if rng.Intn(3) == 0 {
+					inc.Apply(patch, dev)
+					cur.Assign(patch, dev)
+				}
+			}
+		}(c)
+	}
+	// Concurrent batch traffic over the same engine and pools.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			got := eng.EvaluateBatch(ops, math.Inf(1))
+			for j := range got {
+				if got[j] != wantBatch[j] {
+					t.Errorf("batch %d op %d: %v != %v", i, j, got[j], wantBatch[j])
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
 func TestEvaluateBatchCutoffConcurrent(t *testing.T) {
 	p := platform.Reference()
 	rng := rand.New(rand.NewSource(6))

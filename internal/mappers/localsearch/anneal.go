@@ -123,6 +123,11 @@ func (s *searcher) anneal() {
 				for _, v := range ops[i].Patch {
 					s.cur[v] = ops[i].Device
 				}
+				if s.inc != nil {
+					// Repair the session recording in place (windowed
+					// rebase — no re-recording).
+					s.inc.Apply(ops[i].Patch, ops[i].Device)
+				}
 				s.moveTo(i, val)
 				// The incumbent changed: the remaining results of this
 				// block were evaluated against a stale base. Discard them
@@ -137,6 +142,9 @@ func (s *searcher) anneal() {
 		// instead of cooling into a worse valley.
 		if s.curVal-s.bestVal > acceptTailFactor*temp {
 			copy(s.cur, s.best)
+			if s.inc != nil {
+				s.inc.Rebase(s.cur)
+			}
 			s.curVal = s.bestVal
 			s.curMS, s.curEn = s.bestMS, s.bestEn
 		}

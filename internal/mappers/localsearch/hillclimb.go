@@ -72,8 +72,15 @@ func (s *searcher) hillClimb() {
 			return // an incomplete neighborhood scan would bias the argmin
 		}
 		// The incumbent is the cutoff: improving results are exact, the
-		// rest abort early and can never win the argmin below.
-		res := s.evalBatch(ops, s.curVal)
+		// rest abort early and can never win the argmin below. The
+		// session path additionally tightens the cutoff to the running
+		// winner, which cannot change the argmin (see evalBatchMin).
+		var res []float64
+		if s.inc != nil {
+			res = s.evalBatchMin(ops, s.curVal)
+		} else {
+			res = s.evalBatch(ops, s.curVal)
+		}
 		s.stats.Evaluations += len(ops)
 		bestOp, bestVal := -1, s.curVal-s.curVal*improvementEps
 		for i, val := range res {
@@ -84,6 +91,9 @@ func (s *searcher) hillClimb() {
 		if bestOp >= 0 {
 			for _, v := range ops[bestOp].Patch {
 				s.cur[v] = ops[bestOp].Device
+			}
+			if s.inc != nil {
+				s.inc.Apply(ops[bestOp].Patch, ops[bestOp].Device)
 			}
 			s.moveTo(bestOp, bestVal)
 			continue
@@ -104,6 +114,13 @@ func (s *searcher) hillClimb() {
 			s.curMS = s.eng.Makespan(s.cur)
 			s.curEn = s.eng.Energy(s.cur)
 			s.curVal = s.cost(s.curMS, s.curEn)
+		} else if s.inc != nil {
+			// Kicks change many tasks at once: re-record rather than
+			// rebase, and read the (bit-identical) makespan off the fresh
+			// recording.
+			s.inc.Rebase(s.cur)
+			s.curVal = s.inc.Makespan()
+			s.curMS = s.curVal
 		} else {
 			s.curVal = s.eng.Makespan(s.cur)
 			s.curMS = s.curVal
@@ -114,6 +131,9 @@ func (s *searcher) hillClimb() {
 			// Repair could not restore feasibility (it only moves tasks to
 			// the default device); restart from the best-seen mapping.
 			copy(s.cur, s.best)
+			if s.inc != nil {
+				s.inc.Rebase(s.cur)
+			}
 			s.curVal = s.bestVal
 			s.curMS, s.curEn = s.bestMS, s.bestEn
 		} else {

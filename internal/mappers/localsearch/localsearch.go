@@ -199,6 +199,18 @@ type searcher struct {
 	best    mapping.Mapping // best-seen (the returned mapping)
 	bestVal float64
 
+	// inc, in single-objective mode, is the engine's incremental
+	// evaluation session around the incumbent: candidate moves replay
+	// only their dirty schedule window against a persistent recording
+	// that accepted moves repair in place (Apply) instead of
+	// re-recording. Values at or below the bound are exact and
+	// bit-identical to the batch path, so every accept/argmin decision —
+	// and therefore every mapping, stat and golden — is unchanged; only
+	// the evaluation cost drops. nil in weighted mode (which keeps the
+	// engine's multi-objective batch path) and on degenerate instances.
+	inc  *eval.Incremental
+	vals []float64 // reused result buffer of the session path
+
 	lastSync   int // evaluations consumed at the last Sync invocation
 	schedStart int // evaluations at the last annealing-schedule restart
 
@@ -288,8 +300,11 @@ func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
 	// The multi-node series-parallel subgraph sets (singletons are the
 	// single-move neighborhood already). Decomposition is deterministic
 	// under the search seed; on the rare failure the co-move pool just
-	// stays smaller.
-	if sets, _, err := sp.SeriesParallelSubgraphs(g, sp.Options{Seed: opt.Seed}); err == nil {
+	// stays smaller. The forest doubles as the incremental evaluator's
+	// composition-boundary gate below.
+	var forest *sp.Forest
+	if sets, f, err := sp.SeriesParallelSubgraphs(g, sp.Options{Seed: opt.Seed}); err == nil {
+		forest = f
 		for _, sub := range sets {
 			if len(sub) >= 2 {
 				s.subs = append(s.subs, sub)
@@ -304,11 +319,30 @@ func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
 
 	// Degenerate instances leave nothing to search.
 	if s.n > 0 && s.nd > 1 && s.curVal > 0 {
+		if !s.mo {
+			// Single-objective searches evaluate through an incremental
+			// session: moves within one series-parallel decomposition tree
+			// (single tasks, edge co-moves and the §III-C subgraph sets all
+			// are — the forest partitions the edges) take the fast-forward
+			// path; a hypothetical boundary-crossing patch would fall back
+			// to the plain prefix-resume replay. Weighted mode keeps the
+			// engine's multi-objective batch path (which the engine
+			// fast-forwards transparently on its own).
+			var gate func([]graph.NodeID) bool
+			if forest != nil {
+				gate = sp.NewIndex(forest, s.n).Within
+			}
+			s.inc = s.eng.Incremental(s.cur, gate)
+		}
 		switch opt.Algorithm {
 		case HillClimb:
 			s.hillClimb()
 		default:
 			s.anneal()
+		}
+		if s.inc != nil {
+			s.inc.Close()
+			s.inc = nil
 		}
 	}
 	s.stats.Makespan = s.bestMS
@@ -366,6 +400,13 @@ func (s *searcher) msCutFor(bound float64) float64 {
 // bound).
 func (s *searcher) evalBatch(ops []eval.Op, bound float64) []float64 {
 	if !s.mo {
+		if s.inc != nil {
+			vals := s.resultBuf(len(ops))
+			for i := range ops {
+				vals[i] = s.inc.Evaluate(ops[i].Patch, ops[i].Device, bound)
+			}
+			return vals
+		}
 		return s.eng.EvaluateBatch(ops, bound)
 	}
 	msCut := s.msCutFor(bound)
@@ -385,6 +426,35 @@ func (s *searcher) evalBatch(ops []eval.Op, bound float64) []float64 {
 		}
 	}
 	return vals
+}
+
+// evalBatchMin is the hill climber's session-path variant of evalBatch:
+// ops are evaluated serially with the cutoff progressively tightened to
+// the best value seen so far. The subsequent argmin (strict improvement
+// over the running winner, lowest index on ties) is provably unchanged:
+// any candidate at or below the running cutoff is exact, and any
+// cutoff-clamped result certifies a value that could not have won —
+// so the tightening only buys earlier simulation aborts. Must not be
+// used where every exact value matters (annealing's Metropolis scan).
+func (s *searcher) evalBatchMin(ops []eval.Op, bound float64) []float64 {
+	vals := s.resultBuf(len(ops))
+	cut := bound
+	for i := range ops {
+		v := s.inc.Evaluate(ops[i].Patch, ops[i].Device, cut)
+		if v < cut {
+			cut = v
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+// resultBuf returns the reused session-path result slice resized to n.
+func (s *searcher) resultBuf(n int) []float64 {
+	if cap(s.vals) < n {
+		s.vals = make([]float64, n)
+	}
+	return s.vals[:n]
 }
 
 // moveTo commits an accepted batch candidate: the incumbent mapping was
@@ -435,6 +505,9 @@ func (s *searcher) maybeSync() (stop bool) {
 	// searcher's scalarization, so injection is skipped.
 	if !s.mo && d.Elite != nil && len(d.Elite) == len(s.cur) && d.EliteValue < s.curVal {
 		copy(s.cur, d.Elite)
+		if s.inc != nil {
+			s.inc.Rebase(s.cur) // foreign incumbent: lazy re-record
+		}
 		s.curVal = d.EliteValue
 		s.curMS = d.EliteValue
 		s.stats.Injected++

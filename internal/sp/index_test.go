@@ -1,0 +1,93 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+)
+
+// TestIndexSeriesParallel pins the trivial case the gate hits on SP
+// graphs: one tree, so every task set is within it.
+func TestIndexSeriesParallel(t *testing.T) {
+	g := fig1Graph()
+	f, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(f, g.NumTasks())
+	if ix.NumTrees() != 1 || ix.NumTasks() != g.NumTasks() {
+		t.Fatalf("index shape trees=%d tasks=%d, want 1 tree over %d tasks", ix.NumTrees(), ix.NumTasks(), g.NumTasks())
+	}
+	if !ix.Within([]graph.NodeID{0, 3, 5}) || !ix.Within([]graph.NodeID{2}) {
+		t.Fatal("SP graph: every task set must lie within the single tree")
+	}
+	if !ix.Within(nil) || !ix.Within([]graph.NodeID{graph.None}) {
+		t.Fatal("empty and all-ignored sets are trivially within")
+	}
+}
+
+// TestIndexMembershipMatchesForest cross-checks the bitset against the
+// forest's own node lists on non-SP graphs (cut trees, shared boundary
+// nodes): Within(set) must equal "some tree's node set contains set".
+func TestIndexMembershipMatchesForest(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.AlmostSeriesParallel(rng, 40, 15, gen.DefaultAttr())
+		f, err := Decompose(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := NewIndex(f, g.NumTasks())
+		if ix.NumTrees() != len(f.Trees) {
+			t.Fatalf("seed %d: NumTrees %d != forest %d", seed, ix.NumTrees(), len(f.Trees))
+		}
+		inTree := make([]map[graph.NodeID]bool, len(f.Trees))
+		for ti := range f.Trees {
+			inTree[ti] = map[graph.NodeID]bool{}
+			for _, v := range ix.Tasks(ti) {
+				inTree[ti][v] = true
+			}
+			// Tasks must be the tree's real (non-virtual) node set.
+			want := 0
+			for _, v := range f.Trees[ti].Nodes() {
+				if int(v) < g.NumTasks() {
+					want++
+				}
+			}
+			if len(ix.Tasks(ti)) != want {
+				t.Fatalf("seed %d tree %d: Tasks has %d entries, forest has %d real nodes",
+					seed, ti, len(ix.Tasks(ti)), want)
+			}
+		}
+		within := func(set []graph.NodeID) bool {
+			for ti := range f.Trees {
+				all := true
+				for _, v := range set {
+					if !inTree[ti][v] {
+						all = false
+						break
+					}
+				}
+				if all {
+					return true
+				}
+			}
+			return false
+		}
+		for trial := 0; trial < 400; trial++ {
+			k := 1 + rng.Intn(3)
+			set := make([]graph.NodeID, k)
+			for i := range set {
+				set[i] = graph.NodeID(rng.Intn(g.NumTasks()))
+			}
+			if got, want := ix.Within(set), within(set); got != want {
+				t.Fatalf("seed %d: Within(%v) = %v, forest says %v", seed, set, got, want)
+			}
+		}
+		if ix.Within(nil) != true {
+			t.Fatal("empty set must be within")
+		}
+	}
+}

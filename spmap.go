@@ -81,6 +81,17 @@
 // this way by default. In particular, every stochastic mapper
 // (MapGenetic, MapLocalSearch, Refine) is reproducible: a fixed Seed
 // yields an identical mapping and stats for any Workers value.
+//
+// Single-objective local search additionally evaluates through
+// Engine.Incremental (package eval): a long-lived session that records
+// the incumbent's simulation once and then serves each candidate move
+// in O(changed window) — capacity lower bounds, resumed replays with
+// fast-forward reconvergence, and lazy in-place repair on accepted
+// moves — with results bit-identical to Engine.Makespan on the
+// materialized mapping and zero steady-state allocations. This is an
+// engine-internal fast path: it changes no spmap-level API or result,
+// only the wall-clock cost of MapLocalSearch, Refine and the repair
+// passes built on them.
 package spmap
 
 import (
