@@ -36,38 +36,24 @@ import (
 	"strings"
 	"time"
 
+	"spmap/internal/cli"
 	"spmap/internal/experiments"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap-bench: ")
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
-	switch {
-	case err == nil:
-	case errors.Is(err, flag.ErrHelp):
-		os.Exit(0) // -h/-help: usage already printed
-	case isUsageError(err):
-		os.Exit(2)
-	default:
-		log.Fatal(err)
-	}
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// usageError marks option-validation failures: main exits 2 after run
-// has printed the message and the flag usage.
-type usageError struct{ error }
-
-func isUsageError(err error) bool {
-	var ue usageError
-	return errors.As(err, &ue)
-}
+// isUsageError classifies option-validation failures (exit status 2).
+func isUsageError(err error) bool { return cli.IsUsage(err) }
 
 // knownExperiments is the -exp vocabulary.
 var knownExperiments = map[string]bool{
 	"fig3": true, "fig4": true, "fig5": true, "fig6": true, "fig7": true,
 	"table1": true, "ablation": true, "localsearch": true, "pareto": true,
-	"portfolio": true, "online": true, "incremental": true,
+	"portfolio": true, "online": true, "incremental": true, "service": true,
 }
 
 // run is main's testable body: it parses and validates args, executes
@@ -78,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spmap-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental all")
+		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental service all")
 		paper     = fs.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = fs.Int("graphs", 0, "override graphs per data point (>= 0; 0 = profile default)")
 		schedules = fs.Int("schedules", 0, "override random schedules in the cost function (>= 0)")
@@ -88,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers   = fs.Int("workers", 0, "evaluation-engine worker pool (>= 0; 0 = GOMAXPROCS, 1 = serial; results are identical)")
 		eps       = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -exp pareto (>= 0; 0 = exact front)")
 		csvDir    = fs.String("csv", "", "also write <experiment>.csv files into this directory")
+		addr      = fs.String("addr", "", "for -exp service: fire the load generator at a live spmapd base URL instead of in-process services")
+		jsonPath  = fs.String("json", "", "for -exp service: also write the load rows as JSON to this file")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	)
@@ -97,10 +85,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		// The FlagSet already reported the problem and the usage to
 		// stderr; classify it for main's exit-2 path without reprinting.
-		return usageError{err}
+		return cli.Usage(err)
 	}
 	usage := func(format string, a ...any) error {
-		err := usageError{fmt.Errorf(format, a...)}
+		err := cli.Usage(fmt.Errorf(format, a...))
 		fmt.Fprintf(stderr, "spmap-bench: %v\n", err)
 		fs.Usage()
 		return err
@@ -123,11 +111,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *exp == "all" {
 		names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
 	}
+	hasService := false
 	for i, name := range names {
 		names[i] = strings.TrimSpace(name)
 		if !knownExperiments[names[i]] {
 			return usage("unknown experiment %q", names[i])
 		}
+		hasService = hasService || names[i] == "service"
+	}
+	if (*addr != "" || *jsonPath != "") && !hasService {
+		return usage("-addr and -json apply to -exp service only")
 	}
 	if *csvDir != "" {
 		// Probe writability upfront: failing after hours of sweep is the
@@ -237,6 +230,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 			err = emitCSV("incremental", func(w io.Writer) error {
 				return experiments.WriteCSVIncremental(w, rows)
 			})
+		case "service":
+			rows := experiments.ServiceLoad(cfg, *addr)
+			experiments.PrintService(stdout, rows)
+			err = emitCSV("service", func(w io.Writer) error {
+				return experiments.WriteCSVService(w, rows)
+			})
+			if err == nil && *jsonPath != "" {
+				var f *os.File
+				if f, err = os.Create(*jsonPath); err == nil {
+					err = experiments.WriteJSONService(f, rows)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+			}
 		case "pareto":
 			rows := experiments.ParetoComparisonEps(cfg, *eps)
 			experiments.PrintPareto(stdout, rows)

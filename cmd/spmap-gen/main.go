@@ -26,32 +26,18 @@ import (
 	"os"
 
 	"spmap"
+	"spmap/internal/cli"
 	"spmap/internal/wf"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap-gen: ")
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
-	switch {
-	case err == nil:
-	case errors.Is(err, flag.ErrHelp):
-		os.Exit(0) // -h/-help: usage already printed
-	case isUsageError(err):
-		os.Exit(2)
-	default:
-		log.Fatal(err)
-	}
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// usageError marks option-validation failures: main exits 2 after run
-// has printed the message and the flag usage.
-type usageError struct{ error }
-
-func isUsageError(err error) bool {
-	var ue usageError
-	return errors.As(err, &ue)
-}
+// isUsageError classifies option-validation failures (exit status 2).
+func isUsageError(err error) bool { return cli.IsUsage(err) }
 
 // run is main's testable body: it parses and validates args and writes
 // the generated artifact to stdout (a summary goes to stderr). Errors
@@ -75,10 +61,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		// The FlagSet already reported the problem and the usage to
 		// stderr; classify it for main's exit-2 path without reprinting.
-		return usageError{err}
+		return cli.Usage(err)
 	}
 	usage := func(format string, a ...any) error {
-		err := usageError{fmt.Errorf(format, a...)}
+		err := cli.Usage(fmt.Errorf(format, a...))
 		fmt.Fprintf(stderr, "spmap-gen: %v\n", err)
 		fs.Usage()
 		return err

@@ -50,35 +50,19 @@ import (
 	"time"
 
 	"spmap"
+	"spmap/internal/cli"
 	"spmap/internal/experiments"
-	"spmap/internal/graph"
 	"spmap/internal/mappers/decomp"
-	"spmap/internal/platform"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spmap: ")
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
-	switch {
-	case err == nil:
-	case errors.Is(err, flag.ErrHelp):
-		os.Exit(0) // -h/-help: usage already printed
-	case isUsageError(err):
-		os.Exit(2)
-	default:
-		log.Fatal(err)
-	}
+	cli.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// usageError marks option-validation failures: main exits 2 after run
-// has printed the message and the flag usage.
-type usageError struct{ error }
-
-func isUsageError(err error) bool {
-	var ue usageError
-	return errors.As(err, &ue)
-}
+// isUsageError classifies option-validation failures (exit status 2).
+func isUsageError(err error) bool { return cli.IsUsage(err) }
 
 // knownAlgos is the -algo vocabulary (for -objective time|energy).
 var knownAlgos = map[string]bool{
@@ -123,10 +107,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		// The FlagSet already reported the problem and the usage to
 		// stderr; classify it for main's exit-2 path without reprinting.
-		return usageError{err}
+		return cli.Usage(err)
 	}
 	usage := func(format string, a ...any) error {
-		err := usageError{fmt.Errorf(format, a...)}
+		err := cli.Usage(fmt.Errorf(format, a...))
 		fmt.Fprintf(stderr, "spmap: %v\n", err)
 		fs.Usage()
 		return err
@@ -175,21 +159,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return usage("-repair selects the -scenario replay repair pass; pass -scenario")
 	}
 
-	g, err := readGraph(*graphPath)
+	g, err := cli.ReadGraphFile(*graphPath)
 	if err != nil {
 		return err
 	}
-	p := spmap.ReferencePlatform()
-	if *platformPath != "" {
-		f, err := os.Open(*platformPath)
-		if err != nil {
-			return err
-		}
-		p, err = platform.Read(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
+	p, err := cli.ReadPlatformFile(*platformPath)
+	if err != nil {
+		return err
 	}
 
 	if *scenario != "" {
@@ -531,20 +507,4 @@ func runDecomp(g *spmap.DAG, p *spmap.Platform, s decomp.Strategy, h spmap.Heuri
 		return nil, nil, err
 	}
 	return m, &st, nil
-}
-
-func readGraph(path string) (*spmap.DAG, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	g, err := graph.Read(f)
-	if err != nil {
-		return nil, err
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	return g, nil
 }

@@ -1,0 +1,142 @@
+// Command spmapd is the long-running mapping service: an HTTP daemon
+// holding warm per-(platform, graph, schedule-set) state — compiled
+// evaluation kernels, bounded memoization caches — and coalescing
+// candidate evaluations from concurrent requests into shared
+// EvaluateBatch flushes.
+//
+// Usage:
+//
+//	spmapd                          # serve on 127.0.0.1:8080
+//	spmapd -addr :9000 -workers 8   # custom bind and worker pool
+//	spmapd -no-coalesce             # per-request evaluation (escape hatch)
+//
+// Endpoints (all request/response bodies are JSON; see the README):
+//
+//	POST /v1/map       map a graph (algo: spfirstfit, heft, portfolio, ...)
+//	POST /v1/refine    improve a client-supplied mapping (anneal, hillclimb)
+//	POST /v1/evaluate  makespans (optionally energies) for candidate mappings
+//	POST /v1/replay    online scenario replay with warm-start repair
+//	GET  /v1/stats     service telemetry + per-request phase timings (?format=csv)
+//	GET  /healthz      liveness probe
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight requests (and their coalesced batch flushes) drain within
+// -drain, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spmap/internal/cli"
+	"spmap/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spmapd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cli.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: it binds the listener, serves until ctx
+// is cancelled (SIGINT/SIGTERM in main) and drains before returning.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("spmapd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		platformPath = fs.String("platform", "", "default platform JSON file (empty = paper's reference platform)")
+		workers      = fs.Int("workers", 0, "evaluation worker pool per instance (>= 0; 0 = GOMAXPROCS; results are identical)")
+		maxBatch     = fs.Int("max-batch", 128, "coalescing flush size in ops (> 0)")
+		maxWait      = fs.Duration("max-wait", time.Millisecond, "coalescing flush deadline (> 0)")
+		cacheEntries = fs.Int("cache-entries", 1<<18, "evaluation cache cap per instance (0 = default, < 0 disables)")
+		maxInstances = fs.Int("max-instances", 32, "warm instance cap (> 0; oldest evicted first)")
+		maxBody      = fs.Int64("max-body-bytes", 8<<20, "request body cap in bytes (> 0)")
+		noCoalesce   = fs.Bool("no-coalesce", false, "disable cross-request batch coalescing (responses are identical)")
+		drainWait    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline (> 0)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.Usage(err)
+	}
+	usage := func(format string, a ...any) error {
+		err := cli.Usage(fmt.Errorf(format, a...))
+		fmt.Fprintf(stderr, "spmapd: %v\n", err)
+		fs.Usage()
+		return err
+	}
+	switch {
+	case *workers < 0:
+		return usage("-workers must be >= 0, got %d", *workers)
+	case *maxBatch <= 0:
+		return usage("-max-batch must be > 0, got %d", *maxBatch)
+	case *maxWait <= 0:
+		return usage("-max-wait must be > 0, got %s", *maxWait)
+	case *maxInstances <= 0:
+		return usage("-max-instances must be > 0, got %d", *maxInstances)
+	case *maxBody <= 0:
+		return usage("-max-body-bytes must be > 0, got %d", *maxBody)
+	case *drainWait <= 0:
+		return usage("-drain must be > 0, got %s", *drainWait)
+	}
+	p, err := cli.ReadPlatformFile(*platformPath)
+	if err != nil {
+		return err
+	}
+
+	svc := service.New(service.Options{
+		Platform:     p,
+		MaxBatch:     *maxBatch,
+		MaxWait:      *maxWait,
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		MaxBodyBytes: *maxBody,
+		MaxInstances: *maxInstances,
+		NoCoalesce:   *noCoalesce,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests (and the
+	// coalesced flushes carrying their ops) finish, then close the
+	// service so its batchers flush any remainder.
+	fmt.Fprintln(stdout, "shutting down: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	shutErr := srv.Shutdown(sctx)
+	svc.Close()
+	<-serveErr // Serve has returned http.ErrServerClosed
+	if shutErr != nil {
+		return fmt.Errorf("drain: %w", shutErr)
+	}
+	fmt.Fprintln(stdout, "drained cleanly")
+	return nil
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spmap/internal/cli"
+	"spmap/internal/gen"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run writes to it from
+// the server goroutine while the test polls it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+// startDaemon runs the daemon on a free port and returns its base URL
+// plus the cancel that triggers graceful shutdown and the result chan.
+func startDaemon(t *testing.T, extraArgs ...string) (string, *syncBuffer, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(ctx, args, out, io.Discard) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			t.Cleanup(cancel)
+			return m[1], out, cancel, done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServeMapAndGracefulShutdown(t *testing.T) {
+	base, out, cancel, done := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	g := gen.SeriesParallel(rand.New(rand.NewSource(3)), 16, gen.DefaultAttr())
+	gj, _ := json.Marshal(g)
+	body, _ := json.Marshal(map[string]any{"graph": json.RawMessage(gj), "algo": "spfirstfit", "schedules": 10})
+	pr, err := http.Post(base+"/v1/map", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	pb, _ := io.ReadAll(pr.Body)
+	if pr.StatusCode != 200 {
+		t.Fatalf("map: %d %s", pr.StatusCode, pb)
+	}
+	var mr struct {
+		Mapping  []int   `json:"mapping"`
+		Makespan float64 `json:"makespan"`
+	}
+	if err := json.Unmarshal(pb, &mr); err != nil || len(mr.Mapping) != g.NumTasks() || !(mr.Makespan > 0) {
+		t.Fatalf("map response: %s (err %v)", pb, err)
+	}
+
+	// Graceful shutdown drains and reports it.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("no drain confirmation:\n%s", out.String())
+	}
+}
+
+func TestShutdownDrainsInFlightRequests(t *testing.T) {
+	base, out, cancel, done := startDaemon(t)
+
+	// A slow request in flight when SIGTERM lands must still complete.
+	g := gen.SeriesParallel(rand.New(rand.NewSource(5)), 24, gen.DefaultAttr())
+	gj, _ := json.Marshal(g)
+	body, _ := json.Marshal(map[string]any{
+		"graph": json.RawMessage(gj), "algo": "anneal", "schedules": 20, "budget": 5000,
+	})
+	type result struct {
+		status int
+		err    error
+	}
+	res := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/map", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		res <- result{resp.StatusCode, nil}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+	cancel()
+	r := <-res
+	if r.err != nil || r.status != 200 {
+		t.Fatalf("in-flight request not drained: status %d err %v\n%s", r.status, r.err, out.String())
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-workers", "-1"},
+		{"-max-batch", "0"},
+		{"-max-wait", "0s"},
+		{"-max-instances", "0"},
+		{"-max-body-bytes", "0"},
+		{"-drain", "0s"},
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, io.Discard, io.Discard)
+		if !cli.IsUsage(err) {
+			t.Errorf("run(%v) = %v, want usage error", args, err)
+		}
+	}
+	if err := run(context.Background(), []string{"-platform", "/nonexistent.json"}, io.Discard, io.Discard); err == nil || cli.IsUsage(err) {
+		t.Errorf("missing platform file: %v, want non-usage error", err)
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard, io.Discard); err == nil {
+		t.Errorf("bad listen address accepted")
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var stderr bytes.Buffer
+	err := run(context.Background(), []string{"-h"}, io.Discard, &stderr)
+	if !cli.IsUsage(err) && err == nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if code, fatal := exitProbe(err); code != 0 || fatal {
+		t.Fatalf("-h maps to exit (%d, fatal=%v), want (0, false); stderr:\n%s", code, fatal, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-max-batch") {
+		t.Fatalf("usage not printed:\n%s", stderr.String())
+	}
+}
+
+// exitProbe mirrors cli.Exit's mapping without exiting the test binary.
+func exitProbe(err error) (int, bool) {
+	switch {
+	case err == nil:
+		return 0, false
+	case err.Error() == "flag: help requested":
+		return 0, false
+	case cli.IsUsage(err):
+		return 2, false
+	default:
+		return 1, true
+	}
+}
+
+func TestTwoDaemonsIndependentPorts(t *testing.T) {
+	a, _, _, _ := startDaemon(t)
+	b, _, _, _ := startDaemon(t)
+	if a == b {
+		t.Fatalf("both daemons on %s", a)
+	}
+	for _, base := range []string{a, b} {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s/healthz: %d", base, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package cli holds the plumbing shared by every binary in cmd/: the
+// usage-error classification driving the exit-2 contract, the exit-code
+// switch itself, and the validated graph/platform file loaders. Each
+// main.go used to carry its own copy of all three; a fourth binary
+// (spmapd) made the duplication untenable.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"os"
+
+	"spmap/internal/graph"
+	"spmap/internal/platform"
+)
+
+// UsageError marks option-validation failures: a binary's main exits 2
+// after its run body has printed the message and the flag usage. The
+// embedded error is the underlying cause; construct with
+// UsageError{err}.
+type UsageError struct{ error }
+
+// Usage wraps err as a UsageError.
+func Usage(err error) error { return UsageError{err} }
+
+// IsUsage reports whether err is (or wraps) a UsageError.
+func IsUsage(err error) bool {
+	var ue UsageError
+	return errors.As(err, &ue)
+}
+
+// Exit terminates the process according to the binaries' shared exit
+// contract: 0 for nil or -h/-help (usage already printed by the
+// FlagSet), 2 for usage errors (already reported by the run body), and
+// log.Fatal — exit 1 with the binary's log prefix — for everything
+// else. A nil error returns normally.
+func Exit(err error) {
+	code, fatal := exitCode(err)
+	switch {
+	case fatal:
+		log.Fatal(err)
+	case code != 0 || err != nil:
+		os.Exit(code)
+	}
+}
+
+// exitCode maps err to the contract's exit status; fatal selects the
+// log.Fatal path (exit 1 after logging) instead of a bare os.Exit.
+func exitCode(err error) (code int, fatal bool) {
+	switch {
+	case err == nil:
+		return 0, false
+	case errors.Is(err, flag.ErrHelp):
+		return 0, false
+	case IsUsage(err):
+		return 2, false
+	default:
+		return 1, true
+	}
+}
+
+// ReadGraphFile loads and validates a task graph JSON file (applying
+// graph.Read's payload cap and hardening checks).
+func ReadGraphFile(path string) (*graph.DAG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadPlatformFile loads and validates a platform JSON file; an empty
+// path selects the paper's reference platform.
+func ReadPlatformFile(path string) (*platform.Platform, error) {
+	if path == "" {
+		return platform.Reference(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return platform.Read(f)
+}

@@ -1,0 +1,99 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUsageClassification(t *testing.T) {
+	base := errors.New("bad flag")
+	if !IsUsage(Usage(base)) {
+		t.Fatalf("Usage(err) not classified as usage error")
+	}
+	if !IsUsage(fmt.Errorf("wrapped: %w", Usage(base))) {
+		t.Fatalf("wrapped usage error not classified")
+	}
+	if IsUsage(base) {
+		t.Fatalf("plain error classified as usage error")
+	}
+	if IsUsage(nil) {
+		t.Fatalf("nil classified as usage error")
+	}
+	if got := Usage(base).Error(); got != "bad flag" {
+		t.Fatalf("Usage error message %q, want the cause's", got)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err   error
+		code  int
+		fatal bool
+	}{
+		{nil, 0, false},
+		{flag.ErrHelp, 0, false},
+		{fmt.Errorf("parse: %w", flag.ErrHelp), 0, false},
+		{Usage(errors.New("bad flag")), 2, false},
+		{fmt.Errorf("wrapped: %w", Usage(errors.New("bad"))), 2, false},
+		{errors.New("runtime failure"), 1, true},
+	}
+	for _, c := range cases {
+		code, fatal := exitCode(c.err)
+		if code != c.code || fatal != c.fatal {
+			t.Errorf("exitCode(%v) = (%d, %v), want (%d, %v)", c.err, code, fatal, c.code, c.fatal)
+		}
+	}
+}
+
+func TestReadGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "g.json")
+	if err := os.WriteFile(good, []byte(`{"tasks":[{"complexity":1}],"edges":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraphFile(good)
+	if err != nil || g.NumTasks() != 1 {
+		t.Fatalf("ReadGraphFile: g=%v err=%v", g, err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"tasks":[{"complexity":-1}],"edges":[]}`), 0o644)
+	if _, err := ReadGraphFile(bad); err == nil {
+		t.Fatalf("corrupt graph accepted")
+	}
+	if _, err := ReadGraphFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestReadPlatformFile(t *testing.T) {
+	p, err := ReadPlatformFile("")
+	if err != nil || p.NumDevices() == 0 {
+		t.Fatalf("empty path must yield the reference platform, got %v, %v", p, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := p.Write(mustCreate(t, path)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPlatformFile(path)
+	if err != nil || q.NumDevices() != p.NumDevices() {
+		t.Fatalf("round-trip: %v, %v", q, err)
+	}
+	if _, err := ReadPlatformFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func mustCreate(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

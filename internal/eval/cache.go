@@ -47,7 +47,18 @@ type Cache struct {
 	// attach the cache to a different kernel.
 	k *kernel
 
-	hits, misses, stores atomic.Int64
+	// cap bounds len(entries); 0 means unbounded. fifo[head:] is the
+	// insertion order of the live keys (oldest first) used for
+	// deterministic eviction: when a store would exceed cap, the oldest
+	// keys are deleted first. Upgrades in place (energy materialization)
+	// do not refresh a key's position — eviction order is pure insertion
+	// order, which depends only on the sequence of store calls, not on
+	// wall-clock timing beyond it.
+	cap  int
+	fifo []string
+	head int
+
+	hits, misses, stores, evictions atomic.Int64
 }
 
 // cacheEntry is one memoized result. hasEn discriminates entries whose
@@ -58,10 +69,32 @@ type cacheEntry struct {
 	hasEn  bool
 }
 
-// NewCache returns an empty evaluation cache.
+// NewCache returns an empty, unbounded evaluation cache. One-shot CLI
+// runs can afford it; long-running services should use NewCacheBounded
+// so a warm cache cannot grow without limit.
 func NewCache() *Cache {
 	return &Cache{entries: make(map[string]cacheEntry)}
 }
+
+// NewCacheBounded returns an empty cache holding at most maxEntries
+// mappings; maxEntries <= 0 means unbounded (same as NewCache). When
+// full, stores evict the oldest inserted entries first (FIFO) — a
+// deterministic policy: the retained set depends only on the sequence
+// of stores, and since evicting an exact entry can only turn a would-be
+// hit into a recomputation of the same exact value, eviction never
+// changes any evaluation result (see the type Cache correctness
+// contract). One entry costs roughly one byte per task for the key
+// (held twice: map key + eviction queue) plus two float64s, so even
+// a million 250-task entries stay around half a gigabyte.
+func NewCacheBounded(maxEntries int) *Cache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Cache{entries: make(map[string]cacheEntry), cap: maxEntries}
+}
+
+// Cap returns the max-entries bound (0 = unbounded).
+func (c *Cache) Cap() int { return c.cap }
 
 // CacheStats is a telemetry snapshot. The counters depend on goroutine
 // timing (see type Cache) and are excluded from the repository's
@@ -72,6 +105,9 @@ type CacheStats struct {
 	Hits, Misses int64
 	// Stores counts exact results inserted; Entries is the current size.
 	Stores, Entries int64
+	// Evictions counts entries dropped to hold a bounded cache under its
+	// cap (always 0 for unbounded caches).
+	Evictions int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -88,10 +124,11 @@ func (c *Cache) Stats() CacheStats {
 	n := len(c.entries)
 	c.mu.RUnlock()
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Stores:  c.stores.Load(),
-		Entries: int64(n),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Entries:   int64(n),
+		Evictions: c.evictions.Load(),
 	}
 }
 
@@ -117,16 +154,47 @@ func (c *Cache) lookup(key []byte) (cacheEntry, bool) {
 }
 
 // store inserts or upgrades the entry under key. An existing entry is
-// never downgraded: energies, once materialized, are kept. The key is
-// copied.
+// never downgraded: energies, once materialized, are kept (and upgrades
+// keep the key's original eviction-queue position). The key is copied.
+// On bounded caches a new key first evicts the oldest entries until
+// there is room.
 func (c *Cache) store(key []byte, ent cacheEntry) {
 	c.mu.Lock()
-	if old, ok := c.entries[string(key)]; ok && old.hasEn && !ent.hasEn {
-		ent.en, ent.hasEn = old.en, true
+	if old, ok := c.entries[string(key)]; ok {
+		// Upgrade in place: no queue movement, no eviction needed.
+		if old.hasEn && !ent.hasEn {
+			ent.en, ent.hasEn = old.en, true
+		}
+		c.entries[string(key)] = ent
+		c.mu.Unlock()
+		c.stores.Add(1)
+		return
 	}
-	c.entries[string(key)] = ent
+	var evicted int64
+	if c.cap > 0 {
+		for len(c.entries) >= c.cap && c.head < len(c.fifo) {
+			delete(c.entries, c.fifo[c.head])
+			c.fifo[c.head] = "" // release the string for the GC
+			c.head++
+			evicted++
+		}
+	}
+	k := string(key) // one copy shared by map key and eviction queue
+	c.entries[k] = ent
+	if c.cap > 0 {
+		// Compact the queue once the dead prefix dominates, so the slice
+		// cannot grow without bound across evictions.
+		if c.head > len(c.fifo)/2 && c.head > 64 {
+			c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
+			c.head = 0
+		}
+		c.fifo = append(c.fifo, k)
+	}
 	c.mu.Unlock()
 	c.stores.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
 }
 
 // bind associates the cache with a kernel on first attach and reports
@@ -167,7 +235,9 @@ func (e *Engine) WithCache(c *Cache) *Engine {
 				"create a fresh Cache per compiled kernel instead of re-attaching one across rebuilds")
 		}
 	}
-	return &Engine{k: e.k, workers: e.workers, pool: e.pool, prePool: e.prePool, cache: c, noInc: e.noInc}
+	d := *e
+	d.cache = c
+	return &d
 }
 
 // Cacheable reports whether a Cache can serve this engine's platform

@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spmap/internal/graph"
 	"spmap/internal/mapping"
@@ -39,6 +41,13 @@ type Engine struct {
 	// WithIncremental); kept in negated form so the zero value selects
 	// the fast path.
 	noInc bool
+	// bat, if non-nil, routes EvaluateBatch / EvaluateBatchMO /
+	// EvaluateBatchCtx through a shared cross-caller coalescing batcher
+	// (see WithBatcher and type Batcher).
+	bat *Batcher
+	// sink, if non-nil, accumulates batch wait/eval timing attributed to
+	// this (derived) engine's batch calls (see WithBatchTiming).
+	sink *BatchTiming
 }
 
 // NewEngine compiles an engine for (g, p) evaluating mappings as the
@@ -90,7 +99,9 @@ func (e *Engine) Workers() int { return e.workers }
 // pool and cache but fanning batches out over w goroutines (w <= 0
 // selects GOMAXPROCS). The receiver is not modified.
 func (e *Engine) WithWorkers(w int) *Engine {
-	return &Engine{k: e.k, workers: normWorkers(w), pool: e.pool, prePool: e.prePool, cache: e.cache, noInc: e.noInc}
+	d := *e
+	d.workers = normWorkers(w)
+	return &d
 }
 
 // WithIncremental returns an engine sharing this engine's kernel, pools
@@ -101,7 +112,50 @@ func (e *Engine) WithWorkers(w int) *Engine {
 // evaluation (see makespanInc); the switch only changes how much of each
 // schedule order is replayed. The receiver is not modified.
 func (e *Engine) WithIncremental(on bool) *Engine {
-	return &Engine{k: e.k, workers: e.workers, pool: e.pool, prePool: e.prePool, cache: e.cache, noInc: !on}
+	d := *e
+	d.noInc = !on
+	return &d
+}
+
+// WithBatcher returns an engine sharing this engine's kernel, pools and
+// cache whose EvaluateBatch / EvaluateBatchMO / EvaluateBatchCtx calls
+// are routed through b, coalescing them with the batch calls of every
+// other goroutine (and, in the mapping service, every other request)
+// sharing the batcher into single underlying batch runs. Results are
+// bit-identical to the direct path: each op keeps its own cutoff and
+// the per-op evaluation is the same computation regardless of which
+// flush carries it. Only the batch entry points coalesce — single-op
+// calls (Makespan, Evaluate, Neighborhood, Incremental sessions) stay
+// direct, since blocking a serial search loop on the flush deadline
+// would cost latency without amortizing anything.
+//
+// The batcher must have been built (NewBatcher) from an engine with
+// this engine's kernel and cache configuration; anything else is a
+// programming error and panics. The receiver is not modified.
+func (e *Engine) WithBatcher(b *Batcher) *Engine {
+	if b != nil {
+		if b.e.k != e.k {
+			panic("eval: batcher is bound to a different kernel (graph, platform or schedule set)")
+		}
+		if b.e.cache != e.cache {
+			panic("eval: batcher underlying engine has a different cache; derive the batcher from the cached engine")
+		}
+	}
+	d := *e
+	d.bat = b
+	return &d
+}
+
+// WithBatchTiming returns an engine sharing everything with this one
+// that additionally accumulates batch-call timing into t: the wall time
+// each batch spent waiting for a flush (coalesced path only) and the
+// evaluation time attributed to its ops. Typically one BatchTiming is
+// attached per service request so the request's queue/batch/eval phases
+// can be reported. The receiver is not modified; nil detaches.
+func (e *Engine) WithBatchTiming(t *BatchTiming) *Engine {
+	d := *e
+	d.sink = t
+	return &d
 }
 
 // Op is one evaluation request of a batch: the mapping Base with every
@@ -181,11 +235,38 @@ func (e *Engine) Evaluate(op Op, cutoff float64) float64 {
 // with private simulation states; each result obeys the MakespanCutoff
 // contract. The output depends only on the inputs — never on goroutine
 // scheduling — so deterministic reductions (argmin with index
-// tie-breaking, GA selection, ...) stay deterministic.
+// tie-breaking, GA selection, ...) stay deterministic. On an engine
+// derived via WithBatcher the ops are coalesced with other callers'
+// batches (same per-op results, see Batcher).
 func (e *Engine) EvaluateBatch(ops []Op, cutoff float64) []float64 {
 	out := make([]float64, len(ops))
-	e.runBatch(ops, cutoff, out, nil)
+	if e.bat != nil {
+		e.bat.submit(nil, ops, cutoff, out, nil, e.sink)
+		return out
+	}
+	e.runBatchTimed(nil, ops, cutoff, out, nil)
 	return out
+}
+
+// EvaluateBatchCtx is EvaluateBatch with cancellation: once ctx is
+// cancelled, no further op of the batch starts evaluating (ops already
+// running on a worker finish — a single op is not interruptible). Result
+// slots of ops that never ran hold NaN and the context's error is
+// returned; a nil error certifies every slot is a valid MakespanCutoff
+// result. Cancellation leaves the engine's state pools clean: every
+// checked-out simulation state is returned regardless of where the
+// batch stopped, so an abandoned request cannot poison later ones.
+func (e *Engine) EvaluateBatchCtx(ctx context.Context, ops []Op, cutoff float64) ([]float64, error) {
+	out := make([]float64, len(ops))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	if e.bat != nil {
+		err := e.bat.submit(ctx, ops, cutoff, out, nil, e.sink)
+		return out, err
+	}
+	err := e.runBatchCtxTimed(ctx, ops, cutoff, nil, out, nil)
+	return out, err
 }
 
 // EvaluateBatchMO is EvaluateBatch for the multi-objective extension: it
@@ -199,7 +280,11 @@ func (e *Engine) EvaluateBatch(ops []Op, cutoff float64) []float64 {
 func (e *Engine) EvaluateBatchMO(ops []Op, cutoff float64) (makespans, energies []float64) {
 	makespans = make([]float64, len(ops))
 	energies = make([]float64, len(ops))
-	e.runBatch(ops, cutoff, makespans, energies)
+	if e.bat != nil {
+		e.bat.submit(nil, ops, cutoff, makespans, energies, e.sink)
+		return makespans, energies
+	}
+	e.runBatchTimed(nil, ops, cutoff, makespans, energies)
 	return makespans, energies
 }
 
@@ -239,9 +324,40 @@ func (lp *lazyPrefix) release() {
 	}
 }
 
-// runBatch is the shared worker-pool body of EvaluateBatch and
-// EvaluateBatchMO; en, if non-nil, receives per-op energies.
-func (e *Engine) runBatch(ops []Op, cutoff float64, out, en []float64) {
+// runBatchTimed runs the direct (uncoalesced) batch path, recording the
+// evaluation wall time into the engine's timing sink when one is set.
+func (e *Engine) runBatchTimed(ctx context.Context, ops []Op, cutoff float64, out, en []float64) {
+	e.runBatchCtxTimed(ctx, ops, cutoff, nil, out, en)
+}
+
+// runBatchCtxTimed is runBatchCtx plus sink accounting.
+func (e *Engine) runBatchCtxTimed(ctx context.Context, ops []Op, cutoff float64, cutoffs, out, en []float64) error {
+	if e.sink == nil {
+		return e.runBatchCtx(ctx, ops, cutoff, cutoffs, out, en)
+	}
+	start := time.Now()
+	err := e.runBatchCtx(ctx, ops, cutoff, cutoffs, out, en)
+	e.sink.record(0, time.Since(start).Nanoseconds(), len(ops), 1)
+	return err
+}
+
+// opCutoff selects op i's cutoff: the per-op slice when present (the
+// coalescing batcher mixes callers with different cutoffs in one
+// flush), otherwise the shared scalar.
+func opCutoff(cutoff float64, cutoffs []float64, i int) float64 {
+	if cutoffs != nil {
+		return cutoffs[i]
+	}
+	return cutoff
+}
+
+// runBatchCtx is the shared worker-pool body of all batch entry points;
+// en, if non-nil, receives per-op energies; cutoffs, if non-nil,
+// overrides the scalar cutoff per op. A non-nil ctx enables
+// cancellation between ops: on cancellation the remaining ops are left
+// unevaluated (their out slots untouched) and ctx.Err() is returned.
+// All simulation states are returned to the pool on every path.
+func (e *Engine) runBatchCtx(ctx context.Context, ops []Op, cutoff float64, cutoffs, out, en []float64) error {
 
 	// Patched ops of a batch overwhelmingly share one base mapping (a
 	// neighborhood search around the incumbent). Record that base's full
@@ -275,13 +391,17 @@ func (e *Engine) runBatch(ops []Op, cutoff float64, out, en []float64) {
 	}
 	if workers <= 1 {
 		st := e.getState()
+		defer e.pool.Put(st)
 		for i := range ops {
-			out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase, enPtr(en, i))
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			out[i] = e.evalOp(st, ops[i], opCutoff(cutoff, cutoffs, i), pre, preBase, enPtr(en, i))
 		}
-		e.pool.Put(st)
-		return
+		return nil
 	}
 	var next int64
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -290,15 +410,23 @@ func (e *Engine) runBatch(ops []Op, cutoff float64, out, en []float64) {
 			st := e.getState()
 			defer e.pool.Put(st)
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					aborted.Store(true)
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(ops) {
 					return
 				}
-				out[i] = e.evalOp(st, ops[i], cutoff, pre, preBase, enPtr(en, i))
+				out[i] = e.evalOp(st, ops[i], opCutoff(cutoff, cutoffs, i), pre, preBase, enPtr(en, i))
 			}
 		}()
 	}
 	wg.Wait()
+	if aborted.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // enPtr selects the i-th energy output slot, or nil when energies are

@@ -11,6 +11,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // NodeID identifies a task within a DAG. IDs are dense indices into the
@@ -199,7 +200,15 @@ var ErrCyclic = errors.New("graph: not acyclic")
 
 // Validate checks structural invariants (acyclicity, endpoint ranges,
 // attribute ranges). It returns nil for a well-formed DAG.
+//
+// All float attributes must be finite and non-negative and
+// Parallelizability must lie in [0,1]. The checks are written in
+// negated form (`!(x >= 0)`) deliberately: these graphs arrive over the
+// network, and a NaN smuggled into any cost attribute passes a naive
+// `x < 0` comparison (NaN compares false to everything) only to poison
+// every simulated makespan downstream.
 func (g *DAG) Validate() error {
+	finiteNonNeg := func(x float64) bool { return x >= 0 && !math.IsInf(x, 1) }
 	for i, e := range g.edges {
 		if !g.valid(e.From) || !g.valid(e.To) {
 			return fmt.Errorf("graph: edge %d endpoint out of range", i)
@@ -207,15 +216,21 @@ func (g *DAG) Validate() error {
 		if e.From == e.To {
 			return fmt.Errorf("graph: edge %d is a self loop at node %d", i, e.From)
 		}
-		if e.Bytes < 0 {
-			return fmt.Errorf("graph: edge %d has negative volume", i)
+		if !finiteNonNeg(e.Bytes) {
+			return fmt.Errorf("graph: edge %d volume %v is not a finite non-negative number", i, e.Bytes)
 		}
 	}
 	for v, t := range g.tasks {
-		if t.Complexity < 0 || t.Area < 0 || t.SourceBytes < 0 {
-			return fmt.Errorf("graph: task %d has negative attribute", v)
-		}
-		if t.Parallelizability < 0 || t.Parallelizability > 1 {
+		switch {
+		case !finiteNonNeg(t.Complexity):
+			return fmt.Errorf("graph: task %d complexity %v is not a finite non-negative number", v, t.Complexity)
+		case !finiteNonNeg(t.Streamability):
+			return fmt.Errorf("graph: task %d streamability %v is not a finite non-negative number", v, t.Streamability)
+		case !finiteNonNeg(t.Area):
+			return fmt.Errorf("graph: task %d area %v is not a finite non-negative number", v, t.Area)
+		case !finiteNonNeg(t.SourceBytes):
+			return fmt.Errorf("graph: task %d sourceBytes %v is not a finite non-negative number", v, t.SourceBytes)
+		case !(t.Parallelizability >= 0 && t.Parallelizability <= 1):
 			return fmt.Errorf("graph: task %d parallelizability %v outside [0,1]", v, t.Parallelizability)
 		}
 	}

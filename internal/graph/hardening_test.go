@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestReadRejectsCorruptJSON feeds the network-facing decoder the
+// corrupt payloads a hostile client could send. Every one must fail
+// with a precise error instead of producing a DAG that poisons the
+// simulation downstream.
+func TestReadRejectsCorruptJSON(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"not json", `{{{`, "invalid character"},
+		{"edge from out of range", `{"tasks":[{"complexity":1}],"edges":[{"from":5,"to":0,"bytes":1}]}`, "endpoint out of range"},
+		{"edge to negative", `{"tasks":[{"complexity":1},{"complexity":1}],"edges":[{"from":0,"to":-1,"bytes":1}]}`, "endpoint out of range"},
+		{"self loop", `{"tasks":[{"complexity":1}],"edges":[{"from":0,"to":0,"bytes":1}]}`, "self loop"},
+		{"duplicate edge", `{"tasks":[{"complexity":1},{"complexity":1}],"edges":[{"from":0,"to":1,"bytes":1},{"from":0,"to":1,"bytes":2}]}`, "duplicate the dependency"},
+		{"cycle", `{"tasks":[{"complexity":1},{"complexity":1}],"edges":[{"from":0,"to":1,"bytes":1},{"from":1,"to":0,"bytes":1}]}`, "not acyclic"},
+		{"negative bytes", `{"tasks":[{"complexity":1},{"complexity":1}],"edges":[{"from":0,"to":1,"bytes":-3}]}`, "finite non-negative"},
+		// JSON has no NaN/Inf literals and out-of-range exponents fail
+		// in the decoder itself; the near-max finite value must still
+		// be accepted (the finiteness check is not a magnitude cap).
+		{"overflowing exponent", `{"tasks":[{"complexity":1},{"complexity":1}],"edges":[{"from":0,"to":1,"bytes":1e999}]}`, "cannot unmarshal number 1e999"},
+		{"near-max finite bytes", `{"tasks":[{"complexity":1},{"complexity":1}],"edges":[{"from":0,"to":1,"bytes":1e308}]}`, ""},
+		{"negative complexity", `{"tasks":[{"complexity":-1}],"edges":[]}`, "finite non-negative"},
+		{"negative area", `{"tasks":[{"complexity":1,"area":-2}],"edges":[]}`, "finite non-negative"},
+		{"negative sourceBytes", `{"tasks":[{"complexity":1,"sourceBytes":-2}],"edges":[]}`, "finite non-negative"},
+		{"negative streamability", `{"tasks":[{"complexity":1,"streamability":-1}],"edges":[]}`, "finite non-negative"},
+		{"parallelizability above 1", `{"tasks":[{"complexity":1,"parallelizability":1.5}],"edges":[]}`, "outside [0,1]"},
+		{"parallelizability negative", `{"tasks":[{"complexity":1,"parallelizability":-0.5}],"edges":[]}`, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.json))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corrupt payload accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateRejectsNaN pins the NaN hole directly: NaN compares false
+// to every threshold, so the old `x < 0` checks accepted it. JSON can't
+// carry a NaN literal, but programmatic construction (and any future
+// binary decoder) can.
+func TestValidateRejectsNaN(t *testing.T) {
+	nan := math.NaN()
+	mk := func(mut func(*Task)) *DAG {
+		g := New(1, 0)
+		task := Task{Complexity: 1, Streamability: 1}
+		mut(&task)
+		g.AddTask(task)
+		return g
+	}
+	cases := []struct {
+		name string
+		g    *DAG
+	}{
+		{"NaN complexity", mk(func(t *Task) { t.Complexity = nan })},
+		{"NaN parallelizability", mk(func(t *Task) { t.Parallelizability = nan })},
+		{"NaN streamability", mk(func(t *Task) { t.Streamability = nan })},
+		{"NaN area", mk(func(t *Task) { t.Area = nan })},
+		{"NaN sourceBytes", mk(func(t *Task) { t.SourceBytes = nan })},
+		{"Inf complexity", mk(func(t *Task) { t.Complexity = math.Inf(1) })},
+	}
+	for _, tc := range cases {
+		if err := tc.g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.name)
+		}
+	}
+	g := New(2, 1)
+	g.AddTask(Task{Complexity: 1, Streamability: 1})
+	g.AddTask(Task{Complexity: 1, Streamability: 1})
+	g.AddEdge(0, 1, nan)
+	if err := g.Validate(); err == nil {
+		t.Errorf("NaN edge bytes: Validate accepted it")
+	}
+}
+
+// TestReadLimit checks the payload byte cap: an oversized stream fails
+// with ErrTooLarge without being buffered whole, and a payload exactly
+// at the cap still parses.
+func TestReadLimit(t *testing.T) {
+	small := `{"tasks":[{"complexity":1}],"edges":[]}`
+	if _, err := ReadLimit(strings.NewReader(small), int64(len(small))); err != nil {
+		t.Fatalf("payload at the cap rejected: %v", err)
+	}
+	_, err := ReadLimit(strings.NewReader(small), int64(len(small))-1)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized payload: err = %v, want ErrTooLarge", err)
+	}
+	// The default cap is in force on plain Read: an endless stream of
+	// spaces must not be buffered past the cap. strings.Reader over a
+	// huge (lazily-allocated impossible) string is not available, so
+	// check the cap constant is what Read applies by exceeding a tiny
+	// explicit limit instead — the code path is identical.
+	if _, err := ReadLimit(strings.NewReader(strings.Repeat(" ", 1024)+small), 512); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("padded oversized payload: err = %v, want ErrTooLarge", err)
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -27,10 +28,19 @@ func (g *DAG) UnmarshalJSON(data []byte) error {
 	for _, t := range jd.Tasks {
 		ng.AddTask(t)
 	}
+	// Duplicate (from, to) pairs are rejected here rather than in
+	// Validate: a decoded duplicate is always an input error (it would
+	// silently double-count the dependency's bytes), while programmatic
+	// construction never produces one.
+	seen := make(map[[2]NodeID]int, len(jd.Edges))
 	for i, e := range jd.Edges {
 		if e.From < 0 || int(e.From) >= len(jd.Tasks) || e.To < 0 || int(e.To) >= len(jd.Tasks) {
 			return fmt.Errorf("graph: edge %d endpoint out of range", i)
 		}
+		if j, dup := seen[[2]NodeID{e.From, e.To}]; dup {
+			return fmt.Errorf("graph: edges %d and %d duplicate the dependency %d->%d", j, i, e.From, e.To)
+		}
+		seen[[2]NodeID{e.From, e.To}] = i
 		ng.AddEdge(e.From, e.To, e.Bytes)
 	}
 	if err := ng.Validate(); err != nil {
@@ -50,11 +60,36 @@ func (g *DAG) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// Read parses a DAG from JSON.
+// MaxJSONBytes is the default payload cap of Read: far beyond any
+// realistic task graph, small enough that a hostile stream cannot OOM
+// the process before json.Unmarshal even starts.
+const MaxJSONBytes = 64 << 20
+
+// ErrTooLarge is returned (wrapped) when a JSON payload exceeds the
+// reader's byte cap.
+var ErrTooLarge = errors.New("graph: JSON payload too large")
+
+// Read parses a DAG from JSON, rejecting payloads over MaxJSONBytes.
+// Use ReadLimit to choose the cap (network servers typically want a
+// much smaller one).
 func Read(r io.Reader) (*DAG, error) {
-	b, err := io.ReadAll(r)
+	return ReadLimit(r, MaxJSONBytes)
+}
+
+// ReadLimit parses a DAG from at most maxBytes of JSON. The limit is
+// applied while reading — an oversized payload fails with ErrTooLarge
+// after maxBytes+1 bytes without buffering the remainder. maxBytes <= 0
+// selects MaxJSONBytes.
+func ReadLimit(r io.Reader, maxBytes int64) (*DAG, error) {
+	if maxBytes <= 0 {
+		maxBytes = MaxJSONBytes
+	}
+	b, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(b)) > maxBytes {
+		return nil, fmt.Errorf("%w: over %d bytes", ErrTooLarge, maxBytes)
 	}
 	g := &DAG{}
 	if err := json.Unmarshal(b, g); err != nil {

@@ -1,0 +1,96 @@
+package platform
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestReadRejectsCorruptJSON feeds the network-facing decoder corrupt
+// platform payloads; each must fail with a precise error.
+func TestReadRejectsCorruptJSON(t *testing.T) {
+	dev := `{"name":"cpu","kind":"CPU","lanes":4,"peakOps":1e9,"bandwidth":1e9,"latency":1e-6}`
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"not json", `]`, "invalid character"},
+		{"no devices", `{"devices":[],"default":0}`, "no devices"},
+		{"default out of range", `{"devices":[` + dev + `],"default":3}`, "out of range"},
+		{"default negative", `{"devices":[` + dev + `],"default":-1}`, "out of range"},
+		{"unknown kind", `{"devices":[{"name":"x","kind":"TPU","lanes":1,"peakOps":1,"bandwidth":1}],"default":0}`, "unknown device kind"},
+		{"zero peakOps", `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":0,"bandwidth":1}],"default":0}`, "PeakOps"},
+		{"negative lanes", `{"devices":[{"name":"x","kind":"CPU","lanes":-1,"peakOps":1,"bandwidth":1}],"default":0}`, "Lanes"},
+		{"zero bandwidth", `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":1,"bandwidth":0}],"default":0}`, "Bandwidth"},
+		{"negative latency", `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":1,"bandwidth":1,"latency":-1}],"default":0}`, "Latency"},
+		{"negative area", `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":1,"bandwidth":1,"area":-1}],"default":0}`, "Area"},
+		{"negative power", `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":1,"bandwidth":1,"powerW":-1}],"default":0}`, "PowerW"},
+		{"negative slots", `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":1,"bandwidth":1,"slots":-2}],"default":0}`, "Slots"},
+		{"overflowing exponent", `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":1e999,"bandwidth":1}],"default":0}`, "cannot unmarshal number 1e999"},
+		{"duplicate names", `{"devices":[` + dev + `,` + dev + `],"default":0}`, "share the name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("corrupt payload accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateRejectsNaN pins the NaN hole: NaN compares false against
+// every threshold, so the old `x <= 0` rejections accepted a NaN rate
+// that would turn every downstream time into NaN.
+func TestValidateRejectsNaN(t *testing.T) {
+	nan := math.NaN()
+	mk := func(mut func(*Device)) *Platform {
+		d := Device{Name: "d", Lanes: 1, PeakOps: 1, Bandwidth: 1}
+		mut(&d)
+		return &Platform{Devices: []Device{d}}
+	}
+	cases := []struct {
+		name string
+		p    *Platform
+	}{
+		{"NaN peakOps", mk(func(d *Device) { d.PeakOps = nan })},
+		{"NaN lanes", mk(func(d *Device) { d.Lanes = nan })},
+		{"NaN bandwidth", mk(func(d *Device) { d.Bandwidth = nan })},
+		{"NaN latency", mk(func(d *Device) { d.Latency = nan })},
+		{"NaN area", mk(func(d *Device) { d.Area = nan })},
+		{"NaN power", mk(func(d *Device) { d.PowerW = nan })},
+		{"Inf peakOps", mk(func(d *Device) { d.PeakOps = math.Inf(1) })},
+		{"Inf bandwidth", mk(func(d *Device) { d.Bandwidth = math.Inf(1) })},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted it", tc.name)
+		}
+	}
+	// Anonymous devices may repeat (fixtures construct them in bulk);
+	// only duplicated non-empty names are ambiguous.
+	anon := &Platform{Devices: []Device{
+		{Lanes: 1, PeakOps: 1, Bandwidth: 1},
+		{Lanes: 1, PeakOps: 1, Bandwidth: 1},
+	}}
+	if err := anon.Validate(); err != nil {
+		t.Errorf("duplicate empty names rejected: %v", err)
+	}
+}
+
+// TestReadLimit checks the payload byte cap.
+func TestReadLimit(t *testing.T) {
+	small := `{"devices":[{"name":"x","kind":"CPU","lanes":1,"peakOps":1,"bandwidth":1}],"default":0}`
+	if _, err := ReadLimit(strings.NewReader(small), int64(len(small))); err != nil {
+		t.Fatalf("payload at the cap rejected: %v", err)
+	}
+	if _, err := ReadLimit(strings.NewReader(small), int64(len(small))-1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized payload accepted")
+	}
+	if _, err := ReadLimit(strings.NewReader(small), 0); err != nil {
+		t.Fatalf("maxBytes=0 must select the default cap: %v", err)
+	}
+}

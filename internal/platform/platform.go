@@ -7,8 +7,10 @@ package platform
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Kind classifies a processing unit.
@@ -127,6 +129,16 @@ type Platform struct {
 func (p *Platform) NumDevices() int { return len(p.Devices) }
 
 // Validate checks platform invariants.
+//
+// Rate attributes (PeakOps, Lanes, Bandwidth) must be finite and
+// strictly positive; Latency, Area and PowerW finite and non-negative;
+// Slots non-negative. The checks are written in negated form
+// (`!(x > 0)`) on purpose: platform descriptions arrive over the
+// network, and a NaN passes a naive `x <= 0` rejection (NaN compares
+// false to everything) only to turn every execution and transfer time
+// downstream into NaN. Duplicate non-empty device names are rejected
+// too — reports refer to devices by name, and two devices sharing one
+// would make them ambiguous.
 func (p *Platform) Validate() error {
 	if len(p.Devices) == 0 {
 		return fmt.Errorf("platform: no devices")
@@ -134,18 +146,36 @@ func (p *Platform) Validate() error {
 	if p.Default < 0 || p.Default >= len(p.Devices) {
 		return fmt.Errorf("platform: default device %d out of range", p.Default)
 	}
+	finitePos := func(x float64) bool { return x > 0 && !math.IsInf(x, 1) }
+	finiteNonNeg := func(x float64) bool { return x >= 0 && !math.IsInf(x, 1) }
+	names := make(map[string]int, len(p.Devices))
 	for i, d := range p.Devices {
-		if d.PeakOps <= 0 {
-			return fmt.Errorf("platform: device %d (%s) has non-positive PeakOps", i, d.Name)
+		if !finitePos(d.PeakOps) {
+			return fmt.Errorf("platform: device %d (%s) PeakOps %v is not a finite positive number", i, d.Name, d.PeakOps)
 		}
-		if d.Lanes <= 0 {
-			return fmt.Errorf("platform: device %d (%s) has non-positive Lanes", i, d.Name)
+		if !finitePos(d.Lanes) {
+			return fmt.Errorf("platform: device %d (%s) Lanes %v is not a finite positive number", i, d.Name, d.Lanes)
 		}
-		if d.Bandwidth <= 0 {
-			return fmt.Errorf("platform: device %d (%s) has non-positive Bandwidth", i, d.Name)
+		if !finitePos(d.Bandwidth) {
+			return fmt.Errorf("platform: device %d (%s) Bandwidth %v is not a finite positive number", i, d.Name, d.Bandwidth)
 		}
-		if d.Latency < 0 || d.Area < 0 {
-			return fmt.Errorf("platform: device %d (%s) has negative Latency/Area", i, d.Name)
+		if !finiteNonNeg(d.Latency) {
+			return fmt.Errorf("platform: device %d (%s) Latency %v is not a finite non-negative number", i, d.Name, d.Latency)
+		}
+		if !finiteNonNeg(d.Area) {
+			return fmt.Errorf("platform: device %d (%s) Area %v is not a finite non-negative number", i, d.Name, d.Area)
+		}
+		if !finiteNonNeg(d.PowerW) {
+			return fmt.Errorf("platform: device %d (%s) PowerW %v is not a finite non-negative number", i, d.Name, d.PowerW)
+		}
+		if d.Slots < 0 {
+			return fmt.Errorf("platform: device %d (%s) has negative Slots", i, d.Name)
+		}
+		if d.Name != "" {
+			if j, dup := names[d.Name]; dup {
+				return fmt.Errorf("platform: devices %d and %d share the name %q", j, i, d.Name)
+			}
+			names[d.Name] = i
 		}
 	}
 	return nil
@@ -225,11 +255,35 @@ func (p *Platform) Write(w io.Writer) error {
 	return err
 }
 
-// Read parses a platform from JSON and validates it.
+// MaxJSONBytes is the default payload cap of Read — generous for any
+// real platform description, small enough that a hostile stream cannot
+// OOM the process.
+const MaxJSONBytes = 8 << 20
+
+// ErrTooLarge is returned (wrapped) when a JSON payload exceeds the
+// reader's byte cap.
+var ErrTooLarge = errors.New("platform: JSON payload too large")
+
+// Read parses a platform from JSON and validates it, rejecting payloads
+// over MaxJSONBytes. Use ReadLimit to choose the cap.
 func Read(r io.Reader) (*Platform, error) {
-	b, err := io.ReadAll(r)
+	return ReadLimit(r, MaxJSONBytes)
+}
+
+// ReadLimit parses a platform from at most maxBytes of JSON and
+// validates it. An oversized payload fails with ErrTooLarge after
+// maxBytes+1 bytes without buffering the remainder. maxBytes <= 0
+// selects MaxJSONBytes.
+func ReadLimit(r io.Reader, maxBytes int64) (*Platform, error) {
+	if maxBytes <= 0 {
+		maxBytes = MaxJSONBytes
+	}
+	b, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
 	if err != nil {
 		return nil, err
+	}
+	if int64(len(b)) > maxBytes {
+		return nil, fmt.Errorf("%w: over %d bytes", ErrTooLarge, maxBytes)
 	}
 	var p Platform
 	if err := json.Unmarshal(b, &p); err != nil {

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Timing is the flat per-request phase breakdown, one record per served
+// request. Every field is a scalar so the struct dumps to one CSV row
+// (see WriteTimingsCSV) or one JSON object with no nesting:
+//
+//	queue   — decode, validation and warm-instance acquisition, µs
+//	batch   — wall time the request's evaluation ops sat in the
+//	          cross-request batcher waiting for a flush, µs (0 on the
+//	          direct path)
+//	eval    — simulation time attributed to the request's ops (its
+//	          per-op share of each coalesced flush, or the whole batch
+//	          run when uncoalesced), µs
+//	respond — response marshaling and write, µs
+//
+// Total is the full handler wall time; it can exceed the phase sum
+// (mapper time outside batch evaluation: proposal generation,
+// incremental sessions, coordination) and the batch/eval phases of a
+// coalesced request overlap other requests' phases by design. Timing
+// records are telemetry: they are returned in a response only when the
+// request opts in ("timing": true) and are excluded from the service's
+// byte-determinism contract.
+type Timing struct {
+	// ID echoes the request's client-chosen id ("" when absent).
+	ID string `json:"id"`
+	// Endpoint is the serving route ("map", "refine", "evaluate",
+	// "replay"); Instance is the warm-state key that served it.
+	Endpoint string `json:"endpoint"`
+	Instance string `json:"instance"`
+	// Ops counts engine evaluations the request submitted through the
+	// batch entry points.
+	Ops int64 `json:"ops"`
+	// Phase times in microseconds (see above).
+	QueueUS   int64 `json:"queue_us"`
+	BatchUS   int64 `json:"batch_us"`
+	EvalUS    int64 `json:"eval_us"`
+	RespondUS int64 `json:"respond_us"`
+	TotalUS   int64 `json:"total_us"`
+	// Flushes counts the engine batch runs that carried the request's
+	// ops; Coalesced marks requests served through the cross-request
+	// batcher; Status is the HTTP status sent.
+	Flushes   int64 `json:"flushes"`
+	Coalesced bool  `json:"coalesced"`
+	Status    int   `json:"status"`
+}
+
+// timingHeader is the CSV column order, kept in sync with writeRow.
+var timingHeader = []string{
+	"id", "endpoint", "instance", "ops",
+	"queue_us", "batch_us", "eval_us", "respond_us", "total_us",
+	"flushes", "coalesced", "status",
+}
+
+func (t *Timing) writeRow(w *csv.Writer) error {
+	return w.Write([]string{
+		t.ID, t.Endpoint, t.Instance, strconv.FormatInt(t.Ops, 10),
+		strconv.FormatInt(t.QueueUS, 10), strconv.FormatInt(t.BatchUS, 10),
+		strconv.FormatInt(t.EvalUS, 10), strconv.FormatInt(t.RespondUS, 10),
+		strconv.FormatInt(t.TotalUS, 10), strconv.FormatInt(t.Flushes, 10),
+		strconv.FormatBool(t.Coalesced), strconv.Itoa(t.Status),
+	})
+}
+
+// WriteTimingsCSV dumps timing records as CSV (header + one row each).
+func WriteTimingsCSV(w io.Writer, ts []Timing) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(timingHeader); err != nil {
+		return err
+	}
+	for i := range ts {
+		if err := ts[i].writeRow(cw); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// timingRing retains the most recent records for /stats. Bounded so an
+// unbounded request stream cannot grow service memory — the same class
+// of bug as the unbounded eval.Cache this PR fixes.
+type timingRing struct {
+	mu   sync.Mutex
+	buf  []Timing
+	next int
+	full bool
+}
+
+func newTimingRing(n int) *timingRing {
+	if n <= 0 {
+		n = 4096
+	}
+	return &timingRing{buf: make([]Timing, n)}
+}
+
+func (r *timingRing) add(t Timing) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained records oldest-first.
+func (r *timingRing) snapshot() []Timing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Timing(nil), r.buf[:r.next]...)
+	}
+	out := make([]Timing, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

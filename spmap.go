@@ -113,6 +113,7 @@ import (
 	"spmap/internal/pareto"
 	"spmap/internal/platform"
 	"spmap/internal/portfolio"
+	"spmap/internal/service"
 	"spmap/internal/sp"
 	"spmap/internal/wf"
 )
@@ -649,3 +650,37 @@ const (
 func GenerateWorkflow(f WorkflowFamily, scale int, rng *rand.Rand) *DAG {
 	return wf.Generate(f, scale, rng)
 }
+
+// ServiceOptions configure a mapping service: the default platform,
+// evaluation worker count, batch coalescing (max batch size and wait),
+// cache bound, warm-instance table size, and request caps. The zero
+// value selects production defaults; NoCoalesce disables cross-request
+// batch coalescing (every request then evaluates directly).
+type ServiceOptions = service.Options
+
+// MappingService is spmapd's embeddable core: a long-running HTTP
+// mapping service holding warm per-(graph, platform, schedules, seed)
+// state — compiled simulation kernel, bounded evaluation cache, and a
+// coalescing batcher that merges candidate evaluations from concurrent
+// requests into shared engine batches. Endpoints: POST /v1/map,
+// /v1/refine, /v1/evaluate (whole-mapping or patch-form candidates),
+// /v1/replay; GET /healthz and /v1/stats (JSON, or CSV with
+// ?format=csv). Responses are byte-deterministic for a fixed (request,
+// seed, workers) tuple regardless of batching mode or flush
+// interleaving. Serve Handler() from any http.Server; Close drains the
+// batchers.
+type MappingService = service.Service
+
+// ServiceStats is a telemetry snapshot of a mapping service: totals,
+// per-instance coalescing/cache counters, and the per-request timing
+// ring.
+type ServiceStats = service.Stats
+
+// ServiceTiming is one request's phase breakdown (queue, batch wait,
+// evaluation, respond — microseconds), as embedded in responses on
+// request ("timing": true) and listed by /v1/stats.
+type ServiceTiming = service.Timing
+
+// NewMappingService builds a mapping service ready to serve. See
+// cmd/spmapd for the standalone daemon wrapping it.
+func NewMappingService(opt ServiceOptions) *MappingService { return service.New(opt) }
