@@ -14,6 +14,8 @@
 //	spmap-bench -exp portfolio       # extension: portfolio racing vs single mappers
 //	spmap-bench -exp online          # extension: warm-start repair vs cold re-map per event
 //	spmap-bench -exp incremental     # extension: incremental vs resume vs full move throughput
+//	spmap-bench -exp fleet           # extension: sharded replay fleets with checkpoint/resume
+//	spmap-bench -exp fleet -store d  # persistent checkpoints: kill mid-run, re-run, traces verified
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
 //	spmap-bench -exp incremental -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -54,6 +56,7 @@ var knownExperiments = map[string]bool{
 	"fig3": true, "fig4": true, "fig5": true, "fig6": true, "fig7": true,
 	"table1": true, "ablation": true, "localsearch": true, "pareto": true,
 	"portfolio": true, "online": true, "incremental": true, "service": true,
+	"fleet": true,
 }
 
 // run is main's testable body: it parses and validates args, executes
@@ -64,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spmap-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental service all")
+		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental service fleet all")
 		paper     = fs.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = fs.Int("graphs", 0, "override graphs per data point (>= 0; 0 = profile default)")
 		schedules = fs.Int("schedules", 0, "override random schedules in the cost function (>= 0)")
@@ -75,7 +78,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		eps       = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -exp pareto (>= 0; 0 = exact front)")
 		csvDir    = fs.String("csv", "", "also write <experiment>.csv files into this directory")
 		addr      = fs.String("addr", "", "for -exp service: fire the load generator at a live spmapd base URL instead of in-process services")
-		jsonPath  = fs.String("json", "", "for -exp service: also write the load rows as JSON to this file")
+		jsonPath  = fs.String("json", "", "for -exp service/fleet: also write the result rows as JSON to this file")
+		storeDir  = fs.String("store", "", "for -exp fleet: back the resume-verify section with a persistent checkpoint directory (survives a killed process)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	)
@@ -111,16 +115,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *exp == "all" {
 		names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
 	}
-	hasService := false
+	hasService, hasFleet := false, false
 	for i, name := range names {
 		names[i] = strings.TrimSpace(name)
 		if !knownExperiments[names[i]] {
 			return usage("unknown experiment %q", names[i])
 		}
 		hasService = hasService || names[i] == "service"
+		hasFleet = hasFleet || names[i] == "fleet"
 	}
-	if (*addr != "" || *jsonPath != "") && !hasService {
-		return usage("-addr and -json apply to -exp service only")
+	if *addr != "" && !hasService {
+		return usage("-addr applies to -exp service only")
+	}
+	if *jsonPath != "" && !hasService && !hasFleet {
+		return usage("-json applies to -exp service and -exp fleet only")
+	}
+	if *storeDir != "" && !hasFleet {
+		return usage("-store applies to -exp fleet only")
 	}
 	if *csvDir != "" {
 		// Probe writability upfront: failing after hours of sweep is the
@@ -240,6 +251,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 				var f *os.File
 				if f, err = os.Create(*jsonPath); err == nil {
 					err = experiments.WriteJSONService(f, rows)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+			}
+		case "fleet":
+			var rows []experiments.FleetRow
+			rows, err = experiments.FleetComparison(cfg, *storeDir)
+			if rows != nil {
+				experiments.PrintFleet(stdout, rows)
+			}
+			if err != nil {
+				// The resume-verification gate failed (or the store is
+				// unusable): the printed rows are diagnostics, the run is
+				// not a valid benchmark.
+				return err
+			}
+			err = emitCSV("fleet", func(w io.Writer) error {
+				return experiments.WriteCSVFleet(w, rows)
+			})
+			if err == nil && *jsonPath != "" {
+				var f *os.File
+				if f, err = os.Create(*jsonPath); err == nil {
+					err = experiments.WriteJSONFleet(f, rows)
 					if cerr := f.Close(); err == nil {
 						err = cerr
 					}

@@ -35,6 +35,9 @@ func TestBenchFlagValidation(t *testing.T) {
 		{"csv dir is a file", []string{"-exp", "fig3", "-csv", unwritable}, "-csv directory not writable"},
 		{"uncreatable cpuprofile", []string{"-exp", "fig3", "-cpuprofile", filepath.Join(unwritable, "cpu.pprof")}, "-cpuprofile"},
 		{"uncreatable memprofile", []string{"-exp", "fig3", "-memprofile", filepath.Join(unwritable, "mem.pprof")}, "-memprofile"},
+		{"store without fleet", []string{"-exp", "fig3", "-store", "/tmp/x"}, "-store applies to -exp fleet only"},
+		{"json without service or fleet", []string{"-exp", "fig3", "-json", "out.json"}, "-json applies to -exp service and -exp fleet only"},
+		{"addr without service", []string{"-exp", "fleet", "-addr", "http://x"}, "-addr applies to -exp service only"},
 		{"undeclared flag", []string{"-frobnicate"}, ""}, // FlagSet's own error
 	}
 	for _, tc := range cases {
@@ -137,6 +140,54 @@ func TestBenchIncrementalExperiment(t *testing.T) {
 		if fi.Size() == 0 {
 			t.Fatalf("profile %s is empty", p)
 		}
+	}
+}
+
+// TestBenchFleetExperiment smoke-runs the sharded fleet experiment end
+// to end on a tiny profile with CSV, JSON and a persistent checkpoint
+// store. The experiment fails loudly if sharding changes any trace or a
+// resumed stream diverges from the uninterrupted reference, so a clean
+// run doubles as a crash-resume differential check.
+func TestBenchFleetExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	dir := t.TempDir()
+	store := filepath.Join(dir, "checkpoints")
+	jsonPath := filepath.Join(dir, "fleet.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-exp", "fleet", "-graphs", "4", "-schedules", "2",
+		"-csv", dir, "-json", jsonPath, "-store", store}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"shard-sweep", "cadence-sweep", "4/4 resumed traces identical", "fleet completed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet report missing %q:\n%s", want, out)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fleet.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "trace_matches") {
+		t.Fatalf("fleet.csv missing header:\n%s", csv)
+	}
+	js, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"resume-verify"`) {
+		t.Fatalf("fleet.json missing resume section:\n%s", js)
+	}
+	// The persistent store must hold the completed checkpoints.
+	entries, err := os.ReadDir(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("persistent checkpoint store is empty after the run")
 	}
 }
 

@@ -16,6 +16,8 @@
 //	POST /v1/refine    improve a client-supplied mapping (anneal, hillclimb)
 //	POST /v1/evaluate  makespans (optionally energies) for candidate mappings
 //	POST /v1/replay    online scenario replay with warm-start repair
+//	POST /v1/snapshot  capture live replay state as a content-addressed handle,
+//	                   or resume a stored snapshot and apply further events
 //	GET  /v1/stats     service telemetry + per-request phase timings (?format=csv)
 //	GET  /healthz      liveness probe
 //
@@ -64,6 +66,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cacheEntries = fs.Int("cache-entries", 1<<18, "evaluation cache cap per instance (0 = default, < 0 disables)")
 		maxInstances = fs.Int("max-instances", 32, "warm instance cap (> 0; oldest evicted first)")
 		maxBody      = fs.Int64("max-body-bytes", 8<<20, "request body cap in bytes (> 0)")
+		maxEvents    = fs.Int("max-scenario-events", 10_000, "event cap per replay/snapshot scenario (> 0)")
+		maxSnapshots = fs.Int("max-snapshots", 64, "stored-snapshot cap (> 0; oldest evicted first)")
 		noCoalesce   = fs.Bool("no-coalesce", false, "disable cross-request batch coalescing (responses are identical)")
 		drainWait    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline (> 0)")
 	)
@@ -90,6 +94,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return usage("-max-instances must be > 0, got %d", *maxInstances)
 	case *maxBody <= 0:
 		return usage("-max-body-bytes must be > 0, got %d", *maxBody)
+	case *maxEvents <= 0:
+		return usage("-max-scenario-events must be > 0, got %d", *maxEvents)
+	case *maxSnapshots <= 0:
+		return usage("-max-snapshots must be > 0, got %d", *maxSnapshots)
 	case *drainWait <= 0:
 		return usage("-drain must be > 0, got %s", *drainWait)
 	}
@@ -99,14 +107,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	svc := service.New(service.Options{
-		Platform:     p,
-		MaxBatch:     *maxBatch,
-		MaxWait:      *maxWait,
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
-		MaxBodyBytes: *maxBody,
-		MaxInstances: *maxInstances,
-		NoCoalesce:   *noCoalesce,
+		Platform:          p,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		Workers:           *workers,
+		CacheEntries:      *cacheEntries,
+		MaxBodyBytes:      *maxBody,
+		MaxInstances:      *maxInstances,
+		MaxScenarioEvents: *maxEvents,
+		MaxSnapshots:      *maxSnapshots,
+		NoCoalesce:        *noCoalesce,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -160,6 +160,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{"-max-wait", "0s"},
 		{"-max-instances", "0"},
 		{"-max-body-bytes", "0"},
+		{"-max-scenario-events", "0"},
+		{"-max-snapshots", "-1"},
 		{"-drain", "0s"},
 	}
 	for _, args := range cases {

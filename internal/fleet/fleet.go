@@ -1,0 +1,243 @@
+// Package fleet drives many concurrent scenario replay streams — the
+// multi-tenant serving path the ROADMAP's production north star needs.
+// A fleet run shards N streams across K worker shards; each shard owns
+// its streams exclusively (an online.Instance is single-goroutine) and
+// replays them sequentially, writing a periodic checkpoint — an encoded
+// online.Snapshot — every C events into a pluggable Store.
+//
+// Crash-resume: when a stream already has a checkpoint in the store,
+// Run restores it and re-applies only the scenario tail. Replay traces
+// are byte-deterministic and per-event repair seeds depend only on the
+// absolute event position, so an interrupted-and-resumed stream
+// produces the same Stats.Trace() as an uninterrupted one — resume is
+// verifiable, not hoped for. Completed streams leave their final
+// checkpoint in place, which makes re-running a finished fleet cheap
+// (restore, zero events, recompute the result).
+//
+// The Store interface deliberately carries no fleet semantics beyond
+// save/load/delete of one latest checkpoint per stream: in-memory now,
+// disk today (DirStore, so a killed process can resume), SQL later
+// behind the same interface — the ROADMAP's pluggable-backend pattern.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/online"
+	"spmap/internal/platform"
+)
+
+// Stream is one scenario replay to drive: a (graph, platform) instance,
+// the event stream to apply, and the replay options. The ID keys the
+// stream's checkpoints in the Store and must be unique within a run.
+type Stream struct {
+	ID       string
+	Graph    *graph.DAG
+	Platform *platform.Platform
+	Scenario gen.Scenario
+	Options  online.Options
+}
+
+// Checkpoint is one stream's latest persisted state: an encoded
+// online.Snapshot plus the event cursor it was taken at (redundant with
+// the snapshot, kept so stores and tools can report progress without
+// decoding).
+type Checkpoint struct {
+	StreamID string
+	Events   int
+	Data     []byte
+}
+
+// Store persists at most one (the latest) checkpoint per stream.
+// Implementations must be safe for concurrent use by many shards.
+type Store interface {
+	// Save persists cp as its stream's latest checkpoint, replacing any
+	// earlier one.
+	Save(cp Checkpoint) error
+	// Load returns the stream's latest checkpoint; ok is false when the
+	// store holds none.
+	Load(streamID string) (cp Checkpoint, ok bool, err error)
+	// Delete drops the stream's checkpoint. Deleting a stream without
+	// one is not an error.
+	Delete(streamID string) error
+}
+
+// Options configure a fleet run; zero values select the defaults.
+type Options struct {
+	// Shards is the number of worker shards streams are distributed
+	// across round-robin (default GOMAXPROCS). Stream-to-shard
+	// assignment depends only on (index, Shards), never on timing.
+	Shards int
+	// CheckpointEvery is the checkpoint cadence in events: a stream
+	// checkpoints whenever its cursor is a multiple of C, and always at
+	// completion. Zero disables periodic checkpoints (the completion
+	// checkpoint is still written when a Store is configured).
+	CheckpointEvery int
+	// Store receives checkpoints and provides resume state. nil runs
+	// the fleet without any checkpointing or resume.
+	Store Store
+	// Interrupt, if set, is consulted after every applied event (and
+	// after any checkpoint that event triggered); returning true
+	// abandons the stream immediately — a simulated crash, used by the
+	// resume tests and the bench harness. The abandoned stream's Result
+	// has Interrupted set and carries no mapping or stats.
+	Interrupt func(streamID string, events int) bool
+}
+
+// Result reports one stream's outcome. Results are returned in stream
+// order regardless of shard assignment.
+type Result struct {
+	StreamID string
+	// Shard is the worker shard that ran the stream.
+	Shard int
+	// ResumedFrom is the event cursor restored from a checkpoint (zero
+	// for a fresh start); Events counts the events applied by this run,
+	// so ResumedFrom+Events is the stream's final cursor.
+	ResumedFrom int
+	Events      int
+	// Checkpoints counts the checkpoints this run wrote.
+	Checkpoints int
+	// Interrupted reports that Options.Interrupt abandoned the stream.
+	Interrupted bool
+	// Duration is the stream's wall-clock replay time (telemetry only,
+	// not part of any determinism contract).
+	Duration time.Duration
+	// Mapping and Stats are the final incumbent and replay statistics
+	// of a completed stream (nil/zero when interrupted or failed).
+	Mapping mapping.Mapping
+	Stats   online.Stats
+	// Err is the stream's failure, if any; other streams keep running.
+	Err error
+}
+
+// Run drives every stream to completion (or interruption) across the
+// configured shards and returns per-stream results in input order. It
+// errors only on configuration defects (invalid shard count or cadence,
+// duplicate or empty stream IDs); per-stream failures are reported in
+// the stream's Result.
+func Run(streams []Stream, opt Options) ([]Result, error) {
+	if opt.Shards < 0 {
+		return nil, fmt.Errorf("fleet: negative shard count %d", opt.Shards)
+	}
+	shards := opt.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if opt.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("fleet: negative checkpoint cadence %d", opt.CheckpointEvery)
+	}
+	seen := make(map[string]bool, len(streams))
+	for i := range streams {
+		id := streams[i].ID
+		if id == "" {
+			return nil, fmt.Errorf("fleet: stream %d has an empty ID", i)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("fleet: duplicate stream ID %q", id)
+		}
+		seen[id] = true
+	}
+
+	results := make([]Result, len(streams))
+	var wg sync.WaitGroup
+	for shard := 0; shard < shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < len(streams); i += shards {
+				results[i] = runStream(shard, &streams[i], &opt)
+			}
+		}(shard)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// runStream replays one stream: restore from the latest checkpoint if
+// the store has one, otherwise start fresh; apply the scenario tail
+// with periodic checkpoints; checkpoint once more at completion.
+func runStream(shard int, st *Stream, opt *Options) (res Result) {
+	res = Result{StreamID: st.ID, Shard: shard}
+	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+
+	var inst *online.Instance
+	if opt.Store != nil {
+		cp, ok, err := opt.Store.Load(st.ID)
+		if err != nil {
+			res.Err = fmt.Errorf("fleet: stream %s: load checkpoint: %w", st.ID, err)
+			return res
+		}
+		if ok {
+			snap, err := online.DecodeSnapshot(cp.Data)
+			if err != nil {
+				res.Err = fmt.Errorf("fleet: stream %s: checkpoint: %w", st.ID, err)
+				return res
+			}
+			// The stream's own options either match the snapshot's
+			// trace-relevant ones or Restore rejects them — a stream
+			// cannot silently resume onto a diverging trace.
+			inst, err = online.Restore(snap, st.Options)
+			if err != nil {
+				res.Err = fmt.Errorf("fleet: stream %s: %w", st.ID, err)
+				return res
+			}
+			res.ResumedFrom = inst.Events()
+		}
+	}
+	if inst == nil {
+		var err error
+		inst, err = online.NewInstance(st.Graph, st.Platform, st.Options)
+		if err != nil {
+			res.Err = fmt.Errorf("fleet: stream %s: %w", st.ID, err)
+			return res
+		}
+	}
+	total := len(st.Scenario.Events)
+	if inst.Events() > total {
+		res.Err = fmt.Errorf("fleet: stream %s: checkpoint cursor %d beyond the %d-event scenario", st.ID, inst.Events(), total)
+		return res
+	}
+
+	save := func() bool {
+		cp := Checkpoint{StreamID: st.ID, Events: inst.Events(), Data: inst.Snapshot().Encode()}
+		if err := opt.Store.Save(cp); err != nil {
+			res.Err = fmt.Errorf("fleet: stream %s: save checkpoint: %w", st.ID, err)
+			return false
+		}
+		res.Checkpoints++
+		return true
+	}
+
+	for inst.Events() < total {
+		if err := inst.Step(st.Scenario.Events[inst.Events()]); err != nil {
+			res.Err = fmt.Errorf("fleet: stream %s: %w", st.ID, err)
+			return res
+		}
+		res.Events++
+		// Cadence is keyed to the absolute cursor, so a resumed stream
+		// checkpoints at the same boundaries the uninterrupted one did.
+		if opt.Store != nil && opt.CheckpointEvery > 0 &&
+			inst.Events()%opt.CheckpointEvery == 0 && inst.Events() < total {
+			if !save() {
+				return res
+			}
+		}
+		if opt.Interrupt != nil && opt.Interrupt(st.ID, inst.Events()) {
+			res.Interrupted = true
+			return res
+		}
+	}
+	if opt.Store != nil && !save() {
+		return res
+	}
+	res.Mapping = inst.Mapping()
+	res.Stats = inst.Stats()
+	return res
+}

@@ -1,0 +1,558 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/online"
+	"spmap/internal/platform"
+)
+
+// failStore wraps a Store and fails selected operations — the fleet
+// must surface store failures as per-stream errors, not hangs or
+// silent completions.
+type failStore struct {
+	Store
+	failSave, failLoad bool
+}
+
+func (s *failStore) Save(cp Checkpoint) error {
+	if s.failSave {
+		return fmt.Errorf("injected save failure")
+	}
+	return s.Store.Save(cp)
+}
+
+func (s *failStore) Load(id string) (Checkpoint, bool, error) {
+	if s.failLoad {
+		return Checkpoint{}, false, fmt.Errorf("injected load failure")
+	}
+	return s.Store.Load(id)
+}
+
+// TestFleetStoreFailuresSurface pins that load and save failures (both
+// periodic and completion checkpoints) land in the stream's Result.
+func TestFleetStoreFailuresSurface(t *testing.T) {
+	st := testStream("sf", 2, 2)
+	results, err := Run([]Stream{st}, Options{Store: &failStore{Store: NewMemStore(), failLoad: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "load checkpoint") {
+		t.Fatalf("load failure: %v", results[0].Err)
+	}
+	// CheckpointEvery 1 fails on the first periodic save; cadence 0 on
+	// the completion save.
+	for _, cadence := range []int{1, 0} {
+		results, err = Run([]Stream{st}, Options{CheckpointEvery: cadence, Store: &failStore{Store: NewMemStore(), failSave: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "save checkpoint") {
+			t.Fatalf("save failure (cadence %d): %v", cadence, results[0].Err)
+		}
+	}
+	// An invalid instance (empty graph) fails the stream, not the run.
+	bad := Stream{ID: "empty", Graph: graph.New(0, 0), Platform: platform.Reference()}
+	results, err = Run([]Stream{bad}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "empty task graph") {
+		t.Fatalf("empty graph: %v", results[0].Err)
+	}
+}
+
+// TestDirStoreFilesystemErrors drives the directory store's error
+// branches with real filesystem obstacles.
+func TestDirStoreFilesystemErrors(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirStore(filepath.Join(blocker, "sub")); err == nil {
+		t.Fatal("NewDirStore under a regular file succeeded")
+	}
+
+	s, err := NewDirStore(filepath.Join(base, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != filepath.Join(base, "store") {
+		t.Fatalf("Dir = %q", s.Dir())
+	}
+	// A non-empty directory squatting on the checkpoint path breaks
+	// Load (read of a directory), Save (rename onto it) and Delete.
+	if err := os.MkdirAll(filepath.Join(s.path("y"), "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load("y"); err == nil {
+		t.Fatal("Load of a directory succeeded")
+	}
+	if err := s.Save(Checkpoint{StreamID: "y", Data: []byte{1}}); err == nil {
+		t.Fatal("Save over a non-empty directory succeeded")
+	}
+	if err := s.Delete("y"); err == nil {
+		t.Fatal("Delete of a non-empty directory succeeded")
+	}
+	// A vanished store directory fails Save at temp-file creation.
+	gone, err := NewDirStore(filepath.Join(base, "gone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(gone.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gone.Save(Checkpoint{StreamID: "x", Data: []byte{1}}); err == nil {
+		t.Fatal("Save into a removed directory succeeded")
+	}
+}
+
+// testStream builds a small deterministic stream: a 12-task
+// series-parallel graph on the reference platform with a mixed-kind
+// scenario.
+func testStream(id string, seed int64, events int) Stream {
+	return Stream{
+		ID:       id,
+		Graph:    gen.SeriesParallel(rand.New(rand.NewSource(seed)), 12, gen.DefaultAttr()),
+		Platform: platform.Reference(),
+		Scenario: gen.NewScenario(rand.New(rand.NewSource(seed+50)), gen.ScenarioOptions{Events: events, PFail: 2, PDepart: 2}),
+		Options:  online.Options{Schedules: 2, Seed: seed, RepairBudget: 80, Workers: 1},
+	}
+}
+
+// replayTrace runs the stream standalone (no fleet, no checkpoints) and
+// returns its trace — the uninterrupted twin every fleet result is
+// measured against.
+func replayTrace(t *testing.T, st Stream) string {
+	t.Helper()
+	_, stats, err := online.Replay(st.Graph, st.Platform, st.Scenario, st.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Trace()
+}
+
+// TestFleetMatchesStandaloneReplay pins the baseline contract: a fleet
+// run produces, per stream and in input order, exactly the standalone
+// replay's trace — for any shard count, with and without a store.
+func TestFleetMatchesStandaloneReplay(t *testing.T) {
+	streams := make([]Stream, 6)
+	want := make([]string, len(streams))
+	for i := range streams {
+		streams[i] = testStream(fmt.Sprintf("s%d", i), int64(i+1), 3)
+		want[i] = replayTrace(t, streams[i])
+	}
+	for _, shards := range []int{1, 4} {
+		for _, store := range []Store{nil, NewMemStore()} {
+			results, err := Run(streams, Options{Shards: shards, CheckpointEvery: 1, Store: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("shards=%d stream %d: %v", shards, i, res.Err)
+				}
+				if res.StreamID != streams[i].ID || res.Shard != i%shards {
+					t.Fatalf("shards=%d: result %d out of order: %+v", shards, i, res)
+				}
+				if got := res.Stats.Trace(); got != want[i] {
+					t.Fatalf("shards=%d store=%v stream %d: trace diverged:\n got %s\nwant %s",
+						shards, store != nil, i, got, want[i])
+				}
+				if store != nil && res.Checkpoints == 0 {
+					t.Fatalf("shards=%d stream %d: no checkpoints written", shards, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetKillAtEveryBoundaryResume is the fleet-level crash-resume
+// matrix: interrupt each seed stream at every event boundary, resume
+// from the latest checkpoint in a second run, and require the resumed
+// trace byte-identical to the uninterrupted twin — across shard counts
+// and cache on/off.
+func TestFleetKillAtEveryBoundaryResume(t *testing.T) {
+	const events = 4
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, disableCache := range []bool{false, true} {
+			st := testStream(fmt.Sprintf("kill-%d-%v", seed, disableCache), seed, events)
+			st.Options.DisableCache = disableCache
+			want := replayTrace(t, st)
+			for k := 1; k <= events; k++ {
+				for _, shards := range []int{1, 4} {
+					store := NewMemStore()
+					kill := k
+					results, err := Run([]Stream{st}, Options{
+						Shards: shards, CheckpointEvery: 1, Store: store,
+						Interrupt: func(id string, ev int) bool { return ev >= kill },
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !results[0].Interrupted {
+						t.Fatalf("seed %d k=%d: stream not interrupted", seed, k)
+					}
+					resumed, err := Run([]Stream{st}, Options{Shards: shards, CheckpointEvery: 1, Store: store})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res := resumed[0]
+					if res.Err != nil {
+						t.Fatalf("seed %d k=%d: resume: %v", seed, k, res.Err)
+					}
+					// With cadence 1 the latest checkpoint sits at the kill
+					// boundary, except a kill on the last event (its periodic
+					// save is subsumed by the completion checkpoint the crash
+					// pre-empted).
+					wantCursor := k
+					if k == events {
+						wantCursor = events - 1
+					}
+					if res.ResumedFrom != wantCursor || res.ResumedFrom+res.Events != events {
+						t.Fatalf("seed %d k=%d: resumed from %d, applied %d", seed, k, res.ResumedFrom, res.Events)
+					}
+					if got := res.Stats.Trace(); got != want {
+						t.Fatalf("seed %d k=%d shards=%d cache=%v: resumed trace diverged:\n got %s\nwant %s",
+							seed, k, shards, !disableCache, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFleetResumeStatsMatchUninterrupted is the fleet-level stats
+// differential: the resumed run's deterministic statistics — not just
+// the trace — must equal the uninterrupted twin's (idempotent folding,
+// no double-counted spend).
+func TestFleetResumeStatsMatchUninterrupted(t *testing.T) {
+	st := testStream("stats", 7, 4)
+	_, want, err := online.Replay(st.Graph, st.Platform, st.Scenario, st.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	if _, err := Run([]Stream{st}, Options{CheckpointEvery: 2, Store: store,
+		Interrupt: func(string, int) bool { return true }}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run([]Stream{st}, Options{CheckpointEvery: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results[0].Stats
+	if got.TotalEvaluations != want.TotalEvaluations || got.KernelRebuilds != want.KernelRebuilds {
+		t.Fatalf("resumed spend diverged: evals %d vs %d, rebuilds %d vs %d",
+			got.TotalEvaluations, want.TotalEvaluations, got.KernelRebuilds, want.KernelRebuilds)
+	}
+	if gt, wt := got.Cache.Hits+got.Cache.Misses, want.Cache.Hits+want.Cache.Misses; gt != wt {
+		t.Fatalf("cache lookup totals diverged: %d vs %d (double-folded telemetry)", gt, wt)
+	}
+	if got.Cache.Hits > want.Cache.Hits {
+		t.Fatalf("resumed run hit more than uninterrupted (%d > %d)", got.Cache.Hits, want.Cache.Hits)
+	}
+}
+
+// TestFleetRerunCompletedIsCheap pins the completion checkpoint: a
+// finished stream restores at its final cursor, applies zero events and
+// reproduces the identical trace and spend.
+func TestFleetRerunCompletedIsCheap(t *testing.T) {
+	st := testStream("done", 5, 3)
+	store := NewMemStore()
+	first, err := Run([]Stream{st}, Options{CheckpointEvery: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run([]Stream{st}, Options{CheckpointEvery: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := first[0], second[0]
+	if b.Err != nil {
+		t.Fatal(b.Err)
+	}
+	if b.Events != 0 || b.ResumedFrom != len(st.Scenario.Events) {
+		t.Fatalf("re-run replayed %d events from cursor %d", b.Events, b.ResumedFrom)
+	}
+	if a.Stats.Trace() != b.Stats.Trace() {
+		t.Fatal("re-run trace diverged")
+	}
+	if a.Stats.TotalEvaluations != b.Stats.TotalEvaluations {
+		t.Fatalf("re-run double-counted spend: %d vs %d", b.Stats.TotalEvaluations, a.Stats.TotalEvaluations)
+	}
+}
+
+// TestFleetSharedStoreRace exercises many shards hammering one shared
+// store concurrently (run under -race in CI). Every stream must still
+// complete with its own uninterrupted trace.
+func TestFleetSharedStoreRace(t *testing.T) {
+	stores := map[string]Store{"mem": NewMemStore()}
+	ds, err := NewDirStore(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["dir"] = ds
+	for name, store := range stores {
+		t.Run(name, func(t *testing.T) {
+			streams := make([]Stream, 16)
+			want := make([]string, len(streams))
+			for i := range streams {
+				streams[i] = testStream(fmt.Sprintf("race-%s-%d", name, i), int64(i+1), 2)
+				streams[i].Options.RepairBudget = 40
+				want[i] = replayTrace(t, streams[i])
+			}
+			results, err := Run(streams, Options{Shards: 8, CheckpointEvery: 1, Store: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("stream %d: %v", i, res.Err)
+				}
+				if res.Stats.Trace() != want[i] {
+					t.Fatalf("stream %d: trace diverged under shared %s store", i, name)
+				}
+			}
+		})
+	}
+}
+
+// TestDirStoreResumeAcrossInstances simulates a process crash: the
+// first run's DirStore is discarded, a new DirStore over the same
+// directory (a "new process") resumes from the on-disk checkpoint.
+func TestDirStoreResumeAcrossInstances(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	st := testStream("crash", 9, 4)
+	want := replayTrace(t, st)
+
+	s1, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run([]Stream{st}, Options{CheckpointEvery: 1, Store: s1,
+		Interrupt: func(_ string, ev int) bool { return ev >= 2 }}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run([]Stream{st}, Options{CheckpointEvery: 1, Store: s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.ResumedFrom != 2 {
+		t.Fatalf("resumed from %d, want 2", res.ResumedFrom)
+	}
+	if res.Stats.Trace() != want {
+		t.Fatalf("cross-process resume trace diverged:\n got %s\nwant %s", res.Stats.Trace(), want)
+	}
+}
+
+// TestDirStoreHardening pins the store's own error paths: torn and
+// corrupt checkpoint files fail loudly, Delete is idempotent, and
+// stream IDs cannot escape the directory.
+func TestDirStoreHardening(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirStore(""); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	if err := s.Save(Checkpoint{StreamID: "", Data: []byte("x")}); err == nil {
+		t.Fatal("empty stream ID accepted")
+	}
+
+	// Round trip.
+	if err := s.Save(Checkpoint{StreamID: "a/b/../../evil", Events: 3, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	cp, ok, err := s.Load("a/b/../../evil")
+	if err != nil || !ok || cp.Events != 3 || len(cp.Data) != 3 {
+		t.Fatalf("round trip: %+v ok=%v err=%v", cp, ok, err)
+	}
+	// The hostile ID must have stayed inside the directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			t.Fatalf("unexpected store entry %q", e.Name())
+		}
+	}
+
+	// Missing stream.
+	if _, ok, err := s.Load("missing"); ok || err != nil {
+		t.Fatalf("missing stream: ok=%v err=%v", ok, err)
+	}
+	// Torn file (shorter than the cursor header).
+	if err := os.WriteFile(s.path("torn"), []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load("torn"); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("torn file: %v", err)
+	}
+	// Delete is idempotent.
+	if err := s.Delete("a/b/../../evil"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a/b/../../evil"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Load("a/b/../../evil"); ok {
+		t.Fatal("checkpoint survived Delete")
+	}
+
+	// A corrupt snapshot payload surfaces as a per-stream decode error.
+	st := testStream("corrupt", 3, 2)
+	if err := s.Save(Checkpoint{StreamID: st.ID, Events: 1, Data: []byte("garbage")}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run([]Stream{st}, Options{Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "checkpoint") {
+		t.Fatalf("corrupt checkpoint: %v", results[0].Err)
+	}
+}
+
+// TestMemStoreSemantics pins the in-memory store's copy and delete
+// behavior.
+func TestMemStoreSemantics(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Save(Checkpoint{StreamID: "", Data: []byte("x")}); err == nil {
+		t.Fatal("empty stream ID accepted")
+	}
+	data := []byte{1, 2, 3}
+	if err := s.Save(Checkpoint{StreamID: "a", Events: 2, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99 // the store must hold its own copy
+	cp, ok, err := s.Load("a")
+	if err != nil || !ok || cp.Data[0] != 1 {
+		t.Fatalf("load after caller mutation: %+v ok=%v err=%v", cp, ok, err)
+	}
+	cp.Data[0] = 77 // and hand out copies
+	again, _, _ := s.Load("a")
+	if again.Data[0] != 1 {
+		t.Fatal("Load leaked the store's backing array")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Load("a"); ok || s.Len() != 0 {
+		t.Fatal("checkpoint survived Delete")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetConfigErrors pins Run's configuration validation.
+func TestFleetConfigErrors(t *testing.T) {
+	ok := testStream("ok", 1, 1)
+	cases := []struct {
+		name    string
+		streams []Stream
+		opt     Options
+		want    string
+	}{
+		{"negative shards", []Stream{ok}, Options{Shards: -1}, "negative shard"},
+		{"negative cadence", []Stream{ok}, Options{CheckpointEvery: -2}, "negative checkpoint"},
+		{"empty id", []Stream{{}}, Options{}, "empty ID"},
+		{"duplicate id", []Stream{ok, ok}, Options{}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.streams, tc.opt); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	// Defaults: zero shards and no store run fine.
+	results, err := Run([]Stream{ok}, Options{})
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("defaulted run failed: %v / %v", err, results[0].Err)
+	}
+	if results, err := Run(nil, Options{}); err != nil || len(results) != 0 {
+		t.Fatalf("empty fleet: %v, %d results", err, len(results))
+	}
+}
+
+// TestFleetStreamFailureIsolated pins failure isolation: one stream's
+// bad event must not take down its shard siblings, and a checkpoint
+// pointing beyond the scenario is rejected rather than replayed past
+// the end.
+func TestFleetStreamFailureIsolated(t *testing.T) {
+	good := testStream("good", 2, 2)
+	bad := testStream("bad", 3, 2)
+	bad.Scenario.Events[1] = gen.Event{Time: 99, Kind: gen.DeviceDegrade, Device: 1, SpeedScale: math.NaN(), BandwidthScale: 1}
+	results, err := Run([]Stream{bad, good}, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "outside") {
+		t.Fatalf("bad stream: %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("good stream dragged down: %v", results[1].Err)
+	}
+
+	// Completed checkpoint + shorter scenario = cursor beyond the end.
+	store := NewMemStore()
+	full := testStream("trunc", 4, 3)
+	if _, err := Run([]Stream{full}, Options{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	short := full
+	short.Scenario.Events = short.Scenario.Events[:1]
+	results, err = Run([]Stream{short}, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "beyond") {
+		t.Fatalf("over-long checkpoint: %v", results[0].Err)
+	}
+}
+
+// TestFleetOptionConflictSurfaces pins that a stream whose options
+// conflict with its checkpoint's trace-relevant ones fails the resume
+// instead of silently diverging.
+func TestFleetOptionConflictSurfaces(t *testing.T) {
+	st := testStream("conflict", 6, 3)
+	store := NewMemStore()
+	if _, err := Run([]Stream{st}, Options{CheckpointEvery: 1, Store: store,
+		Interrupt: func(string, int) bool { return true }}); err != nil {
+		t.Fatal(err)
+	}
+	st.Options.Seed = 999
+	results, err := Run([]Stream{st}, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "conflict") {
+		t.Fatalf("conflicting resume options: %v", results[0].Err)
+	}
+}

@@ -1,0 +1,156 @@
+// Checkpoint stores: in-memory for tests and single-process fleets,
+// a directory-backed one so a killed process can resume. Both keep only
+// the latest checkpoint per stream — the resume contract never needs
+// history, and a bounded footprint is what lets a store hold thousands
+// of streams.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// MemStore is an in-process Store: a mutex-guarded map from stream ID
+// to its latest checkpoint. Safe for concurrent use by many shards.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]Checkpoint
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string]Checkpoint)}
+}
+
+// Save implements Store. The checkpoint's data is copied; the caller
+// may reuse its buffer.
+func (s *MemStore) Save(cp Checkpoint) error {
+	if cp.StreamID == "" {
+		return fmt.Errorf("fleet: checkpoint has an empty stream ID")
+	}
+	cp.Data = append([]byte(nil), cp.Data...)
+	s.mu.Lock()
+	s.m[cp.StreamID] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Load implements Store; the returned data is a private copy.
+func (s *MemStore) Load(streamID string) (Checkpoint, bool, error) {
+	s.mu.Lock()
+	cp, ok := s.m[streamID]
+	s.mu.Unlock()
+	if !ok {
+		return Checkpoint{}, false, nil
+	}
+	cp.Data = append([]byte(nil), cp.Data...)
+	return cp, true, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(streamID string) error {
+	s.mu.Lock()
+	delete(s.m, streamID)
+	s.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of streams holding a checkpoint.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// DirStore is a directory-backed Store: one file per stream, written
+// atomically (temp file + rename), so checkpoints survive a killed
+// process and a crash mid-write never leaves a torn file behind. File
+// names are the hex SHA-256 of the stream ID — IDs are caller data and
+// must not be able to escape the directory or collide case-insensitively.
+//
+// File layout: 8-byte little-endian event cursor, then the encoded
+// snapshot (which carries its own magic, version and validation).
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("fleet: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+func (s *DirStore) path(streamID string) string {
+	sum := sha256.Sum256([]byte(streamID))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".ckpt")
+}
+
+// Save implements Store.
+func (s *DirStore) Save(cp Checkpoint) error {
+	if cp.StreamID == "" {
+		return fmt.Errorf("fleet: checkpoint has an empty stream ID")
+	}
+	buf := make([]byte, 8, 8+len(cp.Data))
+	binary.LittleEndian.PutUint64(buf, uint64(cp.Events))
+	buf = append(buf, cp.Data...)
+	dst := s.path(cp.StreamID)
+	tmp, err := os.CreateTemp(s.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *DirStore) Load(streamID string) (Checkpoint, bool, error) {
+	b, err := os.ReadFile(s.path(streamID))
+	if os.IsNotExist(err) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("fleet: %w", err)
+	}
+	if len(b) < 8 {
+		return Checkpoint{}, false, fmt.Errorf("fleet: checkpoint file for %q truncated (%d bytes)", streamID, len(b))
+	}
+	return Checkpoint{
+		StreamID: streamID,
+		Events:   int(binary.LittleEndian.Uint64(b)),
+		Data:     b[8:],
+	}, true, nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(streamID string) error {
+	err := os.Remove(s.path(streamID))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return nil
+}

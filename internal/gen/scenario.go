@@ -1,9 +1,12 @@
 package gen
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 )
 
@@ -214,14 +217,161 @@ func (s Scenario) Write(w io.Writer) error {
 	return err
 }
 
-// ReadScenario parses a scenario from JSON.
+// MaxScenarioBytes is the default payload cap of ReadScenario —
+// generous for any real event stream, small enough that a hostile
+// stream cannot OOM the process before json.Unmarshal even starts.
+const MaxScenarioBytes = 8 << 20
+
+// ErrTooLarge is returned (wrapped) when a scenario JSON payload
+// exceeds the reader's byte cap.
+var ErrTooLarge = errors.New("gen: scenario JSON payload too large")
+
+// EventError locates a structurally invalid event in a scenario. It is
+// the typed rejection ReadScenario and Validate return for per-event
+// defects, so callers (the HTTP service) can surface the exact event
+// index and field without parsing error strings.
+type EventError struct {
+	// Index is the event's position in the stream.
+	Index int
+	// Kind is the offending event's kind (possibly out of vocabulary).
+	Kind EventKind
+	// Msg describes the defect.
+	Msg string
+}
+
+// Error implements error.
+func (e *EventError) Error() string {
+	return fmt.Sprintf("gen: scenario event %d (%s): %s", e.Index, e.Kind, e.Msg)
+}
+
+func eventErr(i int, k EventKind, format string, args ...any) error {
+	return &EventError{Index: i, Kind: k, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the scenario's platform-independent invariants:
+// every kind in vocabulary, timestamps finite, non-negative and
+// non-decreasing, degrade scales NaN-proof inside (0, 1], arrival
+// sizes zero (the documented no-op) or at least the 2-task minimum,
+// and no negative device or arrival indices. The checks are written in
+// negated form (`!(x > 0)`) on purpose: scenarios arrive over the
+// network, and a NaN passes a naive `x <= 0` rejection (NaN compares
+// false to everything) only to poison every downstream makespan.
+func (s Scenario) Validate() error {
+	last := 0.0
+	for i, e := range s.Events {
+		if e.Kind < 0 || e.Kind >= numEventKinds {
+			return eventErr(i, e.Kind, "unknown event kind %d", int(e.Kind))
+		}
+		if !(e.Time >= last) || math.IsInf(e.Time, 1) {
+			return eventErr(i, e.Kind, "time %v is not a finite non-decreasing timestamp (previous %v)", e.Time, last)
+		}
+		last = e.Time
+		switch e.Kind {
+		case DeviceFail, DeviceDegrade:
+			if e.Device < 0 {
+				return eventErr(i, e.Kind, "negative device index %d", e.Device)
+			}
+			if e.Kind == DeviceDegrade {
+				if !(e.SpeedScale > 0 && e.SpeedScale <= 1) || !(e.BandwidthScale > 0 && e.BandwidthScale <= 1) {
+					return eventErr(i, e.Kind, "degrade scales (%g, %g) outside (0, 1]", e.SpeedScale, e.BandwidthScale)
+				}
+			}
+		case TaskArrive:
+			if e.Tasks < 0 {
+				return eventErr(i, e.Kind, "negative arrival size %d", e.Tasks)
+			}
+			if e.Tasks == 1 {
+				return eventErr(i, e.Kind, "arrival size 1 below the 2-task minimum")
+			}
+		case TaskDepart:
+			if e.Arrival < 0 {
+				return eventErr(i, e.Kind, "negative arrival group index %d", e.Arrival)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateFor checks the scenario against a concrete platform shape by
+// simulating replay's device renumbering and arrival-group liveness —
+// the same bookkeeping NewScenario uses to only ever emit valid
+// streams. It catches what Validate cannot: out-of-range or
+// already-failed (duplicate) device targets, failing the protected
+// default device, and departures referencing dead or never-created
+// arrival groups. It implies Validate.
+func (s Scenario) ValidateFor(devices, defaultDevice int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	count, defaultPos, live := devices, defaultDevice, 0
+	for i, e := range s.Events {
+		switch e.Kind {
+		case DeviceFail:
+			if e.Device >= count {
+				return eventErr(i, e.Kind, "device %d out of range (%d surviving)", e.Device, count)
+			}
+			if e.Device == defaultPos {
+				return eventErr(i, e.Kind, "cannot fail the default (host) device %d", e.Device)
+			}
+			if e.Device < defaultPos {
+				defaultPos--
+			}
+			count--
+		case DeviceDegrade:
+			if e.Device >= count {
+				return eventErr(i, e.Kind, "device %d out of range (%d surviving)", e.Device, count)
+			}
+		case TaskArrive:
+			if e.Tasks > 0 {
+				live++
+			}
+		case TaskDepart:
+			if e.Arrival >= live {
+				return eventErr(i, e.Kind, "arrival group %d out of range (%d live)", e.Arrival, live)
+			}
+			live--
+		}
+	}
+	return nil
+}
+
+// ReadScenario parses a scenario from JSON and validates its
+// platform-independent invariants, rejecting payloads over
+// MaxScenarioBytes. Use ReadScenarioLimit to choose the cap (network
+// servers typically want a much smaller one). Unknown fields, trailing
+// data and structurally invalid events are all errors: scenarios are
+// untrusted input (the service's /v1/replay body), so a typo'd field
+// must fail loudly, not silently select a zero value.
 func ReadScenario(r io.Reader) (Scenario, error) {
-	b, err := io.ReadAll(r)
+	return ReadScenarioLimit(r, MaxScenarioBytes)
+}
+
+// ReadScenarioLimit parses and validates a scenario from at most
+// maxBytes of JSON. An oversized payload fails with ErrTooLarge after
+// maxBytes+1 bytes without buffering the remainder. maxBytes <= 0
+// selects MaxScenarioBytes.
+func ReadScenarioLimit(r io.Reader, maxBytes int64) (Scenario, error) {
+	if maxBytes <= 0 {
+		maxBytes = MaxScenarioBytes
+	}
+	b, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
 	if err != nil {
 		return Scenario{}, err
 	}
+	if int64(len(b)) > maxBytes {
+		return Scenario{}, fmt.Errorf("%w: over %d bytes", ErrTooLarge, maxBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
 	var s Scenario
-	if err := json.Unmarshal(b, &s); err != nil {
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("gen: scenario: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return Scenario{}, fmt.Errorf("gen: scenario: trailing data after JSON document")
+	}
+	if err := s.Validate(); err != nil {
 		return Scenario{}, err
 	}
 	return s, nil

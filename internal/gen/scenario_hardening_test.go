@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestReadScenarioRejectsCorruptJSON mirrors the graph/platform
+// strictness suites: the scenario is the one network-facing input of
+// /v1/replay, so unknown fields, trailing data and malformed documents
+// must all fail loudly.
+func TestReadScenarioRejectsCorruptJSON(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"unknown top-level field", `{"events":[],"oops":1}`, "unknown field"},
+		{"unknown event field", `{"events":[{"time":1,"kind":"task-arrive","tasks":3,"budget":5}]}`, "unknown field"},
+		{"trailing data", `{"events":[]} {"events":[]}`, "trailing data"},
+		{"not an object", `[1,2,3]`, "cannot unmarshal"},
+		{"unknown kind", `{"events":[{"time":1,"kind":"meteor-strike"}]}`, "unknown scenario event kind"},
+		{"negative degrade scale", `{"events":[{"time":1,"kind":"device-degrade","device":1,"speedScale":-0.5,"bandwidthScale":1}]}`, "outside (0, 1]"},
+		{"zero degrade scale", `{"events":[{"time":1,"kind":"device-degrade","device":1,"bandwidthScale":1}]}`, "outside (0, 1]"},
+		{"overscale degrade", `{"events":[{"time":1,"kind":"device-degrade","device":1,"speedScale":1.5,"bandwidthScale":1}]}`, "outside (0, 1]"},
+		{"negative device", `{"events":[{"time":1,"kind":"device-fail","device":-2}]}`, "negative device"},
+		{"one-task arrival", `{"events":[{"time":1,"kind":"task-arrive","tasks":1}]}`, "2-task minimum"},
+		{"negative arrival size", `{"events":[{"time":1,"kind":"task-arrive","tasks":-4}]}`, "negative arrival size"},
+		{"negative depart index", `{"events":[{"time":1,"kind":"task-depart","arrival":-1}]}`, "negative arrival group"},
+		{"decreasing time", `{"events":[{"time":2,"kind":"task-arrive","tasks":3},{"time":1,"kind":"task-arrive","tasks":3}]}`, "non-decreasing"},
+		{"negative time", `{"events":[{"time":-1,"kind":"task-arrive","tasks":3}]}`, "non-decreasing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadScenario(strings.NewReader(tc.body))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadScenarioLimit checks the payload byte cap.
+func TestReadScenarioLimit(t *testing.T) {
+	small := `{"events":[{"time":1,"kind":"task-arrive","tasks":3}]}`
+	if _, err := ReadScenarioLimit(strings.NewReader(small), int64(len(small))); err != nil {
+		t.Fatalf("payload at the cap rejected: %v", err)
+	}
+	if _, err := ReadScenarioLimit(strings.NewReader(small), int64(len(small))-1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized payload: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := ReadScenarioLimit(strings.NewReader(small), 0); err != nil {
+		t.Fatalf("maxBytes=0 must select the default cap: %v", err)
+	}
+}
+
+// TestScenarioValidateNaN pins the NaN-proofing: NaN cannot cross JSON,
+// but scenarios are also built programmatically, and a NaN scale or
+// timestamp must never reach replay (where it would poison every
+// downstream makespan).
+func TestScenarioValidateNaN(t *testing.T) {
+	nan := math.NaN()
+	bad := []Scenario{
+		{Events: []Event{{Time: 1, Kind: DeviceDegrade, Device: 1, SpeedScale: nan, BandwidthScale: 1}}},
+		{Events: []Event{{Time: 1, Kind: DeviceDegrade, Device: 1, SpeedScale: 0.5, BandwidthScale: nan}}},
+		{Events: []Event{{Time: nan, Kind: TaskArrive, Tasks: 3}}},
+		{Events: []Event{{Time: math.Inf(1), Kind: TaskArrive, Tasks: 3}}},
+		{Events: []Event{{Time: 1, Kind: EventKind(99)}}},
+		{Events: []Event{{Time: 1, Kind: EventKind(-1)}}},
+	}
+	for i, sc := range bad {
+		var ee *EventError
+		if err := sc.Validate(); err == nil || !errors.As(err, &ee) {
+			t.Errorf("case %d: Validate = %v, want an *EventError", i, sc.Validate())
+		} else if ee.Index != 0 {
+			t.Errorf("case %d: EventError.Index = %d, want 0", i, ee.Index)
+		}
+	}
+}
+
+// TestScenarioValidateFor pins the platform-shape simulation: device
+// targets are checked against replay's dense renumbering (so a
+// duplicate fail of the same physical device is caught), the default
+// device is protected, and departures must reference a live group.
+func TestScenarioValidateFor(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"fail out of range", Scenario{Events: []Event{
+			{Time: 1, Kind: DeviceFail, Device: 3},
+		}}, "out of range"},
+		{"duplicate fail", Scenario{Events: []Event{
+			{Time: 1, Kind: DeviceFail, Device: 2},
+			{Time: 2, Kind: DeviceFail, Device: 2},
+		}}, "out of range"},
+		{"fail default", Scenario{Events: []Event{
+			{Time: 1, Kind: DeviceFail, Device: 0},
+		}}, "default"},
+		{"fail renumbered default", Scenario{Events: []Event{
+			{Time: 1, Kind: DeviceFail, Device: 2},
+			{Time: 2, Kind: DeviceFail, Device: 0},
+		}}, "default"},
+		{"degrade failed device", Scenario{Events: []Event{
+			{Time: 1, Kind: DeviceFail, Device: 2},
+			{Time: 2, Kind: DeviceDegrade, Device: 2, SpeedScale: 0.5, BandwidthScale: 1},
+		}}, "out of range"},
+		{"depart before arrive", Scenario{Events: []Event{
+			{Time: 1, Kind: TaskDepart, Arrival: 0},
+		}}, "out of range"},
+		{"depart of no-op arrival", Scenario{Events: []Event{
+			{Time: 1, Kind: TaskArrive, Tasks: 0},
+			{Time: 2, Kind: TaskDepart, Arrival: 0},
+		}}, "out of range"},
+		{"double depart", Scenario{Events: []Event{
+			{Time: 1, Kind: TaskArrive, Tasks: 3},
+			{Time: 2, Kind: TaskDepart, Arrival: 0},
+			{Time: 3, Kind: TaskDepart, Arrival: 0},
+		}}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.ValidateFor(3, 0)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	ok := Scenario{Events: []Event{
+		{Time: 1, Kind: TaskArrive, Tasks: 3},
+		{Time: 2, Kind: DeviceFail, Device: 2},
+		{Time: 3, Kind: DeviceDegrade, Device: 1, SpeedScale: 0.5, BandwidthScale: 1},
+		{Time: 4, Kind: TaskDepart, Arrival: 0},
+	}}
+	if err := ok.ValidateFor(3, 0); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestGeneratedScenariosValidate pins generator/validator agreement:
+// every stream NewScenario emits passes ValidateFor on the shape it was
+// generated for.
+func TestGeneratedScenariosValidate(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		opt := ScenarioOptions{Events: 12, Devices: 4, DefaultDevice: 1, PFail: 3, PDepart: 3}
+		sc := NewScenario(rand.New(rand.NewSource(seed)), opt)
+		if err := sc.ValidateFor(opt.Devices, opt.DefaultDevice); err != nil {
+			t.Fatalf("seed %d: generated scenario rejected: %v", seed, err)
+		}
+	}
+}

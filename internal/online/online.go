@@ -194,8 +194,14 @@ func mapString(m mapping.Mapping) string {
 	return b.String()
 }
 
-// replayer is the live instance state of one Replay call.
-type replayer struct {
+// Instance is the live state of one replay: the evolving graph,
+// platform and incumbent mapping, the compiled kernel with its
+// per-kernel cache, and the accumulated statistics. Replay drives an
+// Instance from start to finish in one call; callers that need to
+// checkpoint, interleave or resume streams step one event at a time via
+// NewInstance/Step and serialize live state with Snapshot/Restore.
+// An Instance is single-goroutine (it owns evaluator scratch state).
+type Instance struct {
 	opt Options
 	g   *graph.DAG
 	p   *platform.Platform
@@ -203,41 +209,43 @@ type replayer struct {
 	// arrivals tracks each live arrived group's node ids (current
 	// numbering), in arrival order — the TaskDepart address space.
 	arrivals [][]graph.NodeID
+	// cursor is the number of events applied so far; it indexes the next
+	// event and (with the replay seed) derives that event's repair seed,
+	// so a restored instance replays the tail bit-identically.
+	cursor int
 
 	ev    *model.Evaluator
 	cache *eval.Cache
 	stats Stats
 }
 
-// Replay runs the scenario against a live copy of (g, p): it maps the
-// initial instance with the series-parallel FirstFit mapper plus
-// refinement under the repair budget, then applies each event (see the
-// package doc for the per-event pipeline) and returns the final
-// incumbent mapping with the full replay statistics. The inputs are not
+// NewInstance validates (g, p, opt) and builds a live instance: private
+// copies of graph and platform, a compiled kernel, and the opening
+// SPFF+refine mapping under the repair budget. The inputs are not
 // mutated.
-func Replay(g *graph.DAG, p *platform.Platform, sc gen.Scenario, opt Options) (mapping.Mapping, Stats, error) {
+func NewInstance(g *graph.DAG, p *platform.Platform, opt Options) (*Instance, error) {
 	if opt.Schedules < 0 {
-		return nil, Stats{}, fmt.Errorf("online: negative schedule count %d", opt.Schedules)
+		return nil, fmt.Errorf("online: negative schedule count %d", opt.Schedules)
 	}
 	if opt.Schedules == 0 {
 		opt.Schedules = 20
 	}
 	if opt.RepairBudget < 0 {
-		return nil, Stats{}, fmt.Errorf("online: negative repair budget %d", opt.RepairBudget)
+		return nil, fmt.Errorf("online: negative repair budget %d", opt.RepairBudget)
 	}
 	if opt.RepairBudget == 0 {
 		opt.RepairBudget = 3000
 	}
 	if opt.Repair != RepairRefine && opt.Repair != RepairPortfolio {
-		return nil, Stats{}, fmt.Errorf("online: unknown repair mode %d", int(opt.Repair))
+		return nil, fmt.Errorf("online: unknown repair mode %d", int(opt.Repair))
 	}
 	if g.NumTasks() == 0 {
-		return nil, Stats{}, fmt.Errorf("online: empty task graph")
+		return nil, fmt.Errorf("online: empty task graph")
 	}
 	if err := p.Validate(); err != nil {
-		return nil, Stats{}, fmt.Errorf("online: %w", err)
+		return nil, fmt.Errorf("online: %w", err)
 	}
-	r := &replayer{
+	r := &Instance{
 		opt: opt,
 		g:   g.Clone(),
 		p:   &platform.Platform{Default: p.Default, Devices: append([]platform.Device(nil), p.Devices...)},
@@ -248,7 +256,7 @@ func Replay(g *graph.DAG, p *platform.Platform, sc gen.Scenario, opt Options) (m
 	// re-runs after every event, under the same budget.
 	m, evals, err := r.mapFromScratch(opt.Seed)
 	if err != nil {
-		return nil, r.stats, err
+		return nil, err
 	}
 	r.m = m
 	r.stats.InitialTasks = r.g.NumTasks()
@@ -258,40 +266,94 @@ func Replay(g *graph.DAG, p *platform.Platform, sc gen.Scenario, opt Options) (m
 	r.stats.InitialMapping = r.m.Clone()
 	r.stats.TotalEvaluations = evals
 	r.stats.FinalMakespan = r.stats.InitialMakespan
+	return r, nil
+}
 
-	for i, e := range sc.Events {
-		rec := EventStats{Index: i, Kind: e.Kind, Time: e.Time}
-		changed, err := r.apply(e, &rec)
-		if err != nil {
-			return nil, r.stats, fmt.Errorf("online: event %d (%s): %w", i, e.Kind, err)
-		}
-		if changed {
-			r.rebuildKernel()
-			r.stats.KernelRebuilds++
-		}
-		rec.KernelRebuilt = changed
-		rec.Tasks, rec.Devices = r.g.NumTasks(), r.p.NumDevices()
-		// Safety net: migration can leave area-overcommitted devices
-		// (evictions pile onto the default, arrivals onto the FPGA).
-		r.m.Repair(r.g, r.p)
-		rec.Baseline = r.ev.BaselineMakespan()
-		rec.MigratedMakespan = r.ev.Makespan(r.m)
-		if err := r.repair(i, &rec); err != nil {
-			return nil, r.stats, fmt.Errorf("online: event %d (%s): %w", i, e.Kind, err)
-		}
-		rec.Mapping = r.m.Clone()
-		r.stats.TotalEvaluations += rec.PlacementEvaluations + rec.RepairEvaluations
-		r.stats.FinalMakespan = rec.Makespan
-		r.stats.Events = append(r.stats.Events, rec)
+// Step applies the next event of the stream (see the package doc for
+// the per-event pipeline: mutate, rebuild kernel if needed, migrate,
+// repair) and appends its EventStats. The event index is the instance's
+// cursor, so per-event repair seeds — and with them the trace — depend
+// only on (Options.Seed, absolute event position), never on which call
+// (fresh replay or restored resume) applies the event.
+func (r *Instance) Step(e gen.Event) error {
+	i := r.cursor
+	rec := EventStats{Index: i, Kind: e.Kind, Time: e.Time}
+	changed, err := r.apply(e, &rec)
+	if err != nil {
+		return fmt.Errorf("online: event %d (%s): %w", i, e.Kind, err)
 	}
-	r.foldCacheStats()
-	return r.m.Clone(), r.stats, nil
+	if changed {
+		r.rebuildKernel()
+		r.stats.KernelRebuilds++
+	}
+	rec.KernelRebuilt = changed
+	rec.Tasks, rec.Devices = r.g.NumTasks(), r.p.NumDevices()
+	// Safety net: migration can leave area-overcommitted devices
+	// (evictions pile onto the default, arrivals onto the FPGA).
+	r.m.Repair(r.g, r.p)
+	rec.Baseline = r.ev.BaselineMakespan()
+	rec.MigratedMakespan = r.ev.Makespan(r.m)
+	if err := r.repair(i, &rec); err != nil {
+		return fmt.Errorf("online: event %d (%s): %w", i, e.Kind, err)
+	}
+	rec.Mapping = r.m.Clone()
+	r.stats.TotalEvaluations += rec.PlacementEvaluations + rec.RepairEvaluations
+	r.stats.FinalMakespan = rec.Makespan
+	r.stats.Events = append(r.stats.Events, rec)
+	r.cursor++
+	return nil
+}
+
+// Events returns the number of events applied so far (the cursor).
+func (r *Instance) Events() int { return r.cursor }
+
+// Mapping returns a copy of the incumbent mapping.
+func (r *Instance) Mapping() mapping.Mapping { return r.m.Clone() }
+
+// Makespan evaluates the incumbent on the current kernel (consulting
+// the per-kernel cache like any other evaluation).
+func (r *Instance) Makespan() float64 { return r.ev.Makespan(r.m) }
+
+// Stats returns the replay statistics accumulated so far. The live
+// kernel's cache telemetry is folded into the returned copy without
+// mutating the instance, so Stats is idempotent: calling it any number
+// of times — before or after a checkpoint — never double-counts
+// evaluations, cache telemetry or repair spend.
+func (r *Instance) Stats() Stats {
+	st := r.stats
+	if r.cache != nil {
+		cs := r.cache.Stats()
+		st.Cache.Hits += cs.Hits
+		st.Cache.Misses += cs.Misses
+		st.Cache.Stores += cs.Stores
+		st.Cache.Entries += cs.Entries
+	}
+	return st
+}
+
+// Replay runs the scenario against a live copy of (g, p): it maps the
+// initial instance with the series-parallel FirstFit mapper plus
+// refinement under the repair budget, then applies each event (see the
+// package doc for the per-event pipeline) and returns the final
+// incumbent mapping with the full replay statistics. The inputs are not
+// mutated.
+func Replay(g *graph.DAG, p *platform.Platform, sc gen.Scenario, opt Options) (mapping.Mapping, Stats, error) {
+	r, err := NewInstance(g, p, opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	for _, e := range sc.Events {
+		if err := r.Step(e); err != nil {
+			return nil, r.Stats(), err
+		}
+	}
+	return r.Mapping(), r.Stats(), nil
 }
 
 // rebuildKernel compiles a fresh evaluator (schedule set from the replay
 // seed) with the requested worker fan-out and a fresh per-kernel cache,
 // folding the outgoing cache's telemetry into the replay stats first.
-func (r *replayer) rebuildKernel() {
+func (r *Instance) rebuildKernel() {
 	r.foldCacheStats()
 	ev := model.NewEvaluator(r.g, r.p).WithSchedules(r.opt.Schedules, r.opt.Seed)
 	eng := ev.Engine()
@@ -306,9 +368,11 @@ func (r *replayer) rebuildKernel() {
 	r.ev = ev.WithEngine(eng)
 }
 
-// foldCacheStats accumulates the current cache's telemetry (Entries sums
-// final sizes across kernels).
-func (r *replayer) foldCacheStats() {
+// foldCacheStats permanently accumulates the retiring cache's telemetry
+// (Entries sums final sizes across kernels). Only called when the cache
+// is about to be discarded — the live cache is folded non-destructively
+// by Stats.
+func (r *Instance) foldCacheStats() {
 	if r.cache == nil {
 		return
 	}
@@ -322,7 +386,7 @@ func (r *replayer) foldCacheStats() {
 // mapFromScratch runs the static pipeline (SPFF opener, refinement on
 // the remaining repair budget) on the current kernel and returns the
 // mapping with its total evaluation spend.
-func (r *replayer) mapFromScratch(seed int64) (mapping.Mapping, int, error) {
+func (r *Instance) mapFromScratch(seed int64) (mapping.Mapping, int, error) {
 	m, dst, err := decomp.MapWithEvaluator(r.ev, decomp.Options{
 		Strategy: decomp.SeriesParallel, Heuristic: decomp.FirstFit, Workers: r.opt.Workers,
 	})
@@ -345,7 +409,7 @@ func (r *replayer) mapFromScratch(seed int64) (mapping.Mapping, int, error) {
 // repair runs the post-event repair pass under the remaining budget and
 // updates the incumbent. Cold mode re-maps from scratch; warm mode
 // refines (or portfolio-races from) the migrated incumbent.
-func (r *replayer) repair(event int, rec *EventStats) error {
+func (r *Instance) repair(event int, rec *EventStats) error {
 	seed := r.opt.Seed + int64(event+1)*9973
 	budget := r.opt.RepairBudget - rec.PlacementEvaluations
 	if r.opt.Cold {
@@ -415,7 +479,7 @@ func (r *replayer) repair(event int, rec *EventStats) error {
 
 // apply mutates the live instance according to e and reports whether the
 // kernel must be rebuilt.
-func (r *replayer) apply(e gen.Event, rec *EventStats) (changed bool, err error) {
+func (r *Instance) apply(e gen.Event, rec *EventStats) (changed bool, err error) {
 	switch e.Kind {
 	case gen.DeviceFail:
 		return r.applyFail(e, rec)
@@ -431,7 +495,7 @@ func (r *replayer) apply(e gen.Event, rec *EventStats) (changed bool, err error)
 
 // applyFail removes device e.Device, renumbers the survivors densely,
 // and evicts its tasks onto the default device.
-func (r *replayer) applyFail(e gen.Event, rec *EventStats) (bool, error) {
+func (r *Instance) applyFail(e gen.Event, rec *EventStats) (bool, error) {
 	d := e.Device
 	if d < 0 || d >= r.p.NumDevices() {
 		return false, fmt.Errorf("device %d out of range (%d devices)", d, r.p.NumDevices())
@@ -462,13 +526,16 @@ func (r *replayer) applyFail(e gen.Event, rec *EventStats) (bool, error) {
 // applyDegrade scales the device's throughput and bandwidth in place on
 // a private platform copy. Unit scales are a no-op that keeps the
 // kernel (and its warm cache).
-func (r *replayer) applyDegrade(e gen.Event) (bool, error) {
+func (r *Instance) applyDegrade(e gen.Event) (bool, error) {
 	d := e.Device
 	if d < 0 || d >= r.p.NumDevices() {
 		return false, fmt.Errorf("device %d out of range (%d devices)", d, r.p.NumDevices())
 	}
 	speed, bw := e.SpeedScale, e.BandwidthScale
-	if speed <= 0 || speed > 1 || bw <= 0 || bw > 1 {
+	// Negated-form checks on purpose: event streams are caller data, and
+	// a NaN scale passes `speed <= 0 || speed > 1` (NaN compares false
+	// to everything) only to turn every downstream makespan into NaN.
+	if !(speed > 0 && speed <= 1) || !(bw > 0 && bw <= 1) {
 		return false, fmt.Errorf("degrade scales (%g, %g) outside (0, 1]", speed, bw)
 	}
 	if speed == 1 && bw == 1 {
@@ -485,7 +552,7 @@ func (r *replayer) applyDegrade(e gen.Event) (bool, error) {
 // event seed, attaches it below a seed-chosen existing task, places its
 // tasks with the paper's SPFF mapper on the subgraph (warm mode) and
 // extends the incumbent mapping.
-func (r *replayer) applyArrive(e gen.Event, rec *EventStats) (bool, error) {
+func (r *Instance) applyArrive(e gen.Event, rec *EventStats) (bool, error) {
 	if e.Tasks == 0 {
 		return false, nil // explicit no-op arrival: kernel and cache stay warm
 	}
@@ -556,7 +623,7 @@ func (r *replayer) applyArrive(e gen.Event, rec *EventStats) (bool, error) {
 // applyDepart removes a live arrival group, rebuilding the graph with
 // dense renumbering and migrating the incumbent mapping and the
 // remaining arrival groups.
-func (r *replayer) applyDepart(e gen.Event, rec *EventStats) (bool, error) {
+func (r *Instance) applyDepart(e gen.Event, rec *EventStats) (bool, error) {
 	if e.Arrival < 0 || e.Arrival >= len(r.arrivals) {
 		return false, fmt.Errorf("arrival group %d out of range (%d live)", e.Arrival, len(r.arrivals))
 	}

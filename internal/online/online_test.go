@@ -1,6 +1,7 @@
 package online
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -196,6 +197,8 @@ func TestReplayRejectsInvalidScenarios(t *testing.T) {
 		{"fail out of range", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceFail, Device: 9}}}, "out of range"},
 		{"degrade out of range", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceDegrade, Device: -1, SpeedScale: 0.5, BandwidthScale: 1}}}, "out of range"},
 		{"degrade bad scale", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 1.5, BandwidthScale: 1}}}, "outside"},
+		{"degrade NaN speed", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceDegrade, Device: 1, SpeedScale: math.NaN(), BandwidthScale: 1}}}, "outside"},
+		{"degrade NaN bandwidth", gen.Scenario{Events: []gen.Event{{Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 0.5, BandwidthScale: math.NaN()}}}, "outside"},
 		{"depart nothing", gen.Scenario{Events: []gen.Event{{Kind: gen.TaskDepart, Arrival: 0}}}, "out of range"},
 		{"one-task arrival", gen.Scenario{Events: []gen.Event{{Kind: gen.TaskArrive, Tasks: 1}}}, "minimum"},
 		{"unknown kind", gen.Scenario{Events: []gen.Event{{Kind: gen.EventKind(99)}}}, "unknown event kind"},

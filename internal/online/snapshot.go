@@ -1,0 +1,618 @@
+// Snapshot/Restore: (de)serialization of live replay state.
+//
+// A Snapshot captures exactly the state a resumed replay needs to
+// continue bit-identically: the evolving graph, platform and incumbent
+// mapping, the live arrival groups, the event cursor, the accumulated
+// statistics, and the trace-relevant options (schedule count, seed,
+// repair budget, repair mode, cold flag). Compiled kernels, evaluation
+// caches and evaluator scratch state are never serialized — Restore
+// rebuilds them, exactly like an event-forced kernel recompile, so a
+// restored instance can never re-attach a cache across kernels (the
+// cross-kernel panic eval.WithCache guards against) or consult stale
+// entries. Host-local execution knobs (Options.Workers,
+// Options.DisableCache) are likewise not part of a snapshot: they are
+// chosen fresh at Restore and cannot change the trace.
+//
+// Encode renders a snapshot into a deterministic, versioned,
+// little-endian binary form (floats as IEEE-754 bit patterns, so +Inf
+// makespans — the Infeasible sentinel — survive where JSON would not).
+// The encoding is byte-stable: Encode(DecodeSnapshot(Encode(s))) is
+// bit-identical to Encode(s), and two snapshots of equal state encode
+// to equal bytes.
+package online
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spmap/internal/eval"
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/platform"
+)
+
+// SnapshotVersion is the current wire-format version. DecodeSnapshot
+// rejects snapshots from any other version — the format carries live
+// optimization state, so silent cross-version reinterpretation is never
+// safe.
+const SnapshotVersion = 1
+
+// snapshotMagic prefixes every encoded snapshot.
+var snapshotMagic = [4]byte{'S', 'P', 'S', 'N'}
+
+// Snapshot is the serializable state of a live Instance at an event
+// boundary. All reference fields are private copies — a snapshot stays
+// valid however the source instance evolves afterwards.
+type Snapshot struct {
+	// Trace-relevant options (see Options). Workers and DisableCache
+	// are intentionally absent: they are host-local execution knobs
+	// supplied fresh at Restore.
+	Schedules    int
+	Seed         int64
+	RepairBudget int
+	Repair       RepairMode
+	Cold         bool
+
+	// Live instance state at the checkpoint boundary.
+	Graph    *graph.DAG
+	Platform *platform.Platform
+	Mapping  mapping.Mapping
+	Arrivals [][]graph.NodeID
+	// Events is the event cursor: how many scenario events have been
+	// applied. The resumed tail re-derives per-event repair seeds from
+	// it, which is what makes resume traces bit-identical.
+	Events int
+	// Stats is the statistics accumulated up to the boundary, with the
+	// live cache's telemetry already folded in (idempotently — snapshot
+	// twice and the numbers do not change).
+	Stats Stats
+}
+
+// Snapshot captures the instance's live state at the current event
+// boundary into a fully private copy. It does not mutate the instance
+// and is idempotent: two snapshots taken back-to-back are equal, byte
+// for byte, under Encode.
+func (r *Instance) Snapshot() *Snapshot {
+	return &Snapshot{
+		Schedules:    r.opt.Schedules,
+		Seed:         r.opt.Seed,
+		RepairBudget: r.opt.RepairBudget,
+		Repair:       r.opt.Repair,
+		Cold:         r.opt.Cold,
+		Graph:        r.g.Clone(),
+		Platform:     clonePlatform(r.p),
+		Mapping:      r.m.Clone(),
+		Arrivals:     cloneGroups(r.arrivals),
+		Events:       r.cursor,
+		Stats:        cloneStats(r.Stats()),
+	}
+}
+
+// Restore rebuilds a live Instance from a snapshot: private copies of
+// the serialized state, a freshly compiled kernel and — if enabled and
+// the platform is cacheable — a fresh, empty evaluation cache. The
+// rebuild does not count as a kernel rebuild in the statistics (the
+// uninterrupted twin never saw it). Trace-relevant options travel with
+// the snapshot; opt may supply only the host-local knobs (Workers,
+// DisableCache) plus values equal to the snapshot's own — a non-zero
+// conflicting value is an error rather than a silently diverging trace.
+func Restore(s *Snapshot, opt Options) (*Instance, error) {
+	if s == nil {
+		return nil, fmt.Errorf("online: nil snapshot")
+	}
+	merged, err := s.mergeOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	r := &Instance{
+		opt:      merged,
+		g:        s.Graph.Clone(),
+		p:        clonePlatform(s.Platform),
+		m:        s.Mapping.Clone(),
+		arrivals: cloneGroups(s.Arrivals),
+		cursor:   s.Events,
+		stats:    cloneStats(s.Stats),
+	}
+	r.rebuildKernel()
+	return r, nil
+}
+
+// mergeOptions folds the caller's Options into the snapshot's
+// trace-relevant ones. Zero-valued fields inherit from the snapshot;
+// non-zero fields must match it exactly.
+func (s *Snapshot) mergeOptions(opt Options) (Options, error) {
+	if opt.Schedules != 0 && opt.Schedules != s.Schedules {
+		return Options{}, fmt.Errorf("online: restore schedules %d conflict with snapshot's %d", opt.Schedules, s.Schedules)
+	}
+	if opt.Seed != 0 && opt.Seed != s.Seed {
+		return Options{}, fmt.Errorf("online: restore seed %d conflicts with snapshot's %d", opt.Seed, s.Seed)
+	}
+	if opt.RepairBudget != 0 && opt.RepairBudget != s.RepairBudget {
+		return Options{}, fmt.Errorf("online: restore repair budget %d conflicts with snapshot's %d", opt.RepairBudget, s.RepairBudget)
+	}
+	if opt.Repair != RepairRefine && opt.Repair != s.Repair {
+		return Options{}, fmt.Errorf("online: restore repair mode %s conflicts with snapshot's %s", opt.Repair, s.Repair)
+	}
+	if opt.Cold && !s.Cold {
+		return Options{}, fmt.Errorf("online: restore cold mode conflicts with warm snapshot")
+	}
+	merged := Options{
+		Schedules:    s.Schedules,
+		Seed:         s.Seed,
+		RepairBudget: s.RepairBudget,
+		Repair:       s.Repair,
+		Cold:         s.Cold,
+		Workers:      opt.Workers,
+		DisableCache: opt.DisableCache,
+	}
+	// A snapshot built by hand (or decoded from the wire) may carry
+	// zero or invalid option values; hold it to NewInstance's bar.
+	if merged.Schedules < 0 {
+		return Options{}, fmt.Errorf("online: snapshot has negative schedule count %d", merged.Schedules)
+	}
+	if merged.Schedules == 0 {
+		merged.Schedules = 20
+	}
+	if merged.RepairBudget < 0 {
+		return Options{}, fmt.Errorf("online: snapshot has negative repair budget %d", merged.RepairBudget)
+	}
+	if merged.RepairBudget == 0 {
+		merged.RepairBudget = 3000
+	}
+	if merged.Repair != RepairRefine && merged.Repair != RepairPortfolio {
+		return Options{}, fmt.Errorf("online: snapshot has unknown repair mode %d", int(merged.Repair))
+	}
+	return merged, nil
+}
+
+// validate checks the snapshot's structural invariants: the same bar
+// NewInstance holds fresh inputs to, plus the resume-specific ones
+// (mapping length, arrival-group liveness, cursor/record agreement).
+// Snapshots cross the wire (the service's /v1/snapshot), so nothing
+// here trusts the producer.
+func (s *Snapshot) validate() error {
+	if s.Graph == nil || s.Graph.NumTasks() == 0 {
+		return fmt.Errorf("online: snapshot has empty task graph")
+	}
+	if err := s.Graph.Validate(); err != nil {
+		return fmt.Errorf("online: snapshot: %w", err)
+	}
+	if s.Platform == nil {
+		return fmt.Errorf("online: snapshot has no platform")
+	}
+	if err := s.Platform.Validate(); err != nil {
+		return fmt.Errorf("online: snapshot: %w", err)
+	}
+	if err := s.Mapping.Validate(s.Graph, s.Platform); err != nil {
+		return fmt.Errorf("online: snapshot: %w", err)
+	}
+	n := s.Graph.NumTasks()
+	seen := make(map[graph.NodeID]bool)
+	for gi, grp := range s.Arrivals {
+		if len(grp) == 0 {
+			return fmt.Errorf("online: snapshot arrival group %d is empty", gi)
+		}
+		for _, v := range grp {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("online: snapshot arrival group %d node %d out of range (%d tasks)", gi, v, n)
+			}
+			if seen[v] {
+				return fmt.Errorf("online: snapshot node %d appears in two arrival groups", v)
+			}
+			seen[v] = true
+		}
+	}
+	if s.Events < 0 {
+		return fmt.Errorf("online: snapshot has negative event cursor %d", s.Events)
+	}
+	if s.Events != len(s.Stats.Events) {
+		return fmt.Errorf("online: snapshot cursor %d does not match %d event records", s.Events, len(s.Stats.Events))
+	}
+	return nil
+}
+
+func clonePlatform(p *platform.Platform) *platform.Platform {
+	return &platform.Platform{
+		Default: p.Default,
+		Devices: append([]platform.Device(nil), p.Devices...),
+	}
+}
+
+func cloneGroups(groups [][]graph.NodeID) [][]graph.NodeID {
+	out := make([][]graph.NodeID, len(groups))
+	for i, g := range groups {
+		out[i] = append([]graph.NodeID(nil), g...)
+	}
+	return out
+}
+
+// cloneStats deep-copies a Stats value, including every per-event
+// mapping, so snapshot and instance never share mutable backing arrays.
+func cloneStats(st Stats) Stats {
+	st.InitialMapping = st.InitialMapping.Clone()
+	events := make([]EventStats, len(st.Events))
+	for i, e := range st.Events {
+		e.Mapping = e.Mapping.Clone()
+		events[i] = e
+	}
+	st.Events = events
+	return st
+}
+
+// Encode renders the snapshot in the deterministic binary wire format.
+// It assumes a structurally valid snapshot (one produced by
+// Instance.Snapshot or DecodeSnapshot); DecodeSnapshot and Restore are
+// where untrusted data is validated.
+func (s *Snapshot) Encode() []byte {
+	var e snapEnc
+	e.raw(snapshotMagic[:])
+	e.u16(SnapshotVersion)
+
+	e.u32(s.Schedules)
+	e.i64(s.Seed)
+	e.u32(s.RepairBudget)
+	e.u8(uint8(s.Repair))
+	e.bool(s.Cold)
+
+	// Graph.
+	e.u32(s.Graph.NumTasks())
+	for v := 0; v < s.Graph.NumTasks(); v++ {
+		t := s.Graph.Task(graph.NodeID(v))
+		e.str(t.Name)
+		e.f64(t.Complexity)
+		e.f64(t.Parallelizability)
+		e.f64(t.Streamability)
+		e.f64(t.Area)
+		e.f64(t.SourceBytes)
+		e.bool(t.Virtual)
+	}
+	e.u32(s.Graph.NumEdges())
+	for i := 0; i < s.Graph.NumEdges(); i++ {
+		ed := s.Graph.Edge(i)
+		e.u32(int(ed.From))
+		e.u32(int(ed.To))
+		e.f64(ed.Bytes)
+	}
+
+	// Platform.
+	e.u32(s.Platform.Default)
+	e.u32(len(s.Platform.Devices))
+	for i := range s.Platform.Devices {
+		d := &s.Platform.Devices[i]
+		e.str(d.Name)
+		e.u8(uint8(d.Kind))
+		e.f64(d.Lanes)
+		e.f64(d.PeakOps)
+		e.bool(d.Streaming)
+		e.f64(d.Area)
+		e.f64(d.Bandwidth)
+		e.f64(d.Latency)
+		e.bool(d.Spatial)
+		e.u32(d.Slots)
+		e.f64(d.PowerW)
+	}
+
+	e.mapping(s.Mapping)
+
+	// Arrival groups.
+	e.u32(len(s.Arrivals))
+	for _, grp := range s.Arrivals {
+		e.u32(len(grp))
+		for _, v := range grp {
+			e.u32(int(v))
+		}
+	}
+
+	e.u32(s.Events)
+
+	// Stats.
+	e.u32(s.Stats.InitialTasks)
+	e.u32(s.Stats.InitialDevices)
+	e.i64(int64(s.Stats.InitialEvaluations))
+	e.f64(s.Stats.InitialMakespan)
+	e.mapping(s.Stats.InitialMapping)
+	e.u32(len(s.Stats.Events))
+	for i := range s.Stats.Events {
+		ev := &s.Stats.Events[i]
+		e.u32(ev.Index)
+		e.u8(uint8(ev.Kind))
+		e.f64(ev.Time)
+		e.u32(ev.Tasks)
+		e.u32(ev.Devices)
+		e.u32(ev.Evicted)
+		e.u32(ev.Arrived)
+		e.u32(ev.Departed)
+		e.bool(ev.KernelRebuilt)
+		e.i64(int64(ev.PlacementEvaluations))
+		e.i64(int64(ev.RepairEvaluations))
+		e.f64(ev.Baseline)
+		e.f64(ev.MigratedMakespan)
+		e.f64(ev.Makespan)
+		e.mapping(ev.Mapping)
+	}
+	e.f64(s.Stats.FinalMakespan)
+	e.i64(int64(s.Stats.TotalEvaluations))
+	e.u32(s.Stats.KernelRebuilds)
+	e.i64(s.Stats.Cache.Hits)
+	e.i64(s.Stats.Cache.Misses)
+	e.i64(s.Stats.Cache.Stores)
+	e.i64(s.Stats.Cache.Entries)
+	e.i64(s.Stats.Cache.Evictions)
+
+	return e.b
+}
+
+// DecodeSnapshot parses the binary wire format. It rejects bad magic,
+// unknown versions, truncated or oversized payloads, trailing bytes and
+// structurally impossible counts; the returned snapshot additionally
+// passes the full Restore-level validation, so a successful decode is
+// ready to restore.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	d := &snapDec{b: data}
+	var magic [4]byte
+	copy(magic[:], d.raw(4))
+	if d.err == nil && magic != snapshotMagic {
+		return nil, fmt.Errorf("online: not a snapshot (bad magic %q)", magic[:])
+	}
+	if v := d.u16(); d.err == nil && v != SnapshotVersion {
+		return nil, fmt.Errorf("online: unsupported snapshot version %d (have %d)", v, SnapshotVersion)
+	}
+
+	s := &Snapshot{}
+	s.Schedules = d.u32()
+	s.Seed = d.i64()
+	s.RepairBudget = d.u32()
+	s.Repair = RepairMode(d.u8())
+	s.Cold = d.bool()
+
+	// Graph. Each task encodes to at least 45 bytes, each edge to 16 —
+	// the count guards below make hostile length fields cheap to reject.
+	nTasks := d.count(45)
+	g := graph.New(nTasks, 0)
+	for v := 0; v < nTasks && d.err == nil; v++ {
+		var t graph.Task
+		t.Name = d.str()
+		t.Complexity = d.f64()
+		t.Parallelizability = d.f64()
+		t.Streamability = d.f64()
+		t.Area = d.f64()
+		t.SourceBytes = d.f64()
+		t.Virtual = d.bool()
+		g.AddTask(t)
+	}
+	nEdges := d.count(16)
+	for i := 0; i < nEdges && d.err == nil; i++ {
+		from, to, bytes := d.u32(), d.u32(), d.f64()
+		if d.err != nil {
+			break
+		}
+		if from < 0 || from >= nTasks || to < 0 || to >= nTasks {
+			return nil, fmt.Errorf("online: snapshot edge %d endpoint out of range", i)
+		}
+		g.AddEdge(graph.NodeID(from), graph.NodeID(to), bytes)
+	}
+	s.Graph = g
+
+	// Platform.
+	def := d.u32()
+	nDev := d.count(41)
+	p := &platform.Platform{Default: def, Devices: make([]platform.Device, 0, nDev)}
+	for i := 0; i < nDev && d.err == nil; i++ {
+		var dev platform.Device
+		dev.Name = d.str()
+		dev.Kind = platform.Kind(d.u8())
+		dev.Lanes = d.f64()
+		dev.PeakOps = d.f64()
+		dev.Streaming = d.bool()
+		dev.Area = d.f64()
+		dev.Bandwidth = d.f64()
+		dev.Latency = d.f64()
+		dev.Spatial = d.bool()
+		dev.Slots = d.u32()
+		dev.PowerW = d.f64()
+		p.Devices = append(p.Devices, dev)
+	}
+	s.Platform = p
+
+	s.Mapping = d.mapping()
+
+	nGroups := d.count(4)
+	s.Arrivals = make([][]graph.NodeID, 0, nGroups)
+	for gi := 0; gi < nGroups && d.err == nil; gi++ {
+		gl := d.count(4)
+		grp := make([]graph.NodeID, 0, gl)
+		for i := 0; i < gl && d.err == nil; i++ {
+			grp = append(grp, graph.NodeID(d.u32()))
+		}
+		s.Arrivals = append(s.Arrivals, grp)
+	}
+
+	s.Events = d.u32()
+
+	s.Stats.InitialTasks = d.u32()
+	s.Stats.InitialDevices = d.u32()
+	s.Stats.InitialEvaluations = int(d.i64())
+	s.Stats.InitialMakespan = d.f64()
+	s.Stats.InitialMapping = d.mapping()
+	nEv := d.count(70)
+	s.Stats.Events = make([]EventStats, 0, nEv)
+	for i := 0; i < nEv && d.err == nil; i++ {
+		var ev EventStats
+		ev.Index = d.u32()
+		ev.Kind = gen.EventKind(d.u8())
+		ev.Time = d.f64()
+		ev.Tasks = d.u32()
+		ev.Devices = d.u32()
+		ev.Evicted = d.u32()
+		ev.Arrived = d.u32()
+		ev.Departed = d.u32()
+		ev.KernelRebuilt = d.bool()
+		ev.PlacementEvaluations = int(d.i64())
+		ev.RepairEvaluations = int(d.i64())
+		ev.Baseline = d.f64()
+		ev.MigratedMakespan = d.f64()
+		ev.Makespan = d.f64()
+		ev.Mapping = d.mapping()
+		s.Stats.Events = append(s.Stats.Events, ev)
+	}
+	s.Stats.FinalMakespan = d.f64()
+	s.Stats.TotalEvaluations = int(d.i64())
+	s.Stats.KernelRebuilds = d.u32()
+	s.Stats.Cache = eval.CacheStats{
+		Hits:      d.i64(),
+		Misses:    d.i64(),
+		Stores:    d.i64(),
+		Entries:   d.i64(),
+		Evictions: d.i64(),
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("online: snapshot has %d trailing bytes", len(d.b)-d.off)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// snapEnc appends little-endian primitives to a growing buffer.
+type snapEnc struct{ b []byte }
+
+func (e *snapEnc) raw(p []byte) { e.b = append(e.b, p...) }
+func (e *snapEnc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *snapEnc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *snapEnc) u32(v int)    { e.b = binary.LittleEndian.AppendUint32(e.b, uint32(v)) }
+func (e *snapEnc) i64(v int64)  { e.b = binary.LittleEndian.AppendUint64(e.b, uint64(v)) }
+func (e *snapEnc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+func (e *snapEnc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *snapEnc) str(s string) {
+	e.u32(len(s))
+	e.b = append(e.b, s...)
+}
+func (e *snapEnc) mapping(m mapping.Mapping) {
+	e.u32(len(m))
+	for _, dev := range m {
+		e.u32(dev)
+	}
+}
+
+// snapDec reads the same primitives with a sticky error and bounded
+// allocation (count caps element counts by the bytes remaining).
+type snapDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *snapDec) fail(f string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("online: snapshot truncated: "+f, args...)
+	}
+}
+
+func (d *snapDec) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.fail("need %d bytes at offset %d", n, d.off)
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *snapDec) u8() uint8 {
+	p := d.raw(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *snapDec) u16() uint16 {
+	p := d.raw(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (d *snapDec) u32() int {
+	p := d.raw(4)
+	if p == nil {
+		return 0
+	}
+	return int(int32(binary.LittleEndian.Uint32(p)))
+}
+
+func (d *snapDec) i64() int64 {
+	p := d.raw(8)
+	if p == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(p))
+}
+
+func (d *snapDec) f64() float64 {
+	p := d.raw(8)
+	if p == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(p))
+}
+
+func (d *snapDec) bool() bool { return d.u8() != 0 }
+
+func (d *snapDec) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.fail("string length %d exceeds %d remaining bytes", n, len(d.b)-d.off)
+		return ""
+	}
+	return string(d.raw(n))
+}
+
+// count reads an element count and rejects values that could not fit in
+// the remaining bytes at min encoded bytes per element — hostile counts
+// must pay for their claim before any allocation happens.
+func (d *snapDec) count(min int) int {
+	n := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > (len(d.b)-d.off)/min {
+		d.fail("count %d exceeds %d remaining bytes (min %d each)", n, len(d.b)-d.off, min)
+		return 0
+	}
+	return n
+}
+
+func (d *snapDec) mapping() mapping.Mapping {
+	n := d.count(4)
+	m := make(mapping.Mapping, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		m = append(m, d.u32())
+	}
+	return m
+}

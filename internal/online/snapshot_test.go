@@ -1,0 +1,341 @@
+package online
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/platform"
+)
+
+// snapshotScenario is the fixture most snapshot tests share: a scenario
+// exercising every event kind including a cache-preserving no-op.
+func snapshotScenario() gen.Scenario {
+	return gen.Scenario{Events: []gen.Event{
+		{Time: 1, Kind: gen.TaskArrive, Tasks: 4, Seed: 17},
+		{Time: 2, Kind: gen.DeviceDegrade, Device: 1, SpeedScale: 1, BandwidthScale: 1}, // no-op: kernel and cache stay warm
+		{Time: 3, Kind: gen.DeviceFail, Device: 2},
+		{Time: 4, Kind: gen.TaskDepart, Arrival: 0},
+	}}
+}
+
+// TestSnapshotRoundTripBitIdentical pins the byte-stability contract:
+// snapshot → encode → decode → restore → snapshot encodes to the exact
+// same bytes, at every event boundary. It also pins that taking a
+// snapshot (and reading Stats) is idempotent and that Restore does not
+// count as a kernel rebuild.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	g, p := seedInstance(1)
+	sc := snapshotScenario()
+	opt := Options{Schedules: 3, Seed: 9, RepairBudget: 300}
+	inst, err := NewInstance(g, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; ; k++ {
+		blob := inst.Snapshot().Encode()
+		// Idempotent: reading stats and snapshotting again must not
+		// change a single byte (no double-folded cache telemetry).
+		_ = inst.Stats()
+		if again := inst.Snapshot().Encode(); !bytes.Equal(blob, again) {
+			t.Fatalf("boundary %d: back-to-back snapshots differ", k)
+		}
+		snap, err := DecodeSnapshot(blob)
+		if err != nil {
+			t.Fatalf("boundary %d: decode: %v", k, err)
+		}
+		if reenc := snap.Encode(); !bytes.Equal(blob, reenc) {
+			t.Fatalf("boundary %d: decode→encode not bit-identical (%d vs %d bytes)", k, len(blob), len(reenc))
+		}
+		rest, err := Restore(snap, Options{})
+		if err != nil {
+			t.Fatalf("boundary %d: restore: %v", k, err)
+		}
+		if rest.Events() != k {
+			t.Fatalf("boundary %d: restored cursor %d", k, rest.Events())
+		}
+		if restBlob := rest.Snapshot().Encode(); !bytes.Equal(blob, restBlob) {
+			t.Fatalf("boundary %d: restore→snapshot not bit-identical", k)
+		}
+		if k == len(sc.Events) {
+			break
+		}
+		if err := inst.Step(sc.Events[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotResumeTraceMatrix is the crash-resume matrix: on the
+// three seed scenarios, kill at every event boundary, resume from the
+// encoded snapshot, and require the resumed trace byte-identical to the
+// uninterrupted twin — across Workers {1, 4} and cache on/off.
+func TestSnapshotResumeTraceMatrix(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g, p := seedInstance(seed)
+		sc := gen.NewScenario(rand.New(rand.NewSource(seed+200)), gen.ScenarioOptions{Events: 5, PFail: 2, PDepart: 2})
+		opt := Options{Schedules: 3, Seed: seed, RepairBudget: 300}
+		_, ust, err := Replay(g, p, sc, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := ust.Trace()
+		for k := 0; k <= len(sc.Events); k++ {
+			inst, err := NewInstance(g, p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				if err := inst.Step(sc.Events[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blob := inst.Snapshot().Encode()
+			for _, workers := range []int{1, 4} {
+				for _, disableCache := range []bool{false, true} {
+					snap, err := DecodeSnapshot(blob)
+					if err != nil {
+						t.Fatalf("seed %d boundary %d: %v", seed, k, err)
+					}
+					rest, err := Restore(snap, Options{Workers: workers, DisableCache: disableCache})
+					if err != nil {
+						t.Fatalf("seed %d boundary %d: %v", seed, k, err)
+					}
+					for i := k; i < len(sc.Events); i++ {
+						if err := rest.Step(sc.Events[i]); err != nil {
+							t.Fatalf("seed %d boundary %d event %d: %v", seed, k, i, err)
+						}
+					}
+					if got := rest.Stats().Trace(); got != ref {
+						t.Fatalf("seed %d: resumed trace diverged (boundary %d workers=%d cache=%v):\n got %s\nwant %s",
+							seed, k, workers, !disableCache, got, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreCacheColdStart is the cache-lifecycle regression: a
+// restored instance must run on a fresh kernel with a fresh, empty
+// cache — never a deserialized one (which eval.WithCache would panic
+// on re-attach) and never a warm one silently carried across the
+// restore. Cache counters prove the cold start.
+func TestRestoreCacheColdStart(t *testing.T) {
+	g, p := seedInstance(2)
+	sc := snapshotScenario()
+	opt := Options{Schedules: 3, Seed: 5, RepairBudget: 300, Workers: 1}
+	inst, err := NewInstance(g, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step past the arrival so the snapshot holds a warmed post-rebuild
+	// cache, then checkpoint right before the no-op degrade — the event
+	// that keeps kernel and cache, i.e. the stale-reuse hazard.
+	if err := inst.Step(sc.Events[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the live cache: the second identical evaluation must hit.
+	inst.Makespan()
+	inst.Makespan()
+	snap := inst.Snapshot()
+	base := snap.Stats.Cache
+	if base.Hits == 0 || base.Misses == 0 {
+		t.Fatalf("fixture did not warm the cache: %+v", base)
+	}
+
+	rest, err := Restore(snap, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh cache: restoring adds nothing to the checkpointed telemetry.
+	if got := rest.Stats().Cache; got != base {
+		t.Fatalf("restore changed cache telemetry: %+v vs %+v", got, base)
+	}
+	// First post-restore evaluation misses (a warm carried-over cache
+	// would hit — the key was cached before the checkpoint), the second
+	// hits (the fresh cache works).
+	rest.Makespan()
+	if got := rest.Stats().Cache; got.Misses != base.Misses+1 || got.Hits != base.Hits {
+		t.Fatalf("first post-restore evaluation did not cold-miss: %+v vs base %+v", got, base)
+	}
+	rest.Makespan()
+	if got := rest.Stats().Cache; got.Hits != base.Hits+1 {
+		t.Fatalf("fresh cache did not serve the repeat lookup: %+v vs base %+v", got, base)
+	}
+	// Replaying the tail — including the no-op event that re-uses the
+	// restored kernel's cache — must not trip the cross-kernel panic.
+	for _, e := range sc.Events[1:] {
+		if err := rest.Step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestResumeStatsNoDoubleCount is the stats-idempotency differential:
+// an interrupted-and-resumed replay must reproduce the uninterrupted
+// run's statistics — not just its trace — with no double-counted
+// evaluations or repair spend, and cache telemetry consistent with one
+// cold start (same lookup total, never more hits).
+func TestResumeStatsNoDoubleCount(t *testing.T) {
+	g, p := seedInstance(3)
+	sc := snapshotScenario()
+	opt := Options{Schedules: 3, Seed: 4, RepairBudget: 300, Workers: 1}
+	_, ust, err := Replay(g, p, sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inst, err := NewInstance(g, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sc.Events[:2] {
+		if err := inst.Step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest, err := Restore(inst.Snapshot(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sc.Events[2:] {
+		if err := rest.Step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rst := rest.Stats()
+
+	if rst.TotalEvaluations != ust.TotalEvaluations {
+		t.Fatalf("TotalEvaluations: resumed %d vs uninterrupted %d", rst.TotalEvaluations, ust.TotalEvaluations)
+	}
+	if rst.KernelRebuilds != ust.KernelRebuilds {
+		t.Fatalf("KernelRebuilds: resumed %d vs uninterrupted %d (restore must not count)", rst.KernelRebuilds, ust.KernelRebuilds)
+	}
+	if rst.InitialEvaluations != ust.InitialEvaluations || rst.FinalMakespan != ust.FinalMakespan {
+		t.Fatalf("initial/final stats diverged: %+v vs %+v", rst, ust)
+	}
+	if len(rst.Events) != len(ust.Events) {
+		t.Fatalf("event record counts diverged: %d vs %d", len(rst.Events), len(ust.Events))
+	}
+	for i := range ust.Events {
+		u, r := ust.Events[i], rst.Events[i]
+		if u.PlacementEvaluations != r.PlacementEvaluations || u.RepairEvaluations != r.RepairEvaluations {
+			t.Fatalf("event %d spend diverged: resumed (%d, %d) vs uninterrupted (%d, %d)",
+				i, r.PlacementEvaluations, r.RepairEvaluations, u.PlacementEvaluations, u.RepairEvaluations)
+		}
+	}
+	// One cache lookup per evaluation, single worker: the lookup total
+	// is deterministic. The resumed run restarts cold mid-stream, so it
+	// may convert hits into misses — never the reverse, and never extra
+	// lookups (which would mean double-folded telemetry).
+	if rt, ut := rst.Cache.Hits+rst.Cache.Misses, ust.Cache.Hits+ust.Cache.Misses; rt != ut {
+		t.Fatalf("cache lookup totals diverged: resumed %d vs uninterrupted %d", rt, ut)
+	}
+	if rst.Cache.Hits > ust.Cache.Hits {
+		t.Fatalf("resumed run hit more than uninterrupted (%d > %d): stale cache reuse", rst.Cache.Hits, ust.Cache.Hits)
+	}
+}
+
+// TestRestoreOptionConflicts pins the option-merge contract: host-local
+// knobs may change freely, zero values inherit, and a non-zero value
+// conflicting with the snapshot's is an error (it would silently change
+// the trace).
+func TestRestoreOptionConflicts(t *testing.T) {
+	g, p := seedInstance(1)
+	inst, err := NewInstance(g, p, Options{Schedules: 3, Seed: 9, RepairBudget: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := inst.Snapshot()
+
+	if _, err := Restore(snap, Options{Workers: 4, DisableCache: true}); err != nil {
+		t.Fatalf("host-local knobs rejected: %v", err)
+	}
+	if _, err := Restore(snap, Options{Schedules: 3, Seed: 9, RepairBudget: 300}); err != nil {
+		t.Fatalf("matching options rejected: %v", err)
+	}
+	for name, bad := range map[string]Options{
+		"schedules": {Schedules: 7},
+		"seed":      {Seed: 10},
+		"budget":    {RepairBudget: 400},
+		"repair":    {Repair: RepairPortfolio},
+		"cold":      {Cold: true},
+	} {
+		if _, err := Restore(snap, bad); err == nil || !strings.Contains(err.Error(), "conflict") {
+			t.Fatalf("%s conflict not rejected: %v", name, err)
+		}
+	}
+	if _, err := Restore(nil, Options{}); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}
+
+// TestDecodeSnapshotRejectsCorruptInput mirrors the graph/platform
+// strictness suites: snapshots cross the wire, so every malformed form
+// must be rejected with an error — never a panic, never a huge
+// allocation, never a silently wrong instance.
+func TestDecodeSnapshotRejectsCorruptInput(t *testing.T) {
+	g, p := seedInstance(1)
+	inst, err := NewInstance(g, p, Options{Schedules: 2, RepairBudget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range snapshotScenario().Events[:1] {
+		if err := inst.Step(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob := inst.Snapshot().Encode()
+
+	corrupt := func(name string, mutate func(b []byte) []byte, want string) {
+		t.Run(name, func(t *testing.T) {
+			b := mutate(append([]byte(nil), blob...))
+			if _, err := DecodeSnapshot(b); err == nil || !strings.Contains(err.Error(), want) {
+				t.Fatalf("got %v, want error containing %q", err, want)
+			}
+		})
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic")
+	corrupt("bad version", func(b []byte) []byte { b[4] = 99; return b }, "version")
+	corrupt("trailing bytes", func(b []byte) []byte { return append(b, 0) }, "trailing")
+	corrupt("hostile task count", func(b []byte) []byte {
+		// The task count sits right after magic+version+options
+		// (4+2+4+8+4+1+1 = 24 bytes in).
+		b[24], b[25], b[26], b[27] = 0xff, 0xff, 0xff, 0x7f
+		return b
+	}, "count")
+
+	// Truncation at every byte boundary: always a clean error.
+	for i := 0; i < len(blob); i++ {
+		if _, err := DecodeSnapshot(blob[:i]); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted", i, len(blob))
+		}
+	}
+
+	// Structural validation on hand-built snapshots (the same checks
+	// guard decoded ones).
+	snap := inst.Snapshot()
+	snap.Events++
+	if _, err := Restore(snap, Options{}); err == nil || !strings.Contains(err.Error(), "cursor") {
+		t.Fatalf("cursor/record mismatch accepted: %v", err)
+	}
+	snap = inst.Snapshot()
+	snap.Mapping[0] = 99
+	if _, err := Restore(snap, Options{}); err == nil {
+		t.Fatal("out-of-range mapping device accepted")
+	}
+	snap = inst.Snapshot()
+	snap.Arrivals = append(snap.Arrivals, []graph.NodeID{snap.Arrivals[0][0]})
+	if _, err := Restore(snap, Options{}); err == nil || !strings.Contains(err.Error(), "arrival") {
+		t.Fatalf("duplicate arrival node accepted: %v", err)
+	}
+	snap = inst.Snapshot()
+	snap.Platform = &platform.Platform{}
+	if _, err := Restore(snap, Options{}); err == nil {
+		t.Fatal("deviceless platform accepted")
+	}
+}

@@ -36,6 +36,7 @@ func (s *Service) routes() http.Handler {
 	mux.HandleFunc("/v1/refine", s.wrap("refine", s.handleRefine))
 	mux.HandleFunc("/v1/evaluate", s.wrap("evaluate", s.handleEvaluate))
 	mux.HandleFunc("/v1/replay", s.wrap("replay", s.handleReplay))
+	mux.HandleFunc("/v1/snapshot", s.wrap("snapshot", s.handleSnapshot))
 	return mux
 }
 
@@ -626,6 +627,10 @@ func clampCutoff(ms []float64, cutoff float64) []*float64 {
 
 type replayRequest struct {
 	requestBase
+	// Snapshot resumes a stored replay state by the handle /v1/snapshot
+	// returned instead of starting fresh; graph, platform, schedules and
+	// instance are fixed by the snapshot and must be absent with it.
+	Snapshot string          `json:"snapshot,omitempty"`
 	Scenario json.RawMessage `json:"scenario"`
 	Budget   int             `json:"budget,omitempty"` // per-event repair budget
 	Repair   string          `json:"repair,omitempty"` // refine (default) or portfolio
@@ -634,8 +639,10 @@ type replayRequest struct {
 type replayResponse struct {
 	ID string `json:"id,omitempty"`
 	// Instance is the warm-instance key; later requests may send it in
-	// place of the graph.
-	Instance      string  `json:"instance"`
+	// place of the graph. Empty on snapshot-resumed replays, which echo
+	// the source handle in Snapshot instead.
+	Instance      string  `json:"instance,omitempty"`
+	Snapshot      string  `json:"snapshot,omitempty"`
 	Mapping       []int   `json:"mapping"`
 	FinalMakespan float64 `json:"finalMakespan"`
 	Events        int     `json:"events"`
@@ -651,6 +658,64 @@ func (r *replayResponse) attachTiming(t *Timing) {
 	r.Timing = &c
 }
 
+// parseRepair maps the request vocabulary onto online.RepairMode.
+func parseRepair(name string) (online.RepairMode, error) {
+	switch name {
+	case "", "refine":
+		return online.RepairRefine, nil
+	case "portfolio":
+		return online.RepairPortfolio, nil
+	default:
+		return 0, badRequest("unknown repair mode %q (refine, portfolio)", name)
+	}
+}
+
+// readScenario parses a request scenario — gen.ReadScenario already
+// rejects unknown fields, trailing data, non-finite timestamps and
+// malformed events — and enforces the service-level event-count cap.
+func (s *Service) readScenario(raw json.RawMessage) (gen.Scenario, error) {
+	sc, err := gen.ReadScenario(bytes.NewReader(raw))
+	if err != nil {
+		return gen.Scenario{}, badRequest("%v", err)
+	}
+	if len(sc.Events) > s.opt.MaxScenarioEvents {
+		return gen.Scenario{}, badRequest("scenario: %d events over the %d cap", len(sc.Events), s.opt.MaxScenarioEvents)
+	}
+	return sc, nil
+}
+
+// checkSnapshotBase rejects request fields a snapshot handle fixes.
+func checkSnapshotBase(b *requestBase) error {
+	if b.Instance != "" || len(b.Graph) != 0 || len(b.Platform) != 0 || b.Schedules != nil {
+		return badRequest("request: graph, platform, schedules and instance are fixed by the snapshot and must be absent with a snapshot handle")
+	}
+	return nil
+}
+
+// restoreSnapshot resolves a snapshot handle into a live replay
+// instance. Zero fields of opt inherit the snapshot's trace-relevant
+// options; non-zero fields must match them or Restore rejects the
+// combination (mapped to 400 — resuming onto a diverging trace is a
+// caller error).
+func (s *Service) restoreSnapshot(handle string, opt online.Options) (*online.Instance, error) {
+	data := s.lookupSnapshot(handle)
+	if data == nil {
+		return nil, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("unknown snapshot %q (evicted or never created)", handle)}
+	}
+	snap, err := online.DecodeSnapshot(data)
+	if err != nil {
+		// The table only holds bytes Encode produced; failing to decode
+		// them is a server defect, not a client one.
+		return nil, fmt.Errorf("stored snapshot %s: %w", handle, err)
+	}
+	inst, err := online.Restore(snap, opt)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return inst, nil
+}
+
 func (s *Service) handleReplay(ctx context.Context, body []byte, t *Timing, sink *eval.BatchTiming) (any, error) {
 	var rq replayRequest
 	if err := decodeStrict(body, &rq); err != nil {
@@ -659,14 +724,52 @@ func (s *Service) handleReplay(ctx context.Context, body []byte, t *Timing, sink
 	if len(rq.Scenario) == 0 {
 		return nil, badRequest("request: missing scenario")
 	}
-	repair := online.RepairRefine
-	switch rq.Repair {
-	case "", "refine":
-	case "portfolio":
-		repair = online.RepairPortfolio
-	default:
-		return nil, badRequest("unknown repair mode %q (refine, portfolio)", rq.Repair)
+	repair, err := parseRepair(rq.Repair)
+	if err != nil {
+		return nil, err
 	}
+	sc, err := s.readScenario(rq.Scenario)
+	if err != nil {
+		return nil, err
+	}
+
+	if rq.Snapshot != "" {
+		// Resume path: restore the stored state and apply the scenario as
+		// the tail of that replay. Budget, repair and seed inherit from
+		// the snapshot when zero ("" repair also inherits); supplied
+		// values must match the snapshot's.
+		if err := checkSnapshotBase(&rq.requestBase); err != nil {
+			return nil, err
+		}
+		if rq.Budget != 0 {
+			if _, err := s.checkBudget(rq.Budget, 0); err != nil {
+				return nil, err
+			}
+		}
+		inst, err := s.restoreSnapshot(rq.Snapshot, online.Options{
+			Seed: rq.Seed, Workers: s.opt.Workers,
+			RepairBudget: rq.Budget, Repair: repair,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.ID = rq.ID
+		for _, e := range sc.Events {
+			// Tail events replay against the snapshot's evolved platform
+			// and arrival groups, so they are checked where that state
+			// lives: Step's typed per-event errors are caller errors.
+			if err := inst.Step(e); err != nil {
+				return nil, badRequest("%v", err)
+			}
+		}
+		st := inst.Stats()
+		return &replayResponse{
+			ID: rq.ID, Snapshot: rq.Snapshot, Mapping: inst.Mapping(),
+			FinalMakespan: st.FinalMakespan, Events: inst.Events(),
+			Evaluations: st.TotalEvaluations, wantTiming: rq.Timing,
+		}, nil
+	}
+
 	budget, err := s.checkBudget(rq.Budget, 3000)
 	if err != nil {
 		return nil, err
@@ -679,8 +782,11 @@ func (s *Service) handleReplay(ctx context.Context, body []byte, t *Timing, sink
 	if err != nil {
 		return nil, err
 	}
-	sc, err := gen.ReadScenario(bytes.NewReader(rq.Scenario))
-	if err != nil {
+	// Pre-flight the event stream against the platform shape before any
+	// evaluation is spent: out-of-range or duplicate device failures,
+	// protected-default failures and dangling departures all fail here
+	// with the event index, not minutes into the replay.
+	if err := sc.ValidateFor(in.p.NumDevices(), in.p.Default); err != nil {
 		return nil, badRequest("%v", err)
 	}
 	seed := rq.Seed
@@ -697,6 +803,126 @@ func (s *Service) handleReplay(ctx context.Context, body []byte, t *Timing, sink
 	return &replayResponse{
 		ID: rq.ID, Instance: in.key, Mapping: m, FinalMakespan: st.FinalMakespan,
 		Events: len(st.Events), Evaluations: st.TotalEvaluations,
+		wantTiming: rq.Timing,
+	}, nil
+}
+
+// --- /v1/snapshot ----------------------------------------------------
+
+// snapshotRequest creates a stored replay state: either fresh from a
+// graph/platform (or warm-instance handle) with an optional scenario
+// prefix applied, or continued from an earlier snapshot with more
+// events. The response's handle resumes the state on /v1/replay or
+// extends it with another /v1/snapshot.
+type snapshotRequest struct {
+	requestBase
+	Snapshot string          `json:"snapshot,omitempty"` // continue from a stored snapshot
+	Scenario json.RawMessage `json:"scenario,omitempty"` // events to apply before storing
+	Budget   int             `json:"budget,omitempty"`   // per-event repair budget
+	Repair   string          `json:"repair,omitempty"`   // refine (default) or portfolio
+}
+
+type snapshotResponse struct {
+	ID string `json:"id,omitempty"`
+	// Instance is the warm-instance key on fresh creations (absent when
+	// continuing from a snapshot).
+	Instance string `json:"instance,omitempty"`
+	// Snapshot is the stored state's content-addressed handle.
+	Snapshot string `json:"snapshot"`
+	// Events is the stored state's absolute event cursor; Applied counts
+	// the events this request replayed to reach it.
+	Events        int     `json:"events"`
+	Applied       int     `json:"applied"`
+	Mapping       []int   `json:"mapping"`
+	FinalMakespan float64 `json:"finalMakespan"`
+	Evaluations   int     `json:"evaluations"`
+	Timing        *Timing `json:"timing,omitempty"`
+
+	wantTiming bool
+}
+
+func (r *snapshotResponse) timingRequested() bool { return r.wantTiming }
+func (r *snapshotResponse) attachTiming(t *Timing) {
+	c := *t
+	r.Timing = &c
+}
+
+func (s *Service) handleSnapshot(ctx context.Context, body []byte, t *Timing, sink *eval.BatchTiming) (any, error) {
+	var rq snapshotRequest
+	if err := decodeStrict(body, &rq); err != nil {
+		return nil, err
+	}
+	repair, err := parseRepair(rq.Repair)
+	if err != nil {
+		return nil, err
+	}
+	var sc gen.Scenario
+	if len(rq.Scenario) != 0 {
+		if sc, err = s.readScenario(rq.Scenario); err != nil {
+			return nil, err
+		}
+	}
+
+	var inst *online.Instance
+	instanceKey := ""
+	if rq.Snapshot != "" {
+		if err := checkSnapshotBase(&rq.requestBase); err != nil {
+			return nil, err
+		}
+		if rq.Budget != 0 {
+			if _, err := s.checkBudget(rq.Budget, 0); err != nil {
+				return nil, err
+			}
+		}
+		inst, err = s.restoreSnapshot(rq.Snapshot, online.Options{
+			Seed: rq.Seed, Workers: s.opt.Workers,
+			RepairBudget: rq.Budget, Repair: repair,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.ID = rq.ID
+	} else {
+		budget, err := s.checkBudget(rq.Budget, 3000)
+		if err != nil {
+			return nil, err
+		}
+		in, err := s.resolve(&rq.requestBase, t)
+		if err != nil {
+			return nil, err
+		}
+		if err := sc.ValidateFor(in.p.NumDevices(), in.p.Default); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		seed := rq.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		// NewInstance deep-copies graph and platform, so the warm
+		// instance's state is never mutated by the replay.
+		inst, err = online.NewInstance(in.g, in.p, online.Options{
+			Schedules: in.schedules, Seed: seed, Workers: s.opt.Workers,
+			RepairBudget: budget, Repair: repair,
+		})
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		instanceKey = in.key
+	}
+
+	applied := 0
+	for _, e := range sc.Events {
+		if err := inst.Step(e); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		applied++
+	}
+	handle := s.putSnapshot(inst.Snapshot().Encode())
+	st := inst.Stats()
+	return &snapshotResponse{
+		ID: rq.ID, Instance: instanceKey, Snapshot: handle,
+		Events: inst.Events(), Applied: applied, Mapping: inst.Mapping(),
+		FinalMakespan: st.FinalMakespan, Evaluations: st.TotalEvaluations,
 		wantTiming: rq.Timing,
 	}, nil
 }

@@ -70,6 +70,15 @@ type Options struct {
 	MaxSchedules int
 	MaxBudget    int
 	MaxMappings  int
+	// MaxScenarioEvents caps the event count of one /v1/replay or
+	// /v1/snapshot scenario (default 10,000): replay cost is linear in
+	// events times repair budget, and a single hostile stream must not
+	// be able to pin the service.
+	MaxScenarioEvents int
+	// MaxSnapshots bounds the stored-snapshot table (default 64, FIFO
+	// eviction). Snapshots are encoded replay states, typically a few
+	// KiB each.
+	MaxSnapshots int
 	// NoCoalesce disables the cross-request batcher: every request
 	// evaluates directly. Responses are byte-identical either way; the
 	// flag exists for the batching-on/off experiment and as an
@@ -109,6 +118,12 @@ func (o *Options) withDefaults() Options {
 	if d.MaxMappings <= 0 {
 		d.MaxMappings = 1 << 16
 	}
+	if d.MaxScenarioEvents <= 0 {
+		d.MaxScenarioEvents = 10_000
+	}
+	if d.MaxSnapshots <= 0 {
+		d.MaxSnapshots = 64
+	}
 	return d
 }
 
@@ -137,6 +152,13 @@ type Service struct {
 	// the slow path.
 	rawKeys  map[rawKey]*instance
 	rawOrder []rawKey
+
+	// snapshots holds encoded online.Snapshot states by content-hash
+	// handle — the /v1/snapshot resume tokens. Entries are immutable
+	// once stored (the handle is the hash of the bytes) and bounded
+	// FIFO like the instance table.
+	snapshots map[string][]byte
+	snapOrder []string
 }
 
 // rawKey fingerprints the undecoded request tuple.
@@ -206,6 +228,7 @@ func New(opt Options) *Service {
 		timings:   newTimingRing(opt.TimingRing),
 		instances: make(map[string]*instance),
 		rawKeys:   make(map[rawKey]*instance),
+		snapshots: make(map[string][]byte),
 	}
 	s.handler = s.routes()
 	return s
@@ -234,6 +257,42 @@ func (s *Service) Close() {
 			in.bat.Close()
 		}
 	}
+}
+
+// snapshotHandle derives the content-addressed handle for an encoded
+// snapshot: identical states share one table entry, and a handle can
+// never reference bytes other than the ones it was minted for.
+func snapshotHandle(data []byte) string {
+	h := sha256.Sum256(data)
+	return "snap-" + hex.EncodeToString(h[:12])
+}
+
+// putSnapshot stores an encoded snapshot and returns its handle,
+// evicting the oldest entries beyond MaxSnapshots.
+func (s *Service) putSnapshot(data []byte) string {
+	key := snapshotHandle(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.snapshots[key]; ok {
+		return key
+	}
+	for len(s.snapshots) >= s.opt.MaxSnapshots {
+		oldest := s.snapOrder[0]
+		s.snapOrder = s.snapOrder[1:]
+		delete(s.snapshots, oldest)
+	}
+	s.snapshots[key] = data
+	s.snapOrder = append(s.snapOrder, key)
+	return key
+}
+
+// lookupSnapshot resolves a snapshot handle (nil when unknown or
+// evicted). The returned bytes are immutable by convention — every
+// consumer decodes, never mutates.
+func (s *Service) lookupSnapshot(handle string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshots[handle]
 }
 
 // instanceKey fingerprints the warm-state tuple. The graph and platform
@@ -396,6 +455,7 @@ type InstanceStats struct {
 type Stats struct {
 	Requests  int64           `json:"requests"`
 	Coalesce  bool            `json:"coalesce"`
+	Snapshots int             `json:"snapshots"`
 	Instances []InstanceStats `json:"instances"`
 	// Timings are the most recent per-request records (bounded ring).
 	Timings []Timing `json:"timings"`
@@ -409,11 +469,13 @@ func (s *Service) Snapshot() Stats {
 	for _, k := range keys {
 		insts = append(insts, s.instances[k])
 	}
+	snapCount := len(s.snapshots)
 	s.mu.Unlock()
 	st := Stats{
-		Requests: s.requests.Load(),
-		Coalesce: !s.opt.NoCoalesce,
-		Timings:  s.timings.snapshot(),
+		Requests:  s.requests.Load(),
+		Coalesce:  !s.opt.NoCoalesce,
+		Snapshots: snapCount,
+		Timings:   s.timings.snapshot(),
 	}
 	for _, in := range insts {
 		is := InstanceStats{

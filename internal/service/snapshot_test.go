@@ -1,0 +1,250 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spmap/internal/gen"
+)
+
+// marshalScenario encodes a scenario for embedding in a request body.
+func marshalScenario(t *testing.T, sc gen.Scenario) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSnapshotResumeMatchesFullReplay pins the endpoint-level resume
+// contract: snapshot after a scenario prefix, resume with the tail, and
+// the final mapping, makespan bits and evaluation spend must equal the
+// one-shot replay over the whole scenario.
+func TestSnapshotResumeMatchesFullReplay(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	gj := testGraphJSON(t, 16, 13)
+	sc := gen.NewScenario(rand.New(rand.NewSource(5)), gen.ScenarioOptions{Events: 4})
+	full := marshalScenario(t, sc)
+	prefix := marshalScenario(t, gen.Scenario{Events: sc.Events[:2]})
+	tail := marshalScenario(t, gen.Scenario{Events: sc.Events[2:]})
+
+	status, body := post(t, ts, "/v1/replay", map[string]any{
+		"graph": gj, "scenario": full, "schedules": 10, "budget": 300,
+	})
+	if status != 200 {
+		t.Fatalf("full replay: %d %s", status, body)
+	}
+	var want replayResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = post(t, ts, "/v1/snapshot", map[string]any{
+		"graph": gj, "scenario": prefix, "schedules": 10, "budget": 300,
+	})
+	if status != 200 {
+		t.Fatalf("snapshot: %d %s", status, body)
+	}
+	var snap snapshotResponse
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Snapshot == "" || !strings.HasPrefix(snap.Snapshot, "snap-") {
+		t.Fatalf("snapshot handle %q", snap.Snapshot)
+	}
+	if snap.Events != 2 || snap.Applied != 2 || snap.Instance == "" {
+		t.Fatalf("snapshot response: %+v", snap)
+	}
+
+	// Resume the tail on /v1/replay; trace-relevant options inherit.
+	status, body = post(t, ts, "/v1/replay", map[string]any{
+		"snapshot": snap.Snapshot, "scenario": tail,
+	})
+	if status != 200 {
+		t.Fatalf("resumed replay: %d %s", status, body)
+	}
+	var got replayResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Events != 4 || got.Snapshot != snap.Snapshot || got.Instance != "" {
+		t.Fatalf("resumed replay: %+v", got)
+	}
+	if got.FinalMakespan != want.FinalMakespan || got.Evaluations != want.Evaluations ||
+		fmt.Sprint(got.Mapping) != fmt.Sprint(want.Mapping) {
+		t.Fatalf("resumed result diverged from full replay:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Matching explicit options are accepted (only conflicts reject).
+	status, body = post(t, ts, "/v1/replay", map[string]any{
+		"snapshot": snap.Snapshot, "scenario": tail, "budget": 300, "seed": 1,
+	})
+	if status != 200 {
+		t.Fatalf("resume with matching options: %d %s", status, body)
+	}
+
+	// Continue on /v1/snapshot: same final state, new stored handle.
+	status, body = post(t, ts, "/v1/snapshot", map[string]any{
+		"snapshot": snap.Snapshot, "scenario": tail,
+	})
+	if status != 200 {
+		t.Fatalf("snapshot continue: %d %s", status, body)
+	}
+	var cont snapshotResponse
+	if err := json.Unmarshal(body, &cont); err != nil {
+		t.Fatal(err)
+	}
+	if cont.Events != 4 || cont.Applied != 2 || cont.Instance != "" || cont.Snapshot == snap.Snapshot {
+		t.Fatalf("continued snapshot: %+v", cont)
+	}
+	if cont.FinalMakespan != want.FinalMakespan ||
+		fmt.Sprint(cont.Mapping) != fmt.Sprint(want.Mapping) {
+		t.Fatalf("continued state diverged: %+v", cont)
+	}
+
+	// Content addressing: storing the same state again mints the same
+	// handle, through either the graph or the warm-instance handle.
+	status, body = post(t, ts, "/v1/snapshot", map[string]any{
+		"graph": gj, "scenario": prefix, "schedules": 10, "budget": 300,
+	})
+	var again snapshotResponse
+	json.Unmarshal(body, &again)
+	if status != 200 || again.Snapshot != snap.Snapshot {
+		t.Fatalf("re-created snapshot handle %q, want %q (%d)", again.Snapshot, snap.Snapshot, status)
+	}
+	status, body = post(t, ts, "/v1/snapshot", map[string]any{
+		"instance": snap.Instance, "scenario": prefix, "budget": 300,
+	})
+	json.Unmarshal(body, &again)
+	if status != 200 || again.Snapshot != snap.Snapshot {
+		t.Fatalf("instance-handle snapshot %q, want %q (%d)", again.Snapshot, snap.Snapshot, status)
+	}
+
+	// A scenario-free snapshot stores the state after the opening
+	// mapping, before any event.
+	status, body = post(t, ts, "/v1/snapshot", map[string]any{
+		"graph": gj, "schedules": 10, "budget": 300, "timing": true,
+	})
+	if status != 200 {
+		t.Fatalf("empty snapshot: %d %s", status, body)
+	}
+	var empty snapshotResponse
+	if err := json.Unmarshal(body, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Events != 0 || empty.Applied != 0 || empty.Snapshot == "" || !(empty.FinalMakespan > 0) {
+		t.Fatalf("empty snapshot: %+v", empty)
+	}
+	if empty.Timing == nil || empty.Timing.Endpoint != "snapshot" {
+		t.Fatalf("timing opt-in missing on snapshot: %+v", empty.Timing)
+	}
+}
+
+// TestSnapshotValidationErrors covers the endpoint's rejection surface:
+// hostile scenarios, mismatched resume options and unknown handles all
+// produce precise 4xx envelopes.
+func TestSnapshotValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxScenarioEvents: 3})
+	gj := testGraphJSON(t, 8, 1)
+	empty := json.RawMessage(`{"events":[]}`)
+
+	status, body := post(t, ts, "/v1/snapshot", map[string]any{
+		"graph": gj, "seed": 2, "schedules": 10, "budget": 200,
+	})
+	if status != 200 {
+		t.Fatalf("seed snapshot: %d %s", status, body)
+	}
+	var snap snapshotResponse
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	handle := snap.Snapshot
+
+	over := marshalScenario(t, gen.NewScenario(rand.New(rand.NewSource(1)), gen.ScenarioOptions{Events: 4}))
+	cases := []struct {
+		name, path string
+		body       map[string]any
+		status     int
+		substr     string
+	}{
+		{"unknown handle replay", "/v1/replay", map[string]any{"snapshot": "snap-deadbeef", "scenario": empty}, 404, "unknown snapshot"},
+		{"unknown handle continue", "/v1/snapshot", map[string]any{"snapshot": "snap-deadbeef"}, 404, "unknown snapshot"},
+		{"handle plus graph", "/v1/snapshot", map[string]any{"snapshot": handle, "graph": gj}, 400, "must be absent"},
+		{"handle plus schedules", "/v1/replay", map[string]any{"snapshot": handle, "scenario": empty, "schedules": 10}, 400, "must be absent"},
+		{"handle plus instance", "/v1/snapshot", map[string]any{"snapshot": handle, "instance": snap.Instance}, 400, "must be absent"},
+		{"seed conflict", "/v1/snapshot", map[string]any{"snapshot": handle, "seed": 3}, 400, "conflict"},
+		{"budget conflict", "/v1/replay", map[string]any{"snapshot": handle, "scenario": empty, "budget": 999}, 400, "conflict"},
+		{"negative resume budget", "/v1/snapshot", map[string]any{"snapshot": handle, "budget": -5}, 400, "budget"},
+		{"missing graph", "/v1/snapshot", map[string]any{}, 400, "missing graph"},
+		{"unknown request field", "/v1/snapshot", map[string]any{"graph": gj, "bogus": 1}, 400, "unknown field"},
+		{"scenario unknown field", "/v1/snapshot", map[string]any{"graph": gj, "scenario": json.RawMessage(`{"events":[{"time":1,"kind":"task-arrive","tasks":3,"oops":1}]}`)}, 400, "unknown field"},
+		{"scenario NaN-adjacent degrade", "/v1/snapshot", map[string]any{"graph": gj, "scenario": json.RawMessage(`{"events":[{"time":1,"kind":"device-degrade","device":1,"speedScale":2,"bandwidthScale":1}]}`)}, 400, "outside (0, 1]"},
+		{"event cap replay", "/v1/replay", map[string]any{"graph": gj, "scenario": over}, 400, "over the 3 cap"},
+		{"event cap snapshot", "/v1/snapshot", map[string]any{"graph": gj, "scenario": over}, 400, "over the 3 cap"},
+		{"fail out of range", "/v1/replay", map[string]any{"graph": gj, "scenario": json.RawMessage(`{"events":[{"time":1,"kind":"device-fail","device":7}]}`)}, 400, "out of range"},
+		{"duplicate fail", "/v1/replay", map[string]any{"graph": gj, "scenario": json.RawMessage(`{"events":[{"time":1,"kind":"device-fail","device":2},{"time":2,"kind":"device-fail","device":2}]}`)}, 400, "out of range"},
+		{"fail default device", "/v1/snapshot", map[string]any{"graph": gj, "scenario": json.RawMessage(`{"events":[{"time":1,"kind":"device-fail","device":0}]}`)}, 400, "default"},
+		{"dangling departure", "/v1/replay", map[string]any{"graph": gj, "scenario": json.RawMessage(`{"events":[{"time":1,"kind":"task-depart","arrival":0}]}`)}, 400, "out of range"},
+		{"bad repair", "/v1/snapshot", map[string]any{"graph": gj, "repair": "magic"}, 400, "unknown repair mode"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, body := post(t, ts, c.path, c.body)
+			if status != c.status {
+				t.Fatalf("status %d, want %d: %s", status, c.status, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body not JSON: %s", body)
+			}
+			if !strings.Contains(er.Error, c.substr) {
+				t.Fatalf("error %q does not mention %q", er.Error, c.substr)
+			}
+		})
+	}
+
+	// Matching resume options still pass after all those rejections.
+	if status, body := post(t, ts, "/v1/snapshot", map[string]any{
+		"snapshot": handle, "seed": 2, "budget": 200,
+	}); status != 200 {
+		t.Fatalf("matching resume: %d %s", status, body)
+	}
+}
+
+// TestSnapshotEviction pins the bounded FIFO snapshot table: beyond
+// MaxSnapshots the oldest handle dies with a 404, the newest survives.
+func TestSnapshotEviction(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxSnapshots: 2})
+	gj := testGraphJSON(t, 8, 3)
+	empty := json.RawMessage(`{"events":[]}`)
+	handles := make([]string, 3)
+	for i := range handles {
+		status, body := post(t, ts, "/v1/snapshot", map[string]any{
+			"graph": gj, "seed": i + 1, "schedules": 5, "budget": 100,
+		})
+		if status != 200 {
+			t.Fatalf("snapshot %d: %d %s", i, status, body)
+		}
+		var r snapshotResponse
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = r.Snapshot
+	}
+	if handles[0] == handles[1] || handles[1] == handles[2] {
+		t.Fatalf("seeded snapshots collided: %v", handles)
+	}
+	if st := s.Snapshot(); st.Snapshots != 2 {
+		t.Fatalf("stats report %d snapshots, want 2", st.Snapshots)
+	}
+	if status, body := post(t, ts, "/v1/replay", map[string]any{"snapshot": handles[0], "scenario": empty}); status != 404 {
+		t.Fatalf("evicted handle: %d %s", status, body)
+	}
+	if status, body := post(t, ts, "/v1/replay", map[string]any{"snapshot": handles[2], "scenario": empty}); status != 200 {
+		t.Fatalf("retained handle: %d %s", status, body)
+	}
+}

@@ -60,6 +60,14 @@
 // byte-identical for any Workers value, with the evaluation cache on or
 // off (OnlineStats.Trace).
 //
+// Live replay state checkpoints and resumes: NewOnlineInstance/Step
+// drive a replay one event at a time, OnlineSnapshot captures it as a
+// versioned byte-stable blob, RestoreInstance rebuilds it (kernels and
+// caches recompiled fresh) and the resumed trace is byte-identical to
+// an uninterrupted run. RunFleet scales this to many streams sharded
+// across workers with periodic checkpoints into a pluggable FleetStore
+// and verifiable crash-resume.
+//
 // # Evaluation engine
 //
 // All makespan evaluation runs on a compiled evaluation engine
@@ -100,6 +108,7 @@ import (
 	"time"
 
 	"spmap/internal/eval"
+	"spmap/internal/fleet"
 	"spmap/internal/gen"
 	"spmap/internal/graph"
 	"spmap/internal/mappers/decomp"
@@ -628,6 +637,88 @@ func Replay(g *DAG, p *Platform, sc Scenario, opt OnlineOptions) (Mapping, Onlin
 	return online.Replay(g, p, sc, opt)
 }
 
+// OnlineInstance is the live state of one replay, for callers that need
+// to checkpoint, interleave or resume streams instead of running Replay
+// start to finish: NewOnlineInstance maps the opening state, Step
+// applies one scenario event, Snapshot/RestoreInstance serialize and
+// rebuild live state. An OnlineInstance is single-goroutine.
+type OnlineInstance = online.Instance
+
+// OnlineSnapshot is the serializable state of a live replay at an event
+// boundary: the evolving graph, platform and incumbent mapping, the
+// live arrival groups, the event cursor, the accumulated statistics and
+// the trace-relevant options. Compiled kernels and evaluation caches
+// are never serialized — RestoreInstance rebuilds them fresh, so a
+// restored instance can never consult stale cache entries. Encode
+// renders a snapshot as a versioned, byte-stable binary blob;
+// DecodeOnlineSnapshot parses one back.
+type OnlineSnapshot = online.Snapshot
+
+// NewOnlineInstance builds a live replay instance on a private copy of
+// (g, p): the opening mapping (SPFF plus refinement) is computed, no
+// events are applied yet.
+func NewOnlineInstance(g *DAG, p *Platform, opt OnlineOptions) (*OnlineInstance, error) {
+	return online.NewInstance(g, p, opt)
+}
+
+// RestoreInstance rebuilds a live replay instance from a snapshot with
+// a freshly compiled kernel and a fresh, empty evaluation cache.
+// Trace-relevant options travel with the snapshot; opt may supply only
+// host-local knobs (Workers, DisableCache) plus values equal to the
+// snapshot's own — a non-zero conflicting value is an error rather than
+// a silently diverging trace. A resumed replay's trace is byte-identical
+// to an uninterrupted one.
+func RestoreInstance(s *OnlineSnapshot, opt OnlineOptions) (*OnlineInstance, error) {
+	return online.Restore(s, opt)
+}
+
+// DecodeOnlineSnapshot parses the versioned binary encoding produced by
+// OnlineSnapshot.Encode.
+func DecodeOnlineSnapshot(data []byte) (*OnlineSnapshot, error) {
+	return online.DecodeSnapshot(data)
+}
+
+// Fleet types: many concurrent replay streams sharded across workers
+// with periodic checkpoints and verifiable crash-resume.
+type (
+	// FleetStream is one scenario replay to drive: a (graph, platform)
+	// instance, the event stream, and the replay options. The ID keys
+	// the stream's checkpoints in the store and must be unique.
+	FleetStream = fleet.Stream
+	// FleetOptions configure RunFleet: shard count, checkpoint cadence,
+	// the checkpoint store, and an interrupt hook for crash simulation.
+	FleetOptions = fleet.Options
+	// FleetResult reports one stream's outcome, in stream order
+	// regardless of shard assignment.
+	FleetResult = fleet.Result
+	// FleetCheckpoint is one stream's latest persisted state: an
+	// encoded OnlineSnapshot plus the event cursor it was taken at.
+	FleetCheckpoint = fleet.Checkpoint
+	// FleetStore persists at most one (the latest) checkpoint per
+	// stream; implementations must be safe for concurrent shards.
+	FleetStore = fleet.Store
+)
+
+// NewFleetMemStore returns an in-memory checkpoint store for tests and
+// single-process fleets.
+func NewFleetMemStore() *fleet.MemStore { return fleet.NewMemStore() }
+
+// NewFleetDirStore returns a directory-backed checkpoint store (one
+// file per stream, atomic replace), so a killed process resumes on the
+// next run.
+func NewFleetDirStore(dir string) (*fleet.DirStore, error) { return fleet.NewDirStore(dir) }
+
+// RunFleet shards the streams across worker shards and replays each to
+// completion, checkpointing into opt.Store at the configured cadence.
+// Streams that already have a checkpoint in the store are restored and
+// only the scenario tail is re-applied; an interrupted-and-resumed
+// stream produces the same OnlineStats.Trace() as an uninterrupted one.
+// Stream-to-shard assignment depends only on (index, shard count),
+// never on timing, so fleet results are deterministic too.
+func RunFleet(streams []FleetStream, opt FleetOptions) ([]FleetResult, error) {
+	return fleet.Run(streams, opt)
+}
+
 // WorkflowFamily identifies one of the nine WfCommons-like workflow
 // generators (§IV-D).
 type WorkflowFamily = wf.Family
@@ -664,7 +755,9 @@ type ServiceOptions = service.Options
 // coalescing batcher that merges candidate evaluations from concurrent
 // requests into shared engine batches. Endpoints: POST /v1/map,
 // /v1/refine, /v1/evaluate (whole-mapping or patch-form candidates),
-// /v1/replay; GET /healthz and /v1/stats (JSON, or CSV with
+// /v1/replay, /v1/snapshot (capture live replay state as a
+// content-addressed handle, or resume a stored snapshot and apply
+// further events); GET /healthz and /v1/stats (JSON, or CSV with
 // ?format=csv). Responses are byte-deterministic for a fixed (request,
 // seed, workers) tuple regardless of batching mode or flush
 // interleaving. Serve Handler() from any http.Server; Close drains the

@@ -90,6 +90,73 @@ func TestFacadeDecompose(t *testing.T) {
 	}
 }
 
+// TestFacadeSnapshotAndFleet exercises the snapshot/resume and fleet
+// exports: a replay split at an event boundary via Snapshot/Restore
+// must reproduce the uninterrupted trace, and RunFleet must resume an
+// interrupted stream from its checkpoint to the same trace.
+func TestFacadeSnapshotAndFleet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := spmap.RandomSeriesParallel(rng, 10)
+	p := spmap.ReferencePlatform()
+	sc := spmap.NewScenario(rng, spmap.ScenarioOptions{
+		Events: 2, Devices: p.NumDevices(), DefaultDevice: p.Default,
+	})
+	opt := spmap.OnlineOptions{Schedules: 4, Seed: 7, Workers: 1, RepairBudget: 40}
+
+	_, ref, err := spmap.Replay(g, p, sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inst, err := spmap.NewOnlineInstance(g, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Step(sc.Events[0]); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := spmap.DecodeOnlineSnapshot(inst.Snapshot().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := spmap.RestoreInstance(snap, spmap.OnlineOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Step(sc.Events[1]); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats().Trace() != ref.Trace() {
+		t.Fatal("snapshot/restore replay diverged from the uninterrupted trace")
+	}
+
+	store := spmap.NewFleetMemStore()
+	stream := spmap.FleetStream{ID: "s0", Graph: g, Platform: p, Scenario: sc, Options: opt}
+	_, err = spmap.RunFleet([]spmap.FleetStream{stream}, spmap.FleetOptions{
+		Shards: 1, Store: store, CheckpointEvery: 1,
+		Interrupt: func(id string, events int) bool { return events >= 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := spmap.RunFleet([]spmap.FleetStream{stream}, spmap.FleetOptions{
+		Shards: 1, Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.ResumedFrom != 1 || r.Events != 1 {
+		t.Fatalf("resume cursor: resumed from %d, applied %d; want 1, 1", r.ResumedFrom, r.Events)
+	}
+	if r.Stats.Trace() != ref.Trace() {
+		t.Fatal("fleet-resumed replay diverged from the uninterrupted trace")
+	}
+}
+
 func TestFacadeWorkflows(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := spmap.GenerateWorkflow(spmap.Epigenomics, 2, rng)
