@@ -16,6 +16,7 @@
 //	spmap-bench -exp incremental     # extension: incremental vs resume vs full move throughput
 //	spmap-bench -exp fleet           # extension: sharded replay fleets with checkpoint/resume
 //	spmap-bench -exp fleet -store d  # persistent checkpoints: kill mid-run, re-run, traces verified
+//	spmap-bench -exp robust          # extension: uncertainty-aware robust vs nominal under degradation
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
 //	spmap-bench -exp incremental -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -56,7 +57,7 @@ var knownExperiments = map[string]bool{
 	"fig3": true, "fig4": true, "fig5": true, "fig6": true, "fig7": true,
 	"table1": true, "ablation": true, "localsearch": true, "pareto": true,
 	"portfolio": true, "online": true, "incremental": true, "service": true,
-	"fleet": true,
+	"fleet": true, "robust": true,
 }
 
 // run is main's testable body: it parses and validates args, executes
@@ -67,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spmap-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental service fleet all")
+		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental service fleet robust all")
 		paper     = fs.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = fs.Int("graphs", 0, "override graphs per data point (>= 0; 0 = profile default)")
 		schedules = fs.Int("schedules", 0, "override random schedules in the cost function (>= 0)")
@@ -285,6 +286,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			experiments.PrintPareto(stdout, rows)
 			err = emitCSV("pareto", func(w io.Writer) error {
 				return experiments.WriteCSVPareto(w, rows)
+			})
+		case "robust":
+			rows := experiments.RobustComparison(cfg)
+			experiments.PrintRobust(stdout, rows)
+			if err = emitCSV("robust", func(w io.Writer) error {
+				return experiments.WriteCSVRobust(w, rows)
+			}); err != nil {
+				break
+			}
+			costs := experiments.RobustCost(cfg)
+			experiments.PrintRobustCost(stdout, costs)
+			err = emitCSV("robust_cost", func(w io.Writer) error {
+				return experiments.WriteCSVRobustCost(w, costs)
 			})
 		default:
 			// knownExperiments and this dispatch are maintained together; a

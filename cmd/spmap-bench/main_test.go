@@ -191,6 +191,41 @@ func TestBenchFleetExperiment(t *testing.T) {
 	}
 }
 
+// TestBenchRobustExperiment smoke-runs the uncertainty-aware robust
+// comparison end to end on a tiny profile, including both CSV exports
+// (the quality comparison and the Monte-Carlo cost sweep).
+func TestBenchRobustExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	err := run([]string{"-exp", "robust", "-graphs", "1", "-schedules", "2", "-csv", dir}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"nom_tail", "rob_tail", "tail_impr", "Monte-Carlo batching cost", "overhead", "robust completed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("robust report missing %q:\n%s", want, out)
+		}
+	}
+	csvQ, err := os.ReadFile(filepath.Join(dir, "robust.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csvQ), "tail_improvement") {
+		t.Fatalf("robust.csv missing header:\n%s", csvQ)
+	}
+	csvC, err := os.ReadFile(filepath.Join(dir, "robust_cost.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csvC), "overhead") {
+		t.Fatalf("robust_cost.csv missing header:\n%s", csvC)
+	}
+}
+
 // TestBenchValidatesBeforeRunning pins that a bad flag combined with a
 // valid experiment never starts the sweep (no experiment output before
 // the usage error).

@@ -18,11 +18,16 @@
 //
 // The -objective flag selects the optimization target: "time" (the
 // default single-objective makespan), "energy" (pure compute energy;
-// requires the local-search algorithms or -refine), or "pareto" (the
+// requires the local-search algorithms or -refine), "pareto" (the
 // full makespan x energy trade-off: -algo nsga2 selects the
 // two-objective NSGA-II driver, anything else the weighted local-search
 // sweep; the front is printed, exported as CSV via -front, and bounded
-// by the ε-dominance resolution -eps).
+// by the ε-dominance resolution -eps), or "robust" (the three-objective
+// makespan x energy x tail-makespan trade-off under the stochastic cost
+// model: every candidate is additionally evaluated under -samples
+// Monte-Carlo perturbed cost worlds drawn from the -noise-* multiplier
+// spreads, and the -tail quantile of its perturbed makespans becomes
+// the third, uncertainty-hedging objective; NSGA-II only).
 //
 // The -scenario flag switches to online replay mode: the graph becomes
 // a live instance perturbed by the scenario's event stream (device
@@ -90,9 +95,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		milpBudget   = fs.Duration("milp-budget", 30*time.Second, "MILP time limit")
 		lsBudget     = fs.Int("ls-budget", 50100, "local-search / -refine / portfolio evaluation budget; per-event repair budget in -scenario mode (> 0)")
 		refine       = fs.Bool("refine", false, "polish the mapping with local-search refinement")
-		objective    = fs.String("objective", "time", "optimization objective: time, energy, or pareto")
-		epsFlag      = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -objective pareto (>= 0; 0 = exact front)")
-		frontOut     = fs.String("front", "", "write the Pareto front as CSV to this file (-objective pareto)")
+		objective    = fs.String("objective", "time", "optimization objective: time, energy, pareto, or robust")
+		epsFlag      = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -objective pareto|robust (>= 0; 0 = exact front)")
+		frontOut     = fs.String("front", "", "write the Pareto front as CSV to this file (-objective pareto|robust)")
+		samples      = fs.Int("samples", spmap.DefaultRobustSamples, "Monte-Carlo samples per candidate for -objective robust (> 0)")
+		tailFlag     = fs.Float64("tail", 0.95, "reported tail quantile for -objective robust (in (0, 1))")
+		noiseKind    = fs.String("noise-kind", "lognormal", "-objective robust noise distribution: lognormal or uniform")
+		noiseExec    = fs.Float64("noise-exec", 0, "per-(task, device) execution-time noise spread (-objective robust)")
+		noiseDevice  = fs.Float64("noise-device", 0.5, "common-mode per-device noise spread (-objective robust)")
+		noiseXfer    = fs.Float64("noise-transfer", 0.5, "per-edge transfer-size noise spread (-objective robust)")
 		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "evaluation-engine worker pool (> 0; results are identical for any value)")
 		scenario     = fs.String("scenario", "", "replay this online scenario JSON against the graph (see spmap-gen -kind scenario)")
 		repairMode   = fs.String("repair", "refine", "scenario repair mode: refine, portfolio, or cold (re-map from scratch)")
@@ -119,13 +130,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// a default-valued flag is fine but a deliberate one is ignored.
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	robustOnly := ""
+	for _, name := range []string{"samples", "tail", "noise-kind", "noise-exec", "noise-device", "noise-transfer"} {
+		if explicit[name] && robustOnly == "" {
+			robustOnly = name
+		}
+	}
+	noise := spmap.NoiseModel{
+		ExecSigma: *noiseExec, DeviceSigma: *noiseDevice, TransferSigma: *noiseXfer,
+		Seed: *seed,
+	}
+	kindOK := true
+	switch *noiseKind {
+	case "lognormal":
+		noise.Kind = spmap.NoiseLognormal
+	case "uniform":
+		noise.Kind = spmap.NoiseUniform
+	default:
+		kindOK = false
+	}
 	switch {
 	case *graphPath == "":
 		return usage("-graph is required")
 	case !knownAlgos[*algo]:
 		return usage("unknown algorithm %q", *algo)
-	case *objective != "time" && *objective != "energy" && *objective != "pareto":
-		return usage("unknown objective %q (time, energy, pareto)", *objective)
+	case *objective != "time" && *objective != "energy" && *objective != "pareto" && *objective != "robust":
+		return usage("unknown objective %q (time, energy, pareto, robust)", *objective)
+	case *objective != "robust" && robustOnly != "":
+		return usage("-%s configures the robust objective; pass -objective robust", robustOnly)
+	case *objective == "robust" && !kindOK:
+		return usage("unknown -noise-kind %q (lognormal, uniform)", *noiseKind)
+	case *objective == "robust" && *samples <= 0:
+		return usage("-samples must be > 0, got %d", *samples)
+	case *objective == "robust" && !(*tailFlag > 0 && *tailFlag < 1):
+		return usage("-tail must be in (0, 1), got %g", *tailFlag)
+	case *objective == "robust" && noise.Validate() != nil:
+		return usage("invalid noise model: %v", noise.Validate())
+	case *objective == "robust" && (*algo != "nsga2" && (*algo != "spfirstfit" || explicit["algo"])):
+		return usage("-objective robust supports -algo nsga2 only, not %q", *algo)
 	case *epsFlag < 0:
 		return usage("-eps must be >= 0, got %g", *epsFlag)
 	case *lsBudget <= 0:
@@ -174,6 +216,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ev := spmap.NewEvaluator(g, p).WithSchedules(*schedules, *seed)
 	if *objective == "pareto" {
 		return runPareto(stdout, g, p, ev, *algo, *epsFlag, *seed, *workers, *lsBudget, *asJSON, *frontOut)
+	}
+	if *objective == "robust" {
+		// MapRobust's default budget (4200) is tuned for the extra Samples
+		// simulations per candidate; only an explicit -ls-budget overrides.
+		budget := 0
+		if explicit["ls-budget"] {
+			budget = *lsBudget
+		}
+		return runRobust(stdout, g, p, ev, noise, *samples, *tailFlag, *epsFlag, *seed, *workers, budget, *asJSON, *frontOut)
 	}
 	var wTime, wEnergy float64
 	switch *objective {
@@ -460,7 +511,7 @@ func runPareto(stdout io.Writer, g *spmap.DAG, p *spmap.Platform, ev *spmap.Eval
 		}
 		pts := make([]jsonPoint, len(front))
 		for i, pt := range front {
-			pts[i] = jsonPoint{pt.Makespan, pt.Energy, pt.Mapping}
+			pts[i] = jsonPoint{pt.Makespan(), pt.Energy(), pt.Mapping}
 		}
 		out := map[string]any{
 			"algorithm":       palgo.String(),
@@ -487,13 +538,96 @@ func runPareto(stdout io.Writer, g *spmap.DAG, p *spmap.Platform, ev *spmap.Eval
 	fmt.Fprintf(stdout, "%12s %12s %10s %10s\n", "makespan_ms", "energy_J", "t_impr", "e_impr")
 	for _, pt := range front {
 		tImpr, eImpr := 0.0, 0.0
-		if base > 0 && pt.Makespan < base {
-			tImpr = (base - pt.Makespan) / base
+		if base > 0 && pt.Makespan() < base {
+			tImpr = (base - pt.Makespan()) / base
 		}
-		if baseEn > 0 && pt.Energy < baseEn {
-			eImpr = (baseEn - pt.Energy) / baseEn
+		if baseEn > 0 && pt.Energy() < baseEn {
+			eImpr = (baseEn - pt.Energy()) / baseEn
 		}
-		fmt.Fprintf(stdout, "%12.3f %12.3f %9.1f%% %9.1f%%\n", 1e3*pt.Makespan, pt.Energy, 100*tImpr, 100*eImpr)
+		fmt.Fprintf(stdout, "%12.3f %12.3f %9.1f%% %9.1f%%\n", 1e3*pt.Makespan(), pt.Energy(), 100*tImpr, 100*eImpr)
+	}
+	if frontOut != "" {
+		fmt.Fprintf(stdout, "wrote %s\n", frontOut)
+	}
+	return nil
+}
+
+// runRobust maps under the three-objective (makespan, energy, tail
+// makespan) stochastic cost model and reports the time × energy ×
+// robustness front; the min-robust point is the uncertainty-hedged
+// mapping.
+func runRobust(stdout io.Writer, g *spmap.DAG, p *spmap.Platform, ev *spmap.Evaluator,
+	noise spmap.NoiseModel, samples int, tail, eps float64, seed int64, workers, budget int,
+	asJSON bool, frontOut string) error {
+	start := time.Now()
+	front, stats, err := spmap.MapRobustWithEvaluator(ev, spmap.RobustOptions{
+		Noise: noise, Samples: samples, Tail: tail,
+		Eps: eps, Seed: seed, Workers: workers, Budget: budget,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	base := ev.BaselineMakespan()
+	baseEn := ev.Energy(spmap.BaselineMapping(g, p))
+
+	if frontOut != "" {
+		f, err := os.Create(frontOut)
+		if err != nil {
+			return err
+		}
+		err = experiments.WriteCSVFrontObjs(f, front, []string{"makespan", "energy", "robust"})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if asJSON {
+		type jsonPoint struct {
+			Makespan float64       `json:"makespan"`
+			Energy   float64       `json:"energy"`
+			Robust   float64       `json:"robust"`
+			Mapping  spmap.Mapping `json:"mapping"`
+		}
+		pts := make([]jsonPoint, len(front))
+		for i, pt := range front {
+			pts[i] = jsonPoint{pt.Makespan(), pt.Energy(), pt.Objective(2), pt.Mapping}
+		}
+		out := map[string]any{
+			"algorithm":       "nsga2",
+			"objective":       "robust",
+			"samples":         samples,
+			"tail":            tail,
+			"noise_kind":      noise.Kind.String(),
+			"eps":             eps,
+			"front":           pts,
+			"baseline":        base,
+			"baseline_energy": baseEn,
+			"stats":           stats,
+			"elapsed_ms":      float64(elapsed.Microseconds()) / 1000,
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(stdout, "algorithm:   nsga2 (robust)\n")
+	fmt.Fprintf(stdout, "tasks:       %d, edges: %d\n", g.NumTasks(), g.NumEdges())
+	fmt.Fprintf(stdout, "baseline:    %.3f ms, %.3f J (pure %s)\n", 1e3*base, baseEn, p.Devices[p.Default].Name)
+	fmt.Fprintf(stdout, "noise:       %s (exec %g, device %g, transfer %g), %d samples, p%g tail\n",
+		noise.Kind, noise.ExecSigma, noise.DeviceSigma, noise.TransferSigma, samples, 100*tail)
+	fmt.Fprintf(stdout, "front:       %d points (eps %g, %d candidates, %d evaluations)\n",
+		stats.FrontSize, eps, stats.ArchiveSeen, stats.Evaluations)
+	fmt.Fprintf(stdout, "elapsed:     %s\n", elapsed.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "%12s %12s %12s\n", "makespan_ms", "energy_J", "robust_ms")
+	for _, pt := range front {
+		fmt.Fprintf(stdout, "%12.3f %12.3f %12.3f\n", 1e3*pt.Makespan(), pt.Energy(), 1e3*pt.Objective(2))
+	}
+	if len(front) > 0 {
+		hedged := front.MinObjective(2)
+		fmt.Fprintf(stdout, "hedged:      makespan %.3f ms, tail %.3f ms (min-robust point)\n",
+			1e3*hedged.Makespan(), 1e3*hedged.Objective(2))
 	}
 	if frontOut != "" {
 		fmt.Fprintf(stdout, "wrote %s\n", frontOut)

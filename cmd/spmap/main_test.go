@@ -55,6 +55,21 @@ func TestFlagValidation(t *testing.T) {
 		{"zero generations", []string{"-graph", "g.json", "-algo", "nsga2", "-generations", "0"}, "-generations must be > 0"},
 		{"sweep without pareto", []string{"-graph", "g.json", "-algo", "sweep"}, "pareto driver"},
 		{"energy with heft", []string{"-graph", "g.json", "-algo", "heft", "-objective", "energy"}, "-objective energy requires"},
+		{"zero samples", []string{"-graph", "g.json", "-objective", "robust", "-samples", "0"}, "-samples must be > 0"},
+		{"negative samples", []string{"-graph", "g.json", "-objective", "robust", "-samples", "-4"}, "-samples must be > 0"},
+		{"tail zero", []string{"-graph", "g.json", "-objective", "robust", "-tail", "0"}, "-tail must be in (0, 1)"},
+		{"tail one", []string{"-graph", "g.json", "-objective", "robust", "-tail", "1"}, "-tail must be in (0, 1)"},
+		{"tail above one", []string{"-graph", "g.json", "-objective", "robust", "-tail", "1.5"}, "-tail must be in (0, 1)"},
+		{"tail negative", []string{"-graph", "g.json", "-objective", "robust", "-tail", "-0.1"}, "-tail must be in (0, 1)"},
+		{"robust with heft", []string{"-graph", "g.json", "-objective", "robust", "-algo", "heft"}, "-objective robust supports -algo nsga2"},
+		{"robust with portfolio", []string{"-graph", "g.json", "-objective", "robust", "-algo", "portfolio"}, "-objective robust supports -algo nsga2"},
+		{"robust with explicit spfirstfit", []string{"-graph", "g.json", "-objective", "robust", "-algo", "spfirstfit"}, "-objective robust supports -algo nsga2"},
+		{"samples without robust", []string{"-graph", "g.json", "-samples", "16"}, "configures the robust objective"},
+		{"tail without robust", []string{"-graph", "g.json", "-objective", "pareto", "-tail", "0.9"}, "configures the robust objective"},
+		{"noise sigma without robust", []string{"-graph", "g.json", "-noise-device", "0.8"}, "configures the robust objective"},
+		{"bad noise kind", []string{"-graph", "g.json", "-objective", "robust", "-noise-kind", "gamma"}, "unknown -noise-kind"},
+		{"negative noise sigma", []string{"-graph", "g.json", "-objective", "robust", "-noise-device", "-0.5"}, "invalid noise model"},
+		{"uniform sigma one", []string{"-graph", "g.json", "-objective", "robust", "-noise-kind", "uniform", "-noise-transfer", "1.5"}, "invalid noise model"},
 		{"undeclared flag", []string{"-graph", "g.json", "-frobnicate"}, ""}, // FlagSet's own error
 	}
 	for _, tc := range cases {
@@ -207,6 +222,78 @@ func TestEveryKnownAlgoDispatches(t *testing.T) {
 				t.Fatalf("-algo %s: %v", algo, err)
 			}
 		})
+	}
+}
+
+// TestRunRobust drives -objective robust end to end: the JSON report
+// must carry a three-objective front with finite robust values, export
+// the front as CSV, and be identical for any -workers value.
+func TestRunRobust(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	frontPath := filepath.Join(t.TempDir(), "front.csv")
+	outputs := make([]string, 0, 2)
+	for _, workers := range []string{"1", "4"} {
+		var stdout bytes.Buffer
+		err := run([]string{"-graph", graphPath, "-objective", "robust", "-algo", "nsga2",
+			"-schedules", "4", "-samples", "6", "-tail", "0.9", "-noise-device", "0.4",
+			"-ls-budget", "300", "-workers", workers, "-seed", "3",
+			"-front", frontPath, "-json"}, &stdout, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+			t.Fatalf("non-JSON output: %v\n%s", err, stdout.String())
+		}
+		if out["objective"] != "robust" {
+			t.Fatalf("objective = %v", out["objective"])
+		}
+		front, ok := out["front"].([]any)
+		if !ok || len(front) == 0 {
+			t.Fatalf("no front in output: %v", out)
+		}
+		for _, pt := range front {
+			m := pt.(map[string]any)
+			for _, k := range []string{"makespan", "energy", "robust"} {
+				if v, ok := m[k].(float64); !ok || v <= 0 {
+					t.Fatalf("front point %v: bad %s", m, k)
+				}
+			}
+		}
+		delete(out, "elapsed_ms")
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, string(b))
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("-workers changed the robust output:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+	csv, err := os.ReadFile(frontPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "point,makespan,energy,robust") {
+		t.Fatalf("front CSV header: %q", strings.SplitN(string(csv), "\n", 2)[0])
+	}
+}
+
+// TestRunRobustText checks the human-readable robust report.
+func TestRunRobustText(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	var stdout bytes.Buffer
+	err := run([]string{"-graph", graphPath, "-objective", "robust",
+		"-schedules", "4", "-samples", "5", "-ls-budget", "300", "-workers", "2"},
+		&stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"algorithm:   nsga2 (robust)", "noise:", "robust_ms", "hedged:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("robust report missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spmap/internal/eval"
 	"spmap/internal/gen"
 	"spmap/internal/mappers/decomp"
 	"spmap/internal/mappers/ga"
@@ -31,8 +32,11 @@ import (
 func frontFingerprint(f pareto.Front) string {
 	s := ""
 	for _, p := range f {
-		s += fmt.Sprintf("(%016x,%016x,%s)", math.Float64bits(p.Makespan),
-			math.Float64bits(p.Energy), mappingString(p.Mapping))
+		s += "("
+		for _, v := range p.Vec {
+			s += fmt.Sprintf("%016x,", math.Float64bits(v))
+		}
+		s += mappingString(p.Mapping) + ")"
 	}
 	return s
 }
@@ -228,6 +232,46 @@ func TestMapperDeterminismMatrix(t *testing.T) {
 				mappingString(front.MinMakespan().Mapping),
 				fmt.Sprintf("%+v|%s", st, frontFingerprint(front)),
 			}
+		}},
+		// The robust (-objective robust) driver: three-objective NSGA-II
+		// with the Monte-Carlo tail makespan. The case itself additionally
+		// pins cache on == cache off (the robust objective bypasses the
+		// cache, the nominal columns honor its exactness contract), so the
+		// matrix covers the full (Workers x cache x rerun) grid at one
+		// fixed seed.
+		{"ga/NSGA2ParetoRobust", func(ev *model.Evaluator, workers int) determinismResult {
+			robust, err := eval.NewRobustObjective(eval.NoiseModel{
+				Kind: eval.NoiseLognormal, ExecSigma: 0.2, DeviceSigma: 0.1,
+				TransferSigma: 0.15, Seed: 7,
+			}, 6, 0.9, eval.RobustTail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs := []eval.Objective{eval.MakespanObjective(), eval.EnergyObjective(), robust}
+			var res determinismResult
+			for i, withCache := range []bool{false, true} {
+				e := ev
+				if withCache {
+					e = ev.Clone().WithEngine(ev.Engine().WithCache(eval.NewCache()))
+				}
+				front, st := ga.MapParetoWithEvaluator(e, ga.ParetoOptions{
+					Population: 12, Generations: 5, Seed: seed, Workers: workers,
+					Objectives: objs,
+				})
+				if len(front) == 0 {
+					t.Fatal("empty front")
+				}
+				got := determinismResult{
+					mappingString(front.MinMakespan().Mapping),
+					fmt.Sprintf("%+v|%s", st, frontFingerprint(front)),
+				}
+				if i == 0 {
+					res = got
+				} else if got != res {
+					t.Fatalf("robust front diverged between cache off and on:\n%+v\nvs\n%+v", res, got)
+				}
+			}
+			return res
 		}},
 	}
 

@@ -106,8 +106,8 @@ func ExampleMapPareto() {
 	nonDominated := true
 	for i, a := range front {
 		for j, b := range front {
-			if i != j && b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
-				(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+			if i != j && b.Makespan() <= a.Makespan() && b.Energy() <= a.Energy() &&
+				(b.Makespan() < a.Makespan() || b.Energy() < a.Energy()) {
 				nonDominated = false
 			}
 		}
@@ -115,8 +115,8 @@ func ExampleMapPareto() {
 	fastest, greenest := front.MinMakespan(), front.MinEnergy()
 	fmt.Printf("non-dominated: %v, trade-off: %v, exact objectives: %v\n",
 		nonDominated,
-		fastest.Makespan < greenest.Makespan && greenest.Energy < fastest.Energy,
-		ev.Makespan(fastest.Mapping) == fastest.Makespan && ev.Energy(greenest.Mapping) == greenest.Energy)
+		fastest.Makespan() < greenest.Makespan() && greenest.Energy() < fastest.Energy(),
+		ev.Makespan(fastest.Mapping) == fastest.Makespan() && ev.Energy(greenest.Mapping) == greenest.Energy())
 	_ = stats
 	// Output: non-dominated: true, trade-off: true, exact objectives: true
 }

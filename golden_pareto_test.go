@@ -71,8 +71,8 @@ func TestGoldenParetoFronts(t *testing.T) {
 					t.Errorf("seed %d %s: front point %d infeasible", row.seed, c.what, i)
 				}
 				for j, b := range c.front {
-					if i != j && b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
-						(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+					if i != j && b.Makespan() <= a.Makespan() && b.Energy() <= a.Energy() &&
+						(b.Makespan() < a.Makespan() || b.Energy() < a.Energy()) {
 						t.Errorf("seed %d %s: front point %d dominated by %d", row.seed, c.what, i, j)
 					}
 				}

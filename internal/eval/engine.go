@@ -34,6 +34,13 @@ type Engine struct {
 	workers int
 	pool    *sync.Pool // *simState
 	prePool *sync.Pool // *batchPrefix
+	// g, p, orders retain the engine's construction inputs so derived
+	// engines over perturbed cost models (the robust objective's
+	// Monte-Carlo sample kernels, see NewEngineNoise and RobustObjective)
+	// can be compiled for the same instance on demand.
+	g      *graph.DAG
+	p      *platform.Platform
+	orders [][]graph.NodeID
 	// cache, if non-nil, memoizes exact evaluation results across all
 	// engines sharing it (see WithCache and type Cache).
 	cache *Cache
@@ -56,15 +63,33 @@ type Engine struct {
 // deterministic (paper §III-A). Orders must be topological orders of g;
 // passing none selects the BFS order alone.
 func NewEngine(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID, opt Options) *Engine {
+	return newEngineNoise(g, p, orders, nil, 0, opt)
+}
+
+// NewEngineNoise compiles an engine whose kernel is the noise model's
+// sample-th perturbed world: execution times (and energies) carry the
+// model's per-(task, device) and per-device factors, transfer payloads
+// the per-edge factors (see NoiseModel). Everything else — schedule
+// set, batch semantics, determinism contract — matches NewEngine; in
+// particular a perturbed engine evaluates at the nominal engine's cost,
+// since the perturbation happens entirely at compile time.
+func NewEngineNoise(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID, noise NoiseModel, sample int, opt Options) *Engine {
+	return newEngineNoise(g, p, orders, &noise, sample, opt)
+}
+
+func newEngineNoise(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID, noise *NoiseModel, sample int, opt Options) *Engine {
 	if len(orders) == 0 {
 		orders = [][]graph.NodeID{g.BFSOrder()}
 	}
-	k := compile(g, p, orders)
+	k := compileNoise(g, p, orders, noise, sample)
 	return &Engine{
 		k:       k,
 		workers: normWorkers(opt.Workers),
 		pool:    &sync.Pool{New: func() any { return k.newState() }},
 		prePool: &sync.Pool{New: func() any { return k.newPrefix() }},
+		g:       g,
+		p:       p,
+		orders:  orders,
 	}
 }
 
@@ -240,12 +265,48 @@ func (e *Engine) Evaluate(op Op, cutoff float64) float64 {
 // batches (same per-op results, see Batcher).
 func (e *Engine) EvaluateBatch(ops []Op, cutoff float64) []float64 {
 	out := make([]float64, len(ops))
-	if e.bat != nil {
-		e.bat.submit(nil, ops, cutoff, out, nil, e.sink)
-		return out
-	}
-	e.runBatchTimed(nil, ops, cutoff, out, nil)
+	e.batchCore(ops, cutoff, out, nil)
 	return out
+}
+
+// batchCore is the shared body of the makespan/energy batch entry
+// points (EvaluateBatch, EvaluateBatchMO, EvaluateBatchVec): the
+// batcher-vs-direct dispatch with out receiving makespans and en, if
+// non-nil, the fused per-op energies.
+func (e *Engine) batchCore(ops []Op, cutoff float64, out, en []float64) {
+	if e.bat != nil {
+		e.bat.submit(nil, ops, cutoff, out, en, e.sink)
+		return
+	}
+	e.runBatchTimed(nil, ops, cutoff, out, en)
+}
+
+// energyBatch fills out with the exact compute energies of the ops'
+// (patched) mappings — the standalone path of the energy objective when
+// no makespan column pays for the simulation. Energies do not depend on
+// the schedule set, so the loop is a cheap O(n) table scan per op and
+// never goes through the worker pool or the cache.
+func (e *Engine) energyBatch(ops []Op, out []float64) {
+	st := e.getState()
+	defer e.pool.Put(st)
+	for i := range ops {
+		op := &ops[i]
+		if len(op.Patch) == 0 {
+			out[i] = e.k.energy(st, op.Base)
+			continue
+		}
+		if st.basePtr != &op.Base[0] {
+			copy(st.mbuf, op.Base)
+			st.basePtr = &op.Base[0]
+		}
+		for _, v := range op.Patch {
+			st.mbuf[v] = op.Device
+		}
+		out[i] = e.k.energy(st, st.mbuf)
+		for _, v := range op.Patch {
+			st.mbuf[v] = op.Base[v]
+		}
+	}
 }
 
 // EvaluateBatchCtx is EvaluateBatch with cancellation: once ctx is
@@ -277,14 +338,15 @@ func (e *Engine) EvaluateBatchCtx(ctx context.Context, ops []Op, cutoff float64)
 // cost (one O(n) pass over the precomputed energy table, against the
 // makespan's O(orders x edges) simulation) and is always exact — only
 // the makespans obey the cutoff contract.
+//
+// EvaluateBatchMO is the legacy twin-slice shim over the objective-
+// vector API: it is defined to be — and guarded by tests to stay —
+// bit-identical to EvaluateBatchVec(ops, [Makespan, Energy], cutoff),
+// both running the same fused batchCore pass.
 func (e *Engine) EvaluateBatchMO(ops []Op, cutoff float64) (makespans, energies []float64) {
 	makespans = make([]float64, len(ops))
 	energies = make([]float64, len(ops))
-	if e.bat != nil {
-		e.bat.submit(nil, ops, cutoff, makespans, energies, e.sink)
-		return makespans, energies
-	}
-	e.runBatchTimed(nil, ops, cutoff, makespans, energies)
+	e.batchCore(ops, cutoff, makespans, energies)
 	return makespans, energies
 }
 

@@ -165,6 +165,18 @@ type kernel struct {
 // compile flattens (g, p, orders) into a kernel. The orders must be
 // topological orders of g covering every task.
 func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kernel {
+	return compileNoise(g, p, orders, nil, 0)
+}
+
+// compileNoise is compile with an optional noise perturbation: non-nil
+// noise multiplies the execution-time table (and with it the energy
+// table and the downstream-residual bounds derived from it), the
+// per-edge transfer payloads and the entry-task source payloads by the
+// model's hashed per-sample factors. The perturbation happens entirely
+// at compile time — the simulation loops are untouched, so a perturbed
+// kernel evaluates at exactly the nominal kernel's cost and a nil noise
+// compiles bit-identically to compile.
+func compileNoise(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID, noise *NoiseModel, sample int) *kernel {
 	n, nd := g.NumTasks(), p.NumDevices()
 	k := &kernel{
 		n: n, nd: nd,
@@ -185,8 +197,16 @@ func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kerne
 	}
 	for d := 0; d < nd; d++ {
 		dev := &p.Devices[d]
+		df := 1.0
+		if noise != nil {
+			df = noise.DeviceFactor(sample, d)
+		}
 		for v := 0; v < n; v++ {
-			k.exec[d*n+v] = ExecTime(g, graph.NodeID(v), dev)
+			e := ExecTime(g, graph.NodeID(v), dev)
+			if noise != nil {
+				e *= df * noise.ExecFactor(sample, v, d)
+			}
+			k.exec[d*n+v] = e
 			k.energyTab[d*n+v] = k.exec[d*n+v] * dev.PowerW
 		}
 		k.devStreaming[d] = dev.Streaming
@@ -220,12 +240,20 @@ func compile(g *graph.DAG, p *platform.Platform, orders [][]graph.NodeID) *kerne
 		t := g.Task(id)
 		k.taskArea[v] = t.Area
 		if g.InDegree(id) == 0 {
-			k.entryBytes[v] = t.SourceBytes
+			sb := t.SourceBytes
+			if noise != nil {
+				sb *= noise.EntryFactor(sample, v)
+			}
+			k.entryBytes[v] = sb
 		}
 		for _, ei := range g.InEdges(id) {
 			ed := g.Edge(ei)
+			bytes := ed.Bytes
+			if noise != nil {
+				bytes *= noise.EdgeFactor(sample, len(k.inFrom))
+			}
 			k.inFrom = append(k.inFrom, int32(ed.From))
-			k.inBytes = append(k.inBytes, ed.Bytes)
+			k.inBytes = append(k.inBytes, bytes)
 			k.inSigma = append(k.inSigma, streamSigma(g, ed.From, id))
 		}
 		k.inStart[v+1] = int32(len(k.inFrom))

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// NoiseKind selects the multiplicative perturbation distribution of a
+// NoiseModel.
+type NoiseKind int
+
+// Perturbation distributions. Both are multiplicative with median (and,
+// for uniform, mean) 1, so sigma = 0 degenerates to the nominal cost.
+const (
+	// NoiseLognormal draws factors exp(sigma * Z) with Z standard
+	// normal: always positive, median 1, right-skewed — the classic
+	// model for execution-time variability.
+	NoiseLognormal NoiseKind = iota
+	// NoiseUniform draws factors 1 + sigma * U with U uniform in
+	// [-1, 1]; sigma must stay below 1 to keep costs positive.
+	NoiseUniform
+)
+
+// String implements fmt.Stringer.
+func (k NoiseKind) String() string {
+	if k == NoiseUniform {
+		return "uniform"
+	}
+	return "lognormal"
+}
+
+// NoiseModel describes stochastic multiplicative perturbations of the
+// nominal cost model: per-(task, device) and common-mode per-device
+// factors on execution times (and hence compute energies), and per-edge
+// factors on transfer payloads. A model plus a sample index fully
+// determines every factor — each factor is a pure hash of
+// (Seed, stream tag, ids, sample), not a draw from a shared sequential
+// RNG — so perturbed costs are reproducible for a fixed (Seed, sample)
+// regardless of evaluation order, worker count or caching. Sample
+// indices are the Monte-Carlo substreams of the robust objective: the
+// s-th sample of a model is one coherent perturbed world.
+//
+// Transfer noise scales the payload bytes of each data edge (and each
+// entry task's source payload), i.e. the bandwidth term of the transfer
+// time; the per-hop setup latency is left nominal (documented
+// simplification — latency jitter is dominated by payload jitter for
+// the payload sizes the generator draws).
+type NoiseModel struct {
+	// Kind selects the factor distribution (default NoiseLognormal).
+	Kind NoiseKind
+	// ExecSigma is the spread of the independent per-(task, device)
+	// execution-time factors.
+	ExecSigma float64
+	// DeviceSigma is the spread of the common-mode per-device factors:
+	// one factor per (device, sample) multiplying every task on that
+	// device. It models device-wide slowdowns (thermal throttling,
+	// contention, degrades), which is what makes robust mappings hedge
+	// across devices instead of piling onto the nominally fastest one.
+	DeviceSigma float64
+	// TransferSigma is the spread of the independent per-edge payload
+	// factors.
+	TransferSigma float64
+	// Seed selects the hash substream family.
+	Seed int64
+}
+
+// Enabled reports whether the model perturbs anything at all.
+func (nm NoiseModel) Enabled() bool {
+	return nm.ExecSigma > 0 || nm.DeviceSigma > 0 || nm.TransferSigma > 0
+}
+
+// Validate checks the model's parameters: sigmas must be finite and
+// non-negative, and uniform sigmas must stay below 1 so every factor —
+// and with it every perturbed cost — remains positive.
+func (nm NoiseModel) Validate() error {
+	for _, s := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"exec", nm.ExecSigma}, {"device", nm.DeviceSigma}, {"transfer", nm.TransferSigma},
+	} {
+		if math.IsNaN(s.v) || math.IsInf(s.v, 0) || s.v < 0 {
+			return fmt.Errorf("eval: %s noise sigma %g must be finite and >= 0", s.name, s.v)
+		}
+		if nm.Kind == NoiseUniform && s.v >= 1 {
+			return fmt.Errorf("eval: uniform %s noise sigma %g must be < 1 (factors must stay positive)", s.name, s.v)
+		}
+	}
+	if nm.Kind != NoiseLognormal && nm.Kind != NoiseUniform {
+		return fmt.Errorf("eval: unknown noise kind %d", int(nm.Kind))
+	}
+	return nil
+}
+
+// Substream tags: every factor family hashes a distinct tag so the
+// families are independent even where their id tuples coincide.
+const (
+	noiseTagExec = 1 + iota
+	noiseTagDevice
+	noiseTagEdge
+	noiseTagEntry
+)
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed 64-bit
+// permutation used as the substream hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// u01 hashes (Seed, tag, a, b, sample, draw) to a uniform in the open
+// interval (0, 1). The fold applies the mixer between words, so tuples
+// differing in any position land in unrelated places.
+func (nm NoiseModel) u01(tag, a, b, sample, draw uint64) float64 {
+	h := splitmix64(uint64(nm.Seed))
+	for _, w := range [...]uint64{tag, a, b, sample, draw} {
+		h = splitmix64(h ^ w)
+	}
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// factor draws one multiplicative factor of spread sigma from the
+// (tag, a, b, sample) substream.
+func (nm NoiseModel) factor(sigma float64, tag, a, b uint64, sample int) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	s := uint64(sample)
+	if nm.Kind == NoiseUniform {
+		u := nm.u01(tag, a, b, s, 0)
+		return 1 + sigma*(2*u-1)
+	}
+	// Box–Muller over two hashed uniforms; u1 > 0 by construction.
+	u1 := nm.u01(tag, a, b, s, 0)
+	u2 := nm.u01(tag, a, b, s, 1)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(sigma * z)
+}
+
+// ExecFactor returns the independent per-(task, device) execution-time
+// factor of the given sample.
+func (nm NoiseModel) ExecFactor(sample, task, device int) float64 {
+	return nm.factor(nm.ExecSigma, noiseTagExec, uint64(task), uint64(device), sample)
+}
+
+// DeviceFactor returns the common-mode factor of the device in the
+// given sample (multiplies every task's execution time on the device).
+func (nm NoiseModel) DeviceFactor(sample, device int) float64 {
+	return nm.factor(nm.DeviceSigma, noiseTagDevice, uint64(device), 0, sample)
+}
+
+// EdgeFactor returns the payload factor of the in-edge with the given
+// global CSR ordinal (the compile-time edge enumeration order, which is
+// the graph's insertion order and therefore stable).
+func (nm NoiseModel) EdgeFactor(sample, edge int) float64 {
+	return nm.factor(nm.TransferSigma, noiseTagEdge, uint64(edge), 0, sample)
+}
+
+// EntryFactor returns the source-payload factor of an entry task.
+func (nm NoiseModel) EntryFactor(sample, task int) float64 {
+	return nm.factor(nm.TransferSigma, noiseTagEntry, uint64(task), 0, sample)
+}

@@ -1,0 +1,169 @@
+package eval
+
+// Unit tests of the stochastic cost model: validation, hashed-substream
+// determinism and independence, distribution sanity of both factor
+// kinds, and the quantile order statistic the robust objective uses.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoiseModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		nm   NoiseModel
+		ok   bool
+	}{
+		{"zero", NoiseModel{}, true},
+		{"lognormal", NoiseModel{Kind: NoiseLognormal, ExecSigma: 0.3, DeviceSigma: 2, TransferSigma: 0.1}, true},
+		{"uniform", NoiseModel{Kind: NoiseUniform, ExecSigma: 0.99, DeviceSigma: 0.5}, true},
+		{"negative exec", NoiseModel{ExecSigma: -0.1}, false},
+		{"negative device", NoiseModel{DeviceSigma: -1}, false},
+		{"nan transfer", NoiseModel{TransferSigma: math.NaN()}, false},
+		{"inf device", NoiseModel{DeviceSigma: math.Inf(1)}, false},
+		{"uniform sigma 1", NoiseModel{Kind: NoiseUniform, ExecSigma: 1}, false},
+		{"uniform sigma >1", NoiseModel{Kind: NoiseUniform, TransferSigma: 1.5}, false},
+		{"unknown kind", NoiseModel{Kind: NoiseKind(9)}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.nm.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestNoiseModelEnabled(t *testing.T) {
+	if (NoiseModel{}).Enabled() {
+		t.Error("zero model reports Enabled")
+	}
+	for _, nm := range []NoiseModel{
+		{ExecSigma: 0.1}, {DeviceSigma: 0.1}, {TransferSigma: 0.1},
+	} {
+		if !nm.Enabled() {
+			t.Errorf("%+v not Enabled", nm)
+		}
+	}
+}
+
+func TestNoiseKindString(t *testing.T) {
+	if got := NoiseLognormal.String(); got != "lognormal" {
+		t.Errorf("NoiseLognormal.String() = %q", got)
+	}
+	if got := NoiseUniform.String(); got != "uniform" {
+		t.Errorf("NoiseUniform.String() = %q", got)
+	}
+}
+
+// TestNoiseFactorDeterminism: a factor is a pure function of
+// (Seed, substream ids, sample) — recomputing it yields the same bits,
+// and changing any coordinate of the tuple moves to an unrelated draw.
+func TestNoiseFactorDeterminism(t *testing.T) {
+	nm := NoiseModel{Kind: NoiseLognormal, ExecSigma: 0.4, DeviceSigma: 0.3, TransferSigma: 0.2, Seed: 42}
+	if a, b := nm.ExecFactor(3, 5, 1), nm.ExecFactor(3, 5, 1); a != b {
+		t.Fatalf("ExecFactor not deterministic: %v != %v", a, b)
+	}
+	if a, b := nm.DeviceFactor(0, 2), nm.DeviceFactor(0, 2); a != b {
+		t.Fatalf("DeviceFactor not deterministic: %v != %v", a, b)
+	}
+	// Distinct tuples (different sample / task / device / stream / seed)
+	// must not collide.
+	base := nm.ExecFactor(3, 5, 1)
+	variants := []float64{
+		nm.ExecFactor(4, 5, 1),
+		nm.ExecFactor(3, 6, 1),
+		nm.ExecFactor(3, 5, 2),
+		nm.DeviceFactor(3, 5),
+		nm.EdgeFactor(3, 5),
+		nm.EntryFactor(3, 5),
+	}
+	nm2 := nm
+	nm2.Seed = 43
+	variants = append(variants, nm2.ExecFactor(3, 5, 1))
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base factor %v", i, base)
+		}
+	}
+}
+
+func TestNoiseFactorZeroSigma(t *testing.T) {
+	nm := NoiseModel{Kind: NoiseLognormal, Seed: 9} // all sigmas zero
+	for s := 0; s < 4; s++ {
+		if f := nm.ExecFactor(s, 1, 2); f != 1 {
+			t.Fatalf("sample %d: zero-sigma exec factor %v != 1", s, f)
+		}
+		if f := nm.DeviceFactor(s, 0); f != 1 {
+			t.Fatalf("sample %d: zero-sigma device factor %v != 1", s, f)
+		}
+		if f := nm.EdgeFactor(s, 0); f != 1 {
+			t.Fatalf("sample %d: zero-sigma edge factor %v != 1", s, f)
+		}
+	}
+}
+
+// TestNoiseLognormalDistribution: lognormal factors are positive with
+// log-mean near 0 (median 1) and log-spread near sigma.
+func TestNoiseLognormalDistribution(t *testing.T) {
+	const sigma = 0.5
+	nm := NoiseModel{Kind: NoiseLognormal, ExecSigma: sigma, Seed: 1}
+	const n = 20000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := nm.ExecFactor(i, i%97, i%5)
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("draw %d: invalid lognormal factor %v", i, f)
+		}
+		l := math.Log(f)
+		sum += l
+		sum2 += l * l
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("log-mean %v too far from 0", mean)
+	}
+	if math.Abs(sd-sigma) > 0.02 {
+		t.Errorf("log-sd %v too far from sigma %v", sd, sigma)
+	}
+}
+
+// TestNoiseUniformDistribution: uniform factors stay inside
+// [1-sigma, 1+sigma] with mean near 1.
+func TestNoiseUniformDistribution(t *testing.T) {
+	const sigma = 0.8
+	nm := NoiseModel{Kind: NoiseUniform, TransferSigma: sigma, Seed: 2}
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		f := nm.EdgeFactor(i%113, i)
+		if f < 1-sigma || f > 1+sigma {
+			t.Fatalf("draw %d: uniform factor %v outside [%v, %v]", i, f, 1-sigma, 1+sigma)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("uniform mean %v too far from 1", mean)
+	}
+}
+
+func TestQuantileIndex(t *testing.T) {
+	cases := []struct {
+		q    float64
+		s, i int
+	}{
+		{0.95, 20, 18},
+		{0.95, 40, 37},
+		{0.9, 6, 5},
+		{0.5, 2, 0},
+		{0.5, 3, 1},
+		{0.99, 1, 0},
+		{0.01, 8, 0},
+		{0.999, 4, 3},
+	}
+	for _, tc := range cases {
+		if got := quantileIndex(tc.q, tc.s); got != tc.i {
+			t.Errorf("quantileIndex(%v, %d) = %d, want %d", tc.q, tc.s, got, tc.i)
+		}
+	}
+}

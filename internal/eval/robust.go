@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTail is the robust objective's default tail quantile (p95).
+const DefaultTail = 0.95
+
+// RobustStat selects which Monte-Carlo aggregate a RobustObjective
+// reports as its objective value.
+type RobustStat int
+
+// Aggregates.
+const (
+	// RobustTail reports the tail quantile (Tail, default p95) of the
+	// per-sample makespans — the robustness axis of the time × energy ×
+	// robustness fronts.
+	RobustTail RobustStat = iota
+	// RobustMean reports the expected (mean) per-sample makespan.
+	RobustMean
+)
+
+// RobustObjective is the uncertainty-aware makespan objective: the
+// candidate mapping is evaluated under S Monte-Carlo perturbed cost
+// worlds (one compiled NewEngineNoise kernel per sample, built lazily
+// per target engine and reused across batches) and aggregated into the
+// expected and tail makespan. S samples of one candidate have the same
+// shape as S candidates, so each sample world evaluates the whole batch
+// through the existing EvaluateBatch worker pool; single-candidate
+// batches fan the samples themselves out over the pool instead.
+//
+// Contract: values are always exact — the caller's cutoff is ignored
+// (a mean/quantile over early-exited lower bounds would not be a
+// statistic of anything), and the sample engines bypass the target
+// engine's cache and batcher. Infeasibility does not depend on the
+// perturbation (area capacities are noise-free), so a candidate is
+// Infeasible in every sample or in none; infeasible candidates report
+// Infeasible. For a fixed (noise model, samples, tail) the result is a
+// pure function of the ops — identical across worker counts, cache
+// configurations and runs.
+//
+// A RobustObjective is safe for concurrent use; the lazily-built sample
+// engines are shared under a mutex.
+type RobustObjective struct {
+	noise   NoiseModel
+	samples int
+	tail    float64
+	stat    RobustStat
+
+	mu   sync.Mutex
+	berr error     // deferred engine-build failure (nil inputs)
+	forK *kernel   // kernel the sample engines were built for
+	eng  []*Engine // one perturbed engine per sample
+}
+
+// NewRobustObjective validates (noise, samples, tail) and returns the
+// robust objective reporting the given aggregate. samples must be >= 1
+// and tail in (0, 1); tail = 0 selects DefaultTail.
+func NewRobustObjective(noise NoiseModel, samples int, tail float64, stat RobustStat) (*RobustObjective, error) {
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("eval: robust objective needs samples >= 1, got %d", samples)
+	}
+	if tail == 0 {
+		tail = DefaultTail
+	}
+	if math.IsNaN(tail) || tail <= 0 || tail >= 1 {
+		return nil, fmt.Errorf("eval: robust tail quantile %g outside (0, 1)", tail)
+	}
+	if stat != RobustTail && stat != RobustMean {
+		return nil, fmt.Errorf("eval: unknown robust stat %d", int(stat))
+	}
+	return &RobustObjective{noise: noise, samples: samples, tail: tail, stat: stat}, nil
+}
+
+// Noise returns the objective's noise model.
+func (ro *RobustObjective) Noise() NoiseModel { return ro.noise }
+
+// Samples returns the Monte-Carlo sample count.
+func (ro *RobustObjective) Samples() int { return ro.samples }
+
+// Tail returns the tail quantile.
+func (ro *RobustObjective) Tail() float64 { return ro.tail }
+
+// Name implements Objective.
+func (ro *RobustObjective) Name() string {
+	if ro.stat == RobustMean {
+		return "robust-mean"
+	}
+	return "robust"
+}
+
+// Batch implements Objective; the cutoff is ignored (see type doc).
+func (ro *RobustObjective) Batch(e *Engine, ops []Op, _ float64, out []float64) {
+	mean, tail := ro.BatchStats(e, ops)
+	src := tail
+	if ro.stat == RobustMean {
+		src = mean
+	}
+	copy(out, src)
+}
+
+// sampleEngines returns the per-sample perturbed engines for e's
+// instance, compiling them on first use (and recompiling when the
+// objective is reused against an engine with a different kernel —
+// another graph, platform or schedule set).
+func (ro *RobustObjective) sampleEngines(e *Engine) ([]*Engine, error) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.forK == e.k {
+		return ro.eng, ro.berr
+	}
+	if e.g == nil || e.p == nil {
+		return nil, fmt.Errorf("eval: robust objective needs an engine built by NewEngine/NewEngineSchedules")
+	}
+	eng := make([]*Engine, ro.samples)
+	for s := range eng {
+		eng[s] = NewEngineNoise(e.g, e.p, e.orders, ro.noise, s, Options{Workers: e.workers})
+	}
+	ro.forK, ro.eng, ro.berr = e.k, eng, nil
+	return eng, nil
+}
+
+// BatchStats evaluates every op under all samples and returns the
+// index-aligned expected and tail makespans (see the type doc for the
+// exactness and determinism contract).
+func (ro *RobustObjective) BatchStats(e *Engine, ops []Op) (mean, tail []float64) {
+	n := len(ops)
+	mean = make([]float64, n)
+	tail = make([]float64, n)
+	if n == 0 {
+		return mean, tail
+	}
+	engs, err := ro.sampleEngines(e)
+	if err != nil {
+		panic(err) // programming error: engine without retained inputs
+	}
+	S := ro.samples
+	vals := make([]float64, S*n) // [s*n + i]
+	if n == 1 && e.workers > 1 && S > 1 {
+		// One candidate, many samples: the batch axis is degenerate, so
+		// fan the sample axis out over the worker pool instead. Each
+		// (sample, op) evaluation is engine-deterministic, so the fan-out
+		// shape cannot change any value.
+		workers := e.workers
+		if workers > S {
+			workers = S
+		}
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(atomic.AddInt64(&next, 1)) - 1
+					if s >= S {
+						return
+					}
+					vals[s] = engs[s].Evaluate(ops[0], math.Inf(1))
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for s := 0; s < S; s++ {
+			res := engs[s].WithWorkers(e.workers).EvaluateBatch(ops, math.Inf(1))
+			copy(vals[s*n:(s+1)*n], res)
+		}
+	}
+	qi := quantileIndex(ro.tail, S)
+	buf := make([]float64, S)
+	for i := 0; i < n; i++ {
+		infeasible := false
+		sum := 0.0
+		for s := 0; s < S; s++ {
+			v := vals[s*n+i]
+			if v >= Infeasible {
+				infeasible = true
+				break
+			}
+			buf[s] = v
+			sum += v
+		}
+		if infeasible {
+			mean[i], tail[i] = Infeasible, Infeasible
+			continue
+		}
+		mean[i] = sum / float64(S)
+		sort.Float64s(buf)
+		tail[i] = buf[qi]
+	}
+	return mean, tail
+}

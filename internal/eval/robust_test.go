@@ -1,0 +1,262 @@
+package eval
+
+// Tests of the Monte-Carlo robust objective: bit-identity with a serial
+// reference loop over per-sample perturbed kernels, the determinism
+// matrix (workers × cache × reruns), infeasibility, cutoff indifference,
+// kernel recompilation on engine switch, and constructor validation.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmap/internal/gen"
+	"spmap/internal/graph"
+	"spmap/internal/mapping"
+	"spmap/internal/platform"
+)
+
+var robustTestNoise = NoiseModel{
+	Kind: NoiseLognormal, ExecSigma: 0.2, DeviceSigma: 0.3, TransferSigma: 0.25, Seed: 11,
+}
+
+// robustReference computes the robust statistics the slow way: one
+// serial pass per perturbed sample engine, then the same mean/quantile
+// aggregation the objective documents.
+func robustReference(e *Engine, nm NoiseModel, samples int, tail float64, ops []Op) (mean, tailV []float64) {
+	n := len(ops)
+	vals := make([][]float64, samples)
+	for s := 0; s < samples; s++ {
+		ref := NewEngineNoise(e.g, e.p, e.orders, nm, s, Options{Workers: 1})
+		vals[s] = ref.EvaluateBatch(ops, math.Inf(1))
+	}
+	mean = make([]float64, n)
+	tailV = make([]float64, n)
+	qi := quantileIndex(tail, samples)
+	buf := make([]float64, samples)
+	for i := 0; i < n; i++ {
+		sum, infeasible := 0.0, false
+		for s := 0; s < samples; s++ {
+			v := vals[s][i]
+			if v >= Infeasible {
+				infeasible = true
+				break
+			}
+			buf[s] = v
+			sum += v
+		}
+		if infeasible {
+			mean[i], tailV[i] = Infeasible, Infeasible
+			continue
+		}
+		mean[i] = sum / float64(samples)
+		// insertion sort into a copy, to stay independent of the
+		// implementation's sort
+		srt := append([]float64(nil), buf...)
+		for a := 1; a < len(srt); a++ {
+			for b := a; b > 0 && srt[b] < srt[b-1]; b-- {
+				srt[b], srt[b-1] = srt[b-1], srt[b]
+			}
+		}
+		tailV[i] = srt[qi]
+	}
+	return mean, tailV
+}
+
+func TestRobustBatchStatsMatchesSerialReference(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(17))
+	g := gen.SeriesParallel(rng, 35, gen.DefaultAttr())
+	eng := NewEngineSchedules(g, p, 6, 5, Options{Workers: 4})
+	base := mapping.Mapping(make([]int, g.NumTasks()))
+	ops := randomOps(rng, g, p, base, 60)
+
+	const samples, tail = 7, 0.9
+	wantMean, wantTail := robustReference(eng, robustTestNoise, samples, tail, ops)
+
+	ro, err := NewRobustObjective(robustTestNoise, samples, tail, RobustTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMean, gotTail := ro.BatchStats(eng, ops)
+	for i := range ops {
+		if math.Float64bits(gotMean[i]) != math.Float64bits(wantMean[i]) {
+			t.Fatalf("op %d: mean %v != reference %v", i, gotMean[i], wantMean[i])
+		}
+		if math.Float64bits(gotTail[i]) != math.Float64bits(wantTail[i]) {
+			t.Fatalf("op %d: tail %v != reference %v", i, gotTail[i], wantTail[i])
+		}
+	}
+
+	// Batch must report the tail column (and robust-mean the mean), and
+	// must ignore the caller's cutoff — robust values are always exact.
+	out := make([]float64, len(ops))
+	ro.Batch(eng, ops, 1e-9, out)
+	for i := range out {
+		if out[i] != gotTail[i] {
+			t.Fatalf("op %d: Batch %v != tail %v (cutoff must be ignored)", i, out[i], gotTail[i])
+		}
+	}
+	rm, err := NewRobustObjective(robustTestNoise, samples, tail, RobustMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Batch(eng, ops, math.Inf(1), out)
+	for i := range out {
+		if out[i] != gotMean[i] {
+			t.Fatalf("op %d: robust-mean Batch %v != mean %v", i, out[i], gotMean[i])
+		}
+	}
+}
+
+// TestRobustDeterminismMatrix: fixed (noise, samples, tail) must give
+// bit-identical results across worker counts, cache configurations,
+// reruns, and the single-op sample fan-out path.
+func TestRobustDeterminismMatrix(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(23))
+	g := gen.AlmostSeriesParallel(rng, 30, 15, gen.DefaultAttr())
+	base := mapping.Mapping(make([]int, g.NumTasks()))
+
+	var want []float64
+	const samples = 5
+	for _, workers := range []int{1, 4} {
+		for _, cached := range []bool{false, true} {
+			for run := 0; run < 2; run++ {
+				eng := NewEngineSchedules(g, p, 4, 9, Options{Workers: workers})
+				if cached {
+					eng = eng.WithCache(NewCache())
+				}
+				ops := randomOps(rand.New(rand.NewSource(29)), g, p, base, 40)
+				ro, err := NewRobustObjective(robustTestNoise, samples, 0.95, RobustTail)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make([]float64, len(ops))
+				ro.Batch(eng, ops, math.Inf(1), out)
+				if want == nil {
+					want = append([]float64(nil), out...)
+					// The degenerate single-op batches must reproduce the
+					// full batch values through the sample fan-out path.
+					single := make([]float64, 1)
+					for i := range ops {
+						ro.Batch(eng, ops[i:i+1], math.Inf(1), single)
+						if single[0] != out[i] {
+							t.Fatalf("single-op %d: %v != batch %v", i, single[0], out[i])
+						}
+					}
+					continue
+				}
+				for i := range out {
+					if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("workers=%d cached=%v run=%d op %d: %v != %v",
+							workers, cached, run, i, out[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRobustInfeasible: infeasibility is noise-independent, so an
+// overcommitted candidate reports Infeasible for both statistics.
+func TestRobustInfeasible(t *testing.T) {
+	p := platform.Reference() // FPGA area capacity 120
+	g := graph.New(0, 0)
+	a := g.AddTask(graph.Task{Complexity: 2, Area: 100, SourceBytes: 1e6})
+	b := g.AddTask(graph.Task{Complexity: 2, Area: 100})
+	g.AddEdge(a, b, 1e6)
+	eng := NewEngineSchedules(g, p, 0, 0, Options{})
+	const fpga = 2
+	bad := mapping.New(g.NumTasks(), fpga)
+	good := mapping.Mapping(make([]int, g.NumTasks()))
+
+	ro, err := NewRobustObjective(robustTestNoise, 4, 0.9, RobustTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, tail := ro.BatchStats(eng, []Op{{Base: bad}, {Base: good}})
+	if mean[0] != Infeasible || tail[0] != Infeasible {
+		t.Fatalf("infeasible op: mean %v tail %v, want Infeasible", mean[0], tail[0])
+	}
+	if mean[1] >= Infeasible || tail[1] >= Infeasible {
+		t.Fatalf("feasible op reported infeasible: mean %v tail %v", mean[1], tail[1])
+	}
+}
+
+// TestRobustEngineSwitch: reusing one objective against engines with
+// different kernels recompiles the sample engines and stays correct.
+func TestRobustEngineSwitch(t *testing.T) {
+	p := platform.Reference()
+	rng := rand.New(rand.NewSource(31))
+	g1 := gen.SeriesParallel(rng, 20, gen.DefaultAttr())
+	g2 := gen.SeriesParallel(rng, 25, gen.DefaultAttr())
+	e1 := NewEngineSchedules(g1, p, 3, 1, Options{Workers: 2})
+	e2 := NewEngineSchedules(g2, p, 5, 9, Options{Workers: 2})
+
+	const samples, tail = 4, 0.75
+	ro, err := NewRobustObjective(robustTestNoise, samples, tail, RobustTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		eng *Engine
+		g   *graph.DAG
+	}{{e1, g1}, {e2, g2}, {e1, g1}} {
+		ops := randomOps(rng, tc.g, p, mapping.Mapping(make([]int, tc.g.NumTasks())), 15)
+		_, wantTail := robustReference(tc.eng, robustTestNoise, samples, tail, ops)
+		out := make([]float64, len(ops))
+		ro.Batch(tc.eng, ops, math.Inf(1), out)
+		for i := range out {
+			if math.Float64bits(out[i]) != math.Float64bits(wantTail[i]) {
+				t.Fatalf("engine switch op %d: %v != reference %v", i, out[i], wantTail[i])
+			}
+		}
+	}
+}
+
+func TestNewRobustObjectiveValidation(t *testing.T) {
+	ok := NoiseModel{Kind: NoiseLognormal, ExecSigma: 0.1}
+	cases := []struct {
+		name    string
+		noise   NoiseModel
+		samples int
+		tail    float64
+		stat    RobustStat
+		ok      bool
+	}{
+		{"valid", ok, 8, 0.9, RobustTail, true},
+		{"valid mean", ok, 1, 0.5, RobustMean, true},
+		{"default tail", ok, 4, 0, RobustTail, true},
+		{"zero samples", ok, 0, 0.9, RobustTail, false},
+		{"negative samples", ok, -3, 0.9, RobustTail, false},
+		{"tail 1", ok, 8, 1, RobustTail, false},
+		{"tail negative", ok, 8, -0.5, RobustTail, false},
+		{"tail nan", ok, 8, math.NaN(), RobustTail, false},
+		{"bad noise", NoiseModel{ExecSigma: -1}, 8, 0.9, RobustTail, false},
+		{"bad stat", ok, 8, 0.9, RobustStat(7), false},
+	}
+	for _, tc := range cases {
+		ro, err := NewRobustObjective(tc.noise, tc.samples, tc.tail, tc.stat)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if tc.tail == 0 && ro.Tail() != DefaultTail {
+			t.Errorf("%s: zero tail resolved to %v, want DefaultTail", tc.name, ro.Tail())
+		}
+		wantName := "robust"
+		if tc.stat == RobustMean {
+			wantName = "robust-mean"
+		}
+		if ro.Name() != wantName {
+			t.Errorf("%s: Name() = %q, want %q", tc.name, ro.Name(), wantName)
+		}
+		if ro.Samples() != tc.samples || ro.Noise() != tc.noise {
+			t.Errorf("%s: accessors disagree with construction", tc.name)
+		}
+	}
+}

@@ -84,7 +84,7 @@ func TestCSVExportersPropagateWriteErrors(t *testing.T) {
 		TotalTimeMS: map[string]float64{"HEFT": 3},
 	}}
 	paretoRows := []ParetoRow{{Tasks: 25, Algorithm: "Sweep", Hypervolume: 0.5, FrontSize: 3}}
-	front := pareto.Front{{Makespan: 1, Energy: 2, Mapping: mapping.Mapping{0, 1, 2}}}
+	front := pareto.Front{pareto.NewPoint([]float64{1, 2}, mapping.Mapping{0, 1, 2})}
 
 	exporters := []struct {
 		name string

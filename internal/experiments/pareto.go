@@ -101,10 +101,10 @@ func ParetoComparisonEps(cfg Config, eps float64) []ParetoRow {
 					continue
 				}
 				acc[ai].Hypervolume += front.Hypervolume(baseMs, baseEn) / (baseMs * baseEn)
-				if ms := front.MinMakespan().Makespan; ms < baseMs {
+				if ms := front.MinMakespan().Makespan(); ms < baseMs {
 					acc[ai].TimeImprovement += (baseMs - ms) / baseMs
 				}
-				if en := front.MinEnergy().Energy; en < baseEn {
+				if en := front.MinEnergy().Energy(); en < baseEn {
 					acc[ai].EnergyImprovement += (baseEn - en) / baseEn
 				}
 				acc[ai].FrontSize += float64(len(front))
@@ -163,12 +163,21 @@ func WriteCSVPareto(w io.Writer, rows []ParetoRow) error {
 	return cw.Error()
 }
 
-// WriteCSVFront emits one Pareto front in long form (for the CLI's
-// front export): point index, makespan, energy, device assignment (one
-// "-"-joined device index per task, unambiguous for any device count).
+// WriteCSVFront emits one two-objective Pareto front in long form (for
+// the CLI's front export): point index, makespan, energy, device
+// assignment (one "-"-joined device index per task, unambiguous for any
+// device count).
 func WriteCSVFront(w io.Writer, f pareto.Front) error {
+	return WriteCSVFrontObjs(w, f, []string{"makespan", "energy"})
+}
+
+// WriteCSVFrontObjs is WriteCSVFront for a front over an arbitrary
+// objective vector; names label the objective columns (one per
+// dimension of the front's points, in vector order).
+func WriteCSVFrontObjs(w io.Writer, f pareto.Front, names []string) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"point", "makespan", "energy", "mapping"}); err != nil {
+	header := append(append([]string{"point"}, names...), "mapping")
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for i, pt := range f {
@@ -179,12 +188,13 @@ func WriteCSVFront(w io.Writer, f pareto.Front) error {
 			}
 			ms += fmt.Sprint(d)
 		}
-		if err := cw.Write([]string{
-			fmt.Sprint(i),
-			fmt.Sprintf("%.9g", pt.Makespan),
-			fmt.Sprintf("%.9g", pt.Energy),
-			ms,
-		}); err != nil {
+		rec := make([]string, 0, len(pt.Vec)+2)
+		rec = append(rec, fmt.Sprint(i))
+		for _, v := range pt.Vec {
+			rec = append(rec, fmt.Sprintf("%.9g", v))
+		}
+		rec = append(rec, ms)
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}

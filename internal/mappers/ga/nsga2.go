@@ -45,6 +45,13 @@ type ParetoOptions struct {
 	Workers int
 	// Eps is the Pareto archive's ε-grid resolution (0 = exact front).
 	Eps float64
+	// Objectives selects the minimized objective vector (nil selects the
+	// classic [makespan, energy] pair, evaluated through the same fused
+	// batch pass as before the objective-vector refactor — bit-identical
+	// fronts). Additional objectives (eval.BuildObjective("robust", ...))
+	// extend every individual's vector, the non-dominated sort, the
+	// crowding distance and the archived front to d dimensions.
+	Objectives []eval.Objective
 }
 
 // ParetoStats report MapPareto effort and outcome.
@@ -63,7 +70,7 @@ type ParetoStats struct {
 // moIndividual is one NSGA-II population member.
 type moIndividual struct {
 	genes    mapping.Mapping
-	ms, en   float64
+	vec      []float64 // objective vector (immutable once assigned)
 	rank     int
 	crowding float64
 }
@@ -103,6 +110,10 @@ func MapParetoWithEvaluator(ev *model.Evaluator, opt ParetoOptions) (pareto.Fron
 	if opt.Workers > 0 {
 		eng = eng.WithWorkers(opt.Workers)
 	}
+	objs := opt.Objectives
+	if len(objs) == 0 {
+		objs = []eval.Objective{eval.MakespanObjective(), eval.EnergyObjective()}
+	}
 	batch := make([]eval.Op, 0, pop)
 	evaluateAll := func(inds []moIndividual) {
 		batch = batch[:0]
@@ -110,10 +121,14 @@ func MapParetoWithEvaluator(ev *model.Evaluator, opt ParetoOptions) (pareto.Fron
 			inds[i].genes.Repair(g, p)
 			batch = append(batch, eval.Op{Base: inds[i].genes})
 		}
-		ms, en := eng.EvaluateBatchMO(batch, math.Inf(1))
+		cols := eng.EvaluateBatchVec(batch, objs, math.Inf(1))
 		for i := range inds {
-			inds[i].ms, inds[i].en = ms[i], en[i]
-			arch.Add(pareto.Point{Makespan: ms[i], Energy: en[i], Mapping: inds[i].genes})
+			vec := make([]float64, len(objs))
+			for j := range objs {
+				vec[j] = cols[j][i]
+			}
+			inds[i].vec = vec
+			arch.Add(pareto.NewPoint(vec, inds[i].genes))
 			stats.Evaluations++
 		}
 	}
@@ -194,21 +209,27 @@ func MapParetoWithEvaluator(ev *model.Evaluator, opt ParetoOptions) (pareto.Fron
 	stats.FrontSize = len(front)
 	stats.ArchiveSeen = arch.Seen()
 	if len(front) > 0 {
-		stats.BestMakespan = front.MinMakespan().Makespan
-		stats.BestEnergy = front.MinEnergy().Energy
+		stats.BestMakespan = front.MinMakespan().Makespan()
+		stats.BestEnergy = front.MinEnergy().Energy()
 	}
 	return front, stats
 }
 
 // rankAndCrowd assigns every individual its non-domination rank and
-// crowding distance.
+// crowding distance over the full objective vector.
 func rankAndCrowd(inds []moIndividual) {
-	ms := make([]float64, len(inds))
-	en := make([]float64, len(inds))
-	for i := range inds {
-		ms[i], en[i] = inds[i].ms, inds[i].en
+	dim := 0
+	if len(inds) > 0 {
+		dim = len(inds[0].vec)
 	}
-	rank := pareto.NonDominatedRanks(ms, en)
+	cols := make([][]float64, dim)
+	for j := range cols {
+		cols[j] = make([]float64, len(inds))
+		for i := range inds {
+			cols[j][i] = inds[i].vec[j]
+		}
+	}
+	rank := pareto.NonDominatedRanksVec(cols)
 	maxRank := 0
 	for i := range inds {
 		inds[i].rank = rank[i]
@@ -221,7 +242,7 @@ func rankAndCrowd(inds []moIndividual) {
 		fronts[r] = append(fronts[r], i) // ascending index order per front
 	}
 	for _, front := range fronts {
-		d := pareto.CrowdingDistance(ms, en, front)
+		d := pareto.CrowdingDistanceVec(cols, front)
 		for k, i := range front {
 			inds[i].crowding = d[k]
 		}

@@ -21,7 +21,7 @@ func paretoEval(seed int64, n int) *model.Evaluator {
 func paretoFingerprint(f pareto.Front, st ParetoStats) string {
 	s := fmt.Sprintf("%+v|", st)
 	for _, p := range f {
-		s += fmt.Sprintf("(%016x,%016x,", math.Float64bits(p.Makespan), math.Float64bits(p.Energy))
+		s += fmt.Sprintf("(%016x,%016x,", math.Float64bits(p.Makespan()), math.Float64bits(p.Energy()))
 		for _, d := range p.Mapping {
 			s += fmt.Sprint(d)
 		}
@@ -46,26 +46,26 @@ func TestMapParetoFrontProperties(t *testing.T) {
 		t.Fatalf("evaluations = %d, want %d", st.Evaluations, 24*21)
 	}
 	for i, a := range front {
-		if got := ev.Makespan(a.Mapping); got != a.Makespan {
-			t.Fatalf("front point %d: stored makespan %v != evaluator %v", i, a.Makespan, got)
+		if got := ev.Makespan(a.Mapping); got != a.Makespan() {
+			t.Fatalf("front point %d: stored makespan %v != evaluator %v", i, a.Makespan(), got)
 		}
-		if got := ev.Energy(a.Mapping); got != a.Energy {
-			t.Fatalf("front point %d: stored energy %v != evaluator %v", i, a.Energy, got)
+		if got := ev.Energy(a.Mapping); got != a.Energy() {
+			t.Fatalf("front point %d: stored energy %v != evaluator %v", i, a.Energy(), got)
 		}
 		for j, b := range front {
-			if i != j && b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
-				(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+			if i != j && b.Makespan() <= a.Makespan() && b.Energy() <= a.Energy() &&
+				(b.Makespan() < a.Makespan() || b.Energy() < a.Energy()) {
 				t.Fatalf("front point %d dominated by %d", i, j)
 			}
 		}
-		if i > 0 && front[i].Makespan < front[i-1].Makespan {
+		if i > 0 && front[i].Makespan() < front[i-1].Makespan() {
 			t.Fatal("front not sorted by makespan")
 		}
 	}
-	if st.BestMakespan != front[0].Makespan || st.BestEnergy != front[len(front)-1].Energy {
+	if st.BestMakespan != front[0].Makespan() || st.BestEnergy != front[len(front)-1].Energy() {
 		t.Fatalf("stats extremes inconsistent with front: %+v", st)
 	}
-	if len(front) > 1 && front.MinEnergy().Energy >= front.MinMakespan().Energy {
+	if len(front) > 1 && front.MinEnergy().Energy() >= front.MinMakespan().Energy() {
 		t.Fatal("front spans no energy trade-off")
 	}
 }
@@ -124,8 +124,8 @@ func TestMapParetoCoversSingleObjective(t *testing.T) {
 	// Not an identity (selection pressure differs) but the multi-
 	// objective front must land within 5% of the single-objective
 	// optimum at equal budget on these small instances.
-	if front.MinMakespan().Makespan > soStats.Makespan*1.05 {
+	if front.MinMakespan().Makespan() > soStats.Makespan*1.05 {
 		t.Fatalf("pareto best makespan %v much worse than single-objective %v",
-			front.MinMakespan().Makespan, soStats.Makespan)
+			front.MinMakespan().Makespan(), soStats.Makespan)
 	}
 }

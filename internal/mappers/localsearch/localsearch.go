@@ -216,12 +216,13 @@ type searcher struct {
 
 	// Weighted (multi-objective) mode.
 	mo             bool
-	wt, we         float64   // normalized-objective weights
-	baseMs, baseEn float64   // pure-CPU normalization baselines (clamped > 0)
-	startVal       float64   // start value (paces the annealing schedule)
-	curMS, curEn   float64   // true objectives of the incumbent
-	bestMS, bestEn float64   // true objectives of the best-seen mapping
-	lastMS, lastEn []float64 // per-op true objectives of the last MO batch
+	objs           []eval.Objective // vector objectives of the weighted batch path
+	wt, we         float64          // normalized-objective weights
+	baseMs, baseEn float64          // pure-CPU normalization baselines (clamped > 0)
+	startVal       float64          // start value (paces the annealing schedule)
+	curMS, curEn   float64          // true objectives of the incumbent
+	bestMS, bestEn float64          // true objectives of the best-seen mapping
+	lastMS, lastEn []float64        // per-op true objectives of the last MO batch
 
 	// edges (edge endpoint pairs) and subs (the multi-node sets of the
 	// paper's series-parallel subgraph decomposition, §III-C) extend both
@@ -251,6 +252,12 @@ func search(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats, error) {
 		opt: opt,
 		mo:  opt.WEnergy > 0,
 		wt:  opt.WTime, we: opt.WEnergy,
+	}
+	if s.mo {
+		// The weighted scalarization over the vector objective API; the
+		// fused [makespan, energy] pass is bit-identical to the legacy
+		// EvaluateBatchMO twin-slice path.
+		s.objs = []eval.Objective{eval.MakespanObjective(), eval.EnergyObjective()}
 	}
 	if opt.Workers > 0 {
 		s.eng = s.eng.WithWorkers(opt.Workers)
@@ -410,7 +417,8 @@ func (s *searcher) evalBatch(ops []eval.Op, bound float64) []float64 {
 		return s.eng.EvaluateBatch(ops, bound)
 	}
 	msCut := s.msCutFor(bound)
-	ms, en := s.eng.EvaluateBatchMO(ops, msCut)
+	cols := s.eng.EvaluateBatchVec(ops, s.objs, msCut)
+	ms, en := cols[0], cols[1]
 	s.lastMS, s.lastEn = ms, en
 	vals := make([]float64, len(ops))
 	for i := range ms {

@@ -1,0 +1,30 @@
+package model
+
+import "spmap/internal/eval"
+
+// The stochastic cost model (PR 9): per-(task, device) and per-edge
+// multiplicative noise on execution and transfer costs. The model is
+// implemented in package eval next to the compiled kernel it perturbs
+// (model depends on eval, so the type lives there); these aliases make
+// it reachable from the modeling layer alongside Evaluator, which is
+// where callers conceptually configure costs.
+
+// NoiseModel describes multiplicative stochastic perturbations of the
+// cost model: independent per-(task, device) execution-time factors, a
+// common-mode per-device factor (device-wide slowdowns — thermal
+// throttling, contention), and per-edge transfer-size factors. Sampling
+// is deterministic: sample s of a fixed model is one fixed perturbed
+// cost world (hashed seed substreams), so Monte-Carlo objectives built
+// on it inherit the repo's determinism contract.
+type NoiseModel = eval.NoiseModel
+
+// NoiseKind selects the perturbation distribution of a NoiseModel.
+type NoiseKind = eval.NoiseKind
+
+// Perturbation distributions.
+const (
+	// NoiseLognormal draws multiplicative lognormal factors exp(σZ).
+	NoiseLognormal = eval.NoiseLognormal
+	// NoiseUniform draws uniform factors 1 + σU, U in [-1, 1) (σ < 1).
+	NoiseUniform = eval.NoiseUniform
+)

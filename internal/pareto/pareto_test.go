@@ -15,18 +15,19 @@ func randomPoints(rng *rand.Rand, n int, lo, hi float64) []Point {
 	pts := make([]Point, n)
 	for i := range pts {
 		m := mapping.Mapping{rng.Intn(3), rng.Intn(3)}
-		pts[i] = Point{
-			Makespan: lo + (hi-lo)*rng.Float64(),
-			Energy:   lo + (hi-lo)*rng.Float64(),
-			Mapping:  m,
-		}
+		pts[i] = NewPoint([]float64{
+			lo + (hi-lo)*rng.Float64(),
+			lo + (hi-lo)*rng.Float64(),
+		}, m)
 	}
-	// Duplicate some points (and some objective vectors) on purpose.
+	// Duplicate some points (and some objective vectors) on purpose. The
+	// duplicate gets its own vector so the objective-splice below never
+	// mutates two points through one shared slice.
 	for i := 0; i+1 < n; i += 7 {
-		pts[i+1] = pts[i]
+		pts[i+1] = NewPoint(append([]float64(nil), pts[i].Vec...), pts[i].Mapping)
 	}
 	for i := 0; i+3 < n; i += 11 {
-		pts[i+3].Makespan = pts[i].Makespan
+		pts[i+3].Vec[0] = pts[i].Vec[0]
 	}
 	return pts
 }
@@ -40,7 +41,7 @@ func frontString(f Front) string {
 		for _, d := range p.Mapping {
 			s += string(rune('0' + d))
 		}
-		s += fmt.Sprintf(":%016x:%016x)", math.Float64bits(p.Makespan), math.Float64bits(p.Energy))
+		s += fmt.Sprintf(":%016x:%016x)", math.Float64bits(p.Makespan()), math.Float64bits(p.Energy()))
 	}
 	return s
 }
@@ -67,7 +68,7 @@ func TestArchiveMutuallyNonDominated(t *testing.T) {
 				}
 			}
 			for i := 1; i < len(f); i++ {
-				if f[i].Makespan < f[i-1].Makespan {
+				if f[i].Makespan() < f[i-1].Makespan() {
 					t.Fatalf("eps=%g trial %d: front not sorted by makespan", eps, trial)
 				}
 			}
@@ -133,7 +134,7 @@ func TestArchivePointsAreGenerators(t *testing.T) {
 		}
 		inserted := func(q Point) bool {
 			for _, p := range pts {
-				if p.Makespan == q.Makespan && p.Energy == q.Energy && p.Mapping.Equal(q.Mapping) {
+				if p.Makespan() == q.Makespan() && p.Energy() == q.Energy() && p.Mapping.Equal(q.Mapping) {
 					return true
 				}
 			}
@@ -147,10 +148,10 @@ func TestArchivePointsAreGenerators(t *testing.T) {
 		// Coverage: every inserted point's box is weakly dominated by some
 		// archived point's box (the ε-dominance guarantee).
 		for i, p := range pts {
-			pm, pe := a.box(p)
+			pm, pe := a.boxCoord(p.Vec[0]), a.boxCoord(p.Vec[1])
 			covered := false
 			for _, q := range a.Front() {
-				qm, qe := a.box(q)
+				qm, qe := a.boxCoord(q.Vec[0]), a.boxCoord(q.Vec[1])
 				if qm <= pm && qe <= pe {
 					covered = true
 					break
@@ -169,10 +170,10 @@ func TestArchiveRejectsInfeasible(t *testing.T) {
 	a := NewArchive(0)
 	m := mapping.Mapping{0}
 	for _, p := range []Point{
-		{Makespan: Infeasible, Energy: 1, Mapping: m},
-		{Makespan: 1, Energy: Infeasible, Mapping: m},
-		{Makespan: math.NaN(), Energy: 1, Mapping: m},
-		{Makespan: 1, Energy: 1, Mapping: nil},
+		NewPoint([]float64{Infeasible, 1}, m),
+		NewPoint([]float64{1, Infeasible}, m),
+		NewPoint([]float64{math.NaN(), 1}, m),
+		NewPoint([]float64{1, 1}, nil),
 	} {
 		if a.Add(p) {
 			t.Fatalf("archived invalid point %+v", p)
@@ -181,7 +182,7 @@ func TestArchiveRejectsInfeasible(t *testing.T) {
 	if a.Len() != 0 {
 		t.Fatal("archive not empty")
 	}
-	if !a.Add(Point{Makespan: 1, Energy: 1, Mapping: m}) {
+	if !a.Add(NewPoint([]float64{1, 1}, m)) {
 		t.Fatal("feasible point rejected")
 	}
 }
@@ -191,7 +192,7 @@ func TestArchiveRejectsInfeasible(t *testing.T) {
 func TestArchiveCloneSemantics(t *testing.T) {
 	a := NewArchive(0)
 	m := mapping.Mapping{1, 2}
-	a.Add(Point{Makespan: 1, Energy: 1, Mapping: m})
+	a.Add(NewPoint([]float64{1, 1}, m))
 	m[0] = 0
 	if got := a.Front()[0].Mapping[0]; got != 1 {
 		t.Fatalf("archive aliases the caller's mapping buffer (got %d)", got)
@@ -222,11 +223,11 @@ func TestNonDominatedRanksProperties(t *testing.T) {
 		ms := make([]float64, len(pts))
 		en := make([]float64, len(pts))
 		for i, p := range pts {
-			ms[i], en[i] = p.Makespan, p.Energy
+			ms[i], en[i] = p.Makespan(), p.Energy()
 		}
 		rank := NonDominatedRanks(ms, en)
 		dom := func(i, j int) bool {
-			return Point{Makespan: ms[i], Energy: en[i]}.dominates(Point{Makespan: ms[j], Energy: en[j]})
+			return NewPoint([]float64{ms[i], en[i]}, nil).dominates(NewPoint([]float64{ms[j], en[j]}, nil))
 		}
 		for i := range pts {
 			dominated := false
@@ -279,7 +280,7 @@ func TestCrowdingDistance(t *testing.T) {
 }
 
 func TestHypervolume(t *testing.T) {
-	f := Front{{Makespan: 1, Energy: 3}, {Makespan: 2, Energy: 1}}
+	f := Front{NewPoint([]float64{1, 3}, nil), NewPoint([]float64{2, 1}, nil)}
 	// Reference (4, 4): point 1 contributes (4-1)*(4-3)=3, point 2
 	// (4-2)*(3-1)=4.
 	if got, want := f.Hypervolume(4, 4), 7.0; math.Abs(got-want) > 1e-12 {
@@ -289,15 +290,15 @@ func TestHypervolume(t *testing.T) {
 		t.Fatalf("empty front hypervolume = %v", got)
 	}
 	// Points beyond the reference contribute nothing.
-	g := Front{{Makespan: 5, Energy: 0.5}, {Makespan: 1, Energy: 3}}
+	g := Front{NewPoint([]float64{5, 0.5}, nil), NewPoint([]float64{1, 3}, nil)}
 	if got := g.Hypervolume(4, 4); got != 3 {
 		t.Fatalf("clipped hypervolume = %v, want 3", got)
 	}
 }
 
 func TestFrontExtremes(t *testing.T) {
-	f := Front{{Makespan: 1, Energy: 3}, {Makespan: 2, Energy: 2}, {Makespan: 3, Energy: 1}}
-	if f.MinMakespan().Makespan != 1 || f.MinEnergy().Energy != 1 {
+	f := Front{NewPoint([]float64{1, 3}, nil), NewPoint([]float64{2, 2}, nil), NewPoint([]float64{3, 1}, nil)}
+	if f.MinMakespan().Makespan() != 1 || f.MinEnergy().Energy() != 1 {
 		t.Fatal("front extreme accessors wrong")
 	}
 }

@@ -85,7 +85,7 @@ func WeightedSweep(ev *model.Evaluator, opt SweepOptions) (Front, SweepStats, er
 			Init:    opt.Init,
 			WTime:   w, WEnergy: 1 - w,
 			Observer: func(ms, en float64, m mapping.Mapping) {
-				arch.Add(Point{Makespan: ms, Energy: en, Mapping: m})
+				arch.Add(NewPoint([]float64{ms, en}, m))
 			},
 		}
 		m, st, err := localsearch.MapWithEvaluator(ev, lsOpt)
@@ -97,18 +97,14 @@ func WeightedSweep(ev *model.Evaluator, opt SweepOptions) (Front, SweepStats, er
 		// The single-objective anchor (w == 1) runs without weighted mode,
 		// so no observer fires; insert its trajectory endpoint explicitly.
 		// (Weighted runs already observed their best as an incumbent.)
-		arch.Add(Point{
-			Makespan: st.Makespan,
-			Energy:   st.Energy,
-			Mapping:  m,
-		})
+		arch.Add(NewPoint([]float64{st.Makespan, st.Energy}, m))
 	}
 	front := arch.Front()
 	stats.ArchiveSeen = arch.Seen()
 	stats.FrontSize = len(front)
 	if len(front) > 0 {
-		stats.BestMakespan = front.MinMakespan().Makespan
-		stats.BestEnergy = front.MinEnergy().Energy
+		stats.BestMakespan = front.MinMakespan().Makespan()
+		stats.BestEnergy = front.MinEnergy().Energy()
 	}
 	return front, stats, nil
 }

@@ -26,7 +26,7 @@ func sweepEval(seed int64, n int) *model.Evaluator {
 func fingerprint(f pareto.Front) string {
 	s := ""
 	for _, p := range f {
-		s += fmt.Sprintf("(%016x,%016x,", math.Float64bits(p.Makespan), math.Float64bits(p.Energy))
+		s += fmt.Sprintf("(%016x,%016x,", math.Float64bits(p.Makespan()), math.Float64bits(p.Energy()))
 		for _, d := range p.Mapping {
 			s += fmt.Sprint(d)
 		}
@@ -54,15 +54,15 @@ func TestWeightedSweepFrontProperties(t *testing.T) {
 		t.Fatalf("runs = %d, want %d", st.Runs, len(pareto.DefaultWeights))
 	}
 	for i, a := range front {
-		if got := ev.Makespan(a.Mapping); got != a.Makespan {
-			t.Fatalf("point %d: stored makespan %v != evaluator %v", i, a.Makespan, got)
+		if got := ev.Makespan(a.Mapping); got != a.Makespan() {
+			t.Fatalf("point %d: stored makespan %v != evaluator %v", i, a.Makespan(), got)
 		}
-		if got := ev.Energy(a.Mapping); got != a.Energy {
-			t.Fatalf("point %d: stored energy %v != evaluator %v", i, a.Energy, got)
+		if got := ev.Energy(a.Mapping); got != a.Energy() {
+			t.Fatalf("point %d: stored energy %v != evaluator %v", i, a.Energy(), got)
 		}
 		for j, b := range front {
-			if i != j && b.Makespan <= a.Makespan && b.Energy <= a.Energy &&
-				(b.Makespan < a.Makespan || b.Energy < a.Energy) {
+			if i != j && b.Makespan() <= a.Makespan() && b.Energy() <= a.Energy() &&
+				(b.Makespan() < a.Makespan() || b.Energy() < a.Energy()) {
 				t.Fatalf("front point %d dominated by %d", i, j)
 			}
 		}
@@ -123,10 +123,10 @@ func TestWeightedSweepRefinesInit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, lim := front.MinMakespan().Makespan, ev.Makespan(init); got > lim {
+	if got, lim := front.MinMakespan().Makespan(), ev.Makespan(init); got > lim {
 		t.Fatalf("front min makespan %v worse than init %v", got, lim)
 	}
-	if got, lim := front.MinEnergy().Energy, ev.Energy(init); got > lim {
+	if got, lim := front.MinEnergy().Energy(), ev.Energy(init); got > lim {
 		t.Fatalf("front min energy %v worse than init %v", got, lim)
 	}
 }

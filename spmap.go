@@ -473,6 +473,131 @@ func MapParetoWithEvaluator(ev *Evaluator, opt ParetoOptions) (ParetoFront, Pare
 	}
 }
 
+// NoiseModel describes multiplicative stochastic perturbations of the
+// cost model — per-(task, device) and common-mode per-device
+// execution-time factors plus per-edge transfer-size factors — used by
+// the robust objective. Sampling is deterministic: sample s of a fixed
+// model is one fixed perturbed cost world.
+type NoiseModel = eval.NoiseModel
+
+// NoiseKind selects a NoiseModel's perturbation distribution.
+type NoiseKind = eval.NoiseKind
+
+// Perturbation distributions.
+const (
+	// NoiseLognormal draws multiplicative lognormal factors exp(σZ).
+	NoiseLognormal = eval.NoiseLognormal
+	// NoiseUniform draws uniform factors 1 + σU, U in [-1, 1) (σ < 1).
+	NoiseUniform = eval.NoiseUniform
+)
+
+// Objective is one minimized batch objective of the evaluation engine's
+// vector API (Engine.EvaluateBatchVec); see eval.BuildObjective for the
+// registry of named objectives ("makespan", "energy", "robust",
+// "robust-mean").
+type Objective = eval.Objective
+
+// DefaultRobustSamples is MapRobust's default Monte-Carlo sample count.
+const DefaultRobustSamples = 32
+
+// RobustOptions configure MapRobust; zero values select the defaults.
+type RobustOptions struct {
+	// Noise is the stochastic cost model the robust objective samples.
+	// The zero model is valid but degenerate (no perturbation).
+	Noise NoiseModel
+	// Samples is the Monte-Carlo sample count per candidate (default
+	// DefaultRobustSamples).
+	Samples int
+	// Tail is the reported tail quantile in (0, 1) (default 0.95).
+	Tail float64
+	// Eps is the archive's ε-dominance grid resolution (0 = exact front).
+	Eps float64
+	// Seed drives the deterministic RNG. Equal seeds give identical
+	// fronts regardless of Workers.
+	Seed int64
+	// Workers bounds the evaluation engine's worker pool (0 selects
+	// GOMAXPROCS); the front is identical for any value.
+	Workers int
+	// Budget caps candidate evaluations (default 4200); each candidate
+	// additionally costs Samples perturbed simulations, so robust runs
+	// default to a much smaller budget than the nominal mappers' 50100.
+	Budget int
+}
+
+// RobustStats report MapRobust effort and outcome.
+type RobustStats struct {
+	// Evaluations counts evaluated candidates (each one nominal
+	// simulation plus Samples perturbed ones); Samples echoes the
+	// Monte-Carlo sample count.
+	Evaluations int
+	Samples     int
+	// FrontSize is the returned front's size; ArchiveSeen counts the
+	// feasible candidates offered to the ε-archive.
+	FrontSize   int
+	ArchiveSeen int
+	// BestMakespan, BestEnergy and BestRobust are the front's
+	// per-objective minima (nominal makespan, energy, tail makespan).
+	BestMakespan float64
+	BestEnergy   float64
+	BestRobust   float64
+}
+
+// MapRobust maps (g, p) under the three-objective (makespan, energy,
+// tail makespan) model: NSGA-II over the engine's objective-vector
+// batch path, where the third objective is the Tail quantile of the
+// candidate's makespan across Samples Monte-Carlo perturbed cost worlds
+// drawn from Noise. It returns the ε-dominance front of time × energy ×
+// robustness trade-offs; the min-robust point is the uncertainty-hedged
+// mapping (compare experiments.RobustComparison). The front is
+// deterministic for a fixed (Seed, Noise, Samples) regardless of
+// Workers and cache configuration.
+func MapRobust(g *DAG, p *Platform, opt RobustOptions) (ParetoFront, RobustStats, error) {
+	return MapRobustWithEvaluator(model.NewEvaluator(g, p), opt)
+}
+
+// MapRobustWithEvaluator is MapRobust with a caller-supplied evaluator
+// (to control the schedule set and share the compiled engine).
+func MapRobustWithEvaluator(ev *Evaluator, opt RobustOptions) (ParetoFront, RobustStats, error) {
+	samples := opt.Samples
+	if samples == 0 {
+		samples = DefaultRobustSamples
+	}
+	robust, err := eval.NewRobustObjective(opt.Noise, samples, opt.Tail, eval.RobustTail)
+	if err != nil {
+		return nil, RobustStats{}, err
+	}
+	budget := opt.Budget
+	if budget <= 0 {
+		budget = 4200
+	}
+	pop := ga.DefaultPopulation
+	if budget < 2*pop {
+		if pop = budget / 8; pop < 4 {
+			pop = 4
+		}
+	}
+	gens := budget/pop - 1
+	if gens < 1 {
+		gens = 1
+	}
+	front, st := ga.MapParetoWithEvaluator(ev, ga.ParetoOptions{
+		Population: pop, Generations: gens,
+		Seed: opt.Seed, Workers: opt.Workers, Eps: opt.Eps,
+		Objectives: []Objective{
+			eval.MakespanObjective(), eval.EnergyObjective(), robust,
+		},
+	})
+	stats := RobustStats{
+		Evaluations: st.Evaluations, Samples: samples,
+		FrontSize: st.FrontSize, ArchiveSeen: st.ArchiveSeen,
+		BestMakespan: st.BestMakespan, BestEnergy: st.BestEnergy,
+	}
+	if len(front) > 0 {
+		stats.BestRobust = front.MinObjective(2).Objective(2)
+	}
+	return front, stats, nil
+}
+
 // PortfolioOptions configure MapPortfolio; zero values select the
 // defaults (full portfolio, the paper GA's 50100-evaluation budget, the
 // shared evaluation cache on).
