@@ -17,6 +17,7 @@
 //	spmap-bench -exp fleet           # extension: sharded replay fleets with checkpoint/resume
 //	spmap-bench -exp fleet -store d  # persistent checkpoints: kill mid-run, re-run, traces verified
 //	spmap-bench -exp robust          # extension: uncertainty-aware robust vs nominal under degradation
+//	spmap-bench -exp certify         # extension: certified optimality gaps, gap-adaptive termination
 //	spmap-bench -exp fig3 -paper     # paper-scale protocol
 //	spmap-bench -exp incremental -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -57,7 +58,7 @@ var knownExperiments = map[string]bool{
 	"fig3": true, "fig4": true, "fig5": true, "fig6": true, "fig7": true,
 	"table1": true, "ablation": true, "localsearch": true, "pareto": true,
 	"portfolio": true, "online": true, "incremental": true, "service": true,
-	"fleet": true, "robust": true,
+	"fleet": true, "robust": true, "certify": true,
 }
 
 // run is main's testable body: it parses and validates args, executes
@@ -68,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("spmap-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental service fleet robust all")
+		exp       = fs.String("exp", "all", "experiment: fig3 fig4 fig5 fig6 fig7 table1 ablation localsearch pareto portfolio online incremental service fleet robust certify all")
 		paper     = fs.Bool("paper", false, "full paper-scale protocol (slow)")
 		graphs    = fs.Int("graphs", 0, "override graphs per data point (>= 0; 0 = profile default)")
 		schedules = fs.Int("schedules", 0, "override random schedules in the cost function (>= 0)")
@@ -116,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *exp == "all" {
 		names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1"}
 	}
-	hasService, hasFleet := false, false
+	hasService, hasFleet, hasCertify := false, false, false
 	for i, name := range names {
 		names[i] = strings.TrimSpace(name)
 		if !knownExperiments[names[i]] {
@@ -124,12 +125,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		hasService = hasService || names[i] == "service"
 		hasFleet = hasFleet || names[i] == "fleet"
+		hasCertify = hasCertify || names[i] == "certify"
 	}
 	if *addr != "" && !hasService {
 		return usage("-addr applies to -exp service only")
 	}
-	if *jsonPath != "" && !hasService && !hasFleet {
-		return usage("-json applies to -exp service and -exp fleet only")
+	if *jsonPath != "" && !hasService && !hasFleet && !hasCertify {
+		return usage("-json applies to -exp service, fleet and certify only")
 	}
 	if *storeDir != "" && !hasFleet {
 		return usage("-store applies to -exp fleet only")
@@ -276,6 +278,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 				var f *os.File
 				if f, err = os.Create(*jsonPath); err == nil {
 					err = experiments.WriteJSONFleet(f, rows)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+			}
+		case "certify":
+			rows := experiments.CertifyComparison(cfg)
+			experiments.PrintCertify(stdout, rows)
+			err = emitCSV("certify", func(w io.Writer) error {
+				return experiments.WriteCSVCertify(w, rows)
+			})
+			if err == nil && *jsonPath != "" {
+				var f *os.File
+				if f, err = os.Create(*jsonPath); err == nil {
+					err = experiments.WriteJSONCertify(f, rows)
 					if cerr := f.Close(); err == nil {
 						err = cerr
 					}

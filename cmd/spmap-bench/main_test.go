@@ -36,7 +36,7 @@ func TestBenchFlagValidation(t *testing.T) {
 		{"uncreatable cpuprofile", []string{"-exp", "fig3", "-cpuprofile", filepath.Join(unwritable, "cpu.pprof")}, "-cpuprofile"},
 		{"uncreatable memprofile", []string{"-exp", "fig3", "-memprofile", filepath.Join(unwritable, "mem.pprof")}, "-memprofile"},
 		{"store without fleet", []string{"-exp", "fig3", "-store", "/tmp/x"}, "-store applies to -exp fleet only"},
-		{"json without service or fleet", []string{"-exp", "fig3", "-json", "out.json"}, "-json applies to -exp service and -exp fleet only"},
+		{"json without service fleet or certify", []string{"-exp", "fig3", "-json", "out.json"}, "-json applies to -exp service, fleet and certify only"},
 		{"addr without service", []string{"-exp", "fleet", "-addr", "http://x"}, "-addr applies to -exp service only"},
 		{"undeclared flag", []string{"-frobnicate"}, ""}, // FlagSet's own error
 	}
@@ -223,6 +223,43 @@ func TestBenchRobustExperiment(t *testing.T) {
 	}
 	if !strings.Contains(string(csvC), "overhead") {
 		t.Fatalf("robust_cost.csv missing header:\n%s", csvC)
+	}
+}
+
+// TestBenchCertifyExperiment smoke-runs the certificate experiment on a
+// tiny profile: both sections print, the CSV exports, and the JSON
+// rows (the BENCH_PR10.json shape) parse and carry certificates.
+func TestBenchCertifyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "certify.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-exp", "certify", "-graphs", "1", "-schedules", "2",
+		"-csv", dir, "-json", jsonPath}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"sp-sweep", "gap-stop", "blast-s1", "bound_name", "certify completed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("certify report missing %q:\n%s", want, out)
+		}
+	}
+	csvB, err := os.ReadFile(filepath.Join(dir, "certify.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csvB), "lower_bound") || !strings.Contains(string(csvB), "budget_saved") {
+		t.Fatalf("certify.csv missing header columns:\n%s", csvB)
+	}
+	js, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(js, []byte(`"lower_bound"`)) || !bytes.Contains(js, []byte(`"gap"`)) {
+		t.Fatalf("certify.json missing certificate fields:\n%s", js)
 	}
 }
 

@@ -14,7 +14,10 @@
 // -seed for any -workers value). "portfolio" races the whole mapper
 // portfolio (SPFF+Refine, HEFT/PEFT+Refine, anneal, hillclimb, NSGA-II)
 // concurrently under the shared -ls-budget with a memoizing evaluation
-// cache and cross-pollination of the incumbent best mapping.
+// cache and cross-pollination of the incumbent best mapping; it reports
+// a certified makespan lower bound and optimality gap, and -gap-target
+// (in [0, 1)) stops the race early once the certified gap reaches the
+// target instead of burning the remaining budget.
 //
 // The -objective flag selects the optimization target: "time" (the
 // default single-objective makespan), "energy" (pure compute energy;
@@ -94,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		gaGens       = fs.Int("generations", 500, "NSGA-II generations (> 0)")
 		milpBudget   = fs.Duration("milp-budget", 30*time.Second, "MILP time limit")
 		lsBudget     = fs.Int("ls-budget", 50100, "local-search / -refine / portfolio evaluation budget; per-event repair budget in -scenario mode (> 0)")
+		gapTarget    = fs.Float64("gap-target", 0, "stop -algo portfolio once the certified optimality gap reaches this target (in [0, 1); 0 = run the full budget)")
 		refine       = fs.Bool("refine", false, "polish the mapping with local-search refinement")
 		objective    = fs.String("objective", "time", "optimization objective: time, energy, pareto, or robust")
 		epsFlag      = fs.Float64("eps", 0, "Pareto archive ε-grid resolution for -objective pareto|robust (>= 0; 0 = exact front)")
@@ -172,6 +176,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return usage("-eps must be >= 0, got %g", *epsFlag)
 	case *lsBudget <= 0:
 		return usage("-ls-budget must be > 0, got %d", *lsBudget)
+	case !(*gapTarget >= 0 && *gapTarget < 1):
+		return usage("-gap-target must be in [0, 1), got %g", *gapTarget)
+	case explicit["gap-target"] && (*algo != "portfolio" || *scenario != ""):
+		return usage("-gap-target applies to -algo portfolio only (the other mappers consume no certified-gap stop)")
 	case *workers <= 0:
 		return usage("-workers must be > 0, got %d", *workers)
 	case *schedules < 0:
@@ -273,7 +281,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		m, lsStats = mm, &st
 	case "portfolio":
 		mm, st, perr := spmap.MapPortfolioWithEvaluator(ev, spmap.PortfolioOptions{
-			Seed: *seed, Workers: *workers, Budget: *lsBudget,
+			Seed: *seed, Workers: *workers, Budget: *lsBudget, GapTarget: *gapTarget,
 		})
 		if perr != nil {
 			return perr
@@ -339,6 +347,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if pfStats != nil {
 			out["portfolio_stats"] = pfStats
+			out["lower_bound"] = pfStats.LowerBound
+			out["gap"] = pfStats.Gap
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -356,6 +366,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "portfolio:   %d members, %d rounds, %d evaluations (budget %d), %d budget moved, cache hit rate %.0f %%\n",
 			len(pfStats.Members), pfStats.Rounds, pfStats.Evaluations, *lsBudget,
 			pfStats.BudgetMoved, 100*pfStats.Cache.HitRate())
+		stopNote := ""
+		if pfStats.GapStop {
+			stopNote = fmt.Sprintf(", early stop at gap target %g (saved %d evaluations)", *gapTarget, pfStats.BudgetSaved)
+		}
+		fmt.Fprintf(stdout, "certified:   lower bound %.3f ms (%s), gap %.1f %%%s\n",
+			1e3*pfStats.LowerBound, pfStats.BoundName, 100*pfStats.Gap, stopNote)
 		for _, ms := range pfStats.Members {
 			marker := " "
 			if pfStats.Best >= 0 && pfStats.Members[pfStats.Best].Kind == ms.Kind {

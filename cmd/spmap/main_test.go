@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"spmap/internal/gen"
+	"spmap/internal/wf"
 )
 
 // writeTestGraph writes a small random series-parallel graph as JSON and
@@ -70,6 +71,14 @@ func TestFlagValidation(t *testing.T) {
 		{"bad noise kind", []string{"-graph", "g.json", "-objective", "robust", "-noise-kind", "gamma"}, "unknown -noise-kind"},
 		{"negative noise sigma", []string{"-graph", "g.json", "-objective", "robust", "-noise-device", "-0.5"}, "invalid noise model"},
 		{"uniform sigma one", []string{"-graph", "g.json", "-objective", "robust", "-noise-kind", "uniform", "-noise-transfer", "1.5"}, "invalid noise model"},
+		{"gap target negative", []string{"-graph", "g.json", "-algo", "portfolio", "-gap-target", "-0.1"}, "-gap-target must be in [0, 1)"},
+		{"gap target one", []string{"-graph", "g.json", "-algo", "portfolio", "-gap-target", "1"}, "-gap-target must be in [0, 1)"},
+		{"gap target above one", []string{"-graph", "g.json", "-algo", "portfolio", "-gap-target", "1.5"}, "-gap-target must be in [0, 1)"},
+		{"gap target NaN", []string{"-graph", "g.json", "-algo", "portfolio", "-gap-target", "NaN"}, "-gap-target must be in [0, 1)"},
+		{"gap target with heft", []string{"-graph", "g.json", "-algo", "heft", "-gap-target", "0.05"}, "-gap-target applies to -algo portfolio only"},
+		{"gap target with anneal", []string{"-graph", "g.json", "-algo", "anneal", "-gap-target", "0.05"}, "-gap-target applies to -algo portfolio only"},
+		{"gap target default algo", []string{"-graph", "g.json", "-gap-target", "0.05"}, "-gap-target applies to -algo portfolio only"},
+		{"explicit zero gap target with heft", []string{"-graph", "g.json", "-algo", "heft", "-gap-target", "0"}, "-gap-target applies to -algo portfolio only"},
 		{"undeclared flag", []string{"-graph", "g.json", "-frobnicate"}, ""}, // FlagSet's own error
 	}
 	for _, tc := range cases {
@@ -427,5 +436,66 @@ func TestRunScenarioDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if outputs[0] != outputs[1] {
 		t.Fatalf("-workers changed the replay output:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestRunGapTarget smoke-runs the certified-gap early stop end to end:
+// the blast workflow is chain-dominated, so its transfer-aware path
+// bound is near-exact and a 5% target stops the portfolio well before
+// the default 50100-evaluation budget. Both output modes must surface
+// the certificate and the stop.
+func TestRunGapTarget(t *testing.T) {
+	g := wf.Generate(wf.Blast, 1, rand.New(rand.NewSource(7)))
+	graphPath := filepath.Join(t.TempDir(), "blast.json")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout bytes.Buffer
+	args := []string{"-graph", graphPath, "-algo", "portfolio", "-gap-target", "0.05",
+		"-schedules", "20", "-seed", "7", "-workers", "2", "-json"}
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Gap            float64 `json:"gap"`
+		LowerBound     float64 `json:"lower_bound"`
+		Makespan       float64 `json:"makespan"`
+		PortfolioStats struct {
+			GapStop     bool
+			BudgetSaved int
+			Evaluations int
+		} `json:"portfolio_stats"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, stdout.String())
+	}
+	if !out.PortfolioStats.GapStop {
+		t.Fatalf("gap target did not stop the race:\n%s", stdout.String())
+	}
+	if out.Gap > 0.05 || out.LowerBound <= 0 || out.LowerBound > out.Makespan {
+		t.Fatalf("bad certificate: gap=%v bound=%v makespan=%v", out.Gap, out.LowerBound, out.Makespan)
+	}
+	if out.PortfolioStats.BudgetSaved < 50100/5 {
+		t.Fatalf("early stop saved only %d of 50100 evaluations", out.PortfolioStats.BudgetSaved)
+	}
+
+	var text bytes.Buffer
+	args = []string{"-graph", graphPath, "-algo", "portfolio", "-gap-target", "0.05",
+		"-schedules", "20", "-seed", "7"}
+	if err := run(args, &text, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"certified:", "lower bound", "early stop at gap target 0.05"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, text.String())
+		}
 	}
 }

@@ -126,7 +126,10 @@ func ExampleMapPareto() {
 // one shared evaluation budget with a shared memoizing evaluation
 // cache. The result is never worse than the pure-CPU baseline and — the
 // portfolio's hard contract — identical for a fixed Seed across any
-// Workers value and with or without the cache.
+// Workers value and with or without the cache. Every race also carries
+// a certificate: Stats.LowerBound is a proven makespan lower bound for
+// the instance and Stats.Gap the returned mapping's certified
+// optimality gap ((makespan - bound)/makespan, in [0, 1]).
 func ExampleMapPortfolio() {
 	g := spmap.RandomSeriesParallel(rand.New(rand.NewSource(5)), 40)
 	p := spmap.ReferencePlatform()
@@ -143,7 +146,12 @@ func ExampleMapPortfolio() {
 		stats.Makespan < ev.BaselineMakespan(),
 		len(stats.Members),
 		stats.Evaluations <= 4000)
-	// Output: valid: true, beats baseline: true, members: 6, within budget: true
+	fmt.Printf("certified: %v, gap in (0,1]: %v\n",
+		stats.LowerBound > 0 && stats.LowerBound <= stats.Makespan,
+		stats.Gap > 0 && stats.Gap <= 1 && stats.Gap == spmap.OptimalityGap(stats.Makespan, stats.LowerBound))
+	// Output:
+	// valid: true, beats baseline: true, members: 6, within budget: true
+	// certified: true, gap in (0,1]: true
 }
 
 // ExampleDecompose shows the decomposition forest of a non-SP graph.

@@ -19,6 +19,7 @@ import (
 	"spmap/internal/mapping"
 	"spmap/internal/model"
 	"spmap/internal/platform"
+	"spmap/internal/portfolio"
 	"spmap/internal/sp"
 )
 
@@ -221,6 +222,61 @@ func TestGoldenLocalSearch(t *testing.T) {
 			if e.got != e.want {
 				t.Errorf("seed %d %s: effort %+v, want %+v", row.seed, e.what, e.got, e.want)
 			}
+		}
+	}
+}
+
+// portfolioGoldenRow pins the portfolio racer's output (captured from
+// the pre-certificate implementation at Budget 3000, Workers 2, 20
+// random schedules, schedule seed = graph seed). The certificate layer
+// added on top computes its bounds outside the evaluation stream, so a
+// run with GapTarget unset must keep reproducing these rows
+// bit-for-bit.
+type portfolioGoldenRow struct {
+	seed        int64
+	n           int
+	mapping     string
+	msBits      uint64
+	evaluations int
+}
+
+var portfolioGoldenRows = []portfolioGoldenRow{
+	{1, 30, "202022200002220021012220002222", 0x3fe2d6bc164ea4c7, 2830},
+	{2, 40, "0120002000002012202000000220002000000200", 0x3ff3ebb021f84b65, 2908},
+	{3, 35, "00220122202220200222221011022022200", 0x3fea5bd8f83c16bb, 2875},
+}
+
+// TestGoldenPortfolio proves the gap-certificate layer changed nothing
+// when no gap target is armed: mapping, makespan bits and evaluation
+// counts match the pre-certificate captures, while the run still
+// carries a certificate and never fires the early stop.
+func TestGoldenPortfolio(t *testing.T) {
+	p := platform.Reference()
+	for _, row := range portfolioGoldenRows {
+		rng := rand.New(rand.NewSource(row.seed))
+		g := gen.SeriesParallel(rng, row.n, gen.DefaultAttr())
+		ev := model.NewEvaluator(g, p).WithSchedules(20, row.seed)
+		m, st, err := portfolio.MapWithEvaluator(ev, portfolio.Options{
+			Seed: row.seed, Budget: 3000, Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mappingString(m); got != row.mapping {
+			t.Errorf("seed %d n %d: mapping changed\n got %s\nwant %s", row.seed, row.n, got, row.mapping)
+		}
+		if math.Float64bits(st.Makespan) != row.msBits {
+			t.Errorf("seed %d n %d: makespan 0x%016x, want 0x%016x",
+				row.seed, row.n, math.Float64bits(st.Makespan), row.msBits)
+		}
+		if st.Evaluations != row.evaluations {
+			t.Errorf("seed %d n %d: evaluations %d, want %d", row.seed, row.n, st.Evaluations, row.evaluations)
+		}
+		if st.GapStop || st.BudgetSaved != 0 {
+			t.Errorf("seed %d n %d: unarmed run fired the gap stop: %+v", row.seed, row.n, st)
+		}
+		if !(st.LowerBound > 0 && st.LowerBound <= st.Makespan) || st.BoundName == "" {
+			t.Errorf("seed %d n %d: missing certificate: bound %v (%q)", row.seed, row.n, st.LowerBound, st.BoundName)
 		}
 	}
 }

@@ -1,0 +1,314 @@
+// Package bounds computes certified makespan lower bounds for task-mapping
+// instances: values provably <= the simulated makespan of EVERY feasible
+// mapping under the evaluator's cost model (package model), for every
+// schedule order. A bound plus an incumbent yields a certified optimality
+// gap — "within x% of optimal" instead of "beats the other mapper".
+//
+// Soundness contract. The simulator reports the minimum list-schedule
+// makespan over a fixed schedule set, so a sound bound must follow only
+// from constraints that hold in every list-schedule simulation:
+//
+//   - fin(v) >= st(v) + exec(v, m[v]) and st(v) >= 0;
+//   - entry tasks: st(v) >= transfer(default, m[v], sourceBytes);
+//   - edge (u,v), not streaming-co-mapped:
+//     fin(v) >= fin(u) + transfer(m[u], m[v], bytes) + exec(v, m[v]);
+//   - edge (u,v) co-mapped on a streaming device with overlap sigma > 0:
+//     fin(v) >= fin(u) + exec(v, m[v])/sigma   (the pipeline drain);
+//   - a non-spatial device with k slots can finish at most k tasks
+//     concurrently, so makespan >= (its busy time)/k.
+//
+// Note the naive critical path over best-device execution times
+// (Evaluator.LowerBound) is NOT sound under FPGA streaming: a co-mapped
+// chain u->v overlaps to max(e_u/sigma + e_v, e_u + e_v/sigma), which is
+// strictly below e_u + e_v. Every bound here uses the drain-relaxed edge
+// increment min(bestExec(v), min over streaming devices exec(v,d)/sigma)
+// instead, matching the simulator exactly. The differential fuzz harness
+// (FuzzLowerBoundSound) pins the contract: every bound <= the makespan of
+// every feasible mapping any mapper produces.
+//
+// All bounds are deterministic pure functions of the instance — no wall
+// clock, no randomness — so gap-adaptive termination decisions built on
+// them stay reproducible across worker counts and machines.
+package bounds
+
+import (
+	"math"
+	"sort"
+
+	"spmap/internal/graph"
+	"spmap/internal/model"
+)
+
+// LowerBound is a certified makespan lower-bound method. Bound must
+// return a value <= the model makespan of every feasible mapping of the
+// evaluator's instance (0 is always sound), deterministically.
+type LowerBound interface {
+	// Name identifies the method in certificates and bench output.
+	Name() string
+	// Bound computes the lower bound for the evaluator's instance.
+	Bound(ev *model.Evaluator) float64
+}
+
+// Certificate is the result of running a set of lower-bound methods: the
+// best (largest) proven bound, the method that proved it, and every
+// component value for reporting.
+type Certificate struct {
+	// Value is the best certified lower bound (0 when nothing was proven).
+	Value float64
+	// Name is the method that proved Value.
+	Name string
+	// Components maps every evaluated method to its bound.
+	Components map[string]float64
+}
+
+// Combinatorial returns the cheap closed-form bounds (no LP solve):
+// streaming-aware critical path, device load/area, and the
+// transfer-aware device-indexed path bound. They run in O(E·m²) and are
+// the default certificate for hot paths (portfolio stop checks, service
+// responses).
+func Combinatorial() []LowerBound {
+	return []LowerBound{CriticalPath{}, DeviceLoad{}, TransferPath{}}
+}
+
+// Certify evaluates the given bound methods (default: Combinatorial) and
+// returns the best certificate.
+func Certify(ev *model.Evaluator, methods ...LowerBound) Certificate {
+	if len(methods) == 0 {
+		methods = Combinatorial()
+	}
+	c := Certificate{Components: make(map[string]float64, len(methods))}
+	for _, m := range methods {
+		b := m.Bound(ev)
+		c.Components[m.Name()] = b
+		if b > c.Value {
+			c.Value, c.Name = b, m.Name()
+		}
+	}
+	return c
+}
+
+// Gap returns the certified optimality gap (makespan - bound)/makespan,
+// clamped to [0,1]. A non-positive, infeasible or infinite makespan, or
+// a non-positive bound, yields the vacuous gap 1 (nothing certified).
+func Gap(makespan, bound float64) float64 {
+	if !(makespan > 0) || makespan >= model.Infeasible || !(bound > 0) {
+		return 1
+	}
+	g := (makespan - bound) / makespan
+	if g < 0 {
+		return 0
+	}
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// edgeIncrement returns a sound device-agnostic lower bound on
+// fin(v) - fin(u) for edge (u,v): the non-streaming case contributes at
+// least bestExec(v) (transfers are non-negative), the streaming case at
+// least exec(v,d)/sigma on any streaming device d.
+func edgeIncrement(ev *model.Evaluator, u, v graph.NodeID) float64 {
+	inc := ev.BestExec(v)
+	if sigma := ev.StreamFactor(u, v); sigma > 0 {
+		for d := range ev.P.Devices {
+			if ev.P.Devices[d].Streaming {
+				if s := ev.Exec(v, d) / sigma; s < inc {
+					inc = s
+				}
+			}
+		}
+	}
+	return inc
+}
+
+// CriticalPath is the streaming-aware critical-path bound: the longest
+// path where the head task contributes its best execution time and each
+// edge contributes edgeIncrement. Transfers are ignored (they only help
+// the bound when positive), which keeps the bound valid for every
+// mapping and schedule.
+type CriticalPath struct{}
+
+// Name implements LowerBound.
+func (CriticalPath) Name() string { return "critical-path" }
+
+// Bound implements LowerBound.
+func (CriticalPath) Bound(ev *model.Evaluator) float64 {
+	g := ev.G
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0
+	}
+	fin := make([]float64, g.NumTasks()) // lower bound on fin(v), any mapping
+	best := 0.0
+	for _, v := range order {
+		if b := ev.BestExec(v); fin[v] < b {
+			fin[v] = b
+		}
+		if fin[v] > best {
+			best = fin[v]
+		}
+		for _, ei := range g.OutEdges(v) {
+			w := g.Edge(ei).To
+			if t := fin[v] + edgeIncrement(ev, v, w); t > fin[w] {
+				fin[w] = t
+			}
+		}
+	}
+	return best
+}
+
+// DeviceLoad is the load/area bound over the time-shared (non-spatial)
+// device classes: every task not escaping to a spatial device occupies a
+// slot for at least its cheapest non-spatial execution time, and the
+// spatial area budget caps how much of that work can escape. The escape
+// set is relaxed to a fractional knapsack (area-capacitated, maximizing
+// escaped work), so the remaining work divided by the total slot count
+// is a valid makespan bound.
+type DeviceLoad struct{}
+
+// Name implements LowerBound.
+func (DeviceLoad) Name() string { return "device-load" }
+
+// Bound implements LowerBound.
+func (DeviceLoad) Bound(ev *model.Evaluator) float64 {
+	p := ev.P
+	slots := 0
+	for d := range p.Devices {
+		if !p.Devices[d].Spatial {
+			slots += p.Devices[d].NumSlots()
+		}
+	}
+	if slots == 0 {
+		return 0
+	}
+	// Spatial capacity; any unconstrained spatial device (Area <= 0)
+	// means everything can escape and the bound degenerates to 0.
+	capacity := 0.0
+	haveSpatial := false
+	for d := range p.Devices {
+		if p.Devices[d].Spatial {
+			haveSpatial = true
+			if p.Devices[d].Area <= 0 {
+				return 0
+			}
+			capacity += p.Devices[d].Area
+		}
+	}
+	type item struct{ off, area float64 }
+	var items []item
+	total := 0.0
+	for v := 0; v < ev.G.NumTasks(); v++ {
+		off := math.Inf(1)
+		for d := range p.Devices {
+			if !p.Devices[d].Spatial {
+				if e := ev.Exec(graph.NodeID(v), d); e < off {
+					off = e
+				}
+			}
+		}
+		if off <= 0 {
+			continue
+		}
+		area := ev.G.Task(graph.NodeID(v)).Area
+		if haveSpatial && area == 0 {
+			// Zero-area tasks escape for free; they contribute nothing.
+			continue
+		}
+		total += off
+		items = append(items, item{off: off, area: area})
+	}
+	if !haveSpatial {
+		return total / float64(slots)
+	}
+	// Fractional knapsack: remove the most work per unit area first. The
+	// relaxation can only remove more than any feasible escape set, so
+	// the remainder stays a valid bound.
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].off*items[j].area > items[j].off*items[i].area
+	})
+	escaped := 0.0
+	remaining := capacity
+	for _, it := range items {
+		if it.area <= remaining {
+			escaped += it.off
+			remaining -= it.area
+		} else {
+			escaped += it.off * remaining / it.area
+			break
+		}
+	}
+	w := total - escaped
+	if w <= 0 {
+		return 0
+	}
+	return w / float64(slots)
+}
+
+// TransferPath is the device-indexed path bound: a DAG dynamic program
+// over (task, device) pairs where F[v][d] lower-bounds fin(v) given
+// m[v] = d, with edges charging the real transfer time between the
+// predecessor's device and d (or the streaming drain when co-mapped on a
+// streaming device). It dominates CriticalPath (which is the special
+// case that zeroes every transfer) at O(E·m²) cost.
+type TransferPath struct{}
+
+// Name implements LowerBound.
+func (TransferPath) Name() string { return "transfer-path" }
+
+// Bound implements LowerBound.
+func (TransferPath) Bound(ev *model.Evaluator) float64 {
+	g, p := ev.G, ev.P
+	order, err := g.TopoSort()
+	if err != nil {
+		return 0
+	}
+	m := p.NumDevices()
+	fin := make([][]float64, g.NumTasks()) // F[v][d]: min fin(v) given m[v]=d
+	best := 0.0
+	for _, v := range order {
+		f := make([]float64, m)
+		for d := 0; d < m; d++ {
+			f[d] = ev.Exec(v, d)
+			if g.InDegree(v) == 0 {
+				if sb := g.Task(v).SourceBytes; sb > 0 {
+					f[d] += p.TransferTime(p.Default, d, sb)
+				}
+			}
+		}
+		for _, ei := range g.InEdges(v) {
+			e := g.Edge(ei)
+			u := e.From
+			sigma := ev.StreamFactor(u, v)
+			for d := 0; d < m; d++ {
+				// Minimum over the predecessor's device choices.
+				low := math.Inf(1)
+				for du := 0; du < m; du++ {
+					var t float64
+					if du == d && p.Devices[d].Streaming && sigma > 0 {
+						t = fin[u][du] + ev.Exec(v, d)/sigma
+					} else {
+						t = fin[u][du] + p.TransferTime(du, d, e.Bytes) + ev.Exec(v, d)
+					}
+					if t < low {
+						low = t
+					}
+				}
+				if low > f[d] {
+					f[d] = low
+				}
+			}
+		}
+		fin[v] = f
+		low := f[0]
+		for d := 1; d < m; d++ {
+			if f[d] < low {
+				low = f[d]
+			}
+		}
+		if low > best {
+			best = low
+		}
+	}
+	return best
+}

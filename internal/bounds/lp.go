@@ -1,0 +1,210 @@
+package bounds
+
+import (
+	"math"
+
+	"spmap/internal/graph"
+	"spmap/internal/lp"
+	"spmap/internal/milp"
+	"spmap/internal/model"
+)
+
+// relaxation is the compact sound mapping formulation shared by the LP
+// and anytime-MILP bounds:
+//
+//	minimize M
+//	s.t.  sum_d x(i,d) = 1                                  (assignment)
+//	      sum_i area(i) x(i,d) <= Area(d)   spatial d       (area)
+//	      f(i) >= sum_d (entry(i,d) + exec(i,d)) x(i,d)     (start+run)
+//	      f(v) >= f(u) + sum_d w_uv(d) x(v,d)   edge (u,v)  (precedence)
+//	      M >= f(v)                            sink v
+//	      M >= sum_i exec(i,d)/slots(d) x(i,d) non-spatial d (load)
+//
+// with w_uv(d) = exec(v,d)/sigma_uv on streaming-capable devices (the
+// pipeline-drain relaxation) and exec(v,d) otherwise. Every constraint
+// is implied by the list-schedule recurrences for any feasible mapping
+// and any schedule order (see the package comment), so the LP optimum —
+// and any branch-and-bound lower bound over the integral version — is a
+// certified makespan bound. Unlike the full WGDPTime MILP of package
+// milp, there are no per-pair ordering binaries and no f = s + exec
+// equalities (which the simulator's drain-extended finishes violate), so
+// the formulation stays both sound and small: n·m + n + 1 variables.
+type relaxation struct {
+	prob  *milp.Problem
+	n, m  int
+	xBase int // x(i,d) = i*m + d
+	fBase int // f(i) = xBase + n*m + i
+	mVar  int // makespan variable
+}
+
+func buildRelaxation(ev *model.Evaluator) *relaxation {
+	g, p := ev.G, ev.P
+	n, m := g.NumTasks(), p.NumDevices()
+	r := &relaxation{n: n, m: m, xBase: 0, fBase: n * m, mVar: n*m + n}
+	prob := milp.NewProblem(n*m + n + 1)
+	r.prob = prob
+	prob.LP.Obj[r.mVar] = 1
+
+	x := func(i, d int) int { return r.xBase + i*m + d }
+	// Assignment rows. The sum-to-one equality also caps every x at 1,
+	// so no explicit upper-bound rows are needed.
+	vars := make([]int, m)
+	ones := make([]float64, m)
+	for d := 0; d < m; d++ {
+		ones[d] = 1
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < m; d++ {
+			vars[d] = x(i, d)
+		}
+		prob.LP.AddConstraint(vars, ones, lp.EQ, 1)
+	}
+	// Area rows for capacity-constrained spatial devices.
+	for d := 0; d < m; d++ {
+		dev := &p.Devices[d]
+		if !dev.Spatial || dev.Area <= 0 {
+			continue
+		}
+		var av []int
+		var ac []float64
+		for i := 0; i < n; i++ {
+			if a := g.Task(graph.NodeID(i)).Area; a > 0 {
+				av = append(av, x(i, d))
+				ac = append(ac, a)
+			}
+		}
+		if len(av) > 0 {
+			prob.LP.AddConstraint(av, ac, lp.LE, dev.Area)
+		}
+	}
+	// Finish linking: f(i) - sum_d (entry+exec) x(i,d) >= 0.
+	for i := 0; i < n; i++ {
+		fv := make([]int, 0, m+1)
+		fc := make([]float64, 0, m+1)
+		fv = append(fv, r.fBase+i)
+		fc = append(fc, 1)
+		v := graph.NodeID(i)
+		for d := 0; d < m; d++ {
+			c := ev.Exec(v, d)
+			if g.InDegree(v) == 0 {
+				if sb := g.Task(v).SourceBytes; sb > 0 {
+					c += p.TransferTime(p.Default, d, sb)
+				}
+			}
+			if c != 0 {
+				fv = append(fv, x(i, d))
+				fc = append(fc, -c)
+			}
+		}
+		prob.LP.AddConstraint(fv, fc, lp.GE, 0)
+	}
+	// Precedence rows, one per edge.
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		e := g.Edge(ei)
+		sigma := ev.StreamFactor(e.From, e.To)
+		ev2 := make([]int, 0, m+2)
+		ec := make([]float64, 0, m+2)
+		ev2 = append(ev2, r.fBase+int(e.To), r.fBase+int(e.From))
+		ec = append(ec, 1, -1)
+		for d := 0; d < m; d++ {
+			w := ev.Exec(e.To, d)
+			if sigma > 0 && p.Devices[d].Streaming {
+				w /= sigma
+			}
+			if w != 0 {
+				ev2 = append(ev2, x(int(e.To), d))
+				ec = append(ec, -w)
+			}
+		}
+		prob.LP.AddConstraint(ev2, ec, lp.GE, 0)
+	}
+	// Makespan covers every sink (f is monotone along edges, so sinks
+	// dominate interior tasks).
+	for _, v := range g.Sinks() {
+		prob.LP.AddConstraint([]int{r.mVar, r.fBase + int(v)}, []float64{1, -1}, lp.GE, 0)
+	}
+	// Aggregate load per time-shared device.
+	for d := 0; d < m; d++ {
+		dev := &p.Devices[d]
+		if dev.Spatial {
+			continue
+		}
+		slots := float64(dev.NumSlots())
+		lv := make([]int, 0, n+1)
+		lc := make([]float64, 0, n+1)
+		lv = append(lv, r.mVar)
+		lc = append(lc, 1)
+		for i := 0; i < n; i++ {
+			if e := ev.Exec(graph.NodeID(i), d); e > 0 {
+				lv = append(lv, x(i, d))
+				lc = append(lc, -e/slots)
+			}
+		}
+		prob.LP.AddConstraint(lv, lc, lp.GE, 0)
+	}
+	return r
+}
+
+// LPRelaxation solves the compact relaxation as a pure LP (no
+// integrality) with the deterministic simplex — no deadline, no
+// randomness. Tighter than the combinatorial bounds on load-dominated
+// instances; cost grows with n (dense tableau), so it is used for
+// gap-targeted runs and the bench certificate sweep rather than on every
+// request.
+type LPRelaxation struct{}
+
+// Name implements LowerBound.
+func (LPRelaxation) Name() string { return "lp-relaxation" }
+
+// Bound implements LowerBound.
+func (LPRelaxation) Bound(ev *model.Evaluator) float64 {
+	if ev.G.NumTasks() == 0 {
+		return 0
+	}
+	r := buildRelaxation(ev)
+	sol := lp.Solve(r.prob.LP)
+	if sol.Status != lp.Optimal || sol.Obj < 0 {
+		return 0
+	}
+	return sol.Obj
+}
+
+// MILPAnytime strengthens the LP relaxation by branch-and-bound on the
+// assignment variables under a pure node budget (milp.Solve never
+// consults the wall clock in that mode), returning the solver's anytime
+// partial-tree bound: the minimum over the open frontier's inherited
+// relaxation values and the incumbent objective. Deterministic for a
+// fixed MaxNodes on any machine.
+type MILPAnytime struct {
+	// MaxNodes bounds the branch-and-bound tree (default 64).
+	MaxNodes int
+}
+
+// Name implements LowerBound.
+func (MILPAnytime) Name() string { return "milp-anytime" }
+
+// Bound implements LowerBound.
+func (b MILPAnytime) Bound(ev *model.Evaluator) float64 {
+	if ev.G.NumTasks() == 0 {
+		return 0
+	}
+	r := buildRelaxation(ev)
+	branch := make([]bool, r.prob.LP.NumVars)
+	for i := 0; i < r.n*r.m; i++ {
+		// Mark assignment variables integral without SetBinary: the
+		// sum-to-one rows already cap them at 1, and skipping the
+		// explicit upper bounds keeps the tableau smaller.
+		r.prob.Integer[i] = true
+		branch[i] = true
+	}
+	r.prob.Branchable = branch
+	nodes := b.MaxNodes
+	if nodes <= 0 {
+		nodes = 64
+	}
+	sol := milp.Solve(r.prob, milp.Options{MaxNodes: nodes})
+	if math.IsInf(sol.Bound, -1) || sol.Bound < 0 {
+		return 0
+	}
+	return sol.Bound
+}

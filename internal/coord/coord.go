@@ -49,6 +49,14 @@ type SyncDirective struct {
 	// Stop ends the search immediately; the mapper returns its best-seen
 	// result.
 	Stop bool
+	// LowerBound and Gap report the coordinator's certified makespan
+	// lower bound and the published incumbent's certified optimality gap
+	// ((incumbent - bound)/incumbent) as of this rendezvous. Informational
+	// — both are zero when the coordinator holds no certificate. A Stop
+	// with Gap at or below the coordinator's gap target is a certified
+	// early termination, not a budget exhaustion.
+	LowerBound float64
+	Gap        float64
 }
 
 // SyncFunc is the hook signature. Implementations must be deterministic

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func solveOrFail(t *testing.T, p *Problem) Solution {
@@ -92,6 +93,103 @@ func TestDegenerate(t *testing.T) {
 	}
 	if math.Abs(s.Obj+0.05) > 1e-6 {
 		t.Fatalf("obj = %v, want -0.05", s.Obj)
+	}
+}
+
+// kleeMinty builds the n-dimensional Klee–Minty cube
+//
+//	max sum_j 2^(n-j) x_j  s.t.  2*sum_{i<j} 2^(j-i-1) x_i + x_j <= 5^j
+//
+// whose optimum is 5^n at (0,...,0,5^n). Dantzig pricing visits an
+// exponential number of vertices on it, so a large enough n drives the
+// solver past the blandAfter switch point into Bland's rule, which must
+// still terminate at the exact optimum.
+func kleeMinty(n int) *Problem {
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.Obj[j] = -math.Pow(2, float64(n-1-j)) // maximize
+		vars := make([]int, 0, j+1)
+		coefs := make([]float64, 0, j+1)
+		for i := 0; i < j; i++ {
+			vars = append(vars, i)
+			coefs = append(coefs, math.Pow(2, float64(j-i)))
+		}
+		vars = append(vars, j)
+		coefs = append(coefs, 1)
+		p.AddConstraint(vars, coefs, LE, math.Pow(5, float64(j+1)))
+	}
+	return p
+}
+
+// TestKleeMintyBlandSwitch pins the Dantzig-to-Bland pricing switch: on
+// the Klee–Minty cube Dantzig alone needs ~2^n pivots, which for n=13
+// exceeds the blandAfter threshold (limit/2), so finishing at the exact
+// optimum proves the Bland path both engages and terminates.
+func TestKleeMintyBlandSwitch(t *testing.T) {
+	for _, n := range []int{8, 13} {
+		p := kleeMinty(n)
+		s := Solve(p)
+		if s.Status != Optimal {
+			t.Fatalf("n=%d: status %v, want optimal", n, s.Status)
+		}
+		want := -math.Pow(5, float64(n))
+		if math.Abs(s.Obj-want) > math.Abs(want)*1e-9 {
+			t.Fatalf("n=%d: obj %v, want %v", n, s.Obj, want)
+		}
+		// The optimal face is degenerate (coordinate exchanges are
+		// objective-neutral), so check feasibility rather than a specific
+		// vertex.
+		for j := 0; j < n; j++ {
+			lhs := s.X[j]
+			for i := 0; i < j; i++ {
+				lhs += math.Pow(2, float64(j-i)) * s.X[i]
+			}
+			if lhs > math.Pow(5, float64(j+1))*(1+1e-9) {
+				t.Fatalf("n=%d: constraint %d violated: %v > %v", n, j, lhs, math.Pow(5, float64(j+1)))
+			}
+		}
+	}
+}
+
+// TestIterLimitDeadline pins the IterLimit status: an already-expired
+// deadline aborts phase 2 (pure-LE problem, no artificials) and phase 1
+// (GE problem, artificial start) on their first deadline check.
+func TestIterLimitDeadline(t *testing.T) {
+	expired := time.Now().Add(-time.Second)
+
+	p := NewProblem(2)
+	p.Obj[0], p.Obj[1] = -1, -1
+	p.AddConstraint([]int{0, 1}, []float64{1, 2}, LE, 4)
+	if s := SolveDeadline(p, expired); s.Status != IterLimit {
+		t.Fatalf("phase-2 abort: status %v, want iteration-limit", s.Status)
+	}
+
+	q := NewProblem(2)
+	q.Obj[0], q.Obj[1] = 1, 1
+	q.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 2)
+	if s := SolveDeadline(q, expired); s.Status != IterLimit {
+		t.Fatalf("phase-1 abort: status %v, want iteration-limit", s.Status)
+	}
+
+	// The same problems solve to optimality with no deadline, and
+	// IterLimit stringifies for logs.
+	if s := Solve(q); s.Status != Optimal {
+		t.Fatalf("no deadline: status %v, want optimal", s.Status)
+	}
+	if got := IterLimit.String(); got != "iteration-limit" {
+		t.Fatalf("IterLimit.String() = %q", got)
+	}
+}
+
+// TestStatusStrings covers the remaining Status stringer arms.
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", Status(42): "Status(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("Status %d stringifies to %q, want %q", int(s), got, want)
+		}
 	}
 }
 

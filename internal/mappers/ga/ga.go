@@ -79,9 +79,12 @@ type Stats struct {
 	Generations int
 	Evaluations int
 	// Syncs counts Sync-hook invocations; Injected counts elites adopted
-	// into the population (both 0 without a hook).
+	// into the population (both 0 without a hook). Stopped records that a
+	// Stop directive ended the evolution before budget/generations ran
+	// out (the portfolio's gap-adaptive early termination).
 	Syncs    int
 	Injected int
+	Stopped  bool
 	// BestPerGeneration records the best makespan after each generation
 	// (useful for the saturation analysis of paper Fig. 6).
 	BestPerGeneration []float64
@@ -276,6 +279,7 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats)
 				}
 			}
 			if d.Stop {
+				stats.Stopped = true
 				break
 			}
 		}

@@ -146,9 +146,12 @@ type Stats struct {
 	// Kicks counts hill-climber perturbations (0 for annealing).
 	Kicks int
 	// Syncs counts Sync-hook invocations; Injected counts elites adopted
-	// as the incumbent (both 0 without a hook).
+	// as the incumbent (both 0 without a hook). Stopped records that a
+	// Stop directive ended the search before its budget ran out (the
+	// portfolio's gap-adaptive early termination).
 	Syncs    int
 	Injected int
+	Stopped  bool
 	// StartMakespan is the makespan of the (repaired) starting mapping;
 	// Makespan is the best makespan found. In single-objective mode
 	// Makespan <= StartMakespan always holds (for a feasible start); in
@@ -526,6 +529,9 @@ func (s *searcher) maybeSync() (stop bool) {
 		// an iterated restart explores around it — the portfolio's
 		// restart semantics.
 		s.schedStart = s.stats.Evaluations
+	}
+	if d.Stop {
+		s.stats.Stopped = true
 	}
 	return d.Stop
 }

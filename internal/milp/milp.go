@@ -70,7 +70,11 @@ func (s Status) String() string {
 
 // Options control the branch-and-bound search.
 type Options struct {
-	// TimeLimit bounds the wall-clock search time (0 = 30s).
+	// TimeLimit bounds the wall-clock search time. Zero selects the 30s
+	// default — unless MaxNodes is set, in which case the solve runs in
+	// pure node-budget mode and never consults the wall clock (so node-
+	// budgeted results, including the anytime Bound, are reproducible
+	// across machines).
 	TimeLimit time.Duration
 	// MaxNodes bounds the number of explored nodes (0 = 200000).
 	MaxNodes int
@@ -92,7 +96,12 @@ type Solution struct {
 	X      []float64
 	Obj    float64
 	Nodes  int
-	// Bound is the best proven lower bound on the optimum.
+	// Bound is the best proven lower bound on the optimum — an anytime
+	// certificate, not just the root relaxation: when the budget expires
+	// mid-tree it is the minimum over the open frontier's inherited
+	// relaxation values and the incumbent objective, and it equals Obj
+	// when the tree was exhausted (Status Optimal). -Inf if even the
+	// root relaxation was not solved.
 	Bound float64
 }
 
@@ -100,13 +109,25 @@ const intTol = 1e-6
 
 // Solve runs depth-first branch-and-bound with most-fractional branching.
 func Solve(p *Problem, opt Options) Solution {
-	deadline := time.Now().Add(orDur(opt.TimeLimit, 30*time.Second))
+	// Pure node-budget mode: an explicit MaxNodes with no TimeLimit means
+	// the caller wants machine-independent results, so no implicit 30s
+	// deadline applies and the wall clock is never consulted.
+	var deadline time.Time
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	} else if opt.MaxNodes <= 0 {
+		deadline = time.Now().Add(30 * time.Second)
+	}
 	maxNodes := opt.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 200000
 	}
 	type node struct {
 		extra []lp.Constraint // branching bounds
+		// lb is the parent relaxation's objective — a valid lower bound
+		// for the node's whole subtree, inherited before the node's own
+		// relaxation is solved (the anytime-Bound frontier value).
+		lb float64
 	}
 	res := Solution{Status: Unknown, Obj: math.Inf(1), Bound: math.Inf(-1)}
 	if opt.Incumbent != nil {
@@ -114,11 +135,11 @@ func Solve(p *Problem, opt Options) Solution {
 		res.Obj = opt.IncumbentObj
 		res.Status = Feasible
 	}
-	stack := []node{{}}
+	stack := []node{{lb: math.Inf(-1)}}
 	rootSolved := false
 	infeasibleRoot := false
 	for len(stack) > 0 {
-		if res.Nodes >= maxNodes || time.Now().After(deadline) {
+		if res.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
 			break
 		}
 		nd := stack[len(stack)-1]
@@ -187,24 +208,35 @@ func Solve(p *Problem, opt Options) Solution {
 			first, second = up, down
 		}
 		stack = append(stack,
-			node{extra: append(append([]lp.Constraint(nil), nd.extra...), second)},
-			node{extra: append(append([]lp.Constraint(nil), nd.extra...), first)},
+			node{extra: append(append([]lp.Constraint(nil), nd.extra...), second), lb: sol.Obj},
+			node{extra: append(append([]lp.Constraint(nil), nd.extra...), first), lb: sol.Obj},
 		)
 	}
 	if len(stack) == 0 {
 		switch {
 		case res.Status == Feasible:
 			res.Status = Optimal
+			// Exhausted tree: the incumbent is optimal and is its own
+			// tight bound.
+			res.Bound = res.Obj
 		case infeasibleRoot && res.X == nil:
 			res.Status = Infeasible
 		}
+	} else {
+		// Budget expired mid-tree: the optimum is the incumbent or lives
+		// in an open subtree, so min(incumbent, open-frontier inherited
+		// relaxation values) is a certified anytime bound. It can only
+		// improve on the root relaxation (children inherit objectives of
+		// re-solved, more-constrained nodes).
+		lb := res.Obj
+		for _, nd := range stack {
+			if nd.lb < lb {
+				lb = nd.lb
+			}
+		}
+		if lb > res.Bound {
+			res.Bound = lb
+		}
 	}
 	return res
-}
-
-func orDur(d, def time.Duration) time.Duration {
-	if d <= 0 {
-		return def
-	}
-	return d
 }

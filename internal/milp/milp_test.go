@@ -83,6 +83,44 @@ func TestBnBRespectsBudget(t *testing.T) {
 	}
 }
 
+// TestPureNodeBudgetDeterministic pins the machine-independence of
+// pure node-budget solves (TimeLimit 0, MaxNodes > 0): no wall-clock
+// deadline applies, so two runs of the same truncated tree must agree
+// bit-for-bit — status, node count, objective and the anytime Bound
+// certificate. This is what makes BENCH gap numbers reproducible
+// across machines.
+func TestPureNodeBudgetDeterministic(t *testing.T) {
+	mk := func() *Problem {
+		n := 24
+		p := NewProblem(n)
+		vars := make([]int, n)
+		coefs := make([]float64, n)
+		rng := rand.New(rand.NewSource(1))
+		for j := 0; j < n; j++ {
+			p.SetBinary(j)
+			vars[j] = j
+			coefs[j] = 1 + rng.Float64()
+			p.LP.Obj[j] = -coefs[j]
+		}
+		half := 0.0
+		for _, c := range coefs {
+			half += c / 2
+		}
+		p.LP.AddConstraint(vars, coefs, lp.LE, half)
+		return p
+	}
+	a := Solve(mk(), Options{MaxNodes: 40})
+	b := Solve(mk(), Options{MaxNodes: 40})
+	if a.Status != b.Status || a.Nodes != b.Nodes ||
+		math.Float64bits(a.Obj) != math.Float64bits(b.Obj) ||
+		math.Float64bits(a.Bound) != math.Float64bits(b.Bound) {
+		t.Fatalf("node-budgeted solves diverged:\n a %+v\n b %+v", a, b)
+	}
+	if a.Status == Feasible && !(a.Bound <= a.Obj) {
+		t.Fatalf("anytime bound %v above incumbent objective %v", a.Bound, a.Obj)
+	}
+}
+
 func TestFormulationsProduceFeasibleMappings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second MILP solve sweep; run without -short")

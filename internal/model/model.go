@@ -215,6 +215,13 @@ func (e *Evaluator) streamFactor(u, v graph.NodeID) float64 {
 	return s
 }
 
+// StreamFactor exposes the pipelining overlap factor of edge (u,v): the
+// sigma >= 1 used by the simulator when the pair is co-mapped on a
+// streaming device, or 0 if the pair cannot stream. The lower-bound
+// layer (package bounds) uses it to build streaming-aware path bounds
+// with exactly the simulator's semantics.
+func (e *Evaluator) StreamFactor(u, v graph.NodeID) float64 { return e.streamFactor(u, v) }
+
 // Feasible reports whether m satisfies all device area capacities.
 func (e *Evaluator) Feasible(m mapping.Mapping) bool {
 	for d := range e.area {

@@ -20,6 +20,16 @@
 //     consecutive rounds — donate half of their remaining evaluation
 //     budget to the current leader.
 //
+// The race also certifies its result: the coordinator computes a proven
+// makespan lower bound for the instance (internal/bounds) and reports
+// the returned mapping's certified optimality gap in Stats. With
+// Options.GapTarget set, the race becomes gap-adaptive — it terminates
+// as soon as the incumbent's certified gap reaches the target, instead
+// of burning the remaining budget on improvements that can no longer
+// matter. The stop decision depends only on the deterministic rendezvous
+// state and the (pure, instance-level) bound, never on wall clock, so
+// the determinism contract extends to gap-stopped runs unchanged.
+//
 // Determinism contract: for a fixed Options.Seed the result — mapping,
 // makespan and every deterministic Stats field — is identical across
 // runs and across any Options.Workers value, with or without the cache.
@@ -39,6 +49,7 @@ import (
 	"fmt"
 	"math"
 
+	"spmap/internal/bounds"
 	"spmap/internal/coord"
 	"spmap/internal/eval"
 	"spmap/internal/graph"
@@ -136,6 +147,17 @@ type Options struct {
 	// it as an elite — the online-replay repair entry point. Stats.Best
 	// stays -1 when no member improves on it.
 	Init mapping.Mapping
+	// GapTarget, when positive, arms gap-adaptive termination: in
+	// addition to the always-on combinatorial bounds the coordinator pays
+	// for the LP-relaxation bound (internal/bounds), and stops the race
+	// as soon as the incumbent's certified gap (makespan - bound) /
+	// makespan drops to GapTarget or below. Members receive the Stop
+	// directive at their next rendezvous, so termination is deterministic
+	// — a function of (round, member index, evaluations), never of wall
+	// clock. Must lie in [0, 1); zero disables early stopping (the
+	// combinatorial bound is still certified and reported in Stats, and
+	// results are bit-identical to a run without this field).
+	GapTarget float64
 }
 
 // MemberStats reports one member's deterministic outcome.
@@ -149,6 +171,9 @@ type MemberStats struct {
 	// member adopted.
 	Syncs    int
 	Injected int
+	// Stopped records that the member ended on a coordinator Stop
+	// directive (gap-adaptive termination) rather than budget exhaustion.
+	Stopped bool
 	// Makespan is the best makespan the member found itself (after
 	// adopting injected elites it can equal the portfolio best).
 	Makespan float64
@@ -171,6 +196,21 @@ type Stats struct {
 	// stalled members to leaders.
 	BudgetMoved int
 	Members     []MemberStats
+	// LowerBound is the certified makespan lower bound for the instance
+	// (0 when no method produced a useful bound); BoundName names the
+	// method that achieved it. Gap is the returned mapping's certified
+	// optimality gap, (Makespan - LowerBound)/Makespan clamped to [0, 1]
+	// (vacuously 1 without a useful bound). All three are deterministic:
+	// bounds are pure instance functions.
+	LowerBound float64
+	BoundName  string
+	Gap        float64
+	// GapStop records that the race terminated early because the
+	// incumbent's certified gap reached Options.GapTarget; BudgetSaved is
+	// the total evaluation budget the early stop left unspent (0 when the
+	// race ran to budget exhaustion).
+	GapStop     bool
+	BudgetSaved int
 	// Cache is the shared evaluation cache's telemetry. Hit counts
 	// depend on goroutine timing (two members may race to the same
 	// mapping) and are therefore NOT covered by the determinism
@@ -201,12 +241,13 @@ func Map(g *graph.DAG, p *platform.Platform, opt Options) (mapping.Mapping, Stat
 
 // memberResult is a finished member's final report.
 type memberResult struct {
-	m     mapping.Mapping
-	val   float64
-	evals int
-	syncs int
-	inj   int
-	err   error
+	m       mapping.Mapping
+	val     float64
+	evals   int
+	syncs   int
+	inj     int
+	stopped bool
+	err     error
 }
 
 // memberRuntime is the coordinator's per-member bookkeeping.
@@ -222,6 +263,7 @@ type memberRuntime struct {
 	// Round state.
 	synced   bool // parked at the rendezvous this round
 	finished bool
+	stopped  bool // ended on a Stop directive
 	stall    int
 	delta    int // budget delta to deliver with the next reply
 	err      error
@@ -251,6 +293,9 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 			return nil, Stats{}, fmt.Errorf("portfolio: duplicate member kind %s", k)
 		}
 		seen[k] = true
+	}
+	if opt.GapTarget != 0 && (math.IsNaN(opt.GapTarget) || opt.GapTarget < 0 || opt.GapTarget >= 1) {
+		return nil, Stats{}, fmt.Errorf("portfolio: gap target %v outside [0, 1)", opt.GapTarget)
 	}
 	budget := opt.Budget
 	if budget <= 0 {
@@ -284,6 +329,18 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 		eng = eng.WithCache(cache)
 	}
 	root := ev.Clone().WithEngine(eng)
+
+	// Certify the instance's makespan lower bound up front, before any
+	// member goroutine starts: the combinatorial bounds are always cheap
+	// enough to report, and an armed GapTarget additionally pays for the
+	// LP relaxation, whose tighter bound is what lets the gap test fire.
+	// Bounds are pure instance functions (no schedules, no randomness, no
+	// clock), so this adds nothing nondeterministic.
+	methods := bounds.Combinatorial()
+	if opt.GapTarget > 0 {
+		methods = append(methods, bounds.LPRelaxation{})
+	}
+	cert := bounds.Certify(ev, methods...)
 
 	members := make([]*memberRuntime, len(kinds))
 	for i, k := range kinds {
@@ -327,6 +384,7 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 	}
 
 	live := len(members)
+	stopping := false
 	for live > 0 {
 		stats.Rounds++
 		// Collect exactly one event — rendezvous or completion — from
@@ -346,7 +404,7 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 				mr.finished = true
 				live--
 				mr.err = res.err
-				mr.syncs, mr.inj = res.syncs, res.inj
+				mr.syncs, mr.inj, mr.stopped = res.syncs, res.inj, res.stopped
 				updateProgress(mr, res.evals, res.val, res.m)
 			}
 		}
@@ -356,41 +414,53 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 				globalVal, globalBest, leader = mr.bestVal, mr.best, i
 			}
 		}
+		// Gap-adaptive termination: once the published incumbent's
+		// certified gap reaches the target, every member is stopped at its
+		// next rendezvous (parked members this very round). The decision
+		// reads only the deterministic round state and the instance bound.
+		if opt.GapTarget > 0 && !stopping &&
+			bounds.Gap(globalVal, cert.Value) <= opt.GapTarget {
+			stopping = true
+			stats.GapStop = true
+		}
 		// Budget accounting: stalled members donate half their remaining
 		// budget to the leader (or, when the leader already finished, to
-		// the best still-racing member).
-		recipient := -1
-		if leader >= 0 && !members[leader].finished {
-			recipient = leader
-		} else {
-			for i, mr := range members {
-				if mr.finished {
-					continue
-				}
-				if recipient < 0 || mr.bestVal < members[recipient].bestVal {
-					recipient = i
+		// the best still-racing member). Pointless once the race is
+		// stopping — nobody will spend the grant.
+		if !stopping {
+			recipient := -1
+			if leader >= 0 && !members[leader].finished {
+				recipient = leader
+			} else {
+				for i, mr := range members {
+					if mr.finished {
+						continue
+					}
+					if recipient < 0 || mr.bestVal < members[recipient].bestVal {
+						recipient = i
+					}
 				}
 			}
-		}
-		if recipient >= 0 {
-			moved := 0
-			for i, mr := range members {
-				if i == recipient || !mr.synced || mr.stall < stallRounds {
-					continue
+			if recipient >= 0 {
+				moved := 0
+				for i, mr := range members {
+					if i == recipient || !mr.synced || mr.stall < stallRounds {
+						continue
+					}
+					remaining := mr.budget - mr.evals
+					if remaining < 2*syncEvery {
+						continue // too little left to be worth taking
+					}
+					steal := remaining / 2
+					mr.delta -= steal
+					mr.budget -= steal
+					moved += steal
 				}
-				remaining := mr.budget - mr.evals
-				if remaining < 2*syncEvery {
-					continue // too little left to be worth taking
+				if moved > 0 {
+					members[recipient].delta += moved
+					members[recipient].budget += moved
+					stats.BudgetMoved += moved
 				}
-				steal := remaining / 2
-				mr.delta -= steal
-				mr.budget -= steal
-				moved += steal
-			}
-			if moved > 0 {
-				members[recipient].delta += moved
-				members[recipient].budget += moved
-				stats.BudgetMoved += moved
 			}
 		}
 		// Release every parked member with its directive.
@@ -399,8 +469,16 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 				continue
 			}
 			mr.synced = false
-			d := coord.SyncDirective{BudgetDelta: mr.delta}
+			d := coord.SyncDirective{BudgetDelta: mr.delta, LowerBound: cert.Value}
 			mr.delta = 0
+			if globalBest != nil {
+				d.Gap = bounds.Gap(globalVal, cert.Value)
+			}
+			if stopping {
+				d.Stop = true
+				mr.rep <- d
+				continue
+			}
 			// Publish the incumbent only to members that stopped improving
 			// on their own: injecting into a still-improving trajectory
 			// would collapse the portfolio's diversity onto the first
@@ -422,6 +500,7 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 			Evaluations: mr.evals,
 			Syncs:       mr.syncs,
 			Injected:    mr.inj,
+			Stopped:     mr.stopped,
 			Makespan:    mr.bestVal,
 		}
 		stats.Evaluations += mr.evals
@@ -432,6 +511,16 @@ func MapWithEvaluator(ev *model.Evaluator, opt Options) (mapping.Mapping, Stats,
 	}
 	stats.Best = leader
 	stats.Makespan = globalVal
+	stats.LowerBound = cert.Value
+	stats.BoundName = cert.Name
+	stats.Gap = bounds.Gap(globalVal, cert.Value)
+	if stats.GapStop {
+		for _, mr := range members {
+			if r := mr.budget - mr.evals; r > 0 {
+				stats.BudgetSaved += r
+			}
+		}
+	}
 	if cache != nil {
 		stats.Cache = cache.Stats()
 	}
@@ -465,7 +554,7 @@ func runMember(kind MemberKind, ev *model.Evaluator, seed int64, budget, syncEve
 			lsOpts.Algorithm = localsearch.HillClimb
 		}
 		m, st, err := localsearch.MapWithEvaluator(ev, lsOpts)
-		return memberResult{m: m, val: st.Makespan, evals: st.Evaluations, syncs: st.Syncs, inj: st.Injected, err: err}
+		return memberResult{m: m, val: st.Makespan, evals: st.Evaluations, syncs: st.Syncs, inj: st.Injected, stopped: st.Stopped, err: err}
 
 	case HEFTRefine, PEFTRefine:
 		variant := heft.HEFT
@@ -474,7 +563,7 @@ func runMember(kind MemberKind, ev *model.Evaluator, seed int64, budget, syncEve
 		}
 		seedMap := heft.MapWithEvaluator(ev, variant)
 		m, st, err := localsearch.Refine(ev, seedMap, lsOpts)
-		return memberResult{m: m, val: st.Makespan, evals: st.Evaluations, syncs: st.Syncs, inj: st.Injected, err: err}
+		return memberResult{m: m, val: st.Makespan, evals: st.Evaluations, syncs: st.Syncs, inj: st.Injected, stopped: st.Stopped, err: err}
 
 	case SPFFRefine:
 		m, dst, err := decomp.MapWithEvaluator(ev, decomp.Options{
@@ -501,7 +590,7 @@ func runMember(kind MemberKind, ev *model.Evaluator, seed int64, budget, syncEve
 		return memberResult{
 			m: rm, val: rst.Makespan,
 			evals: dst.Evaluations + rst.Evaluations,
-			syncs: rst.Syncs, inj: rst.Injected, err: err,
+			syncs: rst.Syncs, inj: rst.Injected, stopped: rst.Stopped, err: err,
 		}
 
 	case NSGA2:
@@ -520,7 +609,7 @@ func runMember(kind MemberKind, ev *model.Evaluator, seed int64, budget, syncEve
 			Population: pop, Generations: gens, Budget: budget,
 			Seed: seed, Sync: sync, SyncEvery: syncEvery,
 		})
-		return memberResult{m: m, val: st.Makespan, evals: st.Evaluations, syncs: st.Syncs, inj: st.Injected}
+		return memberResult{m: m, val: st.Makespan, evals: st.Evaluations, syncs: st.Syncs, inj: st.Injected, stopped: st.Stopped}
 	}
 	return memberResult{err: fmt.Errorf("portfolio: unknown member kind %d", int(kind))}
 }

@@ -16,6 +16,7 @@ import (
 	"spmap/internal/mapping"
 	"spmap/internal/model"
 	"spmap/internal/platform"
+	"spmap/internal/wf"
 )
 
 func seedGraph(seed int64, n int) *graph.DAG {
@@ -50,22 +51,32 @@ func fingerprint(m []int, st Stats) string {
 func TestDeterminismAcrossWorkersAndRuns(t *testing.T) {
 	p := platform.Reference()
 	g := seedGraph(3, 35)
-	var ref string
-	first := true
-	for _, workers := range []int{1, 4} {
-		for run := 0; run < 2; run++ {
-			ev := newEval(g, p, 3)
-			m, st, err := MapWithEvaluator(ev, Options{Seed: 42, Budget: 3000, Workers: workers})
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := fingerprint(m, st)
-			if first {
-				ref, first = got, false
-				continue
-			}
-			if got != ref {
-				t.Fatalf("workers=%d run=%d diverged:\n got %s\nwant %s", workers, run, got, ref)
+	// The gap-target rows of the matrix: an armed certificate stop must
+	// be exactly as deterministic as a plain race (the armed row's tight
+	// target does not fire on this parallelism-rich graph, exercising
+	// the armed-but-running path; TestGapAdaptiveStop covers the row
+	// where the stop fires).
+	for _, gapTarget := range []float64{0, 0.05} {
+		var ref string
+		first := true
+		for _, workers := range []int{1, 4} {
+			for run := 0; run < 2; run++ {
+				ev := newEval(g, p, 3)
+				m, st, err := MapWithEvaluator(ev, Options{
+					Seed: 42, Budget: 3000, Workers: workers, GapTarget: gapTarget,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fingerprint(m, st)
+				if first {
+					ref, first = got, false
+					continue
+				}
+				if got != ref {
+					t.Fatalf("gapTarget=%g workers=%d run=%d diverged:\n got %s\nwant %s",
+						gapTarget, workers, run, got, ref)
+				}
 			}
 		}
 	}
@@ -394,5 +405,116 @@ func TestWarmStartInit(t *testing.T) {
 	// Invalid warm starts are rejected explicitly.
 	if _, _, err := MapWithEvaluator(ev, Options{Init: mapping.Mapping{0}}); err == nil {
 		t.Fatal("length-mismatched Init accepted")
+	}
+}
+
+// TestGapTargetValidation pins the [0, 1) domain of Options.GapTarget.
+func TestGapTargetValidation(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(1, 20)
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, _, err := MapWithEvaluator(newEval(g, p, 1), Options{Seed: 1, Budget: 100, GapTarget: bad}); err == nil {
+			t.Errorf("gap target %v accepted", bad)
+		}
+	}
+	if _, _, err := MapWithEvaluator(newEval(g, p, 1), Options{Seed: 1, Budget: 100, GapTarget: 0.5}); err != nil {
+		t.Fatalf("gap target 0.5 rejected: %v", err)
+	}
+}
+
+// TestGapAlwaysCertified checks that every portfolio run carries a
+// certificate, target or not: a positive lower bound no larger than the
+// returned makespan and a gap in [0, 1], with the early-stop machinery
+// dormant when GapTarget is unset.
+func TestGapAlwaysCertified(t *testing.T) {
+	p := platform.Reference()
+	g := seedGraph(2, 30)
+	_, st, err := MapWithEvaluator(newEval(g, p, 2), Options{Seed: 2, Budget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LowerBound <= 0 || st.BoundName == "" {
+		t.Fatalf("no certificate on a plain run: bound=%v name=%q", st.LowerBound, st.BoundName)
+	}
+	if st.LowerBound > st.Makespan {
+		t.Fatalf("certified bound %v exceeds returned makespan %v", st.LowerBound, st.Makespan)
+	}
+	if st.Gap < 0 || st.Gap > 1 {
+		t.Fatalf("gap %v outside [0,1]", st.Gap)
+	}
+	if st.GapStop || st.BudgetSaved != 0 {
+		t.Fatalf("early-stop fields set without a gap target: %+v", st)
+	}
+	for _, ms := range st.Members {
+		if ms.Stopped {
+			t.Fatalf("member %s reports a Stop directive without a gap target", ms.Kind)
+		}
+	}
+}
+
+// TestGapAdaptiveStop is the tentpole's acceptance pin: on a tightly
+// certifiable instance (the blast workflow is chain-dominated, so the
+// transfer-aware path bound is near-exact) a 5% gap target stops the
+// race long before the default 50100-eval budget — saving well over 20%
+// of it — at a final makespan identical to the full run's, with the
+// certificate and stop flags reported all the way out. The stop is also
+// part of the determinism contract: byte-identical across worker counts.
+func TestGapAdaptiveStop(t *testing.T) {
+	p := platform.Reference()
+	g := wf.Generate(wf.Blast, 1, rand.New(rand.NewSource(7)))
+	run := func(target float64, workers int) (mapping.Mapping, Stats) {
+		ev := model.NewEvaluator(g, p).WithSchedules(20, 7)
+		m, st, err := MapWithEvaluator(ev, Options{Seed: 7, GapTarget: target, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, st
+	}
+	_, full := run(0, 0)
+	m, st := run(0.05, 0)
+
+	if !st.GapStop {
+		t.Fatalf("gap target 0.05 did not stop the race: %+v", st)
+	}
+	if st.Gap > 0.05 {
+		t.Fatalf("stopped at gap %v above the target", st.Gap)
+	}
+	if st.LowerBound <= 0 || st.LowerBound > st.Makespan {
+		t.Fatalf("unusable certificate: bound=%v makespan=%v", st.LowerBound, st.Makespan)
+	}
+	const budget = 50100
+	if st.BudgetSaved < budget/5 {
+		t.Fatalf("early stop saved only %d of %d evaluations, want >= 20%%", st.BudgetSaved, budget)
+	}
+	if st.Evaluations+st.BudgetSaved > budget {
+		t.Fatalf("savings accounting leaks budget: %d spent + %d saved > %d",
+			st.Evaluations, st.BudgetSaved, budget)
+	}
+	if math.Float64bits(st.Makespan) != math.Float64bits(full.Makespan) {
+		t.Fatalf("early stop changed the final makespan: %v (stopped) vs %v (full)",
+			st.Makespan, full.Makespan)
+	}
+	stopped := 0
+	for _, ms := range st.Members {
+		if ms.Stopped {
+			stopped++
+		}
+	}
+	if stopped == 0 {
+		t.Fatalf("no member reports the Stop directive: %+v", st.Members)
+	}
+	if got := model.NewEvaluator(g, p).WithSchedules(20, 7).Makespan(m); math.Float64bits(got) != math.Float64bits(st.Makespan) {
+		t.Fatalf("reported makespan %v != exact %v", st.Makespan, got)
+	}
+
+	ref := ""
+	for _, workers := range []int{1, 4} {
+		m, st := run(0.05, workers)
+		fp := fingerprint(m, st)
+		if ref == "" {
+			ref = fp
+		} else if fp != ref {
+			t.Fatalf("gap-stopped race diverged across workers:\n%s\n%s", fp, ref)
+		}
 	}
 }

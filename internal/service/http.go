@@ -297,6 +297,9 @@ type mapRequest struct {
 	Budget int     `json:"budget,omitempty"`
 	Gamma  float64 `json:"gamma,omitempty"`
 	Refine bool    `json:"refine,omitempty"`
+	// GapTarget arms the portfolio's certified-gap early stop (portfolio
+	// only; in [0, 1), 0 = run the full budget).
+	GapTarget float64 `json:"gap_target,omitempty"`
 }
 
 type mapResponse struct {
@@ -309,6 +312,14 @@ type mapResponse struct {
 	Makespan    float64 `json:"makespan"`
 	Improvement float64 `json:"improvement"`
 	Evaluations int     `json:"evaluations"`
+	// LowerBound/Gap report the portfolio's certified makespan lower
+	// bound and the result's certified optimality gap; GapStop marks a
+	// race that terminated early at the requested gap_target, with
+	// BudgetSaved evaluations left unspent. Portfolio runs only.
+	LowerBound  float64 `json:"lowerBound,omitempty"`
+	Gap         float64 `json:"gap,omitempty"`
+	GapStop     bool    `json:"gapStop,omitempty"`
+	BudgetSaved int     `json:"budgetSaved,omitempty"`
 	Timing      *Timing `json:"timing,omitempty"`
 
 	wantTiming bool
@@ -350,6 +361,14 @@ func (s *Service) handleMap(ctx context.Context, body []byte, t *Timing, sink *e
 	if err != nil {
 		return nil, err
 	}
+	if rq.GapTarget != 0 {
+		if !(rq.GapTarget > 0 && rq.GapTarget < 1) {
+			return nil, badRequest("gap_target %v must be in [0, 1)", rq.GapTarget)
+		}
+		if algo != "portfolio" {
+			return nil, badRequest("gap_target applies to the portfolio algorithm only, not %q", algo)
+		}
+	}
 	in, err := s.resolve(&rq.requestBase, t)
 	if err != nil {
 		return nil, err
@@ -362,6 +381,7 @@ func (s *Service) handleMap(ctx context.Context, body []byte, t *Timing, sink *e
 
 	var m mapping.Mapping
 	evals := 0
+	var pfStats *portfolio.Stats
 	runDecomp := func(strategy decomp.Strategy, h decomp.Heuristic, gamma float64) error {
 		mm, st, err := decomp.MapWithEvaluator(ev, decomp.Options{
 			Strategy: strategy, Heuristic: h, Gamma: gamma, Workers: s.opt.Workers,
@@ -397,9 +417,9 @@ func (s *Service) handleMap(ctx context.Context, body []byte, t *Timing, sink *e
 	case "portfolio":
 		var st portfolio.Stats
 		m, st, err = portfolio.MapWithEvaluator(ev, portfolio.Options{
-			Seed: seed, Workers: s.opt.Workers, Budget: budget,
+			Seed: seed, Workers: s.opt.Workers, Budget: budget, GapTarget: rq.GapTarget,
 		})
-		evals = st.Evaluations
+		evals, pfStats = st.Evaluations, &st
 	}
 	if err != nil {
 		return nil, err
@@ -415,11 +435,17 @@ func (s *Service) handleMap(ctx context.Context, body []byte, t *Timing, sink *e
 		evals += st.Evaluations
 	}
 	ms := ev.Makespan(m)
-	return &mapResponse{
+	resp := &mapResponse{
 		ID: rq.ID, Instance: in.key, Algo: algo, Mapping: m, Makespan: ms,
 		Improvement: ev.RelativeImprovement(ms), Evaluations: evals,
 		wantTiming: rq.Timing,
-	}, nil
+	}
+	if pfStats != nil {
+		resp.LowerBound, resp.Gap = pfStats.LowerBound, pfStats.Gap
+		resp.GapStop, resp.BudgetSaved = pfStats.GapStop, pfStats.BudgetSaved
+		t.Gap, t.GapStop = pfStats.Gap, pfStats.GapStop
+	}
+	return resp, nil
 }
 
 // --- /v1/refine ------------------------------------------------------

@@ -15,6 +15,7 @@ import (
 
 	"spmap/internal/gen"
 	"spmap/internal/graph"
+	"spmap/internal/wf"
 )
 
 // testGraphJSON generates a deterministic task graph and returns its
@@ -443,6 +444,9 @@ func TestValidationErrors(t *testing.T) {
 		{"budget cap", "/v1/map", map[string]any{"graph": gj, "algo": "anneal", "budget": 1 << 60}, 400, "budget"},
 		{"negative budget", "/v1/map", map[string]any{"graph": gj, "algo": "anneal", "budget": -5}, 400, "budget"},
 		{"bad gamma", "/v1/map", map[string]any{"graph": gj, "algo": "gamma", "gamma": 0.5}, 400, "gamma"},
+		{"negative gap target", "/v1/map", map[string]any{"graph": gj, "algo": "portfolio", "gap_target": -0.1}, 400, "gap_target"},
+		{"gap target one", "/v1/map", map[string]any{"graph": gj, "algo": "portfolio", "gap_target": 1}, 400, "gap_target"},
+		{"gap target wrong algo", "/v1/map", map[string]any{"graph": gj, "algo": "heft", "gap_target": 0.1}, 400, "portfolio"},
 		{"corrupt platform", "/v1/map", map[string]any{"graph": gj, "platform": json.RawMessage(`{"devices":[{"name":"x","peakOps":-1,"lanes":1,"bandwidth":1}]}`)}, 400, "platform"},
 		{"refine missing mapping", "/v1/refine", map[string]any{"graph": gj}, 400, "length 0"},
 		{"refine short mapping", "/v1/refine", map[string]any{"graph": gj, "mapping": []int{0}}, 400, "length 1"},
@@ -589,6 +593,102 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if len(rows) != 4 || rows[0][0] != "id" || rows[1][0] != "r0" {
 		t.Fatalf("csv rows: %v", rows)
+	}
+}
+
+// TestMapGapTarget drives the certified-gap early stop through the
+// service: a chain-dominated workflow graph certifies tightly, so a
+// portfolio request with gap_target 0.05 must stop early, report the
+// certificate in the response, and surface the gap in /v1/stats.
+func TestMapGapTarget(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	g := wf.Generate(wf.Blast, 1, rand.New(rand.NewSource(7)))
+	gj, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := post(t, ts, "/v1/map", map[string]any{
+		"id": "gap", "graph": json.RawMessage(gj), "algo": "portfolio",
+		"schedules": 20, "seed": 7, "gap_target": 0.05,
+	})
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var r mapResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !(r.LowerBound > 0 && r.LowerBound <= r.Makespan) {
+		t.Fatalf("lower bound %v not in (0, makespan %v]", r.LowerBound, r.Makespan)
+	}
+	if !r.GapStop || !(r.Gap > 0 && r.Gap <= 0.05) {
+		t.Fatalf("expected certified early stop at gap <= 0.05, got gapStop=%v gap=%v", r.GapStop, r.Gap)
+	}
+	if r.BudgetSaved < 50100/5 {
+		t.Fatalf("budget saved %d < 20%% of the default budget", r.BudgetSaved)
+	}
+
+	// A non-portfolio request certifies nothing and omits the fields.
+	_, plain := post(t, ts, "/v1/map", map[string]any{
+		"graph": json.RawMessage(gj), "algo": "heft", "schedules": 20,
+	})
+	if bytes.Contains(plain, []byte("lowerBound")) || bytes.Contains(plain, []byte("gapStop")) {
+		t.Fatalf("heft response carries certificate fields: %s", plain)
+	}
+
+	// /v1/stats carries the per-request gap in both views.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range st.Timings {
+		if tr.ID == "gap" {
+			found = true
+			if !tr.GapStop || tr.Gap != r.Gap {
+				t.Fatalf("timing record gap=%v gapStop=%v, want gap=%v gapStop=true", tr.Gap, tr.GapStop, r.Gap)
+			}
+		} else if tr.Gap != 0 || tr.GapStop {
+			t.Fatalf("uncertified request carries gap telemetry: %+v", tr)
+		}
+	}
+	if !found {
+		t.Fatal("no timing record for the gap request")
+	}
+	rc, err := http.Get(ts.URL + "/v1/stats?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Body.Close()
+	rows, err := csv.NewReader(rc.Body).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, gsi := -1, -1
+	for i, col := range rows[0] {
+		switch col {
+		case "gap":
+			gi = i
+		case "gap_stop":
+			gsi = i
+		}
+	}
+	if gi < 0 || gsi < 0 {
+		t.Fatalf("csv header missing gap columns: %v", rows[0])
+	}
+	csvHasStop := false
+	for _, row := range rows[1:] {
+		if row[gsi] == "true" {
+			csvHasStop = true
+		}
+	}
+	if !csvHasStop {
+		t.Fatalf("no csv row records the gap stop: %v", rows)
 	}
 }
 

@@ -49,13 +49,18 @@ type Timing struct {
 	Flushes   int64 `json:"flushes"`
 	Coalesced bool  `json:"coalesced"`
 	Status    int   `json:"status"`
+	// Gap is the certified optimality gap of a portfolio map request's
+	// result (0 on endpoints/algorithms that certify nothing); GapStop
+	// marks requests whose race terminated early at the gap target.
+	Gap     float64 `json:"gap"`
+	GapStop bool    `json:"gap_stop"`
 }
 
 // timingHeader is the CSV column order, kept in sync with writeRow.
 var timingHeader = []string{
 	"id", "endpoint", "instance", "ops",
 	"queue_us", "batch_us", "eval_us", "respond_us", "total_us",
-	"flushes", "coalesced", "status",
+	"flushes", "coalesced", "status", "gap", "gap_stop",
 }
 
 func (t *Timing) writeRow(w *csv.Writer) error {
@@ -65,6 +70,7 @@ func (t *Timing) writeRow(w *csv.Writer) error {
 		strconv.FormatInt(t.EvalUS, 10), strconv.FormatInt(t.RespondUS, 10),
 		strconv.FormatInt(t.TotalUS, 10), strconv.FormatInt(t.Flushes, 10),
 		strconv.FormatBool(t.Coalesced), strconv.Itoa(t.Status),
+		strconv.FormatFloat(t.Gap, 'g', -1, 64), strconv.FormatBool(t.GapStop),
 	})
 }
 

@@ -41,7 +41,10 @@
 //     evaluation budget with a shared memoizing evaluation cache,
 //     cross-pollination of the incumbent best mapping, and budget
 //     stealing from stalled members — deterministic for a fixed Seed
-//     regardless of Workers.
+//     regardless of Workers. Every race reports a certified makespan
+//     lower bound and optimality gap (CertifyLowerBound, OptimalityGap)
+//     and can terminate early once the gap reaches
+//     PortfolioOptions.GapTarget.
 //   - MapMILP — the ZhouLiu / WGDP-Device / WGDP-Time integer programs
 //     solved by the built-in branch-and-bound solver.
 //
@@ -107,6 +110,7 @@ import (
 	"math/rand"
 	"time"
 
+	"spmap/internal/bounds"
 	"spmap/internal/eval"
 	"spmap/internal/fleet"
 	"spmap/internal/gen"
@@ -600,15 +604,20 @@ func MapRobustWithEvaluator(ev *Evaluator, opt RobustOptions) (ParetoFront, Robu
 
 // PortfolioOptions configure MapPortfolio; zero values select the
 // defaults (full portfolio, the paper GA's 50100-evaluation budget, the
-// shared evaluation cache on).
+// shared evaluation cache on). Setting GapTarget in (0, 1) arms
+// gap-adaptive termination: the race stops as soon as the incumbent's
+// certified optimality gap reaches the target.
 type PortfolioOptions = portfolio.Options
 
 // PortfolioStats report a portfolio race: per-member budgets,
 // evaluations and outcomes, coordination rounds, reallocated budget,
-// and the shared cache's telemetry. All fields except Cache are
-// deterministic for a fixed Seed regardless of Workers (cache hit
-// counts depend on wall-clock interleaving; Stats.Deterministic zeroes
-// them for fingerprinting).
+// the certified makespan lower bound and optimality gap of the returned
+// mapping (LowerBound, BoundName, Gap — certified on every run), the
+// gap-adaptive early-stop outcome (GapStop, BudgetSaved), and the
+// shared cache's telemetry. All fields except Cache are deterministic
+// for a fixed Seed regardless of Workers (cache hit counts depend on
+// wall-clock interleaving; Stats.Deterministic zeroes them for
+// fingerprinting).
 type PortfolioStats = portfolio.Stats
 
 // PortfolioMember identifies one racing mapper of MapPortfolio.
@@ -641,6 +650,12 @@ const (
 // with its share, and deterministic for a fixed Options.Seed across any
 // Options.Workers value (see internal/portfolio for the rendezvous
 // design that keeps real concurrency out of the results).
+//
+// Every race also certifies its result: Stats carries a proven makespan
+// lower bound for the instance and the returned mapping's optimality
+// gap. With Options.GapTarget set the race is gap-adaptive — it
+// terminates as soon as the certified gap reaches the target instead of
+// exhausting the budget (Stats.GapStop, Stats.BudgetSaved).
 func MapPortfolio(g *DAG, p *Platform, opt PortfolioOptions) (Mapping, PortfolioStats, error) {
 	return portfolio.Map(g, p, opt)
 }
@@ -651,6 +666,26 @@ func MapPortfolio(g *DAG, p *Platform, opt PortfolioOptions) (Mapping, Portfolio
 func MapPortfolioWithEvaluator(ev *Evaluator, opt PortfolioOptions) (Mapping, PortfolioStats, error) {
 	return portfolio.MapWithEvaluator(ev, opt)
 }
+
+// BoundCertificate is a proven makespan lower bound for an instance:
+// the best value across the certifying methods, the name of the method
+// that achieved it, and every method's individual bound.
+type BoundCertificate = bounds.Certificate
+
+// CertifyLowerBound computes a certified makespan lower bound for
+// (g, p) from the combinatorial bound family (critical path over best
+// execution times, device-class load, transfer-aware path DP): a value
+// no feasible mapping can beat under the simulator semantics, usable as
+// the denominator-side certificate for any mapper's result. Bounds are
+// pure instance functions — deterministic, no search, no wall clock.
+func CertifyLowerBound(g *DAG, p *Platform) BoundCertificate {
+	return bounds.Certify(model.NewEvaluator(g, p))
+}
+
+// OptimalityGap returns the certified gap (makespan - bound)/makespan
+// clamped to [0, 1]; 1 when nothing useful is certified (non-positive
+// bound, or an infeasible/non-positive makespan).
+func OptimalityGap(makespan, bound float64) float64 { return bounds.Gap(makespan, bound) }
 
 // MILPResult is the outcome of a MILP mapping run.
 type MILPResult = milp.Result
